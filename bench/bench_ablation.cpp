@@ -1,0 +1,151 @@
+// Ablation study of the design choices DESIGN.md calls out (not a paper
+// table — these justify the reproduction's deviations):
+//
+//  A. MMHD transition prior strength {0, 1, 2, 4}: accuracy (L1 to ground
+//     truth) and decision correctness in the no-DCL setting, where plain
+//     ML (strength 0) exhibits the rare-symbol absorber degeneracy.
+//  B. Discretizer range factor {1, 2}: factor 2 keeps the SDCL test
+//     non-trivial and reproduces the paper's Fig. 5 layout.
+//  C. EM convergence threshold 1e-4 vs 1e-5 (the paper reports both give
+//     the same results).
+//  D. Posterior (eq. (5)) vs the stationary Bayes form of the virtual
+//     delay PMF on the HMM.
+#include "bench/common.h"
+#include "inference/hmm.h"
+#include "inference/mmhd.h"
+#include "scenarios/presets.h"
+
+using namespace dcl;
+
+int main() {
+  bench::print_header("Ablations");
+  const double duration = bench::scaled_duration(700.0);
+
+  // Shared traces. The no-DCL variant is made deliberately hard: long
+  // saturating bursts at the fast link produce multi-probe loss runs,
+  // whose interiors carry no delay evidence — the regime in which plain
+  // maximum likelihood exhibits the rare-symbol absorber degeneracy the
+  // transition prior exists for (DESIGN.md 5.1).
+  auto nodcl_cfg = scenarios::presets::nodcl_chain(0.5e6, 8e6, /*seed=*/501,
+                                                   duration, /*warmup=*/60.0);
+  nodcl_cfg.udp_rate_bps[2] = 1.4 * 8e6;
+  nodcl_cfg.udp_mean_on_s[2] = 0.25;
+  nodcl_cfg.udp_mean_off_s[2] = 2.5;
+  scenarios::ChainScenario nodcl(nodcl_cfg);
+  nodcl.run();
+  const auto nodcl_obs = nodcl.observations();
+
+  auto sdcl_cfg = scenarios::presets::sdcl_chain(1e6, /*seed=*/502, duration,
+                                                 /*warmup=*/60.0);
+  scenarios::ChainScenario sdcl(sdcl_cfg);
+  sdcl.run();
+  const auto sdcl_obs = sdcl.observations();
+
+  // ---- A: transition prior strength ---------------------------------
+  {
+    std::printf("\n[A] MMHD transition prior (no-DCL setting, expect "
+                "reject)\n");
+    std::printf("  %-9s %-4s %-10s %-9s %-8s\n", "prior", "N", "L1_truth",
+                "WDCL", "F(2i*)");
+    inference::DiscretizerConfig dc;
+    const auto disc = inference::Discretizer::from_observations(nodcl_obs, dc);
+    const auto seq = disc.discretize(nodcl_obs);
+    const auto gt = disc.pmf_of_owds(nodcl.ground_truth_virtual_owds());
+    for (double prior : {0.0, 1.0, 2.0, 4.0}) {
+      for (int n : {1, 2, 4}) {
+        inference::Mmhd model(n, 10);
+        inference::EmOptions eo;
+        eo.hidden_states = n;
+        eo.seed = 61;
+        eo.transition_prior = prior;
+        const auto fit = model.fit(seq, eo);
+        const auto w = core::wdcl_test(
+            util::pmf_to_cdf(fit.virtual_delay_pmf), 0.05, 0.05);
+        std::printf("  %-9.1f %-4d %-10.3f %-9s %-8.3f\n", prior, n,
+                    util::l1_distance(fit.virtual_delay_pmf, gt),
+                    w.accepted ? "ACCEPT" : "reject", w.f_at_2istar);
+      }
+    }
+    std::printf(
+        "  (expect: plain ML (0) misattributes the loss runs and falsely\n"
+        "   accepts at N >= 2; stronger priors progressively suppress the\n"
+        "   degeneracy — which grows with N, so under long loss runs use\n"
+        "   a stronger prior, a smaller N, or BIC selection)\n");
+  }
+
+  // ---- B: discretizer range factor -----------------------------------
+  {
+    std::printf("\n[B] discretizer range factor (SDCL setting)\n");
+    for (double factor : {1.0, 2.0}) {
+      inference::DiscretizerConfig dc;
+      dc.range_factor = factor;
+      const auto disc = inference::Discretizer::from_observations(sdcl_obs, dc);
+      const auto seq = disc.discretize(sdcl_obs);
+      inference::Mmhd model(2, 10);
+      inference::EmOptions eo;
+      eo.hidden_states = 2;
+      eo.seed = 62;
+      const auto fit = model.fit(seq, eo);
+      const auto s =
+          core::sdcl_test(util::pmf_to_cdf(fit.virtual_delay_pmf), 1e-3);
+      std::printf("  factor %.0f: i* = %d of 10, F(2i*) = %.3f, %s%s\n",
+                  factor, s.i_star, s.f_at_2istar,
+                  s.accepted ? "accept" : "reject",
+                  s.i_star >= 5 && factor == 1.0
+                      ? "  (2 i* beyond the grid: test trivial)"
+                      : "");
+    }
+    std::printf("  (expect: factor 2 puts i* near M/2 with F evaluable at\n"
+                "   2 i*; factor 1 pushes i* into the top half where the\n"
+                "   test is vacuous)\n");
+  }
+
+  // ---- C: EM convergence threshold ------------------------------------
+  {
+    std::printf("\n[C] EM convergence threshold (SDCL setting)\n");
+    inference::DiscretizerConfig dc;
+    const auto disc = inference::Discretizer::from_observations(sdcl_obs, dc);
+    const auto seq = disc.discretize(sdcl_obs);
+    const auto gt = disc.pmf_of_owds(sdcl.ground_truth_virtual_owds());
+    util::Pmf pmf_loose, pmf_tight;
+    for (double tol : {1e-4, 1e-5}) {
+      inference::Mmhd model(2, 10);
+      inference::EmOptions eo;
+      eo.hidden_states = 2;
+      eo.seed = 63;
+      eo.tolerance = tol;
+      eo.max_iterations = 1000;
+      const auto fit = model.fit(seq, eo);
+      std::printf("  tol %.0e: %3d iterations, L1 to truth %.3f\n", tol,
+                  fit.iterations,
+                  util::l1_distance(fit.virtual_delay_pmf, gt));
+      (tol == 1e-4 ? pmf_loose : pmf_tight) = fit.virtual_delay_pmf;
+    }
+    std::printf("  L1 between the two fits: %.4f (paper: thresholds "
+                "equivalent)\n",
+                util::l1_distance(pmf_loose, pmf_tight));
+  }
+
+  // ---- D: posterior vs stationary virtual-delay PMF (HMM) -------------
+  {
+    std::printf("\n[D] HMM posterior vs stationary virtual-delay PMF "
+                "(SDCL setting)\n");
+    inference::DiscretizerConfig dc;
+    const auto disc = inference::Discretizer::from_observations(sdcl_obs, dc);
+    const auto seq = disc.discretize(sdcl_obs);
+    const auto gt = disc.pmf_of_owds(sdcl.ground_truth_virtual_owds());
+    inference::Hmm model(2, 10);
+    inference::EmOptions eo;
+    eo.hidden_states = 2;
+    eo.seed = 64;
+    const auto fit = model.fit(seq, eo);
+    const auto stationary = model.stationary_virtual_delay_pmf();
+    std::printf("  posterior  (eq. 5): L1 to truth %.3f\n",
+                util::l1_distance(fit.virtual_delay_pmf, gt));
+    std::printf("  stationary (Bayes): L1 to truth %.3f\n",
+                util::l1_distance(stationary, gt));
+    std::printf("  (expect: both close on stationary traces; the posterior\n"
+                "   uses the whole sequence and is never worse)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Extension bench: per-loss attribution accuracy.
+//
+// Beyond the distribution-level eq. (5), the MMHD can attribute each
+// individual loss to a delay symbol via Viterbi decoding. This bench
+// measures, against simulator ground truth, the fraction of losses whose
+// decoded symbol lands within one bin of the true virtual-delay symbol —
+// and compares against a simple empirical baseline that assigns each loss
+// the symbol of its nearest received neighbor.
+#include <cmath>
+#include <map>
+
+#include "bench/common.h"
+#include "inference/mmhd.h"
+#include "scenarios/presets.h"
+
+using namespace dcl;
+
+namespace {
+
+struct Accuracy {
+  double exact = 0.0;
+  double within_one = 0.0;
+  std::size_t losses = 0;
+};
+
+Accuracy score(const std::vector<int>& attributed,
+               const std::vector<int>& truth_syms,
+               const std::vector<int>& seq) {
+  Accuracy a;
+  std::size_t gi = 0;
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    if (seq[t] != inference::Discretizer::kLossSymbol) continue;
+    if (gi >= truth_syms.size()) break;
+    const int truth = truth_syms[gi++];
+    const int got = attributed[t];
+    ++a.losses;
+    a.exact += got == truth ? 1 : 0;
+    a.within_one += std::abs(got - truth) <= 1 ? 1 : 0;
+  }
+  if (a.losses > 0) {
+    a.exact /= static_cast<double>(a.losses);
+    a.within_one /= static_cast<double>(a.losses);
+  }
+  return a;
+}
+
+// Baseline: each loss takes the symbol of the nearest received probe.
+std::vector<int> nearest_neighbor(const std::vector<int>& seq) {
+  std::vector<int> out(seq.size(), 1);
+  const int n = static_cast<int>(seq.size());
+  for (int t = 0; t < n; ++t) {
+    if (seq[static_cast<std::size_t>(t)] !=
+        inference::Discretizer::kLossSymbol) {
+      out[static_cast<std::size_t>(t)] = seq[static_cast<std::size_t>(t)];
+      continue;
+    }
+    for (int d = 1; d < n; ++d) {
+      if (t - d >= 0 &&
+          seq[static_cast<std::size_t>(t - d)] !=
+              inference::Discretizer::kLossSymbol) {
+        out[static_cast<std::size_t>(t)] = seq[static_cast<std::size_t>(t - d)];
+        break;
+      }
+      if (t + d < n &&
+          seq[static_cast<std::size_t>(t + d)] !=
+              inference::Discretizer::kLossSymbol) {
+        out[static_cast<std::size_t>(t)] = seq[static_cast<std::size_t>(t + d)];
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void run_setting(const char* label, const scenarios::ChainConfig& cfg) {
+  scenarios::ChainScenario sc(cfg);
+  sc.run();
+  const auto obs = sc.observations();
+
+  inference::DiscretizerConfig dc;
+  const auto disc = inference::Discretizer::from_observations(obs, dc);
+  const auto seq = disc.discretize(obs);
+
+  // Ground-truth symbol per lost probe, in loss order (the tracer's loss
+  // records and the observation sequence enumerate losses identically —
+  // both by probe sequence number within the window).
+  std::vector<int> truth_syms;
+  for (double owd : sc.ground_truth_virtual_owds())
+    truth_syms.push_back(disc.symbol_for(owd));
+
+  inference::Mmhd model(2, 10);
+  inference::EmOptions eo;
+  eo.hidden_states = 2;
+  eo.seed = 71;
+  model.fit(seq, eo);
+  const auto viterbi = model.viterbi(seq);
+  const auto nn = nearest_neighbor(seq);
+
+  const auto av = score(viterbi, truth_syms, seq);
+  const auto an = score(nn, truth_syms, seq);
+  std::printf("%-12s losses %5zu | Viterbi exact %.3f (+/-1: %.3f) | "
+              "nearest-neighbor exact %.3f (+/-1: %.3f)\n",
+              label, av.losses, av.exact, av.within_one, an.exact,
+              an.within_one);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension — per-loss attribution accuracy (Viterbi)");
+  const double duration = bench::scaled_duration(800.0);
+  run_setting("SDCL",
+              scenarios::presets::sdcl_chain(1e6, 701, duration, 60.0));
+  run_setting("WDCL",
+              scenarios::presets::wdcl_chain(0.8e6, 16e6, 702, duration,
+                                             60.0));
+  run_setting("no-DCL",
+              scenarios::presets::nodcl_chain(0.5e6, 8e6, 703, duration,
+                                              60.0));
+  std::printf(
+      "\nExpected shape: Viterbi at least matches the nearest-neighbor\n"
+      "heuristic everywhere and is far ahead when losses cluster in\n"
+      "bursts (its transition model sees through a run of losses; the\n"
+      "nearest received neighbor often belongs to the other link's\n"
+      "cluster).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Fig. 10: routers using Adaptive RED (gentle mode) in a
+// setting where L1 would be a strongly dominant congested link under
+// droptail.
+//
+// Two sub-settings vary RED's minimum threshold: (a) a small min_th (1/5
+// of the buffer) makes RED drop far from a full queue, violating the
+// droptail assumption — identification becomes incorrect/ambiguous; (b) a
+// large min_th (1/2 of the buffer) makes RED behave nearly like droptail
+// and the identification is correct again.
+#include "bench/common.h"
+#include "scenarios/presets.h"
+
+using namespace dcl;
+
+namespace {
+void run_setting(const char* label, double min_th_frac, std::uint64_t seed,
+                 double duration, double udp_rate) {
+  auto cfg = scenarios::presets::sdcl_chain(1e6, seed, duration,
+                                            /*warmup=*/60.0);
+  cfg.queue_kind = scenarios::ChainConfig::QueueKind::kRed;
+  cfg.red_min_th_frac = min_th_frac;
+  // RED sheds load early, so it takes more offered traffic than droptail
+  // to produce a comparable loss rate at the bottleneck; the large-
+  // threshold case drops almost exclusively on buffer overflow and needs
+  // the most.
+  cfg.udp_rate_bps[1] = udp_rate;
+  core::IdentifierConfig icfg;
+  icfg.compute_fine_bound = false;
+  const auto r = bench::run_chain(cfg, icfg);
+
+  std::printf("\n%s (min_th = %.2f * buffer)\n", label, min_th_frac);
+  if (!r.id.has_losses) {
+    std::printf("no probe losses in the trace — nothing to identify\n");
+    return;
+  }
+  std::printf("symbols (M=10):        ");
+  for (int i = 1; i <= 10; ++i) std::printf(" %6d", i);
+  std::printf("\n");
+  bench::print_pmf("ns virtual (truth)", r.gt_pmf);
+  bench::print_pmf("MMHD N=2", r.id.virtual_pmf);
+  std::printf("probe loss rate %.4f; SDCL-Test: %s (i*=%d, F(2i*)=%.3f); "
+              "WDCL(0.05,0.05): %s\n",
+              r.loss_rate, r.id.sdcl.accepted ? "accept" : "reject",
+              r.id.sdcl.i_star, r.id.sdcl.f_at_2istar,
+              core::wdcl_test(r.id.virtual_cdf, 0.05, 0.05).accepted
+                  ? "accept"
+                  : "reject");
+}
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 10 — Adaptive RED queues, SDCL setting");
+  const double duration = bench::scaled_duration(1000.0);
+  run_setting("(a) small minimum threshold", 0.2, 401, duration, 0.7e6);
+  run_setting("(b) large minimum threshold", 0.5, 402, duration, 0.95e6);
+  std::printf(
+      "\nExpected shape (paper VI-A5): with the small threshold RED drops\n"
+      "early and the virtual-delay distribution spreads toward low\n"
+      "symbols (identification unreliable); with the large threshold the\n"
+      "queue behaves nearly droptail and the test accepts correctly.\n");
+  return 0;
+}

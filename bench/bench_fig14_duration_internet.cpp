@@ -1,0 +1,77 @@
+// Reproduces paper Fig. 14: consistency ratio versus probing duration on
+// the (emulated) USevilla -> ADSL path, with the propagation delay either
+// approximated by the minimum delay of the probing segment ("unknown") or
+// taken from the whole trace ("known").
+//
+// As in the paper, random segments of the long trace are identified and
+// compared against the full-trace decision. Expected shape: the two
+// curves coincide (the min-delay approximation is good) and reach ~1 once
+// segments are long enough to contain a representative set of losses.
+#include "bench/common.h"
+#include "emu/presets.h"
+#include "timesync/skew.h"
+#include "util/rng.h"
+
+using namespace dcl;
+
+int main() {
+  bench::print_header(
+      "Fig. 14 — consistency vs probing duration (emulated Internet)");
+  const double trace_len = bench::scaled_duration(1200.0, 700.0);
+  const int reps = bench::scaled_reps(25);
+
+  const auto cfg = emu::presets::usevilla_to_adsl(/*seed=*/5, trace_len);
+  emu::InternetPathScenario sc(cfg);
+  sc.run();
+
+  // Reference decision from the full trace (skew-corrected).
+  const auto raw_all = sc.measured_observations();
+  const auto st_all = sc.send_times(sc.window_start(), sc.window_end());
+  const auto obs_all = timesync::correct_observations(raw_all, st_all);
+  core::IdentifierConfig icfg;
+  icfg.eps_l = 0.1;
+  icfg.eps_d = 0.1;
+  icfg.compute_fine_bound = false;
+  const auto ref = core::Identifier(icfg).identify(obs_all);
+  std::printf("full-trace decision: WDCL %s (loss rate %.4f)\n",
+              ref.wdcl.accepted ? "accept" : "reject",
+              inference::loss_rate(obs_all));
+
+  // "Known" propagation delay: minimum delay over the whole corrected
+  // trace (the paper uses the full one-hour trace for this).
+  double dprop_known = 1e9;
+  for (const auto& o : obs_all)
+    if (!o.lost) dprop_known = std::min(dprop_known, o.delay);
+
+  util::Rng rng(99);
+  const std::vector<double> durations{120, 240, 360, 480, 720};
+  std::printf("\n  %-13s %-16s %-16s\n", "duration(s)", "unknown dprop",
+              "known dprop");
+  for (double d : durations) {
+    if (d > sc.window_end() - sc.window_start()) break;
+    int consistent_unknown = 0, consistent_known = 0, valid = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const double t0 = rng.uniform(sc.window_start(), sc.window_end() - d);
+      const auto raw = sc.measured_observations(t0, t0 + d);
+      const auto st = sc.send_times(t0, t0 + d);
+      const auto obs = timesync::correct_observations(raw, st);
+      if (inference::loss_count(obs) < 3) continue;
+      ++valid;
+      const auto r_unknown = core::Identifier(icfg).identify(obs);
+      core::IdentifierConfig kcfg = icfg;
+      kcfg.propagation_delay = dprop_known;
+      const auto r_known = core::Identifier(kcfg).identify(obs);
+      if (r_unknown.wdcl.accepted == ref.wdcl.accepted) ++consistent_unknown;
+      if (r_known.wdcl.accepted == ref.wdcl.accepted) ++consistent_known;
+    }
+    std::printf("  %-13.0f %-16.3f %-16.3f\n", d,
+                valid ? static_cast<double>(consistent_unknown) / valid : 0.0,
+                valid ? static_cast<double>(consistent_known) / valid : 0.0);
+  }
+  std::printf(
+      "\nExpected shape: the two columns are (nearly) identical — using\n"
+      "the segment's minimum delay as the propagation delay is a good\n"
+      "approximation — and consistency reaches ~1 for long segments\n"
+      "(the paper needed ~12 min at 0.7%% loss).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Fig. 7: estimating an upper bound on the maximum
+// queuing delay of the weakly dominant congested link with a fine symbol
+// grid (M = 50) and the connected-component heuristic of Section IV-B.
+//
+// Prints the fine-grained PMF, the component the heuristic selects, and
+// the resulting bound against the actual maximum queuing delay. Expected
+// shape: the PMF separates into a small low-delay component (secondary-
+// link losses) and a heavy component whose lowest significant symbol
+// bounds Q_k to within a few bin widths.
+#include "bench/common.h"
+#include "scenarios/presets.h"
+
+using namespace dcl;
+
+int main() {
+  bench::print_header("Fig. 7 — fine-grained bound heuristic (M = 50)");
+  const double duration = bench::scaled_duration(1000.0);
+  auto cfg = scenarios::presets::wdcl_chain(0.7e6, 18e6, /*seed=*/202,
+                                            duration, /*warmup=*/60.0);
+  // More frequent secondary bursts than the Table III rows: the triple
+  // outcome needs the secondary loss share visibly between 2% and 6%.
+  cfg.udp_mean_off_s[2] = 8.0;
+  core::IdentifierConfig icfg;
+  icfg.bound_symbols = 50;
+  const auto r = bench::run_chain(cfg, icfg);
+
+  std::printf("fine PMF (M = 50, bin width %.1f ms):\n",
+              r.id.fine_bin_width_s * 1e3);
+  std::printf("  %-10s %-12s %-12s\n", "symbol", "MMHD", "ns truth");
+  for (int i = 1; i <= 50; ++i) {
+    const double pm = r.id.fine_pmf[static_cast<std::size_t>(i - 1)];
+    const double pt = r.gt_fine_pmf[static_cast<std::size_t>(i - 1)];
+    if (pm < 0.004 && pt < 0.004) continue;  // print occupied bins only
+    std::printf("  %-10d %-12.4f %-12.4f\n", i, pm, pt);
+  }
+
+  if (r.id.fine_valid) {
+    std::printf(
+        "\nheaviest component: symbols %d..%d (mass %.3f, threshold "
+        "%.4f)\n",
+        r.id.fine_bound.first_symbol, r.id.fine_bound.last_symbol,
+        r.id.fine_bound.mass, r.id.fine_bound.threshold_used);
+    std::printf("bound on Q_k: %.1f ms   (actual max queuing delay: %.1f "
+                "ms, min: %.1f ms)\n",
+                r.id.fine_bound.bound_seconds * 1e3,
+                r.gt_max_virtual_q * 1e3, r.gt_min_virtual_q * 1e3);
+    std::printf("loss-pair estimate:  %.1f ms\n",
+                r.loss_pair.valid ? r.loss_pair.max_delay_estimate_s * 1e3
+                                  : 0.0);
+  } else {
+    std::printf("\nheuristic found no component (unexpected)\n");
+  }
+  std::printf(
+      "\nExpected shape: a separated low component plus a heavy component\n"
+      "whose first significant symbol bounds the actual Q_k within a few\n"
+      "bins; the loss-pair estimate is less reliable here.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Microbenchmarks (google-benchmark): EM iteration throughput for HMM and
+// MMHD across sequence lengths and state counts, simulator event
+// throughput, discretization, and clock-skew estimation. Not part of the
+// paper — these quantify the implementation itself.
+#include <benchmark/benchmark.h>
+
+#include "inference/discretizer.h"
+#include "inference/hmm.h"
+#include "inference/mmhd.h"
+#include "scenarios/presets.h"
+#include "sim/droptail.h"
+#include "sim/network.h"
+#include "timesync/skew.h"
+#include "util/rng.h"
+
+namespace dcl {
+namespace {
+
+// Synthetic observation sequence resembling a congested path: sticky
+// symbols, losses concentrated at the top symbol.
+std::vector<int> synth_sequence(std::size_t t_len, int symbols,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<int> seq;
+  seq.reserve(t_len);
+  int state = 1;
+  for (std::size_t t = 0; t < t_len; ++t) {
+    if (rng.uniform() < 0.2)
+      state = static_cast<int>(rng.uniform_int(1, symbols));
+    const double loss_p = state == symbols ? 0.2 : 0.002;
+    seq.push_back(rng.bernoulli(loss_p) ? inference::Discretizer::kLossSymbol
+                                        : state);
+  }
+  seq.front() = 1;
+  seq.back() = 1;
+  return seq;
+}
+
+void BM_MmhdFit(benchmark::State& state) {
+  const auto t_len = static_cast<std::size_t>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto seq = synth_sequence(t_len, 10, 42);
+  inference::EmOptions eo;
+  eo.hidden_states = n;
+  eo.max_iterations = 10;  // fixed iteration count: measures raw E+M cost
+  eo.tolerance = 0.0;
+  for (auto _ : state) {
+    inference::Mmhd model(n, 10);
+    auto fit = model.fit(seq, eo);
+    benchmark::DoNotOptimize(fit.log_likelihood);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(t_len) * 10 *
+                          state.iterations());
+}
+BENCHMARK(BM_MmhdFit)
+    ->Args({5000, 1})
+    ->Args({5000, 2})
+    ->Args({5000, 4})
+    ->Args({20000, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HmmFit(benchmark::State& state) {
+  const auto t_len = static_cast<std::size_t>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto seq = synth_sequence(t_len, 10, 43);
+  inference::EmOptions eo;
+  eo.hidden_states = n;
+  eo.max_iterations = 10;
+  eo.tolerance = 0.0;
+  for (auto _ : state) {
+    inference::Hmm model(n, 10);
+    auto fit = model.fit(seq, eo);
+    benchmark::DoNotOptimize(fit.log_likelihood);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(t_len) * 10 *
+                          state.iterations());
+}
+BENCHMARK(BM_HmmFit)
+    ->Args({5000, 2})
+    ->Args({5000, 4})
+    ->Args({20000, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Network net;
+    const auto a = net.add_node();
+    const auto b = net.add_node();
+    net.add_link(a, b, 1e9, 0.001, std::make_unique<sim::DropTailQueue>(1 << 20));
+    net.compute_routes();
+    // Pre-inject a packet train; the link service chain dominates.
+    net.sim().schedule_at(0.0, [&net, a, b]() {
+      for (int i = 0; i < 20000; ++i) {
+        sim::Packet p;
+        p.src = a;
+        p.dst = b;
+        p.flow = 1;
+        p.size_bytes = 1000;
+        net.inject(p);
+      }
+    });
+    state.ResumeTiming();
+    net.sim().run();
+    benchmark::DoNotOptimize(net.sim().events_processed());
+    state.SetItemsProcessed(
+        state.items_processed() +
+        static_cast<std::int64_t>(net.sim().events_processed()));
+  }
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_ChainScenarioSecond(benchmark::State& state) {
+  // Cost of one simulated second of the paper's SDCL workload.
+  for (auto _ : state) {
+    auto cfg = scenarios::presets::sdcl_chain(1e6, 7, 20.0, 5.0);
+    scenarios::ChainScenario sc(cfg);
+    sc.run();
+    benchmark::DoNotOptimize(sc.observations().size());
+  }
+  state.SetItemsProcessed(20 * state.iterations());  // simulated seconds
+}
+BENCHMARK(BM_ChainScenarioSecond)->Unit(benchmark::kMillisecond);
+
+void BM_Discretize(benchmark::State& state) {
+  util::Rng rng(7);
+  inference::ObservationSequence obs;
+  for (int i = 0; i < 100000; ++i)
+    obs.push_back(inference::Observation::received(0.02 + rng.uniform(0, 0.2)));
+  inference::DiscretizerConfig dc;
+  const auto disc = inference::Discretizer::from_observations(obs, dc);
+  for (auto _ : state) {
+    auto seq = disc.discretize(obs);
+    benchmark::DoNotOptimize(seq.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(obs.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Discretize)->Unit(benchmark::kMillisecond);
+
+void BM_SkewEstimate(benchmark::State& state) {
+  util::Rng rng(9);
+  std::vector<double> t, m;
+  for (int i = 0; i < 50000; ++i) {
+    t.push_back(i * 0.02);
+    m.push_back(0.05 + rng.exponential(0.01) + 1e-4 * i * 0.02);
+  }
+  for (auto _ : state) {
+    auto est = timesync::estimate_skew(t, m);
+    benchmark::DoNotOptimize(est.skew);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(t.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SkewEstimate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dcl
+
+BENCHMARK_MAIN();

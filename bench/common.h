@@ -1,0 +1,138 @@
+// Shared helpers for the benchmark/reproduction harness. Each bench binary
+// regenerates one table or figure of the paper and prints the same rows or
+// series the paper reports.
+//
+// REPRO_SCALE (float env var, default 1.0) scales simulation durations and
+// repetition counts: 0.2 gives a quick smoke run, 2.0 a higher-fidelity
+// one. Random seeds are fixed so every run at a given scale is identical.
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/identifier.h"
+#include "core/loss_pair.h"
+#include "inference/discretizer.h"
+#include "scenarios/chain.h"
+#include "util/stats.h"
+
+namespace dcl::bench {
+
+inline double repro_scale() {
+  const char* s = std::getenv("REPRO_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+// Duration scaled by REPRO_SCALE with a floor so EM still has losses to
+// work with.
+inline double scaled_duration(double base_s, double min_s = 120.0) {
+  const double d = base_s * repro_scale();
+  return d < min_s ? min_s : d;
+}
+
+inline int scaled_reps(int base, int min_reps = 5) {
+  const int r = static_cast<int>(base * repro_scale());
+  return r < min_reps ? min_reps : r;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+// One PMF series line: "<label>: p1 p2 ... pM".
+inline void print_pmf(const std::string& label, const util::Pmf& pmf) {
+  std::printf("%-22s", (label + ":").c_str());
+  for (double p : pmf) std::printf(" %6.3f", p);
+  std::printf("\n");
+}
+
+// Everything the table benches need from one simulated chain run.
+struct ChainRun {
+  inference::ObservationSequence obs;
+  double loss_rate = 0.0;
+  std::array<std::uint64_t, 3> probe_losses{};
+  std::array<double, 3> link_loss_rates{};
+  util::Pmf gt_pmf;        // ground truth on the identifier's coarse grid
+  util::Pmf gt_fine_pmf;   // ... and on the fine (bound) grid
+  double gt_min_virtual_q = 0.0;  // min virtual queuing delay of lost probes
+  double gt_max_virtual_q = 0.0;  // max
+  // Per router link: [min, max] virtual queuing delay of the probes lost
+  // *at that link* ({0, 0} when it lost none). This is the right target
+  // for a dominant link's Q_k estimate — the all-losses interval would be
+  // stretched downward by the secondary link's small virtual delays.
+  std::array<std::pair<double, double>, 3> gt_q_range_by_link{};
+  std::array<double, 3> qmax{};   // nominal buffer/bandwidth per link
+  core::IdentificationResult id;
+  core::LossPairEstimate loss_pair;
+  util::Pmf observed_pmf;  // received-delay histogram on the coarse grid
+};
+
+inline ChainRun run_chain(const scenarios::ChainConfig& cfg,
+                          const core::IdentifierConfig& icfg) {
+  scenarios::ChainScenario sc(cfg);
+  sc.run();
+  ChainRun r;
+  r.obs = sc.observations();
+  r.loss_rate = inference::loss_rate(r.obs);
+  r.probe_losses = sc.probe_losses_by_link();
+  for (int i = 0; i < 3; ++i) {
+    r.link_loss_rates[static_cast<std::size_t>(i)] = sc.link_loss_rate(i);
+    r.qmax[static_cast<std::size_t>(i)] = sc.true_qmax(i);
+  }
+
+  core::Identifier identifier(icfg);
+  r.id = identifier.identify(r.obs);
+
+  inference::DiscretizerConfig dc;
+  dc.symbols = icfg.symbols;
+  const auto disc = inference::Discretizer::from_observations(r.obs, dc);
+  const auto gt_owds = sc.ground_truth_virtual_owds();
+  r.gt_pmf = disc.pmf_of_owds(gt_owds);
+  std::vector<double> received;
+  for (const auto& o : r.obs)
+    if (!o.lost) received.push_back(o.delay);
+  r.observed_pmf = disc.pmf_of_owds(received);
+
+  inference::DiscretizerConfig fdc;
+  fdc.symbols = icfg.bound_symbols;
+  const auto fdisc = inference::Discretizer::from_observations(r.obs, fdc);
+  r.gt_fine_pmf = fdisc.pmf_of_owds(gt_owds);
+
+  // Loss-pair baseline: a separate run of the same workload probed with
+  // back-to-back pairs (the paper's methodology — the two probing methods
+  // carry the same load and are not run concurrently).
+  scenarios::ChainConfig pair_cfg = cfg;
+  pair_cfg.probe_mode = scenarios::ChainConfig::ProbeMode::kPairs;
+  scenarios::ChainScenario pair_sc(pair_cfg);
+  pair_sc.run();
+  r.loss_pair = core::loss_pair_estimate(pair_sc.loss_pair_owds(), fdisc);
+
+  if (!gt_owds.empty()) {
+    double lo = gt_owds.front(), hi = gt_owds.front();
+    for (double d : gt_owds) {
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    r.gt_min_virtual_q = lo - disc.delay_floor();
+    r.gt_max_virtual_q = hi - disc.delay_floor();
+  }
+  for (int link = 0; link < 3; ++link) {
+    const auto owds = sc.ground_truth_virtual_owds_at(link);
+    if (owds.empty()) continue;
+    double lo = owds.front(), hi = owds.front();
+    for (double d : owds) {
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    r.gt_q_range_by_link[static_cast<std::size_t>(link)] = {
+        lo - disc.delay_floor(), hi - disc.delay_floor()};
+  }
+  return r;
+}
+
+}  // namespace dcl::bench

@@ -1,0 +1,71 @@
+// AQM sensitivity — when can you trust the identification?
+//
+// The method assumes droptail routers (a lost probe saw a full queue).
+// This example probes the same congested path twice: once with droptail
+// queues and once with Adaptive RED using an aggressive (low) minimum
+// threshold, and shows how the virtual-delay distribution — and with it
+// the decision — changes. It mirrors the paper's Section VI-A5 caveat.
+//
+//   $ ./build/examples/aqm_sensitivity
+#include <cstdio>
+
+#include "core/identifier.h"
+#include "inference/discretizer.h"
+#include "scenarios/presets.h"
+
+using namespace dcl;
+
+namespace {
+void run_case(const char* label, scenarios::ChainConfig cfg) {
+  scenarios::ChainScenario sc(cfg);
+  sc.run();
+  const auto obs = sc.observations();
+  core::IdentifierConfig icfg;
+  icfg.compute_fine_bound = false;
+  const auto r = core::Identifier(icfg).identify(obs);
+
+  std::printf("\n%s: loss rate %.2f%%\n", label,
+              100.0 * inference::loss_rate(obs));
+  if (!r.has_losses) {
+    std::printf("  no losses\n");
+    return;
+  }
+  std::printf("  virtual delay PMF:");
+  for (double p : r.virtual_pmf) std::printf(" %.2f", p);
+  std::printf("\n  SDCL-Test: %s, WDCL(0.06,0): %s\n",
+              r.sdcl.accepted ? "accept" : "reject",
+              r.wdcl.accepted ? "accept" : "reject");
+
+  // Ground truth for reference.
+  inference::DiscretizerConfig dc;
+  const auto disc = inference::Discretizer::from_observations(obs, dc);
+  const auto gt = disc.pmf_of_owds(sc.ground_truth_virtual_owds());
+  std::printf("  ground truth PMF: ");
+  for (double p : gt) std::printf(" %.2f", p);
+  std::printf("\n");
+}
+}  // namespace
+
+int main() {
+  std::printf("Same congested path, two queue disciplines (~8 simulated "
+              "minutes each):\n");
+
+  auto droptail = scenarios::presets::sdcl_chain(1e6, /*seed=*/81,
+                                                 /*duration=*/500.0,
+                                                 /*warmup=*/60.0);
+  run_case("droptail", droptail);
+
+  auto red = droptail;
+  red.queue_kind = scenarios::ChainConfig::QueueKind::kRed;
+  red.red_min_th_frac = 0.2;  // aggressive early dropping
+  red.udp_rate_bps[1] = 0.7e6;
+  run_case("adaptive RED (min_th = buffer/5)", red);
+
+  std::printf(
+      "\nTakeaway: with droptail the lost probes' virtual delays\n"
+      "concentrate at the full-queue drain time and the test accepts;\n"
+      "aggressive RED drops far from a full queue, the distribution\n"
+      "spreads to low delays, and the droptail assumption — hence the\n"
+      "identification — no longer holds (paper Section VI-A5).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Wide-area measurement with unsynchronized clocks.
+//
+// A measurement host probes a 15-hop path to a DSL-connected receiver.
+// The receiver's clock is offset and drifts (ppm-scale skew), exactly as
+// in real one-way-delay measurements; the example runs the full pipeline
+// the paper used on PlanetLab: estimate and remove the skew (convex-hull
+// method of Zhang/Liu/Xia), then run the model-based identification, and
+// bound the dominant link's maximum queuing delay.
+//
+//   $ ./build/examples/internet_measurement
+#include <cstdio>
+
+#include "core/identifier.h"
+#include "emu/presets.h"
+#include "timesync/skew.h"
+
+using namespace dcl;
+
+int main() {
+  std::printf("Probing an emulated 15-hop Internet path for ~10 minutes "
+              "(simulated)...\n");
+  const auto cfg = emu::presets::ufpr_to_adsl(/*seed=*/9,
+                                              /*duration=*/700.0);
+  emu::InternetPathScenario path(cfg);
+  path.run();
+
+  // What a real host would record: one-way delays polluted by clock
+  // offset and drift.
+  const auto measured = path.measured_observations();
+  const auto send_times =
+      path.send_times(path.window_start(), path.window_end());
+  std::printf("probes: %zu, loss rate %.3f%%\n", measured.size(),
+              100.0 * inference::loss_rate(measured));
+
+  // Step 1: clock skew removal.
+  timesync::SkewEstimate skew;
+  const auto corrected =
+      timesync::correct_observations(measured, send_times, &skew);
+  std::printf("clock skew estimate: %.1f ppm (true %.1f ppm)\n",
+              skew.skew * 1e6, cfg.clock_skew * 1e6);
+
+  // Step 2: model-based identification (paper parameters for Internet
+  // paths: WDCL with eps_l = eps_d = 0.1).
+  core::IdentifierConfig icfg;
+  icfg.eps_l = 0.1;
+  icfg.eps_d = 0.1;
+  const auto r = core::Identifier(icfg).identify(corrected);
+
+  if (!r.has_losses) {
+    std::printf("no losses observed — nothing to identify\n");
+    return 0;
+  }
+  std::printf("\nvirtual queuing delay PMF (M = 10):");
+  for (double p : r.virtual_pmf) std::printf(" %.3f", p);
+  std::printf("\nWDCL(0.1, 0.1): %s (i* = %d, F(2 i*) = %.3f)\n",
+              r.wdcl.accepted ? "ACCEPT — dominant congested link present"
+                              : "reject",
+              r.wdcl.i_star, r.wdcl.f_at_2istar);
+  if (r.wdcl.accepted && r.fine_valid)
+    std::printf("bound on its maximum queuing delay: %.0f ms\n",
+                r.fine_bound.bound_seconds * 1e3);
+
+  // Ground truth (unavailable on the real Internet — the point of the
+  // emulation is that here we can check).
+  std::printf("\nground truth — probe losses per hop:");
+  for (auto c : path.probe_losses_by_hop())
+    std::printf(" %llu", static_cast<unsigned long long>(c));
+  std::printf("\n(the last hop is the ADSL access link; its nominal "
+              "Q_max is %.0f ms)\n",
+              path.hop_qmax(path.hop_count() - 1) * 1e3);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Path diagnosis — the paper's traffic-engineering motivation.
+//
+// An operator has two candidate paths between the same endpoints, both
+// congested. Improving a path with ONE dominant congested link needs one
+// upgrade; a path with several congested links needs several. This
+// example probes both paths, runs the identification, and recommends
+// where capacity is best spent — then checks the recommendation against
+// simulator ground truth.
+//
+//   $ ./build/examples/path_diagnosis
+#include <cstdio>
+
+#include "core/identifier.h"
+#include "inference/observation.h"
+#include "scenarios/presets.h"
+
+using namespace dcl;
+
+namespace {
+
+struct Diagnosis {
+  core::IdentificationResult id;
+  std::array<std::uint64_t, 3> losses_by_link{};
+  double loss_rate = 0.0;
+  double bound_ms = 0.0;
+};
+
+Diagnosis probe_path(const scenarios::ChainConfig& cfg) {
+  scenarios::ChainScenario sc(cfg);
+  sc.run();
+  const auto obs = sc.observations();
+  Diagnosis d;
+  d.loss_rate = inference::loss_rate(obs);
+  d.losses_by_link = sc.probe_losses_by_link();
+  core::IdentifierConfig icfg;
+  icfg.eps_l = 0.06;
+  icfg.eps_d = 0.05;
+  d.id = core::Identifier(icfg).identify(obs);
+  if (d.id.fine_valid) d.bound_ms = d.id.fine_bound.bound_seconds * 1e3;
+  return d;
+}
+
+void report(const char* name, const Diagnosis& d) {
+  std::printf("\npath %s: loss rate %.2f%%\n", name, 100.0 * d.loss_rate);
+  if (!d.id.has_losses) {
+    std::printf("  no losses — path is healthy\n");
+    return;
+  }
+  if (d.id.wdcl.accepted) {
+    std::printf(
+        "  DIAGNOSIS: one dominant congested link (WDCL accepted,\n"
+        "  F(2 i*) = %.3f). Its maximum queuing delay is bounded by "
+        "%.0f ms.\n"
+        "  -> upgrading that single link should fix the path.\n",
+        d.id.wdcl.f_at_2istar, d.bound_ms);
+  } else {
+    std::printf(
+        "  DIAGNOSIS: congestion is spread over multiple links (WDCL\n"
+        "  rejected, F(2 i*) = %.3f).\n"
+        "  -> fixing this path needs several upgrades.\n",
+        d.id.wdcl.f_at_2istar);
+  }
+}
+
+void ground_truth(const char* name, const Diagnosis& d) {
+  std::printf("path %s ground truth — probe losses per link:", name);
+  for (auto c : d.losses_by_link)
+    std::printf(" %llu", static_cast<unsigned long long>(c));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Probing two candidate paths (20 ms probes, ~15 min each "
+              "simulated)...\n");
+
+  // Path A: a classic single bottleneck.
+  auto path_a = scenarios::presets::wdcl_chain(0.8e6, 16e6, /*seed=*/71,
+                                               /*duration=*/900.0,
+                                               /*warmup=*/60.0);
+  // Path B: two links congest comparably.
+  auto path_b = scenarios::presets::nodcl_chain(0.5e6, 8e6, /*seed=*/72,
+                                                /*duration=*/900.0,
+                                                /*warmup=*/60.0);
+
+  const auto da = probe_path(path_a);
+  const auto db = probe_path(path_b);
+  report("A", da);
+  report("B", db);
+
+  std::printf(
+      "\nRECOMMENDATION: spend the upgrade budget on path %s — a single\n"
+      "link is responsible for its congestion.\n",
+      da.id.wdcl.accepted && !db.id.wdcl.accepted ? "A"
+      : db.id.wdcl.accepted                       ? "B"
+                                                  : "A (by default)");
+
+  std::printf("\n--- verification against the simulator ---\n");
+  ground_truth("A", da);
+  ground_truth("B", db);
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "core/bootstrap.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dcl::core {
+
+BootstrapResult bootstrap_wdcl(
+    const std::vector<util::Pmf>& per_loss_posteriors,
+    const BootstrapConfig& cfg) {
+  DCL_ENSURE(cfg.replicates >= 1);
+  BootstrapResult out;
+  out.losses = per_loss_posteriors.size();
+  out.replicates = cfg.replicates;
+  if (per_loss_posteriors.empty()) return out;
+  const std::size_t m = per_loss_posteriors.front().size();
+  for (const auto& p : per_loss_posteriors) DCL_ENSURE(p.size() == m);
+
+  util::Rng rng(cfg.seed);
+  std::vector<double> f2s;
+  f2s.reserve(static_cast<std::size_t>(cfg.replicates));
+  int accepts = 0;
+  util::Pmf pmf(m);
+  const auto n = static_cast<std::int64_t>(per_loss_posteriors.size());
+  for (int r = 0; r < cfg.replicates; ++r) {
+    std::fill(pmf.begin(), pmf.end(), 0.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto& p =
+          per_loss_posteriors[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+      for (std::size_t d = 0; d < m; ++d) pmf[d] += p[d];
+    }
+    util::normalize(pmf);
+    const auto w = wdcl_test(util::pmf_to_cdf(pmf), cfg.eps_l, cfg.eps_d);
+    accepts += w.accepted ? 1 : 0;
+    f2s.push_back(w.f_at_2istar);
+  }
+  out.accept_fraction = static_cast<double>(accepts) / cfg.replicates;
+  out.f2istar_lo = util::quantile(f2s, 0.05);
+  out.f2istar_hi = util::quantile(f2s, 0.95);
+  return out;
+}
+
+}  // namespace dcl::core

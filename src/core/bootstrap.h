@@ -1,0 +1,48 @@
+// Decision confidence via bootstrap over the per-loss posteriors.
+//
+// The WDCL-Test compares F(2 i*) against a threshold; with few losses the
+// estimated CDF — hence the decision — carries sampling noise the paper
+// handles by "probing long enough". This module quantifies it: after the
+// model fit, each loss has a posterior distribution over delay symbols
+// (the summands of eq. (5)). Resampling losses with replacement and
+// re-running the test per replicate yields the fraction of replicates
+// that accept — a direct confidence for the decision — plus a percentile
+// interval for F(2 i*).
+//
+// The resampling treats per-loss posteriors as exchangeable; it captures
+// sampling noise from the number of losses, not model misspecification
+// (and inherits whatever correlation the smoothed posteriors encode).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hypothesis.h"
+#include "util/stats.h"
+
+namespace dcl::core {
+
+struct BootstrapConfig {
+  int replicates = 500;
+  double eps_l = 0.06;
+  double eps_d = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct BootstrapResult {
+  // Fraction of replicates in which the WDCL-Test accepted.
+  double accept_fraction = 0.0;
+  // Percentile interval for the test statistic F(2 i*).
+  double f2istar_lo = 0.0;   // 5th percentile
+  double f2istar_hi = 0.0;   // 95th percentile
+  std::size_t losses = 0;
+  int replicates = 0;
+};
+
+// `per_loss_posteriors` holds one PMF over the M delay symbols per lost
+// probe (e.g., from Mmhd::per_loss_posteriors).
+BootstrapResult bootstrap_wdcl(
+    const std::vector<util::Pmf>& per_loss_posteriors,
+    const BootstrapConfig& cfg = {});
+
+}  // namespace dcl::core

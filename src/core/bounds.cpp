@@ -1,0 +1,79 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dcl::core {
+
+DelayBound max_delay_bound(const util::Cdf& cdf,
+                           const inference::Discretizer& disc,
+                           double eps_l) {
+  DCL_ENSURE(!cdf.empty());
+  DelayBound b;
+  b.symbol = static_cast<int>(cdf.size());
+  for (std::size_t i = 0; i < cdf.size(); ++i) {
+    if (cdf[i] > eps_l) {
+      b.symbol = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  b.seconds = disc.queuing_delay_upper(b.symbol);
+  return b;
+}
+
+ComponentBound component_heuristic_bound(const util::Pmf& pmf,
+                                         const inference::Discretizer& disc,
+                                         const ComponentBoundConfig& cfg) {
+  DCL_ENSURE(!pmf.empty());
+  ComponentBound best;
+  double max_mass = 0.0;
+  for (double p : pmf) max_mass = std::max(max_mass, p);
+  if (max_mass <= 0.0) return best;
+
+  const double threshold = cfg.occupancy_threshold > 0.0
+                               ? cfg.occupancy_threshold
+                               : std::max(1e-3, 0.02 * max_mass);
+
+  // Scan maximal runs of occupied bins, tolerating up to gap_tolerance
+  // consecutive sub-threshold bins inside a run.
+  const int m = static_cast<int>(pmf.size());
+  int i = 0;
+  while (i < m) {
+    if (pmf[static_cast<std::size_t>(i)] < threshold) {
+      ++i;
+      continue;
+    }
+    const int first = i;
+    int last = i;
+    double mass = 0.0;
+    int gap = 0;
+    for (int j = i; j < m; ++j) {
+      if (pmf[static_cast<std::size_t>(j)] >= threshold) {
+        last = j;
+        gap = 0;
+      } else if (++gap > cfg.gap_tolerance) {
+        break;
+      }
+      mass += pmf[static_cast<std::size_t>(j)];
+    }
+    // Mass counted past `last` belongs to the trailing gap; remove it.
+    double tail = 0.0;
+    for (int j = last + 1; j <= std::min(m - 1, last + gap); ++j)
+      tail += pmf[static_cast<std::size_t>(j)];
+    mass -= tail;
+
+    if (mass > best.mass) {
+      best.valid = true;
+      best.first_symbol = first + 1;
+      best.last_symbol = last + 1;
+      best.mass = mass;
+      best.bound_seconds = disc.queuing_delay_upper(first + 1);
+      best.threshold_used = threshold;
+    }
+    i = last + gap + 1;
+  }
+  return best;
+}
+
+}  // namespace dcl::core

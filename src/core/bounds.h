@@ -1,0 +1,53 @@
+// Upper bounds on the maximum queuing delay Q_k of an identified dominant
+// congested link (paper Section IV-B).
+//
+// Basic bound: every lost probe's virtual delay is at least Q_k (SDCL), so
+// the smallest symbol with positive mass — i* of the hypothesis test, with
+// eps_l playing the ">0" threshold for a WDCL — upper-bounds Q_k; in
+// seconds the bound is i* * bin_width.
+//
+// Heuristic bound: with a finer symbol grid (the paper uses M = 50), the
+// PMF of the virtual delay separates into connected components; the
+// component carrying most of the mass starts at (approximately) Q_k, so
+// the smallest symbol with "probability significantly larger than 0" in
+// that component gives a tighter bound (paper Fig. 7).
+#pragma once
+
+#include "inference/discretizer.h"
+#include "util/stats.h"
+
+namespace dcl::core {
+
+struct DelayBound {
+  int symbol = 0;        // 1-based symbol i*
+  double seconds = 0.0;  // i* * bin_width
+};
+
+// i*-based bound from the virtual-delay CDF; eps_l = 0 for an SDCL.
+DelayBound max_delay_bound(const util::Cdf& cdf,
+                           const inference::Discretizer& disc,
+                           double eps_l = 0.0);
+
+struct ComponentBoundConfig {
+  // Bins with mass >= threshold count as occupied. <= 0 selects an
+  // automatic threshold of max(1e-3, 0.02 * max bin mass).
+  double occupancy_threshold = 0.0;
+  // Number of consecutive sub-threshold bins tolerated inside one
+  // component before it is considered ended.
+  int gap_tolerance = 1;
+};
+
+struct ComponentBound {
+  bool valid = false;
+  int first_symbol = 0;   // first occupied symbol of the heaviest component
+  int last_symbol = 0;    // last occupied symbol of that component
+  double mass = 0.0;      // total mass of that component
+  double bound_seconds = 0.0;  // first_symbol * bin_width
+  double threshold_used = 0.0;
+};
+
+ComponentBound component_heuristic_bound(
+    const util::Pmf& pmf, const inference::Discretizer& disc,
+    const ComponentBoundConfig& cfg = {});
+
+}  // namespace dcl::core

@@ -1,0 +1,73 @@
+#include "core/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dcl::core {
+
+namespace {
+// Smallest 1-based symbol whose CDF value exceeds `eps`; M when none does
+// (an all-but-empty distribution).
+int first_above(const util::Cdf& cdf, double eps) {
+  for (std::size_t i = 0; i < cdf.size(); ++i)
+    if (cdf[i] > eps) return static_cast<int>(i) + 1;
+  return static_cast<int>(cdf.size());
+}
+
+double cdf_at(const util::Cdf& cdf, int symbol) {
+  if (symbol <= 0) return 0.0;
+  const auto idx = std::min<std::size_t>(static_cast<std::size_t>(symbol) - 1,
+                                         cdf.size() - 1);
+  // Beyond the last bin the CDF is its final value (1 for a proper
+  // distribution).
+  if (static_cast<std::size_t>(symbol) > cdf.size()) return cdf.back();
+  return cdf[idx];
+}
+}  // namespace
+
+SdclResult sdcl_test(const util::Cdf& cdf, double mass_epsilon) {
+  DCL_ENSURE(!cdf.empty());
+  DCL_ENSURE(mass_epsilon >= 0.0 && mass_epsilon < 0.5);
+  SdclResult r;
+  r.mass_epsilon = mass_epsilon;
+  r.i_star = first_above(cdf, mass_epsilon);
+  r.f_at_2istar = cdf_at(cdf, 2 * r.i_star);
+  r.accepted = r.f_at_2istar >= 1.0 - mass_epsilon;
+  return r;
+}
+
+GeneralizedWdclResult wdcl_test_generalized(const util::Cdf& cdf,
+                                            double eps_l, double eps_d,
+                                            double beta) {
+  DCL_ENSURE(!cdf.empty());
+  DCL_ENSURE(eps_l >= 0.0 && eps_l < 0.5);
+  DCL_ENSURE(eps_d >= 0.0 && eps_d < 0.5);
+  DCL_ENSURE(beta > 0.0);
+  GeneralizedWdclResult r;
+  r.beta = beta;
+  r.threshold = 1.0 - eps_l - eps_d;
+  r.i_star = first_above(cdf, eps_l);
+  r.eval_symbol = static_cast<int>(
+      std::ceil((1.0 + 1.0 / beta) * static_cast<double>(r.i_star)));
+  r.f_at_eval = cdf_at(cdf, r.eval_symbol);
+  r.accepted = r.f_at_eval >= r.threshold;
+  return r;
+}
+
+WdclResult wdcl_test(const util::Cdf& cdf, double eps_l, double eps_d) {
+  DCL_ENSURE(!cdf.empty());
+  DCL_ENSURE(eps_l >= 0.0 && eps_l < 0.5);
+  DCL_ENSURE(eps_d >= 0.0 && eps_d < 0.5);
+  WdclResult r;
+  r.eps_l = eps_l;
+  r.eps_d = eps_d;
+  r.threshold = 1.0 - eps_l - eps_d;
+  r.i_star = first_above(cdf, eps_l);
+  r.f_at_2istar = cdf_at(cdf, 2 * r.i_star);
+  r.accepted = r.f_at_2istar >= r.threshold;
+  return r;
+}
+
+}  // namespace dcl::core

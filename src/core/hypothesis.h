@@ -1,0 +1,65 @@
+// The paper's hypothesis tests (Section IV-A, Figs. 2 and 3).
+//
+// Both tests consume the CDF F of the discretized virtual queuing delay D
+// of lost probes (symbols 1..M).
+//
+// SDCL-Test (Theorem 1): let i* = min{ i : F(i) > 0 }. If a strongly
+// dominant congested link exists then Q_k <= i* and F(2 i*) = 1; the test
+// accepts the null hypothesis exactly when F(2 i*) = 1.
+//
+// WDCL-Test (Theorem 2): let i* = min{ i : F(i) > eps_l }. If a weakly
+// dominant congested link with parameters (eps_l, eps_d) exists then
+// Q_k <= i* and F(2 i*) >= 1 - eps_l - eps_d; the test accepts exactly
+// when that inequality holds.
+//
+// Inferred CDFs are never exactly 0 or 1, so the SDCL test takes a mass
+// tolerance: "> 0" means "> mass_epsilon" and "= 1" means
+// ">= 1 - mass_epsilon".
+#pragma once
+
+#include "util/stats.h"
+
+namespace dcl::core {
+
+struct SdclResult {
+  bool accepted = false;
+  int i_star = 0;          // 1-based symbol
+  double f_at_2istar = 0;  // F evaluated at min(2 i*, M)
+  double mass_epsilon = 0;
+};
+
+struct WdclResult {
+  bool accepted = false;
+  int i_star = 0;
+  double f_at_2istar = 0;
+  double eps_l = 0;
+  double eps_d = 0;
+  double threshold = 0;  // 1 - eps_l - eps_d
+};
+
+// `cdf` has size M with cdf[i-1] = F(i).
+SdclResult sdcl_test(const util::Cdf& cdf, double mass_epsilon = 1e-3);
+WdclResult wdcl_test(const util::Cdf& cdf, double eps_l, double eps_d);
+
+// Generalized WDCL-Test (the paper generalizes the delay condition by a
+// parameter [39]): the dominant link's maximum queuing delay must be at
+// least `beta` times the aggregate queuing delay of the other links.
+// A lost probe's virtual delay is then at most (1 + 1/beta) * Q_k, so the
+// test accepts iff F(ceil((1 + 1/beta) * i*)) >= 1 - eps_l - eps_d.
+// beta = 1 recovers the standard WDCL-Test; larger beta demands a more
+// strongly dominant link (tighter delay condition, smaller evaluation
+// point); beta < 1 relaxes it.
+struct GeneralizedWdclResult {
+  bool accepted = false;
+  int i_star = 0;
+  int eval_symbol = 0;  // ceil((1 + 1/beta) * i*)
+  double f_at_eval = 0;
+  double beta = 1.0;
+  double threshold = 0;
+};
+
+GeneralizedWdclResult wdcl_test_generalized(const util::Cdf& cdf,
+                                            double eps_l, double eps_d,
+                                            double beta);
+
+}  // namespace dcl::core

@@ -1,0 +1,100 @@
+#include "core/identifier.h"
+
+#include "inference/hmm.h"
+#include "inference/mmhd.h"
+#include "inference/model_selection.h"
+#include "util/error.h"
+
+namespace dcl::core {
+
+namespace {
+
+inference::FitResult fit_model(ModelKind kind, int symbols,
+                               const std::vector<int>& seq,
+                               inference::EmOptions em,
+                               std::vector<util::Pmf>* per_loss = nullptr) {
+  if (kind == ModelKind::kMmhd) {
+    inference::Mmhd model(em.hidden_states, symbols);
+    auto fit = model.fit(seq, em);
+    if (per_loss != nullptr) *per_loss = model.per_loss_posteriors(seq);
+    return fit;
+  }
+  inference::Hmm model(em.hidden_states, symbols);
+  return model.fit(seq, em);
+}
+
+}  // namespace
+
+Identifier::Identifier(const IdentifierConfig& cfg) : cfg_(cfg) {
+  DCL_ENSURE(cfg_.symbols >= 2);
+  DCL_ENSURE(cfg_.hidden_states >= 1);
+  DCL_ENSURE(cfg_.bound_symbols >= cfg_.symbols);
+}
+
+IdentificationResult Identifier::identify(
+    const inference::ObservationSequence& obs) const {
+  DCL_ENSURE_MSG(obs.size() >= 2, "need at least two probes");
+  IdentificationResult r;
+  r.probes = obs.size();
+  r.losses = inference::loss_count(obs);
+  r.loss_rate = inference::loss_rate(obs);
+  if (r.losses == 0) return r;  // nothing to identify without losses
+  r.has_losses = true;
+
+  // Coarse grid: hypothesis tests.
+  inference::DiscretizerConfig dc;
+  dc.symbols = cfg_.symbols;
+  dc.propagation_delay = cfg_.propagation_delay;
+  const auto disc = inference::Discretizer::from_observations(obs, dc);
+  r.bin_width_s = disc.bin_width();
+  r.delay_floor_s = disc.delay_floor();
+  const auto seq = disc.discretize(obs);
+
+  inference::EmOptions em = cfg_.em;
+  em.hidden_states = cfg_.hidden_states;
+  if (cfg_.auto_hidden_max > 0 && cfg_.model == ModelKind::kMmhd) {
+    const auto sel = inference::select_mmhd_hidden_states(
+        seq, cfg_.symbols, cfg_.auto_hidden_max, em);
+    em.hidden_states = sel.best_hidden_states;
+  }
+  r.hidden_states_used = em.hidden_states;
+  std::vector<util::Pmf> per_loss;
+  r.fit = fit_model(cfg_.model, cfg_.symbols, seq, em,
+                    cfg_.bootstrap_replicates > 0 ? &per_loss : nullptr);
+  r.virtual_pmf = r.fit.virtual_delay_pmf;
+  r.virtual_cdf = util::pmf_to_cdf(r.virtual_pmf);
+
+  r.sdcl = sdcl_test(r.virtual_cdf, cfg_.sdcl_mass_epsilon);
+  r.wdcl = wdcl_test(r.virtual_cdf, cfg_.eps_l, cfg_.eps_d);
+  r.coarse_bound = max_delay_bound(r.virtual_cdf, disc, cfg_.eps_l);
+
+  if (cfg_.bootstrap_replicates > 0 && cfg_.model == ModelKind::kMmhd) {
+    BootstrapConfig bc;
+    bc.replicates = cfg_.bootstrap_replicates;
+    bc.eps_l = cfg_.eps_l;
+    bc.eps_d = cfg_.eps_d;
+    bc.seed = cfg_.em.seed + 0x5bd1e995;
+    r.bootstrap = bootstrap_wdcl(per_loss, bc);
+  }
+
+  // Fine grid: tighter delay bound via the connected-component heuristic.
+  if (cfg_.compute_fine_bound) {
+    inference::DiscretizerConfig fdc;
+    fdc.symbols = cfg_.bound_symbols;
+    fdc.propagation_delay = cfg_.propagation_delay;
+    const auto fine_disc = inference::Discretizer::from_observations(obs, fdc);
+    const auto fine_seq = fine_disc.discretize(obs);
+    inference::EmOptions fem = cfg_.em;
+    fem.hidden_states = cfg_.bound_hidden_states;
+    const auto fine_fit =
+        fit_model(cfg_.model, cfg_.bound_symbols, fine_seq, fem);
+    r.fine_pmf = fine_fit.virtual_delay_pmf;
+    r.fine_bin_width_s = fine_disc.bin_width();
+    r.fine_bound =
+        component_heuristic_bound(r.fine_pmf, fine_disc, cfg_.component);
+    r.fine_valid = r.fine_bound.valid;
+  }
+  return r;
+}
+
+}  // namespace dcl::core

@@ -1,0 +1,22 @@
+#include "core/loss_pair.h"
+
+namespace dcl::core {
+
+LossPairEstimate loss_pair_estimate(const std::vector<double>& survivor_owds,
+                                    const inference::Discretizer& disc) {
+  LossPairEstimate est;
+  est.pairs = survivor_owds.size();
+  if (survivor_owds.empty()) {
+    est.pmf.assign(static_cast<std::size_t>(disc.symbols()), 0.0);
+    est.cdf = est.pmf;
+    return est;
+  }
+  est.valid = true;
+  est.pmf = disc.pmf_of_owds(survivor_owds);
+  est.cdf = util::pmf_to_cdf(est.pmf);
+  est.mode_symbol = static_cast<int>(util::argmax(est.pmf)) + 1;
+  est.max_delay_estimate_s = disc.queuing_delay_upper(est.mode_symbol);
+  return est;
+}
+
+}  // namespace dcl::core

@@ -1,0 +1,36 @@
+// Loss-pair baseline (Liu & Crovella, IMW'01), the empirical alternative
+// the paper compares its model-based approach against.
+//
+// Two back-to-back probes are assumed to experience the same queues; when
+// exactly one of them is lost, the survivor's delay serves as a direct
+// sample of the lost probe's virtual delay. The distribution of those
+// samples plays the role of the virtual-delay distribution, and the
+// maximum queuing delay of a bottleneck is estimated from its dominant
+// mode. Cross traffic between the two probes makes this noisy — the
+// paper's Tables II/III show errors up to ~50 ms where the model-based
+// bound stays within a bin width.
+#pragma once
+
+#include <vector>
+
+#include "inference/discretizer.h"
+#include "util/stats.h"
+
+namespace dcl::core {
+
+struct LossPairEstimate {
+  bool valid = false;       // false when there were no loss pairs
+  std::size_t pairs = 0;    // number of loss-pair samples
+  util::Pmf pmf;            // discretized survivor-delay distribution
+  util::Cdf cdf;
+  int mode_symbol = 0;      // dominant mode (1-based)
+  double max_delay_estimate_s = 0.0;  // upper edge of the mode bin
+};
+
+// `survivor_owds` are the one-way delays of the surviving probe of each
+// loss pair; `disc` supplies the symbol grid (shared with the model-based
+// estimator for a fair comparison).
+LossPairEstimate loss_pair_estimate(const std::vector<double>& survivor_owds,
+                                    const inference::Discretizer& disc);
+
+}  // namespace dcl::core

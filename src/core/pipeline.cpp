@@ -1,0 +1,33 @@
+#include "core/pipeline.h"
+
+#include "util/error.h"
+
+namespace dcl::core {
+
+PipelineResult analyze_trace(const trace::Trace& trace,
+                             const PipelineConfig& cfg) {
+  DCL_ENSURE_MSG(trace.records.size() >= 2, "trace too short to analyze");
+  PipelineResult out;
+  out.trace_gaps = trace.gaps();
+
+  auto obs = trace.observations();
+  const auto send_times = trace.send_times();
+  if (cfg.correct_clock_skew)
+    obs = timesync::correct_observations(obs, send_times, &out.skew);
+
+  out.window_begin = 0;
+  out.window_end = obs.size();
+  if (cfg.stationary_window > 0 && cfg.stationary_window < obs.size()) {
+    const auto [lo, hi] = most_stationary_window(
+        obs, cfg.stationary_window, cfg.window_stride, cfg.min_losses);
+    out.window_begin = lo;
+    out.window_end = hi;
+    obs.assign(obs.begin() + static_cast<long>(lo),
+               obs.begin() + static_cast<long>(hi));
+  }
+  out.stationarity = stationarity(obs);
+  out.identification = Identifier(cfg.identifier).identify(obs);
+  return out;
+}
+
+}  // namespace dcl::core

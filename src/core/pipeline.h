@@ -1,0 +1,44 @@
+// One-call analysis pipeline for recorded probe traces.
+//
+// Wraps the full workflow the paper applies to Internet measurements:
+// optional clock-skew removal (one-way delays from unsynchronized hosts),
+// optional stationary-window selection, then model-based identification.
+// This is the entry point the `dclid` command-line tool uses; library
+// consumers with more specific needs can keep calling the pieces directly.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/identifier.h"
+#include "core/stationarity.h"
+#include "timesync/skew.h"
+#include "trace/trace_io.h"
+
+namespace dcl::core {
+
+struct PipelineConfig {
+  IdentifierConfig identifier;
+  // Estimate and remove clock skew from the one-way delays before
+  // identification (needs send times, which traces carry).
+  bool correct_clock_skew = true;
+  // When > 0, analyze only the most stationary window of this many probes
+  // (with at least `min_losses` losses) instead of the whole trace.
+  std::size_t stationary_window = 0;
+  std::size_t window_stride = 1000;
+  std::size_t min_losses = 20;
+};
+
+struct PipelineResult {
+  IdentificationResult identification;
+  timesync::SkewEstimate skew;      // valid iff correct_clock_skew
+  StationarityReport stationarity;  // of the analyzed window
+  std::size_t window_begin = 0;     // analyzed range within the trace
+  std::size_t window_end = 0;
+  std::size_t trace_gaps = 0;
+};
+
+PipelineResult analyze_trace(const trace::Trace& trace,
+                             const PipelineConfig& cfg = {});
+
+}  // namespace dcl::core

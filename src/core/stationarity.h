@@ -1,0 +1,44 @@
+// Stationarity screening for probing sequences.
+//
+// The method assumes the probes' delay/loss characteristics are stationary
+// over the analyzed interval; the paper explicitly "select[s] a stationary
+// probing sequence of 20 min" from each hour-long Internet trace. These
+// helpers quantify how non-stationary a sequence is (drift of the mean
+// delay and of the loss rate across blocks) and pick the most stationary
+// window of a requested length — automating that manual selection step.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "inference/observation.h"
+
+namespace dcl::core {
+
+struct StationarityReport {
+  // Coefficient of variation of the per-block mean queuing delay (block
+  // mean minus the global minimum delay): 0 for a perfectly stationary
+  // delay process.
+  double delay_drift = 0.0;
+  // Absolute spread of per-block loss rates (max - min).
+  double loss_drift = 0.0;
+  // Combined score; lower is more stationary.
+  double score = 0.0;
+  std::size_t blocks = 0;
+};
+
+// Splits `obs` into `blocks` equal contiguous blocks and measures drift.
+// Blocks with no received probes contribute their loss rate only.
+StationarityReport stationarity(const inference::ObservationSequence& obs,
+                                int blocks = 6);
+
+// Slides a window of `window` observations over `obs` in steps of `stride`
+// and returns the [begin, end) index range of the window with the lowest
+// stationarity score among windows that contain at least `min_losses`
+// losses (identification needs losses to work with). Falls back to the
+// full sequence when nothing qualifies.
+std::pair<std::size_t, std::size_t> most_stationary_window(
+    const inference::ObservationSequence& obs, std::size_t window,
+    std::size_t stride, std::size_t min_losses = 20);
+
+}  // namespace dcl::core

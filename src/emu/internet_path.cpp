@@ -1,0 +1,210 @@
+#include "emu/internet_path.h"
+
+#include <algorithm>
+
+#include "sim/droptail.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dcl::emu {
+
+InternetPathScenario::InternetPathScenario(const InternetPathConfig& cfg)
+    : cfg_(cfg) {
+  DCL_ENSURE(cfg_.router_hops >= 2);
+  util::Rng rng(cfg_.seed);
+
+  routers_.reserve(static_cast<std::size_t>(cfg_.router_hops));
+  for (int i = 0; i < cfg_.router_hops; ++i) routers_.push_back(net_.add_node());
+
+  const int n_links = cfg_.router_hops - 1;
+  for (int i = 0; i < n_links; ++i) {
+    double bw = cfg_.core_bw_bps;
+    std::size_t buf = cfg_.core_buffer_bytes;
+    for (const auto& ch : cfg_.congested) {
+      if (ch.index == i) {
+        bw = ch.bandwidth_bps;
+        buf = ch.buffer_bytes;
+      }
+    }
+    if (cfg_.last_mile_bw_bps > 0.0 && i == n_links - 1) {
+      bw = cfg_.last_mile_bw_bps;
+      buf = cfg_.last_mile_buffer_bytes;
+    }
+    hop_links_.push_back(&net_.add_link(
+        routers_[static_cast<std::size_t>(i)],
+        routers_[static_cast<std::size_t>(i + 1)], bw,
+        rng.uniform(0.001, 0.010),
+        std::make_unique<sim::DropTailQueue>(
+            buf, std::max<std::size_t>(2, buf / 1000))));
+    // Reverse direction for ACKs of hop-local TCP cross traffic.
+    net_.add_link(routers_[static_cast<std::size_t>(i + 1)],
+                  routers_[static_cast<std::size_t>(i)], bw,
+                  rng.uniform(0.001, 0.010),
+                  std::make_unique<sim::DropTailQueue>(500000));
+  }
+
+  auto add_host = [&](sim::NodeId router) {
+    const sim::NodeId h = net_.add_node();
+    net_.add_duplex_link(h, router, 100e6, rng.uniform(0.0002, 0.001), 800000);
+    return h;
+  };
+
+  probe_src_ = add_host(routers_.front());
+  probe_dst_ = add_host(routers_.back());
+
+  // Cross-traffic endpoints: one source/sink host pair per hop.
+  std::vector<sim::NodeId> xsrc, xdst;
+  for (int i = 0; i < n_links; ++i) {
+    xsrc.push_back(add_host(routers_[static_cast<std::size_t>(i)]));
+    xdst.push_back(add_host(routers_[static_cast<std::size_t>(i + 1)]));
+  }
+
+  net_.compute_routes();
+
+  tracer_ = std::make_unique<sim::VirtualProbeTracer>(net_);
+  net_.set_link_observer(tracer_.get());
+
+  traffic::ProberConfig pc;
+  pc.src = probe_src_;
+  pc.dst = probe_dst_;
+  pc.interval = cfg_.probe_interval_s;
+  pc.probe_bytes = cfg_.probe_bytes;
+  pc.stop = cfg_.duration_s;
+  prober_ = std::make_unique<traffic::PeriodicProber>(net_, pc);
+
+  // Background jitter: a smooth on-off source per hop at a fraction of the
+  // hop capacity (never enough to overflow a core buffer on its own).
+  for (int i = 0; i < n_links; ++i) {
+    if (cfg_.background_load <= 0.0) break;
+    traffic::UdpOnOffConfig uc;
+    uc.src = xsrc[static_cast<std::size_t>(i)];
+    uc.dst = xdst[static_cast<std::size_t>(i)];
+    uc.rate_bps = 2.0 * cfg_.background_load *
+                  hop_links_[static_cast<std::size_t>(i)]->bandwidth_bps();
+    uc.pkt_bytes = 1000;  // align with packet-counted buffers
+    uc.mean_on = 0.3;
+    uc.mean_off = 0.3;
+    uc.stop = cfg_.duration_s;
+    uc.seed = cfg_.seed * 31 + static_cast<std::uint64_t>(i);
+    udp_.push_back(std::make_unique<traffic::UdpOnOffSource>(net_, uc));
+  }
+
+  // Heavy bursty load and TCP at the congested hops.
+  for (const auto& ch : cfg_.congested) {
+    DCL_ENSURE(ch.index >= 0 && ch.index < n_links);
+    const auto i = static_cast<std::size_t>(ch.index);
+    if (ch.udp_rate_bps > 0.0) {
+      traffic::UdpOnOffConfig uc;
+      uc.src = xsrc[i];
+      uc.dst = xdst[i];
+      uc.rate_bps = ch.udp_rate_bps;
+      uc.pkt_bytes = 1000;  // align with packet-counted buffers
+      uc.mean_on = ch.udp_mean_on_s;
+      uc.mean_off = ch.udp_mean_off_s;
+      uc.stop = cfg_.duration_s;
+      uc.seed = cfg_.seed * 131 + static_cast<std::uint64_t>(ch.index);
+      udp_.push_back(std::make_unique<traffic::UdpOnOffSource>(net_, uc));
+    }
+    for (int f = 0; f < ch.ftp_flows; ++f) {
+      traffic::TcpConfig tc;
+      tc.src = xsrc[i];
+      tc.dst = xdst[i];
+      tc.start = rng.uniform(0.0, 5.0);
+      const sim::FlowId flow = net_.new_flow_id();
+      tcp_receivers_.push_back(
+          std::make_unique<traffic::TcpReceiver>(net_, xdst[i], flow));
+      tcp_senders_.push_back(
+          std::make_unique<traffic::TcpSender>(net_, tc, flow));
+    }
+  }
+}
+
+void InternetPathScenario::run() {
+  DCL_ENSURE_MSG(!ran_, "scenario already ran");
+  prober_->start();
+  for (auto& u : udp_) u->start();
+  for (auto& s : tcp_senders_) s->start();
+  net_.sim().run_until(cfg_.duration_s + cfg_.drain_s);
+  ran_ = true;
+}
+
+inference::ObservationSequence InternetPathScenario::measured_observations()
+    const {
+  return measured_observations(window_start(), window_end());
+}
+
+inference::ObservationSequence InternetPathScenario::measured_observations(
+    double t0, double t1) const {
+  DCL_ENSURE(ran_);
+  auto obs = prober_->observations(t0, t1);
+  const auto seqs = prober_->seqs_in(t0, t1);
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    if (obs[i].lost) continue;
+    const double t = prober_->send_times()[seqs[i]];
+    obs[i].delay += cfg_.clock_offset_s + cfg_.clock_skew * t;
+  }
+  return obs;
+}
+
+inference::ObservationSequence InternetPathScenario::true_observations(
+    double t0, double t1) const {
+  DCL_ENSURE(ran_);
+  return prober_->observations(t0, t1);
+}
+
+std::vector<double> InternetPathScenario::send_times(double t0,
+                                                     double t1) const {
+  DCL_ENSURE(ran_);
+  std::vector<double> times;
+  for (std::uint64_t seq : prober_->seqs_in(t0, t1))
+    times.push_back(prober_->send_times()[seq]);
+  return times;
+}
+
+std::vector<double> InternetPathScenario::ground_truth_virtual_owds() const {
+  DCL_ENSURE(ran_);
+  std::vector<double> owds;
+  for (const auto& [seq, rec] : tracer_->losses(prober_->flow())) {
+    if (!rec.completed) continue;
+    if (rec.send_time < window_start() || rec.send_time > window_end())
+      continue;
+    owds.push_back(rec.virtual_owd);
+  }
+  return owds;
+}
+
+std::vector<std::uint64_t> InternetPathScenario::probe_losses_by_hop() const {
+  DCL_ENSURE(ran_);
+  std::vector<std::uint64_t> counts(hop_links_.size(), 0);
+  for (const auto& [seq, rec] : tracer_->losses(prober_->flow())) {
+    if (rec.send_time < window_start() || rec.send_time > window_end())
+      continue;
+    for (std::size_t i = 0; i < hop_links_.size(); ++i)
+      if (rec.loss_link_id == hop_links_[i]->id()) ++counts[i];
+  }
+  return counts;
+}
+
+double InternetPathScenario::hop_qmax(int link_index) const {
+  DCL_ENSURE(link_index >= 0 &&
+             static_cast<std::size_t>(link_index) < hop_links_.size());
+  return hop_links_[static_cast<std::size_t>(link_index)]->max_queuing_delay();
+}
+
+double InternetPathScenario::hop_loss_rate(int link_index) const {
+  DCL_ENSURE(link_index >= 0 &&
+             static_cast<std::size_t>(link_index) < hop_links_.size());
+  return hop_links_[static_cast<std::size_t>(link_index)]->queue().loss_rate();
+}
+
+double InternetPathScenario::true_propagation_delay() {
+  return net_.path_min_owd(probe_src_, probe_dst_, cfg_.probe_bytes);
+}
+
+double InternetPathScenario::probe_loss_rate() const {
+  DCL_ENSURE(ran_);
+  return inference::loss_rate(
+      prober_->observations(window_start(), window_end()));
+}
+
+}  // namespace dcl::emu

@@ -1,0 +1,65 @@
+#include "emu/presets.h"
+
+namespace dcl::emu::presets {
+
+namespace {
+InternetPathConfig base(std::uint64_t seed, double duration_s) {
+  InternetPathConfig cfg;
+  cfg.seed = seed;
+  cfg.duration_s = duration_s;
+  cfg.warmup_s = 60.0;
+  return cfg;
+}
+}  // namespace
+
+InternetPathConfig cornell_to_ufpr(std::uint64_t seed, double duration_s) {
+  InternetPathConfig cfg = base(seed, duration_s);
+  cfg.router_hops = 11;
+  // One 3 Mb/s link mid-path; losses come from rare 60 ms bursts that
+  // overflow its 30-packet buffer (~0.3-0.5% probe loss).
+  cfg.congested.push_back({6, 3e6, 30000, 8e6, 0.06, 6.0, 0});
+  cfg.clock_skew = 80e-6;
+  cfg.clock_offset_s = 0.3;
+  return cfg;
+}
+
+InternetPathConfig ufpr_to_adsl(std::uint64_t seed, double duration_s) {
+  InternetPathConfig cfg = base(seed, duration_s);
+  cfg.router_hops = 15;
+  cfg.last_mile_bw_bps = 3e6;
+  cfg.last_mile_buffer_bytes = 30000;
+  // Last-mile bursts every ~8 s: ~0.1-0.3% loss, all at the access link.
+  cfg.congested.push_back({13, 3e6, 30000, 8e6, 0.06, 8.0, 0});
+  cfg.clock_skew = 40e-6;
+  cfg.clock_offset_s = 0.12;
+  return cfg;
+}
+
+InternetPathConfig usevilla_to_adsl(std::uint64_t seed, double duration_s) {
+  InternetPathConfig cfg = base(seed, duration_s);
+  cfg.router_hops = 11;
+  cfg.last_mile_bw_bps = 3e6;
+  cfg.last_mile_buffer_bytes = 30000;
+  // More frequent bursts: ~0.7-1.4% loss at the last mile, the paper's
+  // highest-loss Internet path.
+  cfg.congested.push_back({9, 3e6, 30000, 8e6, 0.08, 2.5, 0});
+  cfg.clock_skew = -50e-6;
+  cfg.clock_offset_s = -0.2;
+  return cfg;
+}
+
+InternetPathConfig snu_to_adsl(std::uint64_t seed, double duration_s) {
+  InternetPathConfig cfg = base(seed, duration_s);
+  cfg.router_hops = 20;
+  // Two congested links with comparable loss counts but strongly separated
+  // full-queue delays (~120 ms vs ~8 ms), so neither satisfies the WDCL
+  // delay condition against the other: losses at the fast hop put F mass
+  // at small i, and the slow hop's cluster lies far beyond 2*i*.
+  cfg.congested.push_back({5, 2.5e6, 38000, 8e6, 0.06, 6.0, 0});
+  cfg.congested.push_back({14, 8e6, 8000, 13e6, 0.06, 5.0, 0});
+  cfg.clock_skew = 120e-6;
+  cfg.clock_offset_s = 0.1;
+  return cfg;
+}
+
+}  // namespace dcl::emu::presets

@@ -1,0 +1,40 @@
+// Calibrated emulated-Internet-path presets standing in for the paper's
+// PlanetLab experiments (Section VI-B). Names follow the paper's paths;
+// the topologies are synthetic equivalents (see DESIGN.md, substitutions):
+//
+//  * cornell_to_ufpr  — Ethernet receiver, 11 hops, ~0.1-0.5% loss, one
+//    low-bandwidth congested link mid-path ("inside Brazil");
+//    WDCL(0.1, 0.1) accepted (paper Fig. 12).
+//  * <sender>_to_adsl — ADSL receiver, last-mile bottleneck carrying the
+//    losses; accepted (paper Fig. 13(a)/(b)).
+//  * snu_to_adsl      — 20 hops with *two* comparable congested links;
+//    rejected (paper Fig. 13(c)).
+//
+// All presets apply a constant clock offset and a ppm-scale skew to the
+// measured one-way delays, so consumers must run the timesync correction
+// first — exactly as the paper does with [40].
+#pragma once
+
+#include "emu/internet_path.h"
+
+namespace dcl::emu::presets {
+
+InternetPathConfig cornell_to_ufpr(std::uint64_t seed = 1,
+                                   double duration_s = 1300.0);
+
+// 15-hop path, ADSL receiver, moderate mid-path congestion plus the
+// last-mile bottleneck carrying the losses (paper Fig. 13(a), UFPR sender).
+InternetPathConfig ufpr_to_adsl(std::uint64_t seed = 1,
+                                double duration_s = 1300.0);
+
+// 11-hop path, ADSL receiver, ~0.7% loss (paper Fig. 13(b), USevilla
+// sender; also the path used for the Fig. 14 duration study).
+InternetPathConfig usevilla_to_adsl(std::uint64_t seed = 1,
+                                    double duration_s = 1300.0);
+
+// 20-hop path with two comparable congested links (paper Fig. 13(c), SNU
+// sender): the WDCL hypothesis is rejected.
+InternetPathConfig snu_to_adsl(std::uint64_t seed = 1,
+                               double duration_s = 1300.0);
+
+}  // namespace dcl::emu::presets

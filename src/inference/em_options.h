@@ -1,0 +1,46 @@
+// Shared EM configuration and fit diagnostics for the HMM and MMHD models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace dcl::inference {
+
+struct EmOptions {
+  int hidden_states = 2;    // N
+  int max_iterations = 300;
+  // Convergence: the fit stops when the largest absolute change of any
+  // model parameter between consecutive iterations falls below this
+  // threshold (the paper uses 1e-4/1e-5 and reports both behave alike).
+  double tolerance = 1e-4;
+  std::uint64_t seed = 1;
+  // Independent random restarts; the fit with the best final log
+  // likelihood wins.
+  int restarts = 1;
+  // MAP regularization of the MMHD transition matrix: a Dirichlet prior
+  // whose pseudo-counts are `transition_prior` times the *observed*
+  // symbol-bigram counts of the sequence. Plain maximum likelihood
+  // (strength 0) has a degenerate optimum on real traces: all loss mass
+  // migrates to a rarely-observed symbol whose loss probability C[d] can
+  // approach 1 at almost no cost, with the loss steps themselves supplying
+  // the transition mass into that symbol. Anchoring transitions to
+  // observed bigrams breaks that self-reinforcement while leaving
+  // well-evidenced structure untouched. Ignored by the HMM.
+  double transition_prior = 2.0;
+};
+
+struct FitResult {
+  bool converged = false;
+  int iterations = 0;
+  double log_likelihood = 0.0;
+  // Per-iteration log likelihood of the winning restart (for monotonicity
+  // checks and diagnostics).
+  std::vector<double> log_likelihood_history;
+  // P(D = d | loss): the paper's virtual queuing delay PMF, eq. (5).
+  util::Pmf virtual_delay_pmf;
+  std::size_t losses = 0;
+};
+
+}  // namespace dcl::inference

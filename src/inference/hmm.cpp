@@ -1,0 +1,379 @@
+#include "inference/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "inference/discretizer.h"
+#include "util/error.h"
+
+namespace dcl::inference {
+
+namespace {
+constexpr double kFloor = 1e-12;
+constexpr int kLoss = Discretizer::kLossSymbol;
+
+// 0-based symbol index of an observation, or -1 for a loss.
+inline int sym(int obs) { return obs == kLoss ? -1 : obs - 1; }
+}  // namespace
+
+struct Hmm::Trellis {
+  util::Matrix alpha;  // T x N, scaled
+  util::Matrix beta;   // T x N, scaled
+  std::vector<double> scale;
+  std::vector<char> support;  // observed-symbol mask for loss attribution
+
+  void resize(std::size_t t, std::size_t n) {
+    alpha = util::Matrix(t, n);
+    beta = util::Matrix(t, n);
+    scale.assign(t, 0.0);
+  }
+};
+
+Hmm::Hmm(int hidden_states, int symbols)
+    : n_(hidden_states),
+      m_(symbols),
+      pi_(static_cast<std::size_t>(hidden_states),
+          1.0 / static_cast<double>(hidden_states)),
+      a_(static_cast<std::size_t>(hidden_states),
+         static_cast<std::size_t>(hidden_states),
+         1.0 / static_cast<double>(hidden_states)),
+      b_(static_cast<std::size_t>(hidden_states),
+         static_cast<std::size_t>(symbols),
+         1.0 / static_cast<double>(symbols)),
+      c_(static_cast<std::size_t>(symbols), 0.1) {
+  DCL_ENSURE(hidden_states >= 1 && symbols >= 1);
+}
+
+void Hmm::set_parameters(std::vector<double> pi, util::Matrix a,
+                         util::Matrix b, std::vector<double> c) {
+  DCL_ENSURE(pi.size() == static_cast<std::size_t>(n_));
+  DCL_ENSURE(a.rows() == static_cast<std::size_t>(n_) &&
+             a.cols() == static_cast<std::size_t>(n_));
+  DCL_ENSURE(b.rows() == static_cast<std::size_t>(n_) &&
+             b.cols() == static_cast<std::size_t>(m_));
+  DCL_ENSURE(c.size() == static_cast<std::size_t>(m_));
+  pi_ = std::move(pi);
+  a_ = std::move(a);
+  b_ = std::move(b);
+  c_ = std::move(c);
+  clamp_parameters();
+}
+
+void Hmm::random_init(util::Rng& rng, double observed_loss_rate) {
+  for (int h = 0; h < n_; ++h) {
+    auto row = rng.simplex(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) a_(h, j) = row[static_cast<std::size_t>(j)];
+    auto em = rng.simplex(static_cast<std::size_t>(m_));
+    for (int d = 0; d < m_; ++d) b_(h, d) = em[static_cast<std::size_t>(d)];
+  }
+  pi_.assign(static_cast<std::size_t>(n_), 1.0 / static_cast<double>(n_));
+  // Start the per-symbol loss probabilities near the empirical loss rate
+  // with random jitter so EM can break the symbetry between symbols.
+  const double base = std::clamp(observed_loss_rate, 0.005, 0.5);
+  for (int d = 0; d < m_; ++d)
+    c_[static_cast<std::size_t>(d)] = base * rng.uniform(0.25, 4.0);
+  clamp_parameters();
+}
+
+void Hmm::clamp_parameters() {
+  for (auto& x : pi_) x = std::max(x, kFloor);
+  util::normalize(pi_);
+  for (int h = 0; h < n_; ++h) {
+    for (int j = 0; j < n_; ++j) a_(h, j) = std::max(a_(h, j), kFloor);
+    for (int d = 0; d < m_; ++d) b_(h, d) = std::max(b_(h, d), kFloor);
+  }
+  a_.normalize_rows();
+  b_.normalize_rows();
+  for (auto& x : c_) x = std::clamp(x, kFloor, 1.0 - 1e-9);
+}
+
+std::vector<char> Hmm::observed_support(const std::vector<int>& seq) const {
+  std::vector<char> support(static_cast<std::size_t>(m_), 0);
+  bool any = false;
+  for (int o : seq) {
+    if (o != kLoss) {
+      support[static_cast<std::size_t>(sym(o))] = 1;
+      any = true;
+    }
+  }
+  if (!any) support.assign(static_cast<std::size_t>(m_), 1);
+  return support;
+}
+
+double Hmm::emission(int h, int obs, const std::vector<char>& support) const {
+  const int d = sym(obs);
+  if (d < 0) return loss_emission(h, support);
+  return b_(h, d) * (1.0 - c_[static_cast<std::size_t>(d)]);
+}
+
+double Hmm::loss_emission(int h, const std::vector<char>& support) const {
+  double e = 0.0;
+  for (int d = 0; d < m_; ++d)
+    if (support[static_cast<std::size_t>(d)])
+      e += b_(h, d) * c_[static_cast<std::size_t>(d)];
+  return e;
+}
+
+double Hmm::forward_backward(const std::vector<int>& seq, Trellis& w) const {
+  const std::size_t t_len = seq.size();
+  w.resize(t_len, static_cast<std::size_t>(n_));
+  w.support = observed_support(seq);
+
+  // Forward pass with per-step scaling.
+  double sum = 0.0;
+  for (int h = 0; h < n_; ++h) {
+    const double v =
+        pi_[static_cast<std::size_t>(h)] * emission(h, seq[0], w.support);
+    w.alpha(0, h) = v;
+    sum += v;
+  }
+  DCL_ENSURE_MSG(sum > 0.0, "impossible observation at t=0");
+  w.scale[0] = sum;
+  for (int h = 0; h < n_; ++h) w.alpha(0, h) /= sum;
+
+  for (std::size_t t = 1; t < t_len; ++t) {
+    sum = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      double acc = 0.0;
+      for (int i = 0; i < n_; ++i) acc += w.alpha(t - 1, i) * a_(i, j);
+      const double v = acc * emission(j, seq[t], w.support);
+      w.alpha(t, j) = v;
+      sum += v;
+    }
+    DCL_ENSURE_MSG(sum > 0.0, "impossible observation at t=" << t);
+    w.scale[t] = sum;
+    for (int j = 0; j < n_; ++j) w.alpha(t, j) /= sum;
+  }
+
+  // Backward pass, scaled by the forward constants.
+  for (int h = 0; h < n_; ++h) w.beta(t_len - 1, h) = 1.0;
+  for (std::size_t t = t_len - 1; t-- > 0;) {
+    for (int i = 0; i < n_; ++i) {
+      double acc = 0.0;
+      for (int j = 0; j < n_; ++j)
+        acc += a_(i, j) * emission(j, seq[t + 1], w.support) *
+               w.beta(t + 1, j);
+      w.beta(t, i) = acc / w.scale[t + 1];
+    }
+  }
+
+  double ll = 0.0;
+  for (double c : w.scale) ll += std::log(c);
+  return ll;
+}
+
+std::pair<double, double> Hmm::em_step(const std::vector<int>& seq,
+                                       Trellis& w) {
+  const std::size_t t_len = seq.size();
+  const double ll = forward_backward(seq, w);
+
+  std::vector<double> new_pi(static_cast<std::size_t>(n_), 0.0);
+  util::Matrix a_num(static_cast<std::size_t>(n_),
+                     static_cast<std::size_t>(n_));
+  util::Matrix b_num(static_cast<std::size_t>(n_),
+                     static_cast<std::size_t>(m_));
+  std::vector<double> gamma_sum(static_cast<std::size_t>(n_), 0.0);
+  std::vector<double> c_loss(static_cast<std::size_t>(m_), 0.0);
+  std::vector<double> c_total(static_cast<std::size_t>(m_), 0.0);
+
+  std::vector<double> gamma(static_cast<std::size_t>(n_));
+  std::vector<double> loss_emit(static_cast<std::size_t>(n_));
+  for (int h = 0; h < n_; ++h)
+    loss_emit[static_cast<std::size_t>(h)] = loss_emission(h, w.support);
+
+  for (std::size_t t = 0; t < t_len; ++t) {
+    double gsum = 0.0;
+    for (int h = 0; h < n_; ++h) {
+      gamma[static_cast<std::size_t>(h)] = w.alpha(t, h) * w.beta(t, h);
+      gsum += gamma[static_cast<std::size_t>(h)];
+    }
+    DCL_ENSURE(gsum > 0.0);
+    for (int h = 0; h < n_; ++h) gamma[static_cast<std::size_t>(h)] /= gsum;
+
+    if (t == 0)
+      for (int h = 0; h < n_; ++h)
+        new_pi[static_cast<std::size_t>(h)] =
+            gamma[static_cast<std::size_t>(h)];
+
+    const int d = sym(seq[t]);
+    for (int h = 0; h < n_; ++h) {
+      const double g = gamma[static_cast<std::size_t>(h)];
+      gamma_sum[static_cast<std::size_t>(h)] += g;
+      if (d >= 0) {
+        b_num(h, d) += g;
+        c_total[static_cast<std::size_t>(d)] += g;
+      } else {
+        // Distribute the loss over symbols with the per-state posterior
+        // P(d | h, loss) = B[h][d] C[d] / sum_d' B[h][d'] C[d'].
+        const double denom = loss_emit[static_cast<std::size_t>(h)];
+        for (int dd = 0; dd < m_; ++dd) {
+          if (!w.support[static_cast<std::size_t>(dd)]) continue;
+          const double p =
+              g * b_(h, dd) * c_[static_cast<std::size_t>(dd)] / denom;
+          b_num(h, dd) += p;
+          c_loss[static_cast<std::size_t>(dd)] += p;
+          c_total[static_cast<std::size_t>(dd)] += p;
+        }
+      }
+    }
+
+    if (t + 1 < t_len) {
+      // xi accumulation for the transition counts.
+      for (int i = 0; i < n_; ++i) {
+        const double ai = w.alpha(t, i);
+        for (int j = 0; j < n_; ++j) {
+          a_num(i, j) += ai * a_(i, j) * emission(j, seq[t + 1], w.support) *
+                         w.beta(t + 1, j) / w.scale[t + 1];
+        }
+      }
+    }
+  }
+
+  // M-step.
+  std::vector<double> old_pi = pi_;
+  util::Matrix old_a = a_;
+  util::Matrix old_b = b_;
+  std::vector<double> old_c = c_;
+
+  pi_ = new_pi;
+  a_ = a_num;
+  a_.normalize_rows();
+  for (int h = 0; h < n_; ++h)
+    for (int d = 0; d < m_; ++d)
+      b_(h, d) = gamma_sum[static_cast<std::size_t>(h)] > 0.0
+                     ? b_num(h, d) / gamma_sum[static_cast<std::size_t>(h)]
+                     : 1.0 / static_cast<double>(m_);
+  for (int d = 0; d < m_; ++d) {
+    const auto di = static_cast<std::size_t>(d);
+    if (c_total[di] > 0.0) c_[di] = c_loss[di] / c_total[di];
+  }
+  clamp_parameters();
+
+  double delta = 0.0;
+  for (int h = 0; h < n_; ++h)
+    delta = std::max(delta, std::abs(pi_[static_cast<std::size_t>(h)] -
+                                     old_pi[static_cast<std::size_t>(h)]));
+  delta = std::max(delta, util::Matrix::max_abs_diff(a_, old_a));
+  delta = std::max(delta, util::Matrix::max_abs_diff(b_, old_b));
+  for (int d = 0; d < m_; ++d)
+    delta = std::max(delta, std::abs(c_[static_cast<std::size_t>(d)] -
+                                     old_c[static_cast<std::size_t>(d)]));
+  return {ll, delta};
+}
+
+FitResult Hmm::fit(const std::vector<int>& seq, const EmOptions& opts) {
+  DCL_ENSURE_MSG(seq.size() >= 2, "need at least two observations to fit");
+  DCL_ENSURE(opts.restarts >= 1 && opts.max_iterations >= 1);
+  std::size_t losses = 0;
+  for (int o : seq) losses += (o == kLoss) ? 1 : 0;
+  const double loss_rate =
+      static_cast<double>(losses) / static_cast<double>(seq.size());
+
+  util::Rng rng(opts.seed);
+  FitResult best;
+  best.log_likelihood = -std::numeric_limits<double>::infinity();
+  struct Params {
+    std::vector<double> pi;
+    util::Matrix a, b;
+    std::vector<double> c;
+  };
+  Params best_params;
+  bool have_best = false;
+
+  for (int r = 0; r < opts.restarts; ++r) {
+    util::Rng child = rng.fork();
+    random_init(child, loss_rate);
+    Trellis w;
+    FitResult res;
+    double last_ll = -std::numeric_limits<double>::infinity();
+    for (int it = 0; it < opts.max_iterations; ++it) {
+      const auto [ll, delta] = em_step(seq, w);
+      res.log_likelihood_history.push_back(ll);
+      last_ll = ll;
+      res.iterations = it + 1;
+      if (delta < opts.tolerance) {
+        res.converged = true;
+        break;
+      }
+    }
+    res.log_likelihood = last_ll;
+    if (res.log_likelihood > best.log_likelihood) {
+      best = std::move(res);
+      best_params = {pi_, a_, b_, c_};
+      have_best = true;
+    }
+  }
+  if (have_best) {
+    pi_ = std::move(best_params.pi);
+    a_ = std::move(best_params.a);
+    b_ = std::move(best_params.b);
+    c_ = std::move(best_params.c);
+  }
+  best.losses = losses;
+  best.virtual_delay_pmf = virtual_delay_pmf(seq);
+  return best;
+}
+
+util::Pmf Hmm::virtual_delay_pmf(const std::vector<int>& seq) const {
+  util::Pmf pmf(static_cast<std::size_t>(m_), 0.0);
+  Trellis w;
+  forward_backward(seq, w);
+  std::vector<double> loss_emit(static_cast<std::size_t>(n_));
+  for (int h = 0; h < n_; ++h)
+    loss_emit[static_cast<std::size_t>(h)] = loss_emission(h, w.support);
+  std::size_t losses = 0;
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    if (sym(seq[t]) >= 0) continue;
+    ++losses;
+    double gsum = 0.0;
+    for (int h = 0; h < n_; ++h) gsum += w.alpha(t, h) * w.beta(t, h);
+    for (int h = 0; h < n_; ++h) {
+      const double g = w.alpha(t, h) * w.beta(t, h) / gsum;
+      const double denom = loss_emit[static_cast<std::size_t>(h)];
+      for (int d = 0; d < m_; ++d)
+        if (w.support[static_cast<std::size_t>(d)])
+          pmf[static_cast<std::size_t>(d)] +=
+              g * b_(h, d) * c_[static_cast<std::size_t>(d)] / denom;
+    }
+  }
+  if (losses > 0)
+    for (auto& p : pmf) p /= static_cast<double>(losses);
+  return pmf;
+}
+
+util::Pmf Hmm::stationary_virtual_delay_pmf() const {
+  // Stationary hidden distribution by power iteration.
+  std::vector<double> mu(static_cast<std::size_t>(n_),
+                         1.0 / static_cast<double>(n_));
+  std::vector<double> next(static_cast<std::size_t>(n_));
+  for (int it = 0; it < 1000; ++it) {
+    for (int j = 0; j < n_; ++j) {
+      double acc = 0.0;
+      for (int i = 0; i < n_; ++i)
+        acc += mu[static_cast<std::size_t>(i)] * a_(i, j);
+      next[static_cast<std::size_t>(j)] = acc;
+    }
+    double delta = 0.0;
+    for (int j = 0; j < n_; ++j)
+      delta += std::abs(next[static_cast<std::size_t>(j)] -
+                        mu[static_cast<std::size_t>(j)]);
+    mu.swap(next);
+    if (delta < 1e-12) break;
+  }
+  util::Pmf pmf(static_cast<std::size_t>(m_), 0.0);
+  for (int d = 0; d < m_; ++d) {
+    double pd = 0.0;
+    for (int h = 0; h < n_; ++h) pd += mu[static_cast<std::size_t>(h)] * b_(h, d);
+    pmf[static_cast<std::size_t>(d)] = pd * c_[static_cast<std::size_t>(d)];
+  }
+  util::normalize(pmf);
+  return pmf;
+}
+
+double Hmm::log_likelihood(const std::vector<int>& seq) const {
+  Trellis w;
+  return forward_backward(seq, w);
+}
+
+}  // namespace dcl::inference

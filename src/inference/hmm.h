@@ -1,0 +1,83 @@
+// Hidden Markov model over discretized delay symbols, extended (per the
+// paper, Section V-B) to treat probe losses as delays with missing values.
+//
+// Parameters: N hidden states, M delay symbols;
+//   pi[h]  — initial hidden-state distribution,
+//   A[h][h'] — hidden-state transition matrix,
+//   B[h][d]  — emission probability of delay symbol d in state h,
+//   C[d]     — P(observation is a loss | delay symbol is d).
+// An observed symbol d contributes emission B[h][d]*(1-C[d]); a loss
+// contributes sum_d B[h][d]*C[d]. The EM algorithm is Rabiner's extended
+// with these missing-value emissions, using scaled forward-backward.
+//
+// The virtual queuing delay distribution P(D=d | loss) — paper eq. (5) —
+// is the posterior over the missing symbols at loss steps, averaged over
+// losses, computed from the smoothed state posteriors of the whole
+// sequence.
+#pragma once
+
+#include <vector>
+
+#include "inference/em_options.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dcl::inference {
+
+class Hmm {
+ public:
+  Hmm(int hidden_states, int symbols);
+
+  // Fits the model to `seq` (1-based symbols; kLossSymbol=-1 marks losses)
+  // with `opts.restarts` random restarts, keeping the best likelihood.
+  // The returned FitResult carries the virtual-delay PMF.
+  FitResult fit(const std::vector<int>& seq, const EmOptions& opts);
+
+  int hidden_states() const { return n_; }
+  int symbols() const { return m_; }
+  const std::vector<double>& initial() const { return pi_; }
+  const util::Matrix& transitions() const { return a_; }
+  const util::Matrix& emissions() const { return b_; }
+  const std::vector<double>& loss_given_symbol() const { return c_; }
+
+  // Log likelihood of `seq` under the current parameters.
+  double log_likelihood(const std::vector<int>& seq) const;
+
+  // Posterior P(D=d | loss) for `seq` under the current parameters.
+  util::Pmf virtual_delay_pmf(const std::vector<int>& seq) const;
+
+  // Ablation: the stationary Bayes form C_d * p(d) / sum_d' C_d' p(d'),
+  // with p the model's stationary symbol distribution.
+  util::Pmf stationary_virtual_delay_pmf() const;
+
+  // Directly installs parameters (used by tests and synthetic generators).
+  void set_parameters(std::vector<double> pi, util::Matrix a, util::Matrix b,
+                      std::vector<double> c);
+
+ private:
+  struct Trellis;  // scaled alpha/beta workspace
+
+  void random_init(util::Rng& rng, double observed_loss_rate);
+  void clamp_parameters();
+  double forward_backward(const std::vector<int>& seq, Trellis& w) const;
+  // One EM step in place; returns (log likelihood of the *old* parameters,
+  // max absolute parameter change).
+  std::pair<double, double> em_step(const std::vector<int>& seq, Trellis& w);
+  // Symbols observed at least once in the sequence; losses may only be
+  // attributed to these (prevents the degenerate optimum of dumping loss
+  // mass on a never-observed symbol whose C[d] can grow freely).
+  std::vector<char> observed_support(const std::vector<int>& seq) const;
+  double emission(int h, int obs, const std::vector<char>& support) const;
+  // sum over supported d of B[h][d] * C[d].
+  double loss_emission(int h, const std::vector<char>& support) const;
+
+  int n_;
+  int m_;
+  std::vector<double> pi_;
+  util::Matrix a_;  // N x N
+  util::Matrix b_;  // N x M
+  std::vector<double> c_;  // M
+};
+
+}  // namespace dcl::inference

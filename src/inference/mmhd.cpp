@@ -1,0 +1,439 @@
+#include "inference/mmhd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "inference/discretizer.h"
+#include "util/error.h"
+
+namespace dcl::inference {
+
+namespace {
+constexpr double kFloor = 1e-12;
+constexpr int kLoss = Discretizer::kLossSymbol;
+inline int sym(int obs) { return obs == kLoss ? -1 : obs - 1; }
+}  // namespace
+
+struct Mmhd::Trellis {
+  util::Matrix alpha;  // T x S, scaled; zero outside the active sets
+  util::Matrix beta;   // T x S, scaled
+  std::vector<double> scale;
+  // Active state sets per step (flattened with offsets, to avoid T small
+  // vector allocations).
+  std::vector<int> active;
+  std::vector<std::size_t> offset;  // size T+1
+
+  const int* begin(std::size_t t) const { return active.data() + offset[t]; }
+  const int* end(std::size_t t) const { return active.data() + offset[t + 1]; }
+};
+
+Mmhd::Mmhd(int hidden_states, int symbols)
+    : n_(hidden_states),
+      m_(symbols),
+      pi_(static_cast<std::size_t>(hidden_states * symbols),
+          1.0 / static_cast<double>(hidden_states * symbols)),
+      a_(static_cast<std::size_t>(hidden_states * symbols),
+         static_cast<std::size_t>(hidden_states * symbols),
+         1.0 / static_cast<double>(hidden_states * symbols)),
+      c_(static_cast<std::size_t>(symbols), 0.1) {
+  DCL_ENSURE(hidden_states >= 1 && symbols >= 1);
+}
+
+void Mmhd::set_parameters(std::vector<double> pi, util::Matrix a,
+                          std::vector<double> c) {
+  const auto s = static_cast<std::size_t>(states());
+  DCL_ENSURE(pi.size() == s);
+  DCL_ENSURE(a.rows() == s && a.cols() == s);
+  DCL_ENSURE(c.size() == static_cast<std::size_t>(m_));
+  pi_ = std::move(pi);
+  a_ = std::move(a);
+  c_ = std::move(c);
+  clamp_parameters();
+}
+
+void Mmhd::random_init(util::Rng& rng, double observed_loss_rate) {
+  const int s_count = states();
+  for (int s = 0; s < s_count; ++s) {
+    auto row = rng.simplex(static_cast<std::size_t>(s_count));
+    for (int j = 0; j < s_count; ++j)
+      a_(s, j) = row[static_cast<std::size_t>(j)];
+  }
+  pi_.assign(static_cast<std::size_t>(s_count),
+             1.0 / static_cast<double>(s_count));
+  const double base = std::clamp(observed_loss_rate, 0.005, 0.5);
+  for (int d = 0; d < m_; ++d)
+    c_[static_cast<std::size_t>(d)] = base * rng.uniform(0.25, 4.0);
+  clamp_parameters();
+}
+
+void Mmhd::clamp_parameters() {
+  for (auto& x : pi_) x = std::max(x, kFloor);
+  util::normalize(pi_);
+  const int s_count = states();
+  for (int i = 0; i < s_count; ++i)
+    for (int j = 0; j < s_count; ++j) a_(i, j) = std::max(a_(i, j), kFloor);
+  a_.normalize_rows();
+  for (auto& x : c_) x = std::clamp(x, kFloor, 1.0 - 1e-9);
+}
+
+void Mmhd::active_states(int obs, const std::vector<char>& support,
+                         std::vector<int>& out) const {
+  out.clear();
+  const int d = sym(obs);
+  if (d < 0) {
+    for (int s = 0; s < states(); ++s)
+      if (support[static_cast<std::size_t>(symbol_of_state(s))])
+        out.push_back(s);
+  } else {
+    for (int h = 0; h < n_; ++h) out.push_back(state_of(h, d));
+  }
+}
+
+double Mmhd::emission(int s, int obs) const {
+  const int d = sym(obs);
+  const int ds = symbol_of_state(s);
+  if (d < 0) return c_[static_cast<std::size_t>(ds)];
+  return ds == d ? 1.0 - c_[static_cast<std::size_t>(d)] : 0.0;
+}
+
+double Mmhd::forward_backward(const std::vector<int>& seq,
+                              Trellis& w) const {
+  const std::size_t t_len = seq.size();
+  const auto s_count = static_cast<std::size_t>(states());
+  w.alpha = util::Matrix(t_len, s_count);
+  w.beta = util::Matrix(t_len, s_count);
+  w.scale.assign(t_len, 0.0);
+
+  // Losses may only be attributed to symbols observed somewhere in the
+  // sequence (see active_states); with no observed symbol at all fall back
+  // to the full alphabet.
+  std::vector<char> support(static_cast<std::size_t>(m_), 0);
+  bool any_observed = false;
+  for (int o : seq) {
+    if (o != kLoss) {
+      support[static_cast<std::size_t>(sym(o))] = 1;
+      any_observed = true;
+    }
+  }
+  if (!any_observed) support.assign(static_cast<std::size_t>(m_), 1);
+
+  // Build the active-set index.
+  w.active.clear();
+  w.offset.assign(t_len + 1, 0);
+  std::vector<int> act;
+  for (std::size_t t = 0; t < t_len; ++t) {
+    active_states(seq[t], support, act);
+    w.active.insert(w.active.end(), act.begin(), act.end());
+    w.offset[t + 1] = w.active.size();
+  }
+
+  // Forward.
+  double sum = 0.0;
+  for (const int* s = w.begin(0); s != w.end(0); ++s) {
+    const double v =
+        pi_[static_cast<std::size_t>(*s)] * emission(*s, seq[0]);
+    w.alpha(0, static_cast<std::size_t>(*s)) = v;
+    sum += v;
+  }
+  DCL_ENSURE_MSG(sum > 0.0, "impossible observation at t=0");
+  w.scale[0] = sum;
+  for (const int* s = w.begin(0); s != w.end(0); ++s)
+    w.alpha(0, static_cast<std::size_t>(*s)) /= sum;
+
+  for (std::size_t t = 1; t < t_len; ++t) {
+    sum = 0.0;
+    for (const int* j = w.begin(t); j != w.end(t); ++j) {
+      double acc = 0.0;
+      for (const int* i = w.begin(t - 1); i != w.end(t - 1); ++i)
+        acc += w.alpha(t - 1, static_cast<std::size_t>(*i)) *
+               a_(static_cast<std::size_t>(*i), static_cast<std::size_t>(*j));
+      const double v = acc * emission(*j, seq[t]);
+      w.alpha(t, static_cast<std::size_t>(*j)) = v;
+      sum += v;
+    }
+    DCL_ENSURE_MSG(sum > 0.0, "impossible observation at t=" << t);
+    w.scale[t] = sum;
+    for (const int* j = w.begin(t); j != w.end(t); ++j)
+      w.alpha(t, static_cast<std::size_t>(*j)) /= sum;
+  }
+
+  // Backward.
+  for (const int* s = w.begin(t_len - 1); s != w.end(t_len - 1); ++s)
+    w.beta(t_len - 1, static_cast<std::size_t>(*s)) = 1.0;
+  for (std::size_t t = t_len - 1; t-- > 0;) {
+    for (const int* i = w.begin(t); i != w.end(t); ++i) {
+      double acc = 0.0;
+      for (const int* j = w.begin(t + 1); j != w.end(t + 1); ++j)
+        acc += a_(static_cast<std::size_t>(*i),
+                  static_cast<std::size_t>(*j)) *
+               emission(*j, seq[t + 1]) *
+               w.beta(t + 1, static_cast<std::size_t>(*j));
+      w.beta(t, static_cast<std::size_t>(*i)) = acc / w.scale[t + 1];
+    }
+  }
+
+  double ll = 0.0;
+  for (double c : w.scale) ll += std::log(c);
+  return ll;
+}
+
+util::Matrix Mmhd::build_transition_prior(const std::vector<int>& seq,
+                                          double strength) const {
+  const auto s_count = static_cast<std::size_t>(states());
+  util::Matrix prior(s_count, s_count, 0.0);
+  if (strength <= 0.0) return prior;
+  // Observed adjacent symbol pairs (pairs spanning a loss are skipped —
+  // the point is to anchor transitions to loss-free evidence). Each bigram
+  // (d, d') spreads uniformly over the N x N hidden combinations.
+  const double unit = strength / static_cast<double>(n_ * n_);
+  for (std::size_t t = 0; t + 1 < seq.size(); ++t) {
+    const int d0 = sym(seq[t]);
+    const int d1 = sym(seq[t + 1]);
+    if (d0 < 0 || d1 < 0) continue;
+    for (int h0 = 0; h0 < n_; ++h0)
+      for (int h1 = 0; h1 < n_; ++h1)
+        prior(static_cast<std::size_t>(state_of(h0, d0)),
+              static_cast<std::size_t>(state_of(h1, d1))) += unit;
+  }
+  return prior;
+}
+
+std::pair<double, double> Mmhd::em_step(const std::vector<int>& seq,
+                                        Trellis& w,
+                                        const util::Matrix* prior) {
+  const std::size_t t_len = seq.size();
+  const auto s_count = static_cast<std::size_t>(states());
+  const double ll = forward_backward(seq, w);
+
+  std::vector<double> new_pi(s_count, 0.0);
+  util::Matrix a_num(s_count, s_count);
+  std::vector<double> c_loss(static_cast<std::size_t>(m_), 0.0);
+  std::vector<double> c_total(static_cast<std::size_t>(m_), 0.0);
+
+  for (std::size_t t = 0; t < t_len; ++t) {
+    double gsum = 0.0;
+    for (const int* s = w.begin(t); s != w.end(t); ++s)
+      gsum += w.alpha(t, static_cast<std::size_t>(*s)) *
+              w.beta(t, static_cast<std::size_t>(*s));
+    DCL_ENSURE(gsum > 0.0);
+
+    const bool is_loss = sym(seq[t]) < 0;
+    for (const int* s = w.begin(t); s != w.end(t); ++s) {
+      const auto si = static_cast<std::size_t>(*s);
+      const double g = w.alpha(t, si) * w.beta(t, si) / gsum;
+      if (t == 0) new_pi[si] = g;
+      const auto d = static_cast<std::size_t>(symbol_of_state(*s));
+      if (is_loss) c_loss[d] += g;
+      c_total[d] += g;
+    }
+
+    if (t + 1 < t_len) {
+      for (const int* i = w.begin(t); i != w.end(t); ++i) {
+        const auto ii = static_cast<std::size_t>(*i);
+        const double ai = w.alpha(t, ii);
+        if (ai == 0.0) continue;
+        for (const int* j = w.begin(t + 1); j != w.end(t + 1); ++j) {
+          const auto jj = static_cast<std::size_t>(*j);
+          a_num(ii, jj) += ai * a_(ii, jj) * emission(*j, seq[t + 1]) *
+                           w.beta(t + 1, jj) / w.scale[t + 1];
+        }
+      }
+    }
+  }
+
+  std::vector<double> old_pi = pi_;
+  util::Matrix old_a = a_;
+  std::vector<double> old_c = c_;
+
+  pi_ = new_pi;
+  if (prior != nullptr) {
+    for (std::size_t i = 0; i < s_count; ++i)
+      for (std::size_t j = 0; j < s_count; ++j)
+        a_num(i, j) += (*prior)(i, j);
+  }
+  a_ = a_num;
+  a_.normalize_rows();
+  for (int d = 0; d < m_; ++d) {
+    const auto di = static_cast<std::size_t>(d);
+    if (c_total[di] > 0.0) c_[di] = c_loss[di] / c_total[di];
+  }
+  clamp_parameters();
+
+  double delta = 0.0;
+  for (std::size_t s = 0; s < s_count; ++s)
+    delta = std::max(delta, std::abs(pi_[s] - old_pi[s]));
+  delta = std::max(delta, util::Matrix::max_abs_diff(a_, old_a));
+  for (int d = 0; d < m_; ++d)
+    delta = std::max(delta, std::abs(c_[static_cast<std::size_t>(d)] -
+                                     old_c[static_cast<std::size_t>(d)]));
+  return {ll, delta};
+}
+
+FitResult Mmhd::fit(const std::vector<int>& seq, const EmOptions& opts) {
+  DCL_ENSURE_MSG(seq.size() >= 2, "need at least two observations to fit");
+  DCL_ENSURE(opts.restarts >= 1 && opts.max_iterations >= 1);
+  std::size_t losses = 0;
+  for (int o : seq) losses += (o == kLoss) ? 1 : 0;
+  const double loss_rate =
+      static_cast<double>(losses) / static_cast<double>(seq.size());
+
+  util::Rng rng(opts.seed);
+  FitResult best;
+  best.log_likelihood = -std::numeric_limits<double>::infinity();
+  struct Params {
+    std::vector<double> pi;
+    util::Matrix a;
+    std::vector<double> c;
+  };
+  Params best_params;
+  bool have_best = false;
+
+  const util::Matrix prior = build_transition_prior(seq, opts.transition_prior);
+  const util::Matrix* prior_ptr = opts.transition_prior > 0.0 ? &prior : nullptr;
+
+  for (int r = 0; r < opts.restarts; ++r) {
+    util::Rng child = rng.fork();
+    random_init(child, loss_rate);
+    Trellis w;
+    FitResult res;
+    double last_ll = -std::numeric_limits<double>::infinity();
+    for (int it = 0; it < opts.max_iterations; ++it) {
+      const auto [ll, delta] = em_step(seq, w, prior_ptr);
+      res.log_likelihood_history.push_back(ll);
+      last_ll = ll;
+      res.iterations = it + 1;
+      if (delta < opts.tolerance) {
+        res.converged = true;
+        break;
+      }
+    }
+    res.log_likelihood = last_ll;
+    if (res.log_likelihood > best.log_likelihood) {
+      best = std::move(res);
+      best_params = {pi_, a_, c_};
+      have_best = true;
+    }
+  }
+  if (have_best) {
+    pi_ = std::move(best_params.pi);
+    a_ = std::move(best_params.a);
+    c_ = std::move(best_params.c);
+  }
+  best.losses = losses;
+  best.virtual_delay_pmf = virtual_delay_pmf(seq);
+  return best;
+}
+
+util::Pmf Mmhd::virtual_delay_pmf(const std::vector<int>& seq) const {
+  // P(D = d | loss): smoothed posterior over the composite states at the
+  // loss steps, marginalized to the symbol dimension (paper eq. (5)) —
+  // the average of the per-loss posteriors.
+  util::Pmf pmf(static_cast<std::size_t>(m_), 0.0);
+  const auto per_loss = per_loss_posteriors(seq);
+  for (const auto& p : per_loss)
+    for (std::size_t d = 0; d < pmf.size(); ++d) pmf[d] += p[d];
+  if (!per_loss.empty())
+    for (auto& p : pmf) p /= static_cast<double>(per_loss.size());
+  return pmf;
+}
+
+std::vector<util::Pmf> Mmhd::per_loss_posteriors(
+    const std::vector<int>& seq) const {
+  std::vector<util::Pmf> out;
+  Trellis w;
+  forward_backward(seq, w);
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    if (sym(seq[t]) >= 0) continue;
+    util::Pmf pmf(static_cast<std::size_t>(m_), 0.0);
+    double gsum = 0.0;
+    for (const int* s = w.begin(t); s != w.end(t); ++s)
+      gsum += w.alpha(t, static_cast<std::size_t>(*s)) *
+              w.beta(t, static_cast<std::size_t>(*s));
+    for (const int* s = w.begin(t); s != w.end(t); ++s) {
+      const auto si = static_cast<std::size_t>(*s);
+      pmf[static_cast<std::size_t>(symbol_of_state(*s))] +=
+          w.alpha(t, si) * w.beta(t, si) / gsum;
+    }
+    out.push_back(std::move(pmf));
+  }
+  return out;
+}
+
+double Mmhd::log_likelihood(const std::vector<int>& seq) const {
+  Trellis w;
+  return forward_backward(seq, w);
+}
+
+std::vector<int> Mmhd::viterbi(const std::vector<int>& seq) const {
+  DCL_ENSURE(!seq.empty());
+  const auto s_count = static_cast<std::size_t>(states());
+  const std::size_t t_len = seq.size();
+
+  // Same support restriction as the EM (losses only attributed to
+  // observed symbols).
+  std::vector<char> support(static_cast<std::size_t>(m_), 0);
+  bool any_observed = false;
+  for (int o : seq) {
+    if (o != kLoss) {
+      support[static_cast<std::size_t>(sym(o))] = 1;
+      any_observed = true;
+    }
+  }
+  if (!any_observed) support.assign(static_cast<std::size_t>(m_), 1);
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> delta(s_count, kNegInf), next(s_count, kNegInf);
+  // Backpointers, stored densely (T x S ints).
+  std::vector<int> back(t_len * s_count, -1);
+  std::vector<int> act, act_prev;
+
+  active_states(seq[0], support, act);
+  for (int s : act) {
+    const double e = emission(s, seq[0]);
+    if (e > 0.0)
+      delta[static_cast<std::size_t>(s)] =
+          std::log(pi_[static_cast<std::size_t>(s)]) + std::log(e);
+  }
+
+  for (std::size_t t = 1; t < t_len; ++t) {
+    act_prev.swap(act);
+    active_states(seq[t], support, act);
+    std::fill(next.begin(), next.end(), kNegInf);
+    for (int j : act) {
+      const double e = emission(j, seq[t]);
+      if (e <= 0.0) continue;
+      double best = kNegInf;
+      int best_i = -1;
+      for (int i : act_prev) {
+        const double v =
+            delta[static_cast<std::size_t>(i)] +
+            std::log(a_(static_cast<std::size_t>(i),
+                        static_cast<std::size_t>(j)));
+        if (v > best) {
+          best = v;
+          best_i = i;
+        }
+      }
+      next[static_cast<std::size_t>(j)] = best + std::log(e);
+      back[t * s_count + static_cast<std::size_t>(j)] = best_i;
+    }
+    delta.swap(next);
+  }
+
+  // Backtrack from the best final state.
+  int s_best = act.front();
+  for (int s : act)
+    if (delta[static_cast<std::size_t>(s)] >
+        delta[static_cast<std::size_t>(s_best)])
+      s_best = s;
+  std::vector<int> symbols(t_len, 0);
+  int s_cur = s_best;
+  for (std::size_t t = t_len; t-- > 0;) {
+    symbols[t] = symbol_of_state(s_cur) + 1;
+    if (t > 0) s_cur = back[t * s_count + static_cast<std::size_t>(s_cur)];
+  }
+  return symbols;
+}
+
+}  // namespace dcl::inference

@@ -1,0 +1,98 @@
+// Markov model with a hidden dimension (MMHD), after Wei, Wang & Towsley,
+// "Continuous-time hidden Markov models for network performance
+// evaluation" and Appendix B of the paper.
+//
+// Unlike an HMM, the MMHD state *contains* the observation: the state at
+// time t is the pair (H_t, D_t) of a hidden component H in {1..N} and the
+// delay symbol D in {1..M}; the transition matrix is (N*M) x (N*M). The
+// observation is D_t itself when the probe arrives and a missing value
+// (loss) otherwise, with per-symbol loss probability C[d] = P(loss | D=d).
+// Because transitions condition on the previous *symbol*, MMHD captures
+// delay autocorrelation that an HMM with few hidden states cannot — the
+// paper's Fig. 8 shows HMM failing where MMHD matches the ground truth.
+//
+// The EM algorithm follows the paper's Appendix B (scaled forward-backward
+// over the composite state space with missing-value emissions). When a
+// symbol is observed only the N states carrying that symbol are feasible,
+// so the trellis is iterated over per-step active state sets: sequences
+// with low loss rates cost O(T * N^2) rather than O(T * (N*M)^2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "inference/em_options.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dcl::inference {
+
+class Mmhd {
+ public:
+  Mmhd(int hidden_states, int symbols);
+
+  // Fits to `seq` (1-based symbols, kLossSymbol for losses) with random
+  // restarts; returns diagnostics and the virtual-delay PMF (eq. (5)).
+  FitResult fit(const std::vector<int>& seq, const EmOptions& opts);
+
+  int hidden_states() const { return n_; }
+  int symbols() const { return m_; }
+  int states() const { return n_ * m_; }
+  const std::vector<double>& initial() const { return pi_; }
+  const util::Matrix& transitions() const { return a_; }  // (N*M) x (N*M)
+  const std::vector<double>& loss_given_symbol() const { return c_; }
+
+  double log_likelihood(const std::vector<int>& seq) const;
+  util::Pmf virtual_delay_pmf(const std::vector<int>& seq) const;
+
+  // One posterior over the delay symbols per loss step, in sequence order
+  // — the summands of eq. (5) (their average is virtual_delay_pmf).
+  // Used by the bootstrap confidence machinery.
+  std::vector<util::Pmf> per_loss_posteriors(const std::vector<int>& seq) const;
+
+  // Viterbi decoding: the single most likely composite-state path given
+  // the observations, returned as the per-step delay symbol (1-based).
+  // At observed steps the decoded symbol equals the observation; at loss
+  // steps it is the model's hard attribution of the missing delay — a
+  // per-loss counterpart of the distribution-level eq. (5), useful for
+  // inspecting individual loss episodes.
+  std::vector<int> viterbi(const std::vector<int>& seq) const;
+
+  // State index helpers: s = h * M + d with 0-based h and d.
+  int state_of(int h, int d) const { return h * m_ + d; }
+  int symbol_of_state(int s) const { return s % m_; }
+  int hidden_of_state(int s) const { return s / m_; }
+
+  void set_parameters(std::vector<double> pi, util::Matrix a,
+                      std::vector<double> c);
+
+ private:
+  struct Trellis;
+
+  void random_init(util::Rng& rng, double observed_loss_rate);
+  void clamp_parameters();
+  // Dirichlet pseudo-counts for the transition M-step, built from the
+  // observed symbol bigrams of `seq` (see EmOptions::transition_prior).
+  util::Matrix build_transition_prior(const std::vector<int>& seq,
+                                      double strength) const;
+  // Active composite states for an observation: the N states carrying the
+  // observed symbol, or — on a loss — the states of every symbol in
+  // `support`. Restricting losses to symbols actually observed in the
+  // sequence prevents a degenerate EM optimum that dumps all loss mass on
+  // a never-observed symbol (whose C[d] can grow to 1 at no cost).
+  void active_states(int obs, const std::vector<char>& support,
+                     std::vector<int>& out) const;
+  double emission(int s, int obs) const;
+  double forward_backward(const std::vector<int>& seq, Trellis& w) const;
+  std::pair<double, double> em_step(const std::vector<int>& seq, Trellis& w,
+                                    const util::Matrix* prior);
+
+  int n_;
+  int m_;
+  std::vector<double> pi_;  // N*M
+  util::Matrix a_;          // (N*M) x (N*M)
+  std::vector<double> c_;   // M
+};
+
+}  // namespace dcl::inference

@@ -1,0 +1,60 @@
+#include "inference/model_selection.h"
+
+#include <cmath>
+#include <limits>
+
+#include "inference/discretizer.h"
+#include "inference/mmhd.h"
+#include "util/error.h"
+
+namespace dcl::inference {
+
+ModelSelectionResult select_mmhd_hidden_states(const std::vector<int>& seq,
+                                               int symbols,
+                                               int max_hidden_states,
+                                               const EmOptions& base) {
+  DCL_ENSURE(max_hidden_states >= 1);
+  DCL_ENSURE(symbols >= 1);
+
+  // Free parameters are counted over the observed-support alphabet m_obs:
+  // EM never moves mass onto unobserved symbols (loss attribution is
+  // restricted to the support), so those rows/entries are pinned.
+  std::vector<char> seen(static_cast<std::size_t>(symbols), 0);
+  for (int o : seq)
+    if (o != Discretizer::kLossSymbol) seen[static_cast<std::size_t>(o - 1)] = 1;
+  std::size_t m_obs = 0;
+  for (char c : seen) m_obs += c ? 1 : 0;
+  if (m_obs == 0) m_obs = static_cast<std::size_t>(symbols);
+
+  const auto t_len = static_cast<double>(seq.size());
+  ModelSelectionResult out;
+  double best_bic = std::numeric_limits<double>::infinity();
+
+  for (int n = 1; n <= max_hidden_states; ++n) {
+    Mmhd model(n, symbols);
+    EmOptions opts = base;
+    opts.hidden_states = n;
+    const auto fit = model.fit(seq, opts);
+
+    const std::size_t s = static_cast<std::size_t>(n) * m_obs;
+    ModelScore score;
+    score.hidden_states = n;
+    score.log_likelihood = fit.log_likelihood;
+    // pi: s-1 free; transitions: s rows with s-1 free entries; C: one
+    // probability per observed symbol.
+    score.parameters = (s - 1) + s * (s - 1) + m_obs;
+    score.bic = -2.0 * fit.log_likelihood +
+                static_cast<double>(score.parameters) * std::log(t_len);
+    score.aic = -2.0 * fit.log_likelihood +
+                2.0 * static_cast<double>(score.parameters);
+    score.virtual_delay_pmf = fit.virtual_delay_pmf;
+    if (score.bic < best_bic) {
+      best_bic = score.bic;
+      out.best_hidden_states = n;
+    }
+    out.scores.push_back(std::move(score));
+  }
+  return out;
+}
+
+}  // namespace dcl::inference

@@ -1,0 +1,44 @@
+// Choosing the MMHD hidden-state count N.
+//
+// The paper sweeps N in 1..4 and reports that results barely change; a
+// downstream user still has to pick one. This module scores candidate N
+// by the Bayesian information criterion,
+//
+//   BIC(N) = -2 log L + k(N) log T,
+//
+// with k(N) the number of free parameters (initial distribution,
+// transition matrix rows over the *observed-support* states, and the
+// per-symbol loss probabilities), and returns the N minimizing it. BIC's
+// log T penalty suits the goal here — parsimonious models whose
+// virtual-delay posterior generalizes — better than AIC's fixed penalty,
+// and both are reported for transparency.
+#pragma once
+
+#include <vector>
+
+#include "inference/em_options.h"
+
+namespace dcl::inference {
+
+struct ModelScore {
+  int hidden_states = 0;
+  double log_likelihood = 0.0;
+  double bic = 0.0;
+  double aic = 0.0;
+  std::size_t parameters = 0;
+  util::Pmf virtual_delay_pmf;
+};
+
+struct ModelSelectionResult {
+  int best_hidden_states = 1;     // arg min BIC
+  std::vector<ModelScore> scores; // one per candidate N, ascending
+};
+
+// Fits an MMHD for each N in [1, max_hidden_states] and scores it.
+// `base` supplies seed/tolerance/prior; its hidden_states is ignored.
+ModelSelectionResult select_mmhd_hidden_states(const std::vector<int>& seq,
+                                               int symbols,
+                                               int max_hidden_states,
+                                               const EmOptions& base = {});
+
+}  // namespace dcl::inference

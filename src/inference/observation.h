@@ -1,0 +1,45 @@
+// The inference input format: one entry per probe sent, in sending order.
+// A received probe carries its measured one-way delay; a lost probe is a
+// delay with a missing value — the central idea of the paper's model-based
+// approach.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace dcl::inference {
+
+struct Observation {
+  bool lost = false;
+  // One-way delay in seconds; meaningful only when !lost.
+  double delay = std::numeric_limits<double>::quiet_NaN();
+
+  static Observation received(double delay_s) { return {false, delay_s}; }
+  static Observation loss() { return {true, std::numeric_limits<double>::quiet_NaN()}; }
+};
+
+using ObservationSequence = std::vector<Observation>;
+
+inline std::size_t loss_count(const ObservationSequence& obs) {
+  std::size_t n = 0;
+  for (const auto& o : obs) n += o.lost ? 1 : 0;
+  return n;
+}
+
+inline double loss_rate(const ObservationSequence& obs) {
+  return obs.empty() ? 0.0
+                     : static_cast<double>(loss_count(obs)) /
+                           static_cast<double>(obs.size());
+}
+
+inline std::vector<double> received_delays(const ObservationSequence& obs) {
+  std::vector<double> d;
+  d.reserve(obs.size());
+  for (const auto& o : obs)
+    if (!o.lost) d.push_back(o.delay);
+  return d;
+}
+
+}  // namespace dcl::inference

@@ -1,0 +1,97 @@
+#include "locate/locate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dcl::locate {
+
+namespace {
+
+// Least-squares slope/intercept of y over x (sizes are distinct by
+// construction). Returns false when fewer than two points exist.
+bool fit_line(const std::vector<double>& x, const std::vector<double>& y,
+              double* slope) {
+  if (x.size() < 2) return false;
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom <= 0.0) return false;
+  *slope = (n * sxy - sx * sy) / denom;
+  return true;
+}
+
+}  // namespace
+
+std::vector<HopEstimate> estimate_hops(const traffic::TtlProber& prober) {
+  std::vector<HopEstimate> hops;
+  const auto& sizes = prober.config().sizes;
+  double prev_slope = 0.0;
+  double prev_range = 0.0;
+  bool have_prev = false;
+
+  for (int hop = 1; hop <= prober.config().max_hops; ++hop) {
+    if (std::isnan(prober.min_rtt(hop))) continue;  // no replies
+    HopEstimate est;
+    est.hop = hop;
+    est.router = prober.router_at(hop);
+    est.min_rtt_s = prober.min_rtt(hop);
+    est.max_rtt_s = prober.max_rtt(hop);
+
+    std::vector<double> x, y;
+    for (std::uint32_t s : sizes) {
+      const double m = prober.min_rtt(hop, s);
+      if (std::isnan(m)) continue;
+      x.push_back(static_cast<double>(s));
+      y.push_back(m);
+    }
+    double slope = 0.0;
+    if (fit_line(x, y, &slope)) {
+      est.cum_slope_s_per_byte = slope;
+      const double delta = slope - (have_prev ? prev_slope : 0.0);
+      // delta is the serialization time per byte of this hop's link.
+      if (delta > 1e-12) est.capacity_bps = 8.0 / delta;
+      prev_slope = slope;
+    }
+
+    const double range = est.max_rtt_s - est.min_rtt_s;
+    est.queuing_jump_s = std::max(0.0, range - (have_prev ? prev_range : 0.0));
+    prev_range = range;
+    have_prev = true;
+
+    hops.push_back(est);
+  }
+  return hops;
+}
+
+PinpointResult pinpoint_dcl(const std::vector<HopEstimate>& hops,
+                            double bound_s) {
+  DCL_ENSURE(bound_s > 0.0);
+  PinpointResult r;
+  if (hops.empty()) return r;
+
+  double total = 0.0;
+  const HopEstimate* best = nullptr;
+  for (const auto& h : hops) {
+    total += h.queuing_jump_s;
+    if (best == nullptr || h.queuing_jump_s > best->queuing_jump_s) best = &h;
+  }
+  if (best == nullptr || best->queuing_jump_s <= 0.0) return r;
+
+  r.located = true;
+  r.hop = best->hop;
+  r.router = best->router;
+  r.queuing_jump_s = best->queuing_jump_s;
+  r.match_ratio = best->queuing_jump_s / bound_s;
+  r.dominance = total > 0.0 ? best->queuing_jump_s / total : 0.0;
+  return r;
+}
+
+}  // namespace dcl::locate

@@ -1,0 +1,66 @@
+// Locating links from TTL-limited measurements.
+//
+// Two tools built on TtlProber data:
+//
+//  * `estimate_hops` — a pathchar-style estimator (Jacobson's pathchar,
+//    which the paper uses for cross-validation via pchar): for each hop,
+//    the minimum RTT over many samples as a function of probe size is a
+//    line whose slope is the cumulative serialization time per byte up to
+//    that hop; slope differences between consecutive hops yield per-link
+//    capacities, and per-hop RTT ranges yield a queuing-delay profile.
+//
+//  * `pinpoint_dcl` — the paper's stated future work: once the end-to-end
+//    identification accepts a dominant congested link and bounds its
+//    maximum queuing delay, the per-hop queuing profile locates it: the
+//    DCL is the hop whose incremental maximum queuing delay jumps by
+//    (roughly) that bound.
+//
+// Caveats (as for real pathchar): RTTs include the reverse path, so the
+// queuing profile is only meaningful when ICMP replies return over
+// lightly loaded links; capacity estimates need enough samples for the
+// per-size minima to approach the no-queuing floor.
+#pragma once
+
+#include <vector>
+
+#include "traffic/ttl_prober.h"
+
+namespace dcl::locate {
+
+struct HopEstimate {
+  int hop = 0;                       // 1-based
+  sim::NodeId router = sim::kInvalidNode;
+  double capacity_bps = 0.0;         // estimated link capacity (0: unknown)
+  double cum_slope_s_per_byte = 0.0; // fitted slope up to this hop
+  double min_rtt_s = 0.0;
+  double max_rtt_s = 0.0;
+  // Incremental maximum queuing delay attributable to this hop:
+  // (max-min) RTT at this hop minus the same quantity one hop earlier,
+  // clamped at zero.
+  double queuing_jump_s = 0.0;
+};
+
+// Per-hop estimates from a completed TtlProber run. Hops with no replies
+// are omitted.
+std::vector<HopEstimate> estimate_hops(const traffic::TtlProber& prober);
+
+struct PinpointResult {
+  bool located = false;
+  int hop = 0;                  // 1-based hop of the suspected DCL
+  sim::NodeId router = sim::kInvalidNode;
+  double queuing_jump_s = 0.0;  // the jump observed at that hop
+  // jump / bound: ~1 when the located hop explains the whole end-to-end
+  // bound, small when no single hop does.
+  double match_ratio = 0.0;
+  // Fraction of the total queuing jumps carried by the located hop; near
+  // 1 when one hop clearly dominates.
+  double dominance = 0.0;
+};
+
+// `bound_s` is the end-to-end bound on the DCL's maximum queuing delay
+// from the identification pipeline (IdentificationResult::fine_bound or
+// coarse_bound).
+PinpointResult pinpoint_dcl(const std::vector<HopEstimate>& hops,
+                            double bound_s);
+
+}  // namespace dcl::locate

@@ -1,0 +1,178 @@
+// The paper's ns topology (Fig. 4): a chain of four routers r0..r3 with
+// three router-to-router links L0=(r0,r1), L1=(r1,r2), L2=(r2,r3). Probes
+// travel from a source host behind r0 to a sink host behind r3. Cross
+// traffic is a mix of end-to-end TCP (FTP with infinite backlog plus
+// HTTP-like transfers) and per-link UDP on-off sources whose packets
+// traverse exactly one router link.
+//
+// The scenario runs the simulation and exposes everything the experiments
+// need: the probe observation sequence, the loss-pair samples, the
+// ground-truth virtual delays and per-link loss attribution from the
+// tracer, and the true maximum queuing delay Q_k of each link.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "inference/observation.h"
+#include "sim/network.h"
+#include "sim/probe_trace.h"
+#include "sim/red.h"
+#include "traffic/http.h"
+#include "traffic/probes.h"
+#include "traffic/tcp.h"
+#include "traffic/ttl_prober.h"
+#include "traffic/udp_onoff.h"
+
+namespace dcl::scenarios {
+
+struct ChainConfig {
+  // Router-to-router links L0, L1, L2.
+  std::array<double, 3> bandwidth_bps{10e6, 1e6, 10e6};
+  std::array<std::size_t, 3> buffer_bytes{80000, 20000, 80000};
+  std::array<double, 3> prop_delay_s{0.005, 0.005, 0.005};
+
+  // End-to-end TCP cross traffic (hosts behind r0 -> hosts behind r3).
+  // Defaults are sized for a ~1 Mb/s bottleneck: N Reno flows on a link of
+  // capacity C settle at a loss rate growing with (N/C)^2, so more than a
+  // handful of persistent flows pushes a sub-Mb/s link into double-digit
+  // loss, far above the paper's 1-8% operating range.
+  int ftp_flows = 3;
+  double http_arrival_rate = 0.5;  // transfers per second; 0 disables
+  // Cap on simultaneous HTTP transfers; stalled flows keep >= 1 packet per
+  // RTT in flight, so letting tens pile up congests the link permanently.
+  std::size_t http_max_concurrent = 6;
+
+  // Per-link UDP on-off cross traffic (rate while ON; 0 disables). Long
+  // OFF periods with a burst rate near/above the link capacity make a
+  // link lose rarely but in clusters — the knob for "secondary" lossy
+  // links in the WDCL/no-DCL settings.
+  std::array<double, 3> udp_rate_bps{0.0, 0.0, 0.0};
+  std::array<double, 3> udp_mean_on_s{0.5, 0.5, 0.5};
+  std::array<double, 3> udp_mean_off_s{0.5, 0.5, 0.5};
+  // Pareto shape of the on/off period lengths; <= 0 selects exponential.
+  // Large shapes give near-deterministic periods — used where a stable
+  // per-burst loss count matters more than burstiness realism.
+  std::array<double, 3> udp_period_shape{0.0, 0.0, 0.0};
+
+  // Queue discipline of the router links.
+  enum class QueueKind { kDropTail, kRed };
+  QueueKind queue_kind = QueueKind::kDropTail;
+  // RED minimum threshold as a fraction of the buffer (max_th = 3*min_th).
+  double red_min_th_frac = 0.2;
+
+  // Access links (hosts to routers).
+  double access_bw_bps = 10e6;
+  std::size_t access_buffer_bytes = 400000;
+
+  // Probing. As in the paper, the periodic stream and the loss-pair
+  // stream are alternative probing methods carrying the same load (one
+  // probe per 20 ms vs one back-to-back pair per 40 ms), measured in
+  // separate runs — running both concurrently would double the probe
+  // density and create adjacent-probe trains that get compressed by the
+  // bottleneck queue and overflow small downstream buffers.
+  enum class ProbeMode { kPeriodic, kPairs };
+  ProbeMode probe_mode = ProbeMode::kPeriodic;
+  double probe_interval_s = 0.020;
+  std::uint32_t probe_bytes = 10;
+  // Adds a TTL-limited prober (traceroute/pathchar style) covering the
+  // four routers; used by the locate/ extension.
+  bool with_ttl_prober = false;
+
+  double duration_s = 1100.0;  // traffic/probing end
+  double warmup_s = 100.0;     // measurements before this are discarded
+  double drain_s = 10.0;       // extra simulated time to land in-flight data
+  std::uint64_t seed = 1;
+};
+
+class ChainScenario {
+ public:
+  explicit ChainScenario(const ChainConfig& cfg);
+
+  // Runs the simulation to completion (duration + drain).
+  void run();
+
+  const ChainConfig& config() const { return cfg_; }
+  sim::Network& network() { return net_; }
+
+  // Measurement window [warmup, duration - guard] with a guard that keeps
+  // in-flight probes out.
+  double window_start() const { return cfg_.warmup_s; }
+  double window_end() const { return cfg_.duration_s - 2.0; }
+
+  // Periodic-probe observation sequence over the measurement window (or an
+  // explicit [t0, t1] sub-window). Requires ProbeMode::kPeriodic.
+  inference::ObservationSequence observations() const;
+  inference::ObservationSequence observations(double t0, double t1) const;
+  // Send times matching observations(t0, t1).
+  std::vector<double> send_times(double t0, double t1) const;
+
+  // Ground truth from the tracer: virtual one-way delays of the probes
+  // lost in the window.
+  std::vector<double> ground_truth_virtual_owds() const;
+  // Same, restricted to probes lost at one router link (0..2).
+  std::vector<double> ground_truth_virtual_owds_at(int link_index) const;
+  // (send_time, virtual_owd) pairs for probes lost at one router link.
+  std::vector<std::pair<double, double>> ground_truth_losses_at(
+      int link_index) const;
+
+  // Number of periodic probes dropped at each router link (index 0..2),
+  // window-restricted.
+  std::array<std::uint64_t, 3> probe_losses_by_link() const;
+
+  // True maximum queuing delay of router link i (buffer/bandwidth).
+  double true_qmax(int link_index) const;
+
+  // All-traffic loss rate of router link i over the whole run.
+  double link_loss_rate(int link_index) const;
+
+  // True end-to-end propagation+transmission floor for probe packets.
+  double true_propagation_delay();
+
+  // Loss-pair survivor delays over the window. Requires ProbeMode::kPairs.
+  std::vector<double> loss_pair_owds() const;
+
+  // Valid only in the matching probe mode.
+  const traffic::PeriodicProber& prober() const { return *prober_; }
+  const traffic::PairProber& pair_prober() const { return *pair_prober_; }
+  const sim::VirtualProbeTracer& tracer() const { return *tracer_; }
+  // Non-null only when config().with_ttl_prober.
+  const traffic::TtlProber* ttl_prober() const { return ttl_prober_.get(); }
+  // Index (0..2) of the router link *entering* the given router, or -1
+  // for r0 / non-routers. A TTL probe expiring at a router queued at that
+  // entering link, so this maps a pinpointed router back to the
+  // ground-truth congested link.
+  int router_link_for_node(sim::NodeId router) const;
+  const std::vector<std::unique_ptr<traffic::TcpSender>>& ftp_senders() const {
+    return ftp_senders_;
+  }
+  const traffic::HttpWorkload* http() const { return http_.get(); }
+  const std::vector<std::unique_ptr<traffic::UdpOnOffSource>>& udp_sources()
+      const {
+    return udp_;
+  }
+
+ private:
+  std::unique_ptr<sim::Queue> make_router_queue(int link_index);
+
+  ChainConfig cfg_;
+  sim::Network net_;
+  sim::NodeId routers_[4];
+  sim::NodeId probe_src_, probe_dst_;
+  sim::Link* router_links_[3] = {nullptr, nullptr, nullptr};
+
+  std::unique_ptr<sim::VirtualProbeTracer> tracer_;
+  std::unique_ptr<traffic::PeriodicProber> prober_;
+  std::unique_ptr<traffic::PairProber> pair_prober_;
+  std::unique_ptr<traffic::TtlProber> ttl_prober_;
+  std::vector<std::unique_ptr<traffic::TcpSender>> ftp_senders_;
+  std::vector<std::unique_ptr<traffic::TcpReceiver>> ftp_receivers_;
+  std::unique_ptr<traffic::HttpWorkload> http_;
+  std::vector<std::unique_ptr<traffic::UdpOnOffSource>> udp_;
+  bool ran_ = false;
+};
+
+}  // namespace dcl::scenarios

@@ -1,0 +1,40 @@
+// Calibrated chain-scenario presets for the paper's three ns regimes
+// (Section VI-A): a strongly dominant congested link, a weakly dominant
+// congested link, and no dominant congested link. Shared by the tests,
+// the benchmark harness, and the examples so every consumer runs the same
+// workloads.
+//
+// Calibration targets (matching the paper's operating ranges):
+//  * total probe loss 1-8%;
+//  * SDCL: all probe losses at link L1;
+//  * WDCL: >= ~95% of probe losses at L1, the rest at L2, with
+//    Q_max(L1) >> Q_max(L2) + other queuing;
+//  * no-DCL: comparable loss shares at L1 and L2 with well-separated
+//    full-queue delays, so the virtual-delay PMF is bimodal.
+#pragma once
+
+#include "scenarios/chain.h"
+
+namespace dcl::scenarios::presets {
+
+// Strongly dominant congested link at L1 (paper Table II / Fig. 5).
+// `bottleneck_bw_bps` is swept in Table II (0.4-1.0 Mb/s).
+ChainConfig sdcl_chain(double bottleneck_bw_bps = 1e6,
+                       std::uint64_t seed = 1, double duration_s = 1100.0,
+                       double warmup_s = 100.0);
+
+// Weakly dominant congested link at L1 with rare burst losses at L2
+// (paper Table III / Figs. 6-7). `secondary_udp_rate_bps` controls the
+// secondary link's burst intensity (hence its loss share).
+ChainConfig wdcl_chain(double bottleneck_bw_bps = 0.8e6,
+                       double secondary_udp_rate_bps = 16e6,
+                       std::uint64_t seed = 1, double duration_s = 1100.0,
+                       double warmup_s = 100.0);
+
+// No dominant congested link: comparable losses at L1 and L2
+// (paper Table IV / Fig. 8).
+ChainConfig nodcl_chain(double l1_bw_bps = 0.5e6, double l2_bw_bps = 8e6,
+                        std::uint64_t seed = 1, double duration_s = 1100.0,
+                        double warmup_s = 100.0);
+
+}  // namespace dcl::scenarios::presets

@@ -1,0 +1,62 @@
+#include "sim/link.h"
+
+#include <utility>
+
+#include "sim/node.h"
+#include "util/error.h"
+
+namespace dcl::sim {
+
+Link::Link(int id, Simulator& sim, Node& from, Node& to, double bandwidth_bps,
+           Time prop_delay, std::unique_ptr<Queue> queue)
+    : id_(id),
+      sim_(sim),
+      from_(from),
+      to_(to),
+      bandwidth_bps_(bandwidth_bps),
+      prop_delay_(prop_delay),
+      queue_(std::move(queue)) {
+  DCL_ENSURE(bandwidth_bps_ > 0.0);
+  DCL_ENSURE(prop_delay_ >= 0.0);
+  DCL_ENSURE(queue_ != nullptr);
+}
+
+double Link::current_queuing_delay(Time now) const {
+  double residual = 0.0;
+  if (busy_ && service_end_ > now) residual = service_end_ - now;
+  return residual +
+         static_cast<double>(queue_->backlog_bytes()) * 8.0 / bandwidth_bps_;
+}
+
+void Link::send(Packet p) {
+  const Time now = sim_.now();
+  const bool is_probe = p.type == PacketType::kProbe;
+  const double qdelay = is_probe ? current_queuing_delay(now) : 0.0;
+  if (!queue_->try_enqueue(p, now)) {
+    if (is_probe && observer_ != nullptr) observer_->on_probe_dropped(*this, p, now);
+    return;
+  }
+  if (is_probe && observer_ != nullptr)
+    observer_->on_probe_enqueued(*this, p, qdelay, now);
+  start_service_if_idle();
+}
+
+void Link::start_service_if_idle() {
+  if (busy_) return;
+  auto head = queue_->dequeue(sim_.now());
+  if (!head) return;
+  busy_ = true;
+  const double tx = tx_time(*head);
+  service_end_ = sim_.now() + tx;
+  Packet p = *head;
+  sim_.schedule_at(service_end_, [this, p]() {
+    busy_ = false;
+    sim_.schedule_in(prop_delay_, [this, p]() {
+      ++delivered_;
+      to_.receive(p, sim_.now());
+    });
+    start_service_if_idle();
+  });
+}
+
+}  // namespace dcl::sim

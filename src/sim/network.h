@@ -1,0 +1,80 @@
+// Network: owns the simulator, nodes, and links; computes static shortest
+// hop-count routes; allocates flow ids and packet uids.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/link.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace dcl::sim {
+
+class Network {
+ public:
+  Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Simulator& sim() { return sim_; }
+
+  NodeId add_node(std::string name = "");
+
+  // Adds a unidirectional link with an arbitrary queue discipline.
+  Link& add_link(NodeId from, NodeId to, double bandwidth_bps, Time prop_delay,
+                 std::unique_ptr<Queue> queue);
+
+  // Convenience: symmetric droptail links in both directions with the same
+  // bandwidth, propagation delay, and buffer size.
+  std::pair<Link*, Link*> add_duplex_link(NodeId a, NodeId b,
+                                          double bandwidth_bps,
+                                          Time prop_delay,
+                                          std::size_t buffer_bytes);
+
+  // (Re)computes next-hop tables using BFS shortest hop count. Must be
+  // called after topology construction and before traffic starts.
+  void compute_routes();
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  Link* find_link(NodeId from, NodeId to);
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+  FlowId new_flow_id() { return next_flow_++; }
+  std::uint64_t new_packet_uid() { return next_uid_++; }
+
+  // Injects a packet into the network at its source node (stamping a fresh
+  // uid); used by traffic agents.
+  void inject(Packet p) {
+    p.uid = new_packet_uid();
+    node(p.src).receive(std::move(p), sim_.now());
+  }
+
+  // Installs `obs` on every existing link (call after topology is built).
+  void set_link_observer(LinkObserver* obs);
+
+  // The sequence of links a packet from `src` to `dst` traverses under the
+  // current routes; empty when unroutable.
+  std::vector<Link*> route_links(NodeId src, NodeId dst);
+
+  // Minimum possible one-way delay for a packet of `pkt_bytes` from `src`
+  // to `dst`: sum of per-hop propagation and transmission times.
+  double path_min_owd(NodeId src, NodeId dst, std::uint32_t pkt_bytes);
+
+ private:
+  Simulator sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  FlowId next_flow_ = 1;
+  std::uint64_t next_uid_ = 1;
+};
+
+}  // namespace dcl::sim

@@ -1,0 +1,59 @@
+#include "sim/node.h"
+
+#include "sim/link.h"
+#include "util/error.h"
+
+namespace dcl::sim {
+
+Link* Node::next_hop(NodeId dst) const {
+  auto it = routes_.find(dst);
+  return it == routes_.end() ? nullptr : it->second;
+}
+
+void Node::attach(FlowId flow, Agent* agent) {
+  DCL_ENSURE(agent != nullptr);
+  agents_[flow] = agent;
+}
+
+void Node::receive(Packet p, Time now) {
+  if (p.dst == id_) {
+    auto it = agents_.find(p.flow);
+    if (it == agents_.end()) {
+      ++undeliverable_;
+      return;
+    }
+    it->second->on_receive(std::move(p), now);
+    return;
+  }
+  // Forwarding: decrement the hop limit (but not at the originating host —
+  // ttl=1 must expire at the first *router*); on expiry discard the packet
+  // and return an ICMP time-exceeded reply (never for ICMP itself).
+  if (p.src != id_ && (p.ttl == 0 || --p.ttl == 0)) {
+    ++ttl_expired_;
+    if (p.type != PacketType::kIcmp) {
+      Packet reply;
+      reply.type = PacketType::kIcmp;
+      reply.src = id_;
+      reply.dst = p.src;
+      reply.flow = p.flow;
+      reply.seq = p.seq;
+      reply.aux = static_cast<std::uint64_t>(id_);
+      reply.size_bytes = 56;
+      reply.send_time = now;
+      Link* back = next_hop(reply.dst);
+      if (back != nullptr)
+        back->send(std::move(reply));
+      else
+        ++unroutable_;
+    }
+    return;
+  }
+  Link* link = next_hop(p.dst);
+  if (link == nullptr) {
+    ++unroutable_;
+    return;
+  }
+  link->send(std::move(p));
+}
+
+}  // namespace dcl::sim

@@ -1,0 +1,39 @@
+// Packet representation. Packets are small value types copied through the
+// simulator; payload contents are never modeled, only sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace dcl::sim {
+
+enum class PacketType : std::uint8_t {
+  kProbe,    // measurement probe (UDP)
+  kUdp,      // background UDP traffic
+  kTcpData,  // TCP data segment
+  kTcpAck,   // TCP acknowledgment
+  kIcmp,     // ICMP time-exceeded reply (TTL-limited probing)
+};
+
+struct Packet {
+  std::uint64_t uid = 0;     // globally unique, assigned by the network
+  PacketType type = PacketType::kUdp;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  FlowId flow = 0;
+  std::uint64_t seq = 0;     // per-flow sequence number
+  std::uint32_t size_bytes = 0;
+  Time send_time = 0.0;      // stamped by the sending agent
+  // TCP receivers echo the cumulative acknowledgment here; probe pairs use
+  // it to mark the first/second packet of a pair; ICMP time-exceeded
+  // replies carry the id of the router that generated them.
+  std::uint64_t aux = 0;
+  // Hop limit, decremented at each forwarding router. When it reaches zero
+  // the router discards the packet and (for non-ICMP packets) returns an
+  // ICMP time-exceeded reply — the mechanism behind traceroute/pathchar
+  // style TTL-limited probing.
+  std::uint16_t ttl = 255;
+};
+
+}  // namespace dcl::sim

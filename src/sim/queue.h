@@ -1,0 +1,78 @@
+// Queue discipline interface for router output queues.
+//
+// A Queue decides, at arrival time, whether to accept or drop a packet
+// (droptail or RED early-drop), stores accepted packets FIFO, and accounts
+// for arrivals and drops. The owning Link drains it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "sim/packet.h"
+#include "sim/types.h"
+
+namespace dcl::sim {
+
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  // Attempts to admit `p` at time `now`. Returns true when the packet was
+  // enqueued; false when it was dropped. Accounting is updated either way.
+  virtual bool try_enqueue(const Packet& p, Time now) = 0;
+
+  // Removes and returns the head-of-line packet, or nullopt when empty.
+  virtual std::optional<Packet> dequeue(Time now) = 0;
+
+  // Bytes currently stored (excluding any packet already in service at the
+  // link's transmitter).
+  virtual std::size_t backlog_bytes() const = 0;
+  // Packets currently stored.
+  virtual std::size_t backlog_pkts() const = 0;
+
+  // Hard buffer limit in bytes; `backlog_bytes() <= capacity_bytes()` is an
+  // invariant of every discipline.
+  virtual std::size_t capacity_bytes() const = 0;
+
+  virtual bool empty() const { return backlog_bytes() == 0; }
+
+  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t drops() const { return drops_; }
+  // Per packet-type accounting (indexed by PacketType).
+  std::uint64_t arrivals(PacketType t) const {
+    return arrivals_by_type_[static_cast<std::size_t>(t)];
+  }
+  std::uint64_t drops(PacketType t) const {
+    return drops_by_type_[static_cast<std::size_t>(t)];
+  }
+  std::uint64_t accepted() const { return arrivals_ - drops_; }
+  double loss_rate() const {
+    return arrivals_ ? static_cast<double>(drops_) /
+                           static_cast<double>(arrivals_)
+                     : 0.0;
+  }
+
+ protected:
+  Queue() = default;
+  void count_arrival(PacketType t) {
+    ++arrivals_;
+    ++arrivals_by_type_[static_cast<std::size_t>(t)];
+  }
+  void count_drop(PacketType t) {
+    ++drops_;
+    ++drops_by_type_[static_cast<std::size_t>(t)];
+  }
+
+ private:
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t drops_ = 0;
+  std::array<std::uint64_t, 5> arrivals_by_type_{};
+  std::array<std::uint64_t, 5> drops_by_type_{};
+};
+
+}  // namespace dcl::sim

@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace dcl::sim {
+
+void Simulator::schedule_at(Time t, std::function<void()> fn) {
+  DCL_ENSURE_MSG(t >= now_, "cannot schedule in the past: t=" << t
+                                                              << " now=" << now_);
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_in(Time delay, std::function<void()> fn) {
+  DCL_ENSURE(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::run_until(Time t_end) {
+  while (!heap_.empty() && heap_.top().t <= t_end) {
+    // Moving out of a priority_queue top requires a const_cast dance; copy
+    // the small header and move only the callable.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.fn();
+  }
+  now_ = t_end;
+}
+
+void Simulator::run() {
+  while (!heap_.empty()) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.fn();
+  }
+}
+
+}  // namespace dcl::sim

@@ -1,0 +1,52 @@
+// Discrete-event scheduler: a min-heap of timestamped callbacks with FIFO
+// tie-breaking, so same-time events run in scheduling order (deterministic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace dcl::sim {
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (>= now).
+  void schedule_at(Time t, std::function<void()> fn);
+
+  // Schedules `fn` `delay` seconds from now (delay >= 0).
+  void schedule_in(Time delay, std::function<void()> fn);
+
+  // Runs events with timestamp <= t_end, then advances the clock to t_end.
+  void run_until(Time t_end);
+
+  // Runs until the event queue is empty.
+  void run();
+
+  std::uint64_t events_processed() const { return processed_; }
+  bool empty() const { return heap_.empty(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace dcl::sim

@@ -1,0 +1,16 @@
+// Basic identifier and time types shared by the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace dcl::sim {
+
+// Simulation time in seconds.
+using Time = double;
+
+using NodeId = int;
+using FlowId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+}  // namespace dcl::sim

@@ -1,0 +1,119 @@
+#include "timesync/skew.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace dcl::timesync {
+
+namespace {
+struct Pt {
+  double t, m;
+};
+
+double cross(const Pt& o, const Pt& a, const Pt& b) {
+  return (a.t - o.t) * (b.m - o.m) - (a.m - o.m) * (b.t - o.t);
+}
+}  // namespace
+
+SkewEstimate estimate_skew(const std::vector<double>& times,
+                           const std::vector<double>& owds) {
+  DCL_ENSURE(times.size() == owds.size());
+  SkewEstimate est;
+  if (times.size() < 2) return est;
+
+  std::vector<Pt> pts(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) pts[i] = {times[i], owds[i]};
+  std::sort(pts.begin(), pts.end(), [](const Pt& a, const Pt& b) {
+    return a.t != b.t ? a.t < b.t : a.m < b.m;
+  });
+  // Keep only the smallest delay per distinct time.
+  std::vector<Pt> uniq;
+  for (const auto& p : pts)
+    if (uniq.empty() || p.t != uniq.back().t) uniq.push_back(p);
+  if (uniq.size() == 1) {
+    // All probes share one send time: no drift is observable; report a
+    // flat envelope through the smallest delay.
+    est.valid = true;
+    est.skew = 0.0;
+    est.offset = uniq.front().m;
+    est.hull_points = 1;
+    return est;
+  }
+
+  // Lower convex hull (monotone chain).
+  std::vector<Pt> hull;
+  for (const auto& p : uniq) {
+    while (hull.size() >= 2 &&
+           cross(hull[hull.size() - 2], hull.back(), p) <= 0.0)
+      hull.pop_back();
+    hull.push_back(p);
+  }
+  est.hull_points = hull.size();
+
+  const double n = static_cast<double>(times.size());
+  double sum_t = 0.0, sum_m = 0.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    sum_t += times[i];
+    sum_m += owds[i];
+  }
+
+  // Objective sum(m_i - a t_i - b) = sum_m - a sum_t - n b, evaluated for
+  // the line through each hull edge; every such line satisfies the
+  // constraints by convexity.
+  double best_obj = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < hull.size(); ++i) {
+    const double dt = hull[i + 1].t - hull[i].t;
+    if (dt <= 0.0) continue;
+    const double a = (hull[i + 1].m - hull[i].m) / dt;
+    const double b = hull[i].m - a * hull[i].t;
+    const double obj = sum_m - a * sum_t - n * b;
+    if (obj < best_obj) {
+      best_obj = obj;
+      est.skew = a;
+      est.offset = b;
+      est.valid = true;
+    }
+  }
+  if (!est.valid && !hull.empty()) {
+    // Single hull point (all times equal was excluded; this means a
+    // strictly convex cloud with one minimal point): fall back to a flat
+    // envelope through it.
+    est.skew = 0.0;
+    est.offset = hull.front().m;
+    est.valid = true;
+  }
+  return est;
+}
+
+std::vector<double> remove_skew(const std::vector<double>& times,
+                                const std::vector<double>& owds,
+                                double skew) {
+  DCL_ENSURE(times.size() == owds.size());
+  std::vector<double> out(owds.size());
+  for (std::size_t i = 0; i < owds.size(); ++i)
+    out[i] = owds[i] - skew * times[i];
+  return out;
+}
+
+inference::ObservationSequence correct_observations(
+    const inference::ObservationSequence& obs,
+    const std::vector<double>& send_times, SkewEstimate* estimate) {
+  DCL_ENSURE(obs.size() == send_times.size());
+  std::vector<double> t, m;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    if (obs[i].lost) continue;
+    t.push_back(send_times[i]);
+    m.push_back(obs[i].delay);
+  }
+  const SkewEstimate est = estimate_skew(t, m);
+  if (estimate != nullptr) *estimate = est;
+  if (!est.valid) return obs;
+  inference::ObservationSequence out = obs;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (!out[i].lost) out[i].delay -= est.skew * send_times[i];
+  return out;
+}
+
+}  // namespace dcl::timesync

@@ -1,0 +1,49 @@
+// Clock offset/skew removal for one-way delay measurements, after the
+// linear-programming formulation of Zhang, Liu & Xia, "Clock
+// synchronization algorithms for network measurements" (INFOCOM 2002),
+// which the paper uses to clean its PlanetLab one-way delays.
+//
+// With unsynchronized clocks the measured delay of a probe sent at time t
+// is m(t) = d(t) + offset + skew * t. The true delays are bounded below by
+// the (constant) minimum path delay, so the best linear lower envelope
+// under the point cloud {(t_i, m_i)} estimates offset + skew * t. The LP
+//   minimize   sum_i (m_i - a t_i - b)
+//   subject to m_i >= a t_i + b  for all i
+// attains its optimum on an edge of the lower convex hull of the points;
+// we build the hull (Andrew's monotone chain) and take the best edge.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "inference/observation.h"
+
+namespace dcl::timesync {
+
+struct SkewEstimate {
+  bool valid = false;
+  double skew = 0.0;    // seconds of clock drift per second
+  double offset = 0.0;  // intercept of the envelope at t = 0
+  std::size_t hull_points = 0;
+};
+
+// `times` are probe send times, `owds` the measured one-way delays (same
+// length, >= 2 distinct send times required).
+SkewEstimate estimate_skew(const std::vector<double>& times,
+                           const std::vector<double>& owds);
+
+// Removes the skew component: corrected_i = owd_i - skew * t_i. The
+// constant offset is intentionally retained — the identification pipeline
+// only uses delays relative to their minimum.
+std::vector<double> remove_skew(const std::vector<double>& times,
+                                const std::vector<double>& owds, double skew);
+
+// Convenience: estimates the skew from the received probes of `obs` (sent
+// at `send_times`, one entry per observation) and returns a corrected
+// observation sequence. Returns `obs` unchanged when the estimate is
+// degenerate.
+inference::ObservationSequence correct_observations(
+    const inference::ObservationSequence& obs,
+    const std::vector<double>& send_times, SkewEstimate* estimate = nullptr);
+
+}  // namespace dcl::timesync

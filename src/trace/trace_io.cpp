@@ -1,0 +1,141 @@
+#include "trace/trace_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace dcl::trace {
+
+inference::ObservationSequence Trace::observations() const {
+  inference::ObservationSequence obs;
+  obs.reserve(records.size());
+  for (const auto& r : records) obs.push_back(r.obs);
+  return obs;
+}
+
+std::vector<double> Trace::send_times() const {
+  std::vector<double> t;
+  t.reserve(records.size());
+  for (const auto& r : records) t.push_back(r.send_time);
+  return t;
+}
+
+std::size_t Trace::gaps() const {
+  std::size_t g = 0;
+  for (std::size_t i = 1; i < records.size(); ++i)
+    g += static_cast<std::size_t>(records[i].seq - records[i - 1].seq - 1);
+  return g;
+}
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  out << "# dclid-trace v1\n";
+  out << "seq,send_time,delay\n";
+  char buf[128];
+  for (const auto& r : trace.records) {
+    if (r.obs.lost) {
+      std::snprintf(buf, sizeof(buf), "%llu,%.9f,LOST\n",
+                    static_cast<unsigned long long>(r.seq), r.send_time);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%llu,%.9f,%.9f\n",
+                    static_cast<unsigned long long>(r.seq), r.send_time,
+                    r.obs.delay);
+    }
+    out << buf;
+  }
+  DCL_ENSURE_MSG(out.good(), "trace write failed");
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  DCL_ENSURE_MSG(out.is_open(), "cannot open " << path << " for writing");
+  write_trace(out, trace);
+}
+
+namespace {
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& line,
+                             const char* why) {
+  std::ostringstream os;
+  os << "trace parse error at line " << line_no << " (" << why
+     << "): " << line;
+  throw util::Error(os.str());
+}
+}  // namespace
+
+Trace read_trace(std::istream& in) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_prev = false;
+  std::uint64_t prev_seq = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("seq,", 0) == 0) continue;  // header row
+
+    TraceRecord rec;
+    std::istringstream ls(line);
+    std::string field;
+
+    if (!std::getline(ls, field, ',')) parse_fail(line_no, line, "no seq");
+    try {
+      rec.seq = std::stoull(field);
+    } catch (const std::exception&) {
+      parse_fail(line_no, line, "bad seq");
+    }
+
+    if (!std::getline(ls, field, ','))
+      parse_fail(line_no, line, "no send_time");
+    try {
+      rec.send_time = std::stod(field);
+    } catch (const std::exception&) {
+      parse_fail(line_no, line, "bad send_time");
+    }
+
+    if (!std::getline(ls, field)) parse_fail(line_no, line, "no delay");
+    if (field == "LOST") {
+      rec.obs = inference::Observation::loss();
+    } else {
+      double d;
+      try {
+        d = std::stod(field);
+      } catch (const std::exception&) {
+        parse_fail(line_no, line, "bad delay");
+      }
+      if (!std::isfinite(d) || d < 0.0)
+        parse_fail(line_no, line, "delay not a finite non-negative number");
+      rec.obs = inference::Observation::received(d);
+    }
+
+    if (have_prev && rec.seq <= prev_seq)
+      parse_fail(line_no, line, "sequence numbers not increasing");
+    prev_seq = rec.seq;
+    have_prev = true;
+    trace.records.push_back(rec);
+  }
+  return trace;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  DCL_ENSURE_MSG(in.is_open(), "cannot open " << path << " for reading");
+  return read_trace(in);
+}
+
+Trace make_trace(const inference::ObservationSequence& obs,
+                 double first_send_time, double interval) {
+  DCL_ENSURE(interval > 0.0);
+  Trace trace;
+  trace.records.reserve(obs.size());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    TraceRecord rec;
+    rec.seq = i;
+    rec.send_time = first_send_time + static_cast<double>(i) * interval;
+    rec.obs = obs[i];
+    trace.records.push_back(rec);
+  }
+  return trace;
+}
+
+}  // namespace dcl::trace

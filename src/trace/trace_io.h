@@ -1,0 +1,58 @@
+// Probe-trace file I/O.
+//
+// The identification pipeline consumes an ObservationSequence; on real
+// deployments that sequence comes from tcpdump-style captures rather than
+// the simulator. This module defines a minimal, diff-friendly CSV format
+// and round-trip readers/writers:
+//
+//   # dclid-trace v1
+//   # any number of comment lines
+//   seq,send_time,delay
+//   0,0.000000,0.051234
+//   1,0.020000,LOST
+//   ...
+//
+// `send_time` and `delay` are seconds; lost probes carry the literal
+// LOST. Sequence numbers must be strictly increasing; gaps are allowed
+// (probes missing from the capture entirely) and are reported, not
+// silently filled.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "inference/observation.h"
+
+namespace dcl::trace {
+
+struct TraceRecord {
+  std::uint64_t seq = 0;
+  double send_time = 0.0;
+  inference::Observation obs;
+};
+
+struct Trace {
+  std::vector<TraceRecord> records;
+
+  inference::ObservationSequence observations() const;
+  std::vector<double> send_times() const;
+  // Number of sequence-number gaps (probes absent from the file).
+  std::size_t gaps() const;
+};
+
+// Serialization. Writers emit the v1 header; readers accept comments and
+// blank lines, validate monotone sequence numbers, and throw util::Error
+// with a line number on malformed input.
+void write_trace(std::ostream& out, const Trace& trace);
+void write_trace_file(const std::string& path, const Trace& trace);
+Trace read_trace(std::istream& in);
+Trace read_trace_file(const std::string& path);
+
+// Builds a Trace from an observation sequence sent at a fixed interval
+// (the common case for this library's probers).
+Trace make_trace(const inference::ObservationSequence& obs,
+                 double first_send_time, double interval);
+
+}  // namespace dcl::trace

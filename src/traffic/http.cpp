@@ -1,0 +1,69 @@
+#include "traffic/http.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dcl::traffic {
+
+HttpWorkload::HttpWorkload(sim::Network& net, const HttpConfig& cfg)
+    : net_(net), cfg_(cfg), rng_(cfg.seed) {
+  DCL_ENSURE(cfg_.server != sim::kInvalidNode &&
+             cfg_.client != sim::kInvalidNode);
+  DCL_ENSURE(cfg_.arrival_rate > 0.0);
+  DCL_ENSURE(cfg_.pareto_shape > 1.0);
+}
+
+void HttpWorkload::start() {
+  net_.sim().schedule_at(cfg_.start, [this]() { schedule_next_arrival(); });
+}
+
+void HttpWorkload::schedule_next_arrival() {
+  const double gap = rng_.exponential(1.0 / cfg_.arrival_rate);
+  net_.sim().schedule_in(gap, [this]() {
+    if (net_.sim().now() > cfg_.stop) return;
+    start_transfer();
+    schedule_next_arrival();
+  });
+}
+
+void HttpWorkload::start_transfer() {
+  if (active_ >= cfg_.max_concurrent) return;  // shed load when saturated
+  const double file_bytes =
+      std::min(rng_.pareto_mean(cfg_.pareto_shape, cfg_.mean_file_bytes),
+               cfg_.max_file_bytes);
+  const auto segments = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(file_bytes / cfg_.mss_bytes)));
+
+  const sim::FlowId flow = net_.new_flow_id();
+  TcpConfig tc;
+  tc.src = cfg_.server;
+  tc.dst = cfg_.client;
+  tc.mss_bytes = cfg_.mss_bytes;
+  tc.total_segments = segments;
+  tc.start = net_.sim().now();
+
+  auto transfer = std::make_unique<Transfer>();
+  transfer->receiver =
+      std::make_unique<TcpReceiver>(net_, cfg_.client, flow, tc.ack_bytes);
+  transfer->sender = std::make_unique<TcpSender>(net_, tc, flow);
+  Transfer* raw = transfer.get();
+  transfer->sender->set_on_finished([this, raw]() {
+    ++completed_;
+    --active_;
+    // Endpoints detach from their nodes on destruction; freeing them here
+    // (from within the sender's callback) would destroy the object whose
+    // member function is still on the stack, so defer to the next event.
+    net_.sim().schedule_in(0.0, [this, raw]() {
+      raw->sender.reset();
+      raw->receiver.reset();
+    });
+  });
+  transfer->sender->start();
+  transfers_.push_back(std::move(transfer));
+  ++started_;
+  ++active_;
+}
+
+}  // namespace dcl::traffic

@@ -1,0 +1,61 @@
+// HTTP-like workload: transfer requests arrive as a Poisson process; each
+// transfer moves a Pareto-distributed number of bytes from the server to
+// the client over its own TCP connection. This reproduces the bursty,
+// heavy-tailed web cross traffic of the paper's ns experiments (which used
+// the empirical HTTP workload shipped with ns).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "traffic/tcp.h"
+#include "util/rng.h"
+
+namespace dcl::traffic {
+
+struct HttpConfig {
+  sim::NodeId server = sim::kInvalidNode;
+  sim::NodeId client = sim::kInvalidNode;
+  double arrival_rate = 1.0;          // transfers per second (Poisson)
+  double mean_file_bytes = 12000.0;   // Pareto mean
+  double pareto_shape = 1.3;
+  double max_file_bytes = 2e6;        // truncate the heavy tail
+  std::uint32_t mss_bytes = 1000;
+  std::size_t max_concurrent = 50;    // cap on simultaneous transfers
+  sim::Time start = 0.0;
+  sim::Time stop = std::numeric_limits<sim::Time>::infinity();
+  std::uint64_t seed = 1;
+};
+
+class HttpWorkload {
+ public:
+  HttpWorkload(sim::Network& net, const HttpConfig& cfg);
+
+  void start();
+
+  std::uint64_t transfers_started() const { return started_; }
+  std::uint64_t transfers_completed() const { return completed_; }
+  std::size_t active() const { return active_; }
+
+ private:
+  struct Transfer {
+    std::unique_ptr<TcpSender> sender;
+    std::unique_ptr<TcpReceiver> receiver;
+  };
+
+  void schedule_next_arrival();
+  void start_transfer();
+
+  sim::Network& net_;
+  HttpConfig cfg_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Transfer>> transfers_;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::size_t active_ = 0;
+};
+
+}  // namespace dcl::traffic

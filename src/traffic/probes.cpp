@@ -1,0 +1,122 @@
+#include "traffic/probes.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dcl::traffic {
+
+PeriodicProber::PeriodicProber(sim::Network& net, const ProberConfig& cfg)
+    : net_(net), cfg_(cfg), flow_(net.new_flow_id()) {
+  DCL_ENSURE(cfg_.interval > 0.0);
+  DCL_ENSURE(cfg_.src != sim::kInvalidNode && cfg_.dst != sim::kInvalidNode);
+  net_.node(cfg_.dst).attach(flow_, &sink_);
+}
+
+void PeriodicProber::start() {
+  net_.sim().schedule_at(cfg_.start, [this]() { send_next(); });
+}
+
+void PeriodicProber::send_next() {
+  const sim::Time now = net_.sim().now();
+  if (now > cfg_.stop + 1e-9) return;
+  sim::Packet p;
+  p.type = sim::PacketType::kProbe;
+  p.src = cfg_.src;
+  p.dst = cfg_.dst;
+  p.flow = flow_;
+  p.seq = send_times_.size();
+  p.size_bytes = cfg_.probe_bytes;
+  p.send_time = now;
+  send_times_.push_back(now);
+  net_.inject(std::move(p));
+  // Schedule by absolute time so rounding does not accumulate over long
+  // probing runs.
+  const sim::Time next =
+      cfg_.start + static_cast<double>(send_times_.size()) * cfg_.interval;
+  net_.sim().schedule_at(next, [this]() { send_next(); });
+}
+
+inference::ObservationSequence PeriodicProber::observations(
+    sim::Time t0, sim::Time t1) const {
+  inference::ObservationSequence obs;
+  for (std::uint64_t seq = 0; seq < send_times_.size(); ++seq) {
+    const sim::Time st = send_times_[seq];
+    if (st < t0 || st > t1) continue;
+    if (sink_.received(seq))
+      obs.push_back(inference::Observation::received(sink_.owd(seq)));
+    else
+      obs.push_back(inference::Observation::loss());
+  }
+  return obs;
+}
+
+std::vector<std::uint64_t> PeriodicProber::seqs_in(sim::Time t0,
+                                                   sim::Time t1) const {
+  std::vector<std::uint64_t> seqs;
+  for (std::uint64_t seq = 0; seq < send_times_.size(); ++seq)
+    if (send_times_[seq] >= t0 && send_times_[seq] <= t1) seqs.push_back(seq);
+  return seqs;
+}
+
+PairProber::PairProber(sim::Network& net, const PairProberConfig& cfg)
+    : net_(net), cfg_(cfg), flow_(net.new_flow_id()) {
+  DCL_ENSURE(cfg_.pair_interval > 0.0);
+  DCL_ENSURE(cfg_.src != sim::kInvalidNode && cfg_.dst != sim::kInvalidNode);
+  net_.node(cfg_.dst).attach(flow_, &sink_);
+}
+
+void PairProber::start() {
+  net_.sim().schedule_at(cfg_.start, [this]() { send_next(); });
+}
+
+void PairProber::send_next() {
+  const sim::Time now = net_.sim().now();
+  if (now > cfg_.stop + 1e-9) return;
+  const std::uint64_t pair = pairs_sent_++;
+  pair_send_times_.push_back(now);
+  for (int k = 0; k < 2; ++k) {
+    sim::Packet p;
+    p.type = sim::PacketType::kProbe;
+    p.src = cfg_.src;
+    p.dst = cfg_.dst;
+    p.flow = flow_;
+    p.seq = 2 * pair + static_cast<std::uint64_t>(k);
+    p.aux = static_cast<std::uint64_t>(k);  // position within the pair
+    p.size_bytes = cfg_.probe_bytes;
+    p.send_time = now;
+    net_.inject(std::move(p));
+  }
+  const sim::Time next =
+      cfg_.start + static_cast<double>(pairs_sent_) * cfg_.pair_interval;
+  net_.sim().schedule_at(next, [this]() { send_next(); });
+}
+
+std::vector<double> PairProber::loss_pair_owds(sim::Time t0,
+                                               sim::Time t1) const {
+  std::vector<double> owds;
+  for (std::uint64_t pair = 0; pair < pairs_sent_; ++pair) {
+    const sim::Time st = pair_send_times_[pair];
+    if (st < t0 || st > t1) continue;
+    const std::uint64_t a = 2 * pair;
+    const std::uint64_t b = 2 * pair + 1;
+    const bool ra = sink_.received(a);
+    const bool rb = sink_.received(b);
+    if (ra == rb) continue;  // both received or both lost: not a loss pair
+    owds.push_back(ra ? sink_.owd(a) : sink_.owd(b));
+  }
+  return owds;
+}
+
+double PairProber::min_owd(sim::Time t0, sim::Time t1) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint64_t pair = 0; pair < pairs_sent_; ++pair) {
+    const sim::Time st = pair_send_times_[pair];
+    if (st < t0 || st > t1) continue;
+    for (std::uint64_t seq : {2 * pair, 2 * pair + 1})
+      if (sink_.received(seq)) best = std::min(best, sink_.owd(seq));
+  }
+  return best;
+}
+
+}  // namespace dcl::traffic

@@ -1,0 +1,123 @@
+// Measurement probes.
+//
+// PeriodicProber sends one small UDP probe every `interval` seconds from a
+// source host to a destination host (the paper uses 10-byte probes every
+// 20 ms) and assembles the observation sequence (delay per received probe,
+// loss mark per lost probe).
+//
+// PairProber sends back-to-back probe *pairs* (Liu & Crovella's loss-pair
+// methodology) every `pair_interval`; when exactly one probe of a pair is
+// lost, the survivor's delay is used as a proxy for the lost probe's
+// virtual delay. It is the empirical baseline the paper compares against.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "inference/observation.h"
+#include "sim/network.h"
+#include "sim/node.h"
+
+namespace dcl::traffic {
+
+struct ProberConfig {
+  sim::NodeId src = sim::kInvalidNode;
+  sim::NodeId dst = sim::kInvalidNode;
+  double interval = 0.020;     // seconds between probes
+  std::uint32_t probe_bytes = 10;
+  sim::Time start = 0.0;
+  sim::Time stop = std::numeric_limits<sim::Time>::infinity();
+};
+
+// Records the arrival time (hence one-way delay) of every probe it sees.
+class ProbeSink final : public sim::Agent {
+ public:
+  void on_receive(sim::Packet p, sim::Time now) override {
+    owd_[p.seq] = now - p.send_time;
+  }
+  bool received(std::uint64_t seq) const { return owd_.count(seq) != 0; }
+  double owd(std::uint64_t seq) const { return owd_.at(seq); }
+  std::size_t count() const { return owd_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, double> owd_;
+};
+
+class PeriodicProber {
+ public:
+  PeriodicProber(sim::Network& net, const ProberConfig& cfg);
+
+  // Schedules the probe stream; call before running the simulator.
+  void start();
+
+  sim::FlowId flow() const { return flow_; }
+  std::uint64_t sent() const { return send_times_.size(); }
+  const ProbeSink& sink() const { return sink_; }
+  const std::vector<sim::Time>& send_times() const { return send_times_; }
+  const ProberConfig& config() const { return cfg_; }
+
+  // Observation sequence for probes sent in [t0, t1]. Probes neither
+  // received nor (yet) droppable are treated as lost; callers should keep
+  // t1 at least a couple of RTTs before the end of the simulation so no
+  // probe is still in flight.
+  inference::ObservationSequence observations(
+      sim::Time t0 = 0.0,
+      sim::Time t1 = std::numeric_limits<sim::Time>::infinity()) const;
+
+  // Sequence numbers of the probes included by observations(t0, t1), in
+  // order (used to join against ground-truth loss records).
+  std::vector<std::uint64_t> seqs_in(sim::Time t0, sim::Time t1) const;
+
+ private:
+  void send_next();
+
+  sim::Network& net_;
+  ProberConfig cfg_;
+  sim::FlowId flow_;
+  ProbeSink sink_;
+  std::vector<sim::Time> send_times_;  // index = seq
+};
+
+struct PairProberConfig {
+  sim::NodeId src = sim::kInvalidNode;
+  sim::NodeId dst = sim::kInvalidNode;
+  double pair_interval = 0.040;  // seconds between pairs
+  std::uint32_t probe_bytes = 10;
+  sim::Time start = 0.0;
+  sim::Time stop = std::numeric_limits<sim::Time>::infinity();
+};
+
+class PairProber {
+ public:
+  PairProber(sim::Network& net, const PairProberConfig& cfg);
+
+  void start();
+
+  sim::FlowId flow() const { return flow_; }
+  std::uint64_t pairs_sent() const { return pairs_sent_; }
+  const ProbeSink& sink() const { return sink_; }
+
+  // One-way delays of the surviving probe of each loss pair (exactly one
+  // of the two lost) among pairs sent in [t0, t1].
+  std::vector<double> loss_pair_owds(
+      sim::Time t0 = 0.0,
+      sim::Time t1 = std::numeric_limits<sim::Time>::infinity()) const;
+
+  // Smallest observed one-way delay over all received probes in [t0, t1]
+  // (used as the propagation-delay estimate).
+  double min_owd(sim::Time t0, sim::Time t1) const;
+
+ private:
+  void send_next();
+
+  sim::Network& net_;
+  PairProberConfig cfg_;
+  sim::FlowId flow_;
+  ProbeSink sink_;
+  std::uint64_t pairs_sent_ = 0;
+  std::vector<sim::Time> pair_send_times_;  // index = pair number
+};
+
+}  // namespace dcl::traffic

@@ -1,0 +1,215 @@
+#include "traffic/tcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dcl::traffic {
+
+// --------------------------- TcpReceiver ----------------------------------
+
+TcpReceiver::TcpReceiver(sim::Network& net, sim::NodeId at, sim::FlowId flow,
+                         std::uint32_t ack_bytes)
+    : net_(net), at_(at), flow_(flow), ack_bytes_(ack_bytes) {
+  net_.node(at_).attach(flow_, this);
+}
+
+TcpReceiver::~TcpReceiver() { net_.node(at_).detach(flow_); }
+
+void TcpReceiver::on_receive(sim::Packet p, sim::Time now) {
+  if (p.type != sim::PacketType::kTcpData) return;
+  if (p.seq == next_expected_) {
+    ++next_expected_;
+    while (!out_of_order_.empty() &&
+           *out_of_order_.begin() == next_expected_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++next_expected_;
+    }
+  } else if (p.seq > next_expected_) {
+    out_of_order_.insert(p.seq);
+  } else {
+    ++duplicates_;
+  }
+  sim::Packet ack;
+  ack.type = sim::PacketType::kTcpAck;
+  ack.src = at_;
+  ack.dst = p.src;  // reply to the data sender
+  ack.flow = flow_;
+  ack.seq = next_expected_;  // cumulative acknowledgment
+  ack.size_bytes = ack_bytes_;
+  ack.send_time = now;
+  net_.inject(std::move(ack));
+}
+
+// ---------------------------- TcpSender -----------------------------------
+
+TcpSender::TcpSender(sim::Network& net, const TcpConfig& cfg, sim::FlowId flow)
+    : net_(net),
+      cfg_(cfg),
+      flow_(flow != 0 ? flow : net.new_flow_id()),
+      cwnd_(cfg.initial_cwnd),
+      ssthresh_(cfg.initial_ssthresh),
+      rto_(cfg.initial_rto),
+      jitter_rng_(flow_ * 0x9E3779B97F4A7C15ull + 0x1234567ull) {
+  DCL_ENSURE(cfg_.src != sim::kInvalidNode && cfg_.dst != sim::kInvalidNode);
+  DCL_ENSURE(cfg_.mss_bytes > 0 && cfg_.total_segments > 0);
+  net_.node(cfg_.src).attach(flow_, this);  // ACKs come back to the source
+}
+
+TcpSender::~TcpSender() {
+  *alive_ = false;
+  net_.node(cfg_.src).detach(flow_);
+}
+
+void TcpSender::start() {
+  net_.sim().schedule_at(cfg_.start, [this, alive = alive_]() {
+    if (!*alive) return;
+    send_available();
+    restart_timer();
+  });
+}
+
+std::uint64_t TcpSender::window() const {
+  const double w = std::min(cwnd_, cfg_.rwnd_segments);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(w));
+}
+
+void TcpSender::send_available() {
+  while (!finished_ && snd_nxt_ < snd_una_ + window() &&
+         snd_nxt_ < cfg_.total_segments) {
+    transmit(snd_nxt_, /*is_retransmission=*/false);
+    ++snd_nxt_;
+  }
+}
+
+void TcpSender::transmit(std::uint64_t seq, bool is_retransmission) {
+  const sim::Time now = net_.sim().now();
+  sim::Packet p;
+  p.type = sim::PacketType::kTcpData;
+  p.src = cfg_.src;
+  p.dst = cfg_.dst;
+  p.flow = flow_;
+  p.seq = seq;
+  p.size_bytes = cfg_.mss_bytes;
+  p.send_time = now;
+  if (is_retransmission) {
+    ++retransmissions_;
+    if (timing_ && seq == timed_seq_) timing_ = false;  // Karn's rule
+  } else if (!timing_) {
+    timing_ = true;
+    timed_seq_ = seq;
+    timed_at_ = now;
+  }
+  if (cfg_.send_jitter_s > 0.0) {
+    const sim::Time at = std::max(
+        now + jitter_rng_.uniform(0.0, cfg_.send_jitter_s), last_injection_);
+    last_injection_ = at;
+    // The network outlives every agent; the packet is already fully formed,
+    // so the delayed injection does not need the (possibly freed) sender.
+    sim::Network* net = &net_;
+    net_.sim().schedule_at(at, [net, p]() { net->inject(p); });
+  } else {
+    net_.inject(std::move(p));
+  }
+}
+
+void TcpSender::on_receive(sim::Packet p, sim::Time now) {
+  if (p.type != sim::PacketType::kTcpAck || finished_) return;
+  const std::uint64_t ack = p.seq;
+  if (ack > snd_una_) {
+    on_new_ack(ack, now);
+  } else if (ack == snd_una_ && flight() > 0) {
+    on_dup_ack();
+  }
+}
+
+void TcpSender::on_new_ack(std::uint64_t ack, sim::Time now) {
+  if (timing_ && timed_seq_ < ack) {
+    rtt_sample(now - timed_at_);
+    timing_ = false;
+  }
+  if (in_recovery_) {
+    if (ack > recover_) {
+      // Full acknowledgment: leave fast recovery, deflate the window.
+      in_recovery_ = false;
+      cwnd_ = ssthresh_;
+      dup_acks_ = 0;
+    } else {
+      // NewReno partial ACK: the next hole is lost too — retransmit it and
+      // deflate by the amount of new data acknowledged.
+      transmit(ack, /*is_retransmission=*/true);
+      cwnd_ = std::max(1.0, cwnd_ - static_cast<double>(ack - snd_una_) + 1.0);
+    }
+  } else {
+    dup_acks_ = 0;
+    if (cwnd_ < ssthresh_)
+      cwnd_ += 1.0;  // slow start
+    else
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+  }
+  snd_una_ = ack;
+  snd_nxt_ = std::max(snd_nxt_, snd_una_);
+  if (snd_una_ >= cfg_.total_segments) {
+    finished_ = true;
+    cancel_timer();
+    if (on_finished_) on_finished_();
+    return;
+  }
+  restart_timer();
+  send_available();
+}
+
+void TcpSender::on_dup_ack() {
+  ++dup_acks_;
+  if (!in_recovery_ && dup_acks_ == 3) {
+    enter_fast_retransmit();
+  } else if (in_recovery_) {
+    cwnd_ += 1.0;  // window inflation while the loss leaves the pipe
+    send_available();
+  }
+}
+
+void TcpSender::enter_fast_retransmit() {
+  ssthresh_ = std::max(static_cast<double>(flight()) / 2.0, 2.0);
+  recover_ = snd_nxt_;
+  in_recovery_ = true;
+  transmit(snd_una_, /*is_retransmission=*/true);
+  cwnd_ = ssthresh_ + 3.0;
+  restart_timer();
+}
+
+void TcpSender::on_timeout() {
+  if (finished_ || flight() == 0) return;
+  ++timeouts_;
+  ssthresh_ = std::max(static_cast<double>(flight()) / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  timing_ = false;
+  rto_ = std::min(rto_ * 2.0, cfg_.max_rto);  // exponential backoff
+  transmit(snd_una_, /*is_retransmission=*/true);
+  restart_timer();
+}
+
+void TcpSender::rtt_sample(double sample) {
+  if (!have_rtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2.0;
+    have_rtt_ = true;
+  } else {
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - sample);
+    srtt_ = 0.875 * srtt_ + 0.125 * sample;
+  }
+  rto_ = std::clamp(srtt_ + 4.0 * rttvar_, cfg_.min_rto, cfg_.max_rto);
+}
+
+void TcpSender::restart_timer() {
+  const std::uint64_t gen = ++timer_generation_;
+  timer_deadline_ = net_.sim().now() + rto_;
+  net_.sim().schedule_at(timer_deadline_, [this, gen, alive = alive_]() {
+    if (*alive && gen == timer_generation_) on_timeout();
+  });
+}
+
+}  // namespace dcl::traffic

@@ -1,0 +1,148 @@
+// Packet-based TCP Reno/NewReno: slow start, congestion avoidance, fast
+// retransmit / fast recovery (with NewReno partial-ACK retransmission so
+// multi-drop windows don't stall until timeout), and Jacobson/Karels RTO
+// estimation with Karn's rule and exponential backoff.
+//
+// Sequence numbers count MSS-sized segments, not bytes; an ACK carries the
+// next expected segment number (cumulative). This is the fidelity level of
+// the paper's ns experiments: the DCL identification method only depends on
+// cross traffic producing realistic queue dynamics, not on byte-level TCP
+// details.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <set>
+
+#include "sim/network.h"
+#include "sim/node.h"
+#include "util/rng.h"
+
+namespace dcl::traffic {
+
+struct TcpConfig {
+  sim::NodeId src = sim::kInvalidNode;  // data sender
+  sim::NodeId dst = sim::kInvalidNode;  // data receiver
+  std::uint32_t mss_bytes = 1000;       // data segment size on the wire
+  std::uint32_t ack_bytes = 40;
+  double initial_cwnd = 2.0;            // segments
+  double initial_ssthresh = 64.0;       // segments
+  double rwnd_segments = 1e9;           // receiver window (segments)
+  double initial_rto = 1.0;             // seconds
+  double min_rto = 0.2;
+  double max_rto = 60.0;
+  // Number of segments to transfer; max() means an unbounded FTP source.
+  std::uint64_t total_segments = std::numeric_limits<std::uint64_t>::max();
+  sim::Time start = 0.0;
+  // Random per-segment processing delay before a packet enters the network
+  // (ns's "overhead"): breaks the phase effects a fully deterministic
+  // simulator otherwise exhibits on droptail queues (flow lockout /
+  // synchronized backoff). Injection order within a flow is preserved.
+  double send_jitter_s = 0.0005;
+};
+
+// Receives data segments, reassembles in-order delivery, and acknowledges
+// every segment with the cumulative next-expected number (no delayed ACKs,
+// so triple duplicate ACKs appear promptly — as in the paper's ns setup).
+class TcpReceiver final : public sim::Agent {
+ public:
+  TcpReceiver(sim::Network& net, sim::NodeId at, sim::FlowId flow,
+              std::uint32_t ack_bytes = 40);
+  ~TcpReceiver() override;
+
+  void on_receive(sim::Packet p, sim::Time now) override;
+
+  std::uint64_t next_expected() const { return next_expected_; }
+  std::uint64_t delivered_in_order() const { return next_expected_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+  sim::FlowId flow() const { return flow_; }
+
+ private:
+  sim::Network& net_;
+  sim::NodeId at_;
+  sim::FlowId flow_;
+  std::uint32_t ack_bytes_;
+  std::uint64_t next_expected_ = 0;
+  std::set<std::uint64_t> out_of_order_;
+  std::uint64_t duplicates_ = 0;
+};
+
+class TcpSender final : public sim::Agent {
+ public:
+  // When `flow` is 0 a fresh flow id is allocated.
+  TcpSender(sim::Network& net, const TcpConfig& cfg, sim::FlowId flow = 0);
+  ~TcpSender() override;
+
+  // Schedules the first transmission at cfg.start.
+  void start();
+
+  void on_receive(sim::Packet p, sim::Time now) override;
+
+  sim::FlowId flow() const { return flow_; }
+  bool finished() const { return finished_; }
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  std::uint64_t segments_acked() const { return snd_una_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  double srtt() const { return srtt_; }
+
+  // Invoked once, when the last segment is cumulatively acknowledged.
+  void set_on_finished(std::function<void()> cb) { on_finished_ = std::move(cb); }
+
+ private:
+  void send_available();
+  void transmit(std::uint64_t seq, bool is_retransmission);
+  void on_new_ack(std::uint64_t ack, sim::Time now);
+  void on_dup_ack();
+  void enter_fast_retransmit();
+  void on_timeout();
+  void rtt_sample(double sample);
+  void restart_timer();
+  void cancel_timer() { ++timer_generation_; }
+  std::uint64_t flight() const { return snd_nxt_ - snd_una_; }
+  std::uint64_t window() const;
+
+  sim::Network& net_;
+  TcpConfig cfg_;
+  sim::FlowId flow_;
+
+  std::uint64_t snd_una_ = 0;  // lowest unacknowledged segment
+  std::uint64_t snd_nxt_ = 0;  // next new segment to send
+  double cwnd_;
+  double ssthresh_;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;  // highest segment sent when recovery began
+  bool finished_ = false;
+
+  // RTO estimation.
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  bool have_rtt_ = false;
+  double rto_;
+  // One outstanding RTT measurement (Karn's rule).
+  bool timing_ = false;
+  std::uint64_t timed_seq_ = 0;
+  sim::Time timed_at_ = 0.0;
+
+  // Logical retransmission timer: events check the generation counter.
+  std::uint64_t timer_generation_ = 0;
+  sim::Time timer_deadline_ = 0.0;
+
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::function<void()> on_finished_;
+
+  util::Rng jitter_rng_;
+  sim::Time last_injection_ = 0.0;  // keeps jittered sends in order
+
+  // Scheduled events (timers, jittered sends) can outlive the sender —
+  // e.g., an HTTP transfer freed on completion. They capture this flag and
+  // become no-ops once the sender is gone.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace dcl::traffic

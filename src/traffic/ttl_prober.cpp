@@ -1,0 +1,105 @@
+#include "traffic/ttl_prober.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dcl::traffic {
+
+TtlProber::TtlProber(sim::Network& net, const TtlProberConfig& cfg)
+    : net_(net), cfg_(cfg), flow_(net.new_flow_id()) {
+  DCL_ENSURE(cfg_.src != sim::kInvalidNode && cfg_.dst != sim::kInvalidNode);
+  DCL_ENSURE(cfg_.max_hops >= 1 && !cfg_.sizes.empty());
+  DCL_ENSURE(cfg_.interval > 0.0);
+  // ICMP replies come back to the source addressed to this flow.
+  net_.node(cfg_.src).attach(flow_, this);
+}
+
+TtlProber::~TtlProber() { net_.node(cfg_.src).detach(flow_); }
+
+void TtlProber::start() {
+  net_.sim().schedule_at(cfg_.start, [this]() { send_next(); });
+}
+
+void TtlProber::send_next() {
+  const sim::Time now = net_.sim().now();
+  if (now > cfg_.stop + 1e-9) return;
+
+  const int hop = static_cast<int>(next_hop_idx_) + 1;
+  const std::uint32_t size = cfg_.sizes[next_size_idx_];
+  // Cycle sizes fastest, hops slower, so every (hop, size) pair recurs.
+  next_size_idx_ = (next_size_idx_ + 1) % cfg_.sizes.size();
+  if (next_size_idx_ == 0)
+    next_hop_idx_ = (next_hop_idx_ + 1) % static_cast<std::size_t>(cfg_.max_hops);
+
+  sim::Packet p;
+  p.type = sim::PacketType::kProbe;
+  p.src = cfg_.src;
+  p.dst = cfg_.dst;
+  p.flow = flow_;
+  p.seq = sent_;
+  p.size_bytes = size;
+  p.send_time = now;
+  p.ttl = static_cast<std::uint16_t>(hop);
+  pending_[sent_] = Pending{hop, size, now};
+  ++sent_;
+  net_.inject(std::move(p));
+
+  const sim::Time next =
+      cfg_.start + static_cast<double>(sent_) * cfg_.interval;
+  net_.sim().schedule_at(next, [this]() { send_next(); });
+}
+
+void TtlProber::on_receive(sim::Packet p, sim::Time now) {
+  if (p.type != sim::PacketType::kIcmp) return;  // e.g. probe reached dst
+  auto it = pending_.find(p.seq);
+  if (it == pending_.end()) return;
+  const Pending req = it->second;
+  pending_.erase(it);
+
+  Sample s;
+  s.hop = req.hop;
+  s.size = req.size;
+  s.rtt = now - req.sent_at;
+  s.router = static_cast<sim::NodeId>(p.aux);
+  samples_.push_back(s);
+
+  const auto key = std::make_pair(s.hop, s.size);
+  auto [mit, inserted] = min_rtt_.try_emplace(key, s.rtt);
+  if (!inserted && s.rtt < mit->second) mit->second = s.rtt;
+
+  auto [eit, einserted] =
+      hop_extremes_.try_emplace(s.hop, std::make_pair(s.rtt, s.rtt));
+  if (!einserted) {
+    eit->second.first = std::min(eit->second.first, s.rtt);
+    eit->second.second = std::max(eit->second.second, s.rtt);
+  }
+  routers_.emplace(s.hop, s.router);
+}
+
+double TtlProber::min_rtt(int hop, std::uint32_t size) const {
+  auto it = min_rtt_.find(std::make_pair(hop, size));
+  return it == min_rtt_.end() ? std::numeric_limits<double>::quiet_NaN()
+                              : it->second;
+}
+
+double TtlProber::min_rtt(int hop) const {
+  auto it = hop_extremes_.find(hop);
+  return it == hop_extremes_.end()
+             ? std::numeric_limits<double>::quiet_NaN()
+             : it->second.first;
+}
+
+double TtlProber::max_rtt(int hop) const {
+  auto it = hop_extremes_.find(hop);
+  return it == hop_extremes_.end()
+             ? std::numeric_limits<double>::quiet_NaN()
+             : it->second.second;
+}
+
+sim::NodeId TtlProber::router_at(int hop) const {
+  auto it = routers_.find(hop);
+  return it == routers_.end() ? sim::kInvalidNode : it->second;
+}
+
+}  // namespace dcl::traffic

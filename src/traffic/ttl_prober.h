@@ -1,0 +1,85 @@
+// TTL-limited probing (traceroute/pathchar style).
+//
+// The prober cycles over hop counts 1..max_hops and a set of packet
+// sizes, sending one TTL-limited UDP packet at a time; the router at the
+// matching hop discards it and returns an ICMP time-exceeded reply, whose
+// arrival yields a per-hop round-trip time. Per-(hop, size) RTT minima
+// feed the pathchar-like capacity estimator, and per-hop RTT ranges feed
+// the dominant-congested-link pinpointer (see locate/).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/node.h"
+
+namespace dcl::traffic {
+
+struct TtlProberConfig {
+  sim::NodeId src = sim::kInvalidNode;
+  sim::NodeId dst = sim::kInvalidNode;
+  int max_hops = 3;            // router hops to probe (1-based TTLs)
+  std::vector<std::uint32_t> sizes{64, 400, 800, 1200};
+  double interval = 0.010;     // seconds between probes
+  sim::Time start = 0.0;
+  sim::Time stop = std::numeric_limits<sim::Time>::infinity();
+};
+
+class TtlProber final : public sim::Agent {
+ public:
+  TtlProber(sim::Network& net, const TtlProberConfig& cfg);
+  ~TtlProber() override;
+
+  void start();
+
+  void on_receive(sim::Packet p, sim::Time now) override;
+
+  struct Sample {
+    int hop = 0;                 // 1-based router hop
+    std::uint32_t size = 0;      // probe size in bytes
+    double rtt = 0.0;            // seconds
+    sim::NodeId router = sim::kInvalidNode;  // who replied
+  };
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t replies() const { return samples_.size(); }
+
+  // Per-(hop, size) minimum RTT; NaN when no sample exists.
+  double min_rtt(int hop, std::uint32_t size) const;
+  // Per-hop RTT extremes over all sizes; NaN when no sample exists.
+  double min_rtt(int hop) const;
+  double max_rtt(int hop) const;
+  // The router id observed at a hop (from the ICMP source), or
+  // kInvalidNode.
+  sim::NodeId router_at(int hop) const;
+
+  const TtlProberConfig& config() const { return cfg_; }
+
+ private:
+  void send_next();
+
+  struct Pending {
+    int hop;
+    std::uint32_t size;
+    sim::Time sent_at;
+  };
+
+  sim::Network& net_;
+  TtlProberConfig cfg_;
+  sim::FlowId flow_;
+  std::uint64_t sent_ = 0;
+  std::size_t next_hop_idx_ = 0;
+  std::size_t next_size_idx_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;  // seq -> request
+  std::vector<Sample> samples_;
+  std::map<std::pair<int, std::uint32_t>, double> min_rtt_;
+  std::map<int, std::pair<double, double>> hop_extremes_;  // hop -> (min,max)
+  std::map<int, sim::NodeId> routers_;
+};
+
+}  // namespace dcl::traffic

@@ -1,0 +1,53 @@
+#include "traffic/udp_onoff.h"
+
+#include "util/error.h"
+
+namespace dcl::traffic {
+
+UdpOnOffSource::UdpOnOffSource(sim::Network& net, const UdpOnOffConfig& cfg)
+    : net_(net), cfg_(cfg), rng_(cfg.seed), flow_(net.new_flow_id()) {
+  DCL_ENSURE(cfg_.rate_bps > 0.0 && cfg_.pkt_bytes > 0);
+  DCL_ENSURE(cfg_.mean_on > 0.0 && cfg_.mean_off >= 0.0);
+}
+
+void UdpOnOffSource::start() {
+  net_.sim().schedule_at(cfg_.start, [this]() { begin_on(); });
+}
+
+double UdpOnOffSource::draw_period(double mean) {
+  if (mean <= 0.0) return 0.0;
+  if (cfg_.pareto_shape > 1.0)
+    return rng_.pareto_mean(cfg_.pareto_shape, mean);
+  return rng_.exponential(mean);
+}
+
+void UdpOnOffSource::begin_on() {
+  const sim::Time now = net_.sim().now();
+  if (now > cfg_.stop) return;
+  const sim::Time on_end = now + draw_period(cfg_.mean_on);
+  send_one(on_end);
+}
+
+void UdpOnOffSource::send_one(sim::Time on_end) {
+  const sim::Time now = net_.sim().now();
+  if (now > cfg_.stop) return;
+  if (now >= on_end) {
+    // Transition to OFF, then back to ON.
+    net_.sim().schedule_in(draw_period(cfg_.mean_off),
+                           [this]() { begin_on(); });
+    return;
+  }
+  sim::Packet p;
+  p.type = sim::PacketType::kUdp;
+  p.src = cfg_.src;
+  p.dst = cfg_.dst;
+  p.flow = flow_;
+  p.seq = sent_++;
+  p.size_bytes = cfg_.pkt_bytes;
+  p.send_time = now;
+  net_.inject(std::move(p));
+  const double gap = static_cast<double>(cfg_.pkt_bytes) * 8.0 / cfg_.rate_bps;
+  net_.sim().schedule_in(gap, [this, on_end]() { send_one(on_end); });
+}
+
+}  // namespace dcl::traffic

@@ -1,0 +1,49 @@
+// UDP on-off cross traffic: constant bit rate `rate_bps` during ON periods,
+// silent during OFF periods, with exponentially (or Pareto-) distributed
+// period lengths. This is the paper's "UDP on-off" background load.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace dcl::traffic {
+
+struct UdpOnOffConfig {
+  sim::NodeId src = sim::kInvalidNode;
+  sim::NodeId dst = sim::kInvalidNode;
+  double rate_bps = 500e3;     // sending rate while ON
+  std::uint32_t pkt_bytes = 500;
+  double mean_on = 1.0;        // seconds
+  double mean_off = 1.0;       // seconds
+  // Pareto shape for period lengths; <= 0 selects exponential periods.
+  double pareto_shape = 0.0;
+  sim::Time start = 0.0;
+  sim::Time stop = std::numeric_limits<sim::Time>::infinity();
+  std::uint64_t seed = 1;
+};
+
+class UdpOnOffSource {
+ public:
+  UdpOnOffSource(sim::Network& net, const UdpOnOffConfig& cfg);
+
+  void start();
+
+  std::uint64_t packets_sent() const { return sent_; }
+  sim::FlowId flow() const { return flow_; }
+
+ private:
+  void begin_on();
+  void send_one(sim::Time on_end);
+  double draw_period(double mean);
+
+  sim::Network& net_;
+  UdpOnOffConfig cfg_;
+  util::Rng rng_;
+  sim::FlowId flow_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace dcl::traffic

@@ -1,0 +1,45 @@
+// Error-handling helpers shared across the dclid libraries.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dcl::util {
+
+// Thrown for violated preconditions and invariants in library code.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dcl::util
+
+// Precondition / invariant check that is always active (these libraries are
+// used from experiment drivers where silent corruption is worse than a
+// throw).
+#define DCL_ENSURE(expr)                                               \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::dcl::util::detail::fail(#expr, __FILE__, __LINE__, "");        \
+  } while (0)
+
+#define DCL_ENSURE_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream dcl_ensure_os;                                \
+      dcl_ensure_os << msg;                                            \
+      ::dcl::util::detail::fail(#expr, __FILE__, __LINE__,             \
+                                dcl_ensure_os.str());                  \
+    }                                                                  \
+  } while (0)

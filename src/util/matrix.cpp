@@ -1,0 +1,29 @@
+#include "util/matrix.h"
+
+#include <cmath>
+
+namespace dcl::util {
+
+void Matrix::normalize_rows() {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* p = row(r);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += p[c];
+    if (sum > 0.0) {
+      for (std::size_t c = 0; c < cols_; ++c) p[c] /= sum;
+    } else if (cols_ > 0) {
+      const double u = 1.0 / static_cast<double>(cols_);
+      for (std::size_t c = 0; c < cols_; ++c) p[c] = u;
+    }
+  }
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  DCL_ENSURE(a.rows() == b.rows() && a.cols() == b.cols());
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    d = std::max(d, std::abs(a.data_[i] - b.data_[i]));
+  return d;
+}
+
+}  // namespace dcl::util

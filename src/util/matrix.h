@@ -1,0 +1,58 @@
+// Minimal dense row-major matrix used by the EM algorithms. Not a general
+// linear-algebra library — just contiguous storage with bounds-checked
+// element access in debug-style builds and row views for hot loops.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dcl::util {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  // Bounds-checked access for non-hot paths.
+  double& at(std::size_t r, std::size_t c) {
+    DCL_ENSURE(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    DCL_ENSURE(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+  // Normalizes each row to sum to 1; rows with zero mass are set uniform.
+  void normalize_rows();
+
+  // Largest absolute element-wise difference; matrices must match in shape.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dcl::util

@@ -1,0 +1,35 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dcl::util {
+
+double Rng::pareto(double alpha, double xm) {
+  DCL_ENSURE(alpha > 0.0 && xm > 0.0);
+  const double u = uniform(0.0, 1.0);
+  // Inverse-CDF; 1-u avoids u == 0 producing infinity more often than the
+  // distribution warrants.
+  return xm / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+double Rng::pareto_mean(double alpha, double mean) {
+  DCL_ENSURE(alpha > 1.0 && mean > 0.0);
+  const double xm = mean * (alpha - 1.0) / alpha;
+  return pareto(alpha, xm);
+}
+
+std::vector<double> Rng::simplex(std::size_t dim) {
+  DCL_ENSURE(dim > 0);
+  std::vector<double> v(dim);
+  double sum = 0.0;
+  for (auto& x : v) {
+    x = -std::log(1.0 - uniform(0.0, 1.0));
+    sum += x;
+  }
+  for (auto& x : v) x /= sum;
+  return v;
+}
+
+}  // namespace dcl::util

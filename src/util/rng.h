@@ -1,0 +1,63 @@
+// Deterministic random-number generation for simulations and inference.
+//
+// All randomness in dclid flows through explicitly seeded Rng instances so
+// that every experiment is reproducible run-to-run. An Rng can `fork()`
+// independent child streams (e.g., one per traffic source) so that adding a
+// consumer does not perturb the draws seen by the others.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dcl::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  // Creates an independent child stream. Successive forks from the same
+  // parent produce distinct, deterministic streams.
+  Rng fork() { return Rng(engine_() ^ 0xD1B54A32D192ED03ull); }
+
+  // Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Exponential with the given mean (not rate).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Pareto with shape `alpha` and scale `xm` (minimum value). For
+  // alpha > 1 the mean is alpha * xm / (alpha - 1).
+  double pareto(double alpha, double xm);
+
+  // Pareto parameterized by its mean, valid for alpha > 1.
+  double pareto_mean(double alpha, double mean);
+
+  double normal(double mu, double sigma) {
+    return std::normal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  // Random point on the probability simplex of the given dimension
+  // (flat Dirichlet). Used to initialize EM parameters.
+  std::vector<double> simplex(std::size_t dim);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dcl::util

@@ -1,0 +1,60 @@
+// Small statistics toolbox: PMFs/CDFs over discrete symbols, sample
+// summaries, and distances between distributions.
+//
+// Discrete delay symbols throughout dclid are 1-based (symbol i in
+// {1, ..., M}), matching the paper's notation; a Pmf of size M stores
+// P(D = i) at index i-1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dcl::util {
+
+using Pmf = std::vector<double>;
+using Cdf = std::vector<double>;
+
+// Normalizes `v` in place so it sums to 1. Returns false (leaving `v`
+// untouched) if the total mass is not positive.
+bool normalize(Pmf& v);
+
+// Cumulative sums; cdf[i] = sum_{j<=i} pmf[j]. The last entry is clamped
+// to exactly 1 when the input is normalized to within 1e-9.
+Cdf pmf_to_cdf(const Pmf& pmf);
+
+// L1 distance between two distributions of equal size.
+double l1_distance(const Pmf& a, const Pmf& b);
+
+// Histogram of 1-based symbols into a PMF of size `symbols`; entries
+// outside [1, symbols] are ignored. Returns a zero vector when no sample
+// falls in range.
+Pmf histogram(const std::vector<int>& samples, int symbols);
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // population variance
+
+// Sample quantile with linear interpolation; q in [0, 1].
+double quantile(std::vector<double> xs, double q);
+
+// Index (0-based) of the largest entry; first one on ties.
+std::size_t argmax(const std::vector<double>& xs);
+
+// Streaming mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dcl::util

@@ -1,0 +1,256 @@
+// Tests for the hypothesis tests, delay bounds, and loss-pair baseline —
+// including direct checks of the Theorem 1/2 logic on hand-crafted
+// distributions.
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "core/hypothesis.h"
+#include "core/loss_pair.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace dcl::core {
+namespace {
+
+util::Cdf cdf_of(util::Pmf pmf) {
+  util::normalize(pmf);
+  return util::pmf_to_cdf(pmf);
+}
+
+// --------------------------- SDCL-Test ------------------------------------
+
+TEST(SdclTest, AcceptsPointMassAtQk) {
+  // All virtual delays at symbol 5 of 10 (Fig. 5 shape): i*=5,
+  // F(10) = 1 -> accept.
+  util::Pmf pmf(10, 0.0);
+  pmf[4] = 1.0;
+  const auto r = sdcl_test(cdf_of(pmf));
+  EXPECT_EQ(r.i_star, 5);
+  EXPECT_TRUE(r.accepted);
+}
+
+TEST(SdclTest, AcceptsMassSpreadWithinTheoremRange) {
+  // Q_k at symbol 4, rest of path adds up to symbol 8 = 2*4: accept.
+  util::Pmf pmf(10, 0.0);
+  pmf[3] = 0.5;
+  pmf[5] = 0.3;
+  pmf[7] = 0.2;
+  const auto r = sdcl_test(cdf_of(pmf));
+  EXPECT_EQ(r.i_star, 4);
+  EXPECT_TRUE(r.accepted);
+}
+
+TEST(SdclTest, RejectsTwoSeparatedLossClusters) {
+  // Two lossy links: small delays around symbol 2 (losses at the other
+  // link), plus mass at 9 > 2*2: reject.
+  util::Pmf pmf(10, 0.0);
+  pmf[1] = 0.5;
+  pmf[8] = 0.5;
+  const auto r = sdcl_test(cdf_of(pmf));
+  EXPECT_EQ(r.i_star, 2);
+  EXPECT_LT(r.f_at_2istar, 1.0);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(SdclTest, ToleranceIgnoresNumericalDust) {
+  util::Pmf pmf(10, 0.0);
+  pmf[0] = 5e-4;  // EM dust below the default tolerance
+  pmf[4] = 1.0;
+  const auto r = sdcl_test(cdf_of(pmf), 1e-3);
+  EXPECT_EQ(r.i_star, 5);
+  EXPECT_TRUE(r.accepted);
+}
+
+TEST(SdclTest, EdgeCaseMassInFirstBin) {
+  // i* = 1: F(2) must be ~1.
+  util::Pmf pmf(10, 0.0);
+  pmf[0] = 0.6;
+  pmf[1] = 0.4;
+  EXPECT_TRUE(sdcl_test(cdf_of(pmf)).accepted);
+  util::Pmf bad(10, 0.0);
+  bad[0] = 0.6;
+  bad[2] = 0.4;
+  EXPECT_FALSE(sdcl_test(cdf_of(bad)).accepted);
+}
+
+TEST(SdclTest, TwoIStarBeyondRangeIsFullMass) {
+  // i* = 7 on a 10-symbol grid: 2 i* = 14 > 10, F(14) = F(10) = 1.
+  util::Pmf pmf(10, 0.0);
+  pmf[6] = 0.5;
+  pmf[9] = 0.5;
+  const auto r = sdcl_test(cdf_of(pmf));
+  EXPECT_EQ(r.i_star, 7);
+  EXPECT_TRUE(r.accepted);
+}
+
+TEST(SdclTest, RejectsInvalidEpsilon) {
+  util::Pmf pmf(4, 0.25);
+  EXPECT_THROW(sdcl_test(cdf_of(pmf), 0.7), util::Error);
+  EXPECT_THROW(sdcl_test(util::Cdf{}, 0.0), util::Error);
+}
+
+// --------------------------- WDCL-Test ------------------------------------
+
+TEST(WdclTest, AcceptsWhenMinorityLossesSitBelowIStar) {
+  // 5% of losses at a secondary link (low delay), 95% clustered at the
+  // dominant link's Q_k: accept with eps_l = 0.06.
+  util::Pmf pmf(10, 0.0);
+  pmf[0] = 0.05;  // secondary-link losses
+  pmf[4] = 0.80;
+  pmf[5] = 0.15;
+  const auto r = wdcl_test(cdf_of(pmf), 0.06, 0.0);
+  EXPECT_EQ(r.i_star, 5);  // first symbol with F > 0.06
+  EXPECT_TRUE(r.accepted);
+}
+
+TEST(WdclTest, RejectsComparableLossShares) {
+  // Two links with comparable losses: F exceeds eps_l already at the low
+  // cluster, and half the mass lies beyond 2 i*.
+  util::Pmf pmf(10, 0.0);
+  pmf[1] = 0.5;
+  pmf[8] = 0.5;
+  const auto r = wdcl_test(cdf_of(pmf), 0.06, 0.0);
+  EXPECT_EQ(r.i_star, 2);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(WdclTest, TighterEpsilonRejectsWhatLooserAccepts) {
+  // 5% stray losses: accepted at eps_l=0.06, rejected at eps_l=0.02
+  // (the paper's Section VI-A2 observation).
+  util::Pmf pmf(10, 0.0);
+  pmf[0] = 0.05;
+  pmf[4] = 0.95;
+  EXPECT_TRUE(wdcl_test(cdf_of(pmf), 0.06, 0.0).accepted);
+  EXPECT_FALSE(wdcl_test(cdf_of(pmf), 0.02, 0.0).accepted);
+}
+
+TEST(WdclTest, EpsDRelaxesTheDelayCondition) {
+  // 8% of the dominant link's own mass beyond 2 i*.
+  util::Pmf pmf(10, 0.0);
+  pmf[3] = 0.80;
+  pmf[4] = 0.12;
+  pmf[8] = 0.08;
+  EXPECT_FALSE(wdcl_test(cdf_of(pmf), 0.05, 0.0).accepted);
+  EXPECT_TRUE(wdcl_test(cdf_of(pmf), 0.05, 0.10).accepted);
+}
+
+TEST(WdclTest, SdclIsSpecialCaseOfWdcl) {
+  util::Pmf pmf(10, 0.0);
+  pmf[4] = 1.0;
+  const auto s = sdcl_test(cdf_of(pmf), 0.0);
+  const auto w = wdcl_test(cdf_of(pmf), 0.0, 0.0);
+  EXPECT_EQ(s.i_star, w.i_star);
+  EXPECT_EQ(s.accepted, w.accepted);
+}
+
+TEST(WdclTest, MonotoneInEpsilon) {
+  // Accepting at (eps_l, eps_d) implies accepting at any looser pair —
+  // checked on a grid for a fixed mixed distribution.
+  util::Pmf pmf(10, 0.0);
+  pmf[0] = 0.04;
+  pmf[3] = 0.7;
+  pmf[6] = 0.2;
+  pmf[9] = 0.06;
+  const auto F = cdf_of(pmf);
+  for (double el = 0.0; el <= 0.2; el += 0.02) {
+    for (double ed = 0.0; ed <= 0.2; ed += 0.02) {
+      if (!wdcl_test(F, el, ed).accepted) continue;
+      for (double el2 = el; el2 <= 0.2; el2 += 0.02)
+        for (double ed2 = ed; ed2 <= 0.2; ed2 += 0.02)
+          EXPECT_TRUE(wdcl_test(F, el2, ed2).accepted)
+              << "accept(" << el << "," << ed << ") but reject(" << el2
+              << "," << ed2 << ")";
+    }
+  }
+}
+
+// ----------------------------- Bounds -------------------------------------
+
+TEST(Bounds, IStarBoundsQkFromAbove) {
+  inference::Discretizer disc(0.0, 1.0, 10);  // 100 ms bins
+  util::Pmf pmf(10, 0.0);
+  pmf[4] = 1.0;  // all mass at symbol 5
+  const auto b = max_delay_bound(cdf_of(pmf), disc, 0.0);
+  EXPECT_EQ(b.symbol, 5);
+  EXPECT_NEAR(b.seconds, 0.5, 1e-12);
+}
+
+TEST(Bounds, EpsLSkipsStrayMass) {
+  inference::Discretizer disc(0.0, 1.0, 10);
+  util::Pmf pmf(10, 0.0);
+  pmf[0] = 0.05;
+  pmf[6] = 0.95;
+  const auto b = max_delay_bound(cdf_of(pmf), disc, 0.06);
+  EXPECT_EQ(b.symbol, 7);
+}
+
+TEST(Bounds, ComponentHeuristicFindsHeaviestComponent) {
+  inference::Discretizer disc(0.0, 0.5, 50);  // 10 ms bins
+  util::Pmf pmf(50, 0.0);
+  // Stray component at bins 3-4 (5% mass), dominant component 30-38.
+  pmf[2] = 0.03;
+  pmf[3] = 0.02;
+  for (int i = 29; i < 38; ++i) pmf[static_cast<std::size_t>(i)] = 0.95 / 9.0;
+  const auto b = component_heuristic_bound(pmf, disc);
+  ASSERT_TRUE(b.valid);
+  EXPECT_EQ(b.first_symbol, 30);
+  EXPECT_NEAR(b.bound_seconds, 0.30, 1e-12);
+  EXPECT_GT(b.mass, 0.9);
+}
+
+TEST(Bounds, ComponentHeuristicToleratesSmallGaps) {
+  inference::Discretizer disc(0.0, 0.5, 50);
+  util::Pmf pmf(50, 0.0);
+  pmf[20] = 0.3;
+  pmf[21] = 0.0;  // one-bin hole inside the component
+  pmf[22] = 0.4;
+  pmf[23] = 0.3;
+  const auto b = component_heuristic_bound(pmf, disc);
+  ASSERT_TRUE(b.valid);
+  EXPECT_EQ(b.first_symbol, 21);
+  EXPECT_EQ(b.last_symbol, 24);
+  EXPECT_NEAR(b.mass, 1.0, 1e-9);
+}
+
+TEST(Bounds, ComponentHeuristicEmptyPmfInvalid) {
+  inference::Discretizer disc(0.0, 0.5, 10);
+  const auto b = component_heuristic_bound(util::Pmf(10, 0.0), disc);
+  EXPECT_FALSE(b.valid);
+}
+
+TEST(Bounds, ComponentHeuristicSplitsOnLargeGaps) {
+  inference::Discretizer disc(0.0, 1.0, 20);
+  util::Pmf pmf(20, 0.0);
+  pmf[2] = 0.55;           // heavier, low component
+  pmf[15] = 0.45;          // separated by >> gap_tolerance
+  const auto b = component_heuristic_bound(pmf, disc);
+  ASSERT_TRUE(b.valid);
+  EXPECT_EQ(b.first_symbol, 3);
+  EXPECT_EQ(b.last_symbol, 3);
+  EXPECT_NEAR(b.mass, 0.55, 1e-9);
+}
+
+// --------------------------- Loss pairs -----------------------------------
+
+TEST(LossPair, EstimatesModeOfSurvivorDelays) {
+  inference::Discretizer disc(0.1, 0.6, 50);  // floor 100 ms
+  // Survivors cluster around 0.45-0.46 s (queuing 350-360 ms).
+  std::vector<double> owds;
+  for (int i = 0; i < 80; ++i) owds.push_back(0.455);
+  for (int i = 0; i < 20; ++i) owds.push_back(0.30);
+  const auto est = loss_pair_estimate(owds, disc);
+  ASSERT_TRUE(est.valid);
+  EXPECT_EQ(est.pairs, 100u);
+  EXPECT_NEAR(est.max_delay_estimate_s, 0.36, 0.011);
+}
+
+TEST(LossPair, EmptyInputIsInvalid) {
+  inference::Discretizer disc(0.0, 1.0, 10);
+  const auto est = loss_pair_estimate({}, disc);
+  EXPECT_FALSE(est.valid);
+  EXPECT_EQ(est.pairs, 0u);
+  EXPECT_EQ(est.pmf.size(), 10u);
+}
+
+}  // namespace
+}  // namespace dcl::core

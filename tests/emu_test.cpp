@@ -1,0 +1,117 @@
+// Integration tests for the emulated Internet paths (the PlanetLab
+// substitutes): clock-skew removal feeding the full pipeline, and the
+// paper's accept/accept/reject pattern across the three path types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/identifier.h"
+#include "emu/presets.h"
+#include "timesync/skew.h"
+#include "util/stats.h"
+
+namespace dcl {
+namespace {
+
+struct EmuRun {
+  timesync::SkewEstimate skew;
+  core::IdentificationResult id;
+  double probe_loss_rate = 0.0;
+  std::vector<std::uint64_t> losses_by_hop;
+};
+
+EmuRun run_emu(const emu::InternetPathConfig& cfg, double eps_l = 0.1,
+               double eps_d = 0.1) {
+  emu::InternetPathScenario sc(cfg);
+  sc.run();
+  EmuRun r;
+  r.probe_loss_rate = sc.probe_loss_rate();
+  r.losses_by_hop = sc.probe_losses_by_hop();
+  const auto raw = sc.measured_observations();
+  const auto st = sc.send_times(sc.window_start(), sc.window_end());
+  const auto obs = timesync::correct_observations(raw, st, &r.skew);
+  core::IdentifierConfig icfg;
+  icfg.eps_l = eps_l;
+  icfg.eps_d = eps_d;
+  icfg.compute_fine_bound = false;  // not needed for the decision
+  r.id = core::Identifier(icfg).identify(obs);
+  return r;
+}
+
+TEST(EmuIntegration, EthernetPathAcceptsWdcl) {
+  const auto cfg = emu::presets::cornell_to_ufpr(/*seed=*/1,
+                                                 /*duration=*/400.0);
+  const auto r = run_emu(cfg);
+  ASSERT_TRUE(r.id.has_losses);
+  EXPECT_LT(r.probe_loss_rate, 0.02);  // low Internet-like loss
+  EXPECT_NEAR(r.skew.skew, cfg.clock_skew, 5e-6);
+  EXPECT_TRUE(r.id.wdcl.accepted);
+}
+
+TEST(EmuIntegration, AdslPathAcceptsWdclAtLastMile) {
+  const auto cfg = emu::presets::usevilla_to_adsl(/*seed=*/2,
+                                                  /*duration=*/400.0);
+  const auto r = run_emu(cfg);
+  ASSERT_TRUE(r.id.has_losses);
+  EXPECT_TRUE(r.id.wdcl.accepted);
+  // Ground truth: every loss at the last-mile hop.
+  const std::size_t last = r.losses_by_hop.size() - 1;
+  std::uint64_t elsewhere = 0;
+  for (std::size_t i = 0; i < last; ++i) elsewhere += r.losses_by_hop[i];
+  EXPECT_EQ(elsewhere, 0u);
+  EXPECT_GT(r.losses_by_hop[last], 0u);
+}
+
+TEST(EmuIntegration, SnuPathRejectsWdcl) {
+  const auto cfg = emu::presets::snu_to_adsl(/*seed=*/3, /*duration=*/500.0);
+  const auto r = run_emu(cfg);
+  ASSERT_TRUE(r.id.has_losses);
+  // Two hops share the losses comparably.
+  std::vector<std::uint64_t> nonzero;
+  for (auto c : r.losses_by_hop)
+    if (c > 0) nonzero.push_back(c);
+  ASSERT_EQ(nonzero.size(), 2u);
+  EXPECT_FALSE(r.id.wdcl.accepted);
+}
+
+TEST(EmuIntegration, SkewCorrectionMattersForTheDecision) {
+  // Without removing a 120 ppm skew over ~7 minutes, the delay floor
+  // drifts by tens of milliseconds — comparable to the congested hops'
+  // queuing — and the discretization smears. The corrected observations
+  // must reproduce the true-clock decision.
+  const auto cfg = emu::presets::snu_to_adsl(/*seed=*/4, /*duration=*/500.0);
+  emu::InternetPathScenario sc(cfg);
+  sc.run();
+  const auto raw = sc.measured_observations();
+  const auto truth = sc.true_observations(sc.window_start(), sc.window_end());
+  const auto st = sc.send_times(sc.window_start(), sc.window_end());
+  const auto corrected = timesync::correct_observations(raw, st);
+
+  core::IdentifierConfig icfg;
+  icfg.eps_l = 0.1;
+  icfg.eps_d = 0.1;
+  icfg.compute_fine_bound = false;
+  core::Identifier id(icfg);
+  const auto r_truth = id.identify(truth);
+  const auto r_corr = id.identify(corrected);
+  EXPECT_EQ(r_corr.wdcl.accepted, r_truth.wdcl.accepted);
+  EXPECT_LT(util::l1_distance(r_corr.virtual_pmf, r_truth.virtual_pmf), 0.5);
+}
+
+TEST(EmuIntegration, MeasuredDelaysCarryOffsetAndSkew) {
+  auto cfg = emu::presets::cornell_to_ufpr(/*seed=*/5, /*duration=*/120.0);
+  emu::InternetPathScenario sc(cfg);
+  sc.run();
+  const auto raw = sc.measured_observations();
+  const auto truth = sc.true_observations(sc.window_start(), sc.window_end());
+  const auto st = sc.send_times(sc.window_start(), sc.window_end());
+  ASSERT_EQ(raw.size(), truth.size());
+  for (std::size_t i = 0; i < raw.size(); i += 97) {
+    if (raw[i].lost) continue;
+    EXPECT_NEAR(raw[i].delay - truth[i].delay,
+                cfg.clock_offset_s + cfg.clock_skew * st[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dcl

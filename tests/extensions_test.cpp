@@ -1,0 +1,293 @@
+// Tests for the extension modules: generalized WDCL test, MMHD Viterbi
+// decoding, stationarity screening, and trace I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/hypothesis.h"
+#include "core/stationarity.h"
+#include "inference/discretizer.h"
+#include "inference/mmhd.h"
+#include "trace/trace_io.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dcl {
+namespace {
+
+constexpr int kLoss = inference::Discretizer::kLossSymbol;
+
+util::Cdf cdf_of(util::Pmf pmf) {
+  util::normalize(pmf);
+  return util::pmf_to_cdf(pmf);
+}
+
+// ------------------------- generalized WDCL -------------------------------
+
+TEST(GeneralizedWdcl, BetaOneMatchesStandardTest) {
+  util::Pmf pmf(10, 0.0);
+  pmf[0] = 0.05;
+  pmf[4] = 0.80;
+  pmf[5] = 0.15;
+  const auto F = cdf_of(pmf);
+  const auto std_r = core::wdcl_test(F, 0.06, 0.0);
+  const auto gen_r = core::wdcl_test_generalized(F, 0.06, 0.0, 1.0);
+  EXPECT_EQ(gen_r.i_star, std_r.i_star);
+  EXPECT_EQ(gen_r.eval_symbol, 2 * std_r.i_star);
+  EXPECT_EQ(gen_r.accepted, std_r.accepted);
+}
+
+TEST(GeneralizedWdcl, LargerBetaIsStricter) {
+  // Mass at i* = 3 and at 5: with beta = 1 the evaluation point is 6 >= 5
+  // (accept); with beta = 2 it is ceil(4.5) = 5... still accepted; with
+  // beta = 3 it is 4 < 5 (reject).
+  util::Pmf pmf(10, 0.0);
+  pmf[2] = 0.5;
+  pmf[4] = 0.5;
+  const auto F = cdf_of(pmf);
+  EXPECT_TRUE(core::wdcl_test_generalized(F, 0.05, 0.0, 1.0).accepted);
+  EXPECT_TRUE(core::wdcl_test_generalized(F, 0.05, 0.0, 2.0).accepted);
+  EXPECT_FALSE(core::wdcl_test_generalized(F, 0.05, 0.0, 3.0).accepted);
+}
+
+TEST(GeneralizedWdcl, SmallBetaIsLooser) {
+  // Two separated clusters that the standard test rejects: a sufficiently
+  // small beta (weaker delay-dominance requirement) accepts.
+  util::Pmf pmf(10, 0.0);
+  pmf[1] = 0.5;
+  pmf[8] = 0.5;
+  const auto F = cdf_of(pmf);
+  EXPECT_FALSE(core::wdcl_test_generalized(F, 0.05, 0.0, 1.0).accepted);
+  EXPECT_TRUE(core::wdcl_test_generalized(F, 0.05, 0.0, 0.3).accepted);
+}
+
+TEST(GeneralizedWdcl, MonotoneInBeta) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    util::Pmf pmf(10, 0.0);
+    for (auto& p : pmf) p = rng.uniform(0.0, 1.0);
+    const auto F = cdf_of(pmf);
+    bool prev_accept = true;
+    for (double beta : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const bool acc =
+          core::wdcl_test_generalized(F, 0.05, 0.05, beta).accepted;
+      // Accepting at a stricter beta implies accepting at every looser one.
+      if (!prev_accept) {
+        EXPECT_FALSE(acc) << "beta=" << beta;
+      }
+      prev_accept = acc;
+    }
+  }
+}
+
+TEST(GeneralizedWdcl, RejectsInvalidParameters) {
+  util::Pmf pmf(4, 0.25);
+  EXPECT_THROW(core::wdcl_test_generalized(cdf_of(pmf), 0.05, 0.0, 0.0),
+               util::Error);
+  EXPECT_THROW(core::wdcl_test_generalized(cdf_of(pmf), 0.6, 0.0, 1.0),
+               util::Error);
+}
+
+// ----------------------------- Viterbi ------------------------------------
+
+TEST(Viterbi, ObservedSymbolsDecodeToThemselves) {
+  std::vector<int> seq{1, 2, 2, 3, 1, 2, 3, 3, 1};
+  inference::Mmhd model(2, 3);
+  inference::EmOptions eo;
+  eo.hidden_states = 2;
+  eo.max_iterations = 30;
+  model.fit(seq, eo);
+  const auto decoded = model.viterbi(seq);
+  ASSERT_EQ(decoded.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) EXPECT_EQ(decoded[i], seq[i]);
+}
+
+TEST(Viterbi, AttributesLossesToContextSymbol) {
+  // Losses embedded in long runs of symbol 3 must decode to 3; losses in
+  // runs of 1 must decode to 1.
+  std::vector<int> seq;
+  for (int block = 0; block < 200; ++block) {
+    for (int i = 0; i < 15; ++i) seq.push_back(1);
+    seq.push_back(kLoss);
+    for (int i = 0; i < 5; ++i) seq.push_back(1);
+    for (int i = 0; i < 6; ++i) seq.push_back(3);
+    seq.push_back(kLoss);
+    for (int i = 0; i < 6; ++i) seq.push_back(3);
+  }
+  inference::Mmhd model(1, 3);
+  inference::EmOptions eo;
+  eo.hidden_states = 1;
+  eo.seed = 5;
+  model.fit(seq, eo);
+  const auto decoded = model.viterbi(seq);
+  int correct = 0, losses = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i] != kLoss) continue;
+    ++losses;
+    const int expected = (seq[i - 1] == 1 || seq[i + 1] == 1) ? 1 : 3;
+    correct += decoded[i] == expected ? 1 : 0;
+  }
+  ASSERT_GT(losses, 0);
+  EXPECT_GT(static_cast<double>(correct) / losses, 0.95);
+}
+
+TEST(Viterbi, NeverDecodesToUnobservedSymbol) {
+  // Symbol 2 never occurs: the support restriction must keep it out of
+  // the decoded path.
+  std::vector<int> seq;
+  util::Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.uniform() < 0.05)
+      seq.push_back(kLoss);
+    else
+      seq.push_back(rng.bernoulli(0.5) ? 1 : 3);
+  }
+  seq.front() = 1;
+  seq.back() = 3;
+  inference::Mmhd model(2, 3);
+  inference::EmOptions eo;
+  eo.hidden_states = 2;
+  model.fit(seq, eo);
+  for (int s : model.viterbi(seq)) EXPECT_NE(s, 2);
+}
+
+// --------------------------- stationarity ----------------------------------
+
+inference::ObservationSequence flat_sequence(std::size_t n, double base,
+                                             double loss_rate,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  inference::ObservationSequence obs;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(loss_rate))
+      obs.push_back(inference::Observation::loss());
+    else
+      obs.push_back(
+          inference::Observation::received(base + rng.exponential(0.01)));
+  }
+  return obs;
+}
+
+TEST(Stationarity, FlatSequenceScoresLow) {
+  const auto obs = flat_sequence(6000, 0.05, 0.02, 3);
+  const auto rep = core::stationarity(obs);
+  EXPECT_LT(rep.delay_drift, 0.1);
+  EXPECT_LT(rep.loss_drift, 0.03);
+}
+
+TEST(Stationarity, DriftingSequenceScoresHigh) {
+  // Delay level doubles halfway through.
+  auto obs = flat_sequence(3000, 0.05, 0.02, 4);
+  const auto second = flat_sequence(3000, 0.15, 0.02, 5);
+  obs.insert(obs.end(), second.begin(), second.end());
+  const auto drifting = core::stationarity(obs);
+  const auto flat = core::stationarity(flat_sequence(6000, 0.05, 0.02, 6));
+  EXPECT_GT(drifting.score, 3.0 * flat.score);
+}
+
+TEST(Stationarity, WindowSelectionAvoidsTheDisturbance) {
+  // A loss storm occupies the middle third; the best window must avoid it.
+  auto obs = flat_sequence(4000, 0.05, 0.02, 7);
+  const auto storm = flat_sequence(4000, 0.08, 0.30, 8);
+  const auto tail = flat_sequence(4000, 0.05, 0.02, 9);
+  obs.insert(obs.end(), storm.begin(), storm.end());
+  obs.insert(obs.end(), tail.begin(), tail.end());
+  const auto [lo, hi] = core::most_stationary_window(obs, 4000, 500);
+  EXPECT_EQ(hi - lo, 4000u);
+  // Entirely inside one of the calm thirds.
+  EXPECT_TRUE(hi <= 4400 || lo >= 7600) << "window [" << lo << ", " << hi
+                                        << ") overlaps the storm";
+}
+
+TEST(Stationarity, WindowRequiresLosses) {
+  // Only the second half has any losses; min_losses forces the window
+  // there even though both halves are equally stationary in delay.
+  auto obs = flat_sequence(3000, 0.05, 0.0, 10);
+  const auto lossy = flat_sequence(3000, 0.05, 0.05, 11);
+  obs.insert(obs.end(), lossy.begin(), lossy.end());
+  const auto [lo, hi] = core::most_stationary_window(obs, 2000, 250, 30);
+  EXPECT_GE(lo, 2500u);
+}
+
+TEST(Stationarity, RejectsDegenerateArguments) {
+  const auto obs = flat_sequence(100, 0.05, 0.0, 12);
+  EXPECT_THROW(core::stationarity(obs, 1), util::Error);
+  EXPECT_THROW(core::most_stationary_window(obs, 4, 1), util::Error);
+}
+
+// ----------------------------- trace I/O -----------------------------------
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  inference::ObservationSequence obs;
+  util::Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    if (rng.bernoulli(0.07))
+      obs.push_back(inference::Observation::loss());
+    else
+      obs.push_back(inference::Observation::received(rng.uniform(0.02, 0.4)));
+  }
+  const auto trace = trace::make_trace(obs, 10.0, 0.02);
+  std::stringstream ss;
+  trace::write_trace(ss, trace);
+  const auto back = trace::read_trace(ss);
+
+  ASSERT_EQ(back.records.size(), trace.records.size());
+  for (std::size_t i = 0; i < back.records.size(); ++i) {
+    EXPECT_EQ(back.records[i].seq, trace.records[i].seq);
+    EXPECT_NEAR(back.records[i].send_time, trace.records[i].send_time, 1e-9);
+    EXPECT_EQ(back.records[i].obs.lost, trace.records[i].obs.lost);
+    if (!back.records[i].obs.lost) {
+      EXPECT_NEAR(back.records[i].obs.delay, trace.records[i].obs.delay,
+                  1e-9);
+    }
+  }
+  EXPECT_EQ(back.gaps(), 0u);
+}
+
+TEST(TraceIo, ReadsCommentsGapsAndReportsThem) {
+  std::stringstream ss;
+  ss << "# dclid-trace v1\n"
+     << "# produced by hand\n"
+     << "seq,send_time,delay\n"
+     << "0,0.0,0.050\n"
+     << "\n"
+     << "2,0.04,LOST\n"     // gap: seq 1 missing
+     << "5,0.10,0.060\n";  // gap: 3, 4 missing
+  const auto trace = trace::read_trace(ss);
+  ASSERT_EQ(trace.records.size(), 3u);
+  EXPECT_EQ(trace.gaps(), 3u);
+  EXPECT_TRUE(trace.records[1].obs.lost);
+  const auto obs = trace.observations();
+  EXPECT_EQ(inference::loss_count(obs), 1u);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  auto expect_throw = [](const std::string& body) {
+    std::stringstream ss;
+    ss << body;
+    EXPECT_THROW(trace::read_trace(ss), util::Error) << body;
+  };
+  expect_throw("abc,0.0,0.05\n");          // bad seq
+  expect_throw("0,xyz,0.05\n");            // bad send time
+  expect_throw("0,0.0,banana\n");          // bad delay
+  expect_throw("0,0.0,-0.5\n");            // negative delay
+  expect_throw("0,0.0,0.05\n0,0.02,0.05\n");  // non-increasing seq
+  expect_throw("5,0.1,0.05\n3,0.2,0.05\n");   // decreasing seq
+  expect_throw("0,0.0\n");                 // missing field
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  inference::ObservationSequence obs;
+  obs.push_back(inference::Observation::received(0.05));
+  obs.push_back(inference::Observation::loss());
+  obs.push_back(inference::Observation::received(0.07));
+  const auto trace = trace::make_trace(obs, 0.0, 0.02);
+  const std::string path = "/tmp/dclid_trace_test.csv";
+  trace::write_trace_file(path, trace);
+  const auto back = trace::read_trace_file(path);
+  EXPECT_EQ(back.records.size(), 3u);
+  EXPECT_THROW(trace::read_trace_file("/nonexistent/nope.csv"), util::Error);
+}
+
+}  // namespace
+}  // namespace dcl

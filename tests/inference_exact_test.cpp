@@ -1,0 +1,180 @@
+// Exact-arithmetic checks of the inference cores on tiny hand-computed
+// cases: the scaled forward-backward likelihood, the missing-value
+// emission treatment, and the eq. (5) posterior must match pencil-and-
+// paper results to floating-point accuracy. These pin down the math that
+// the statistical tests only check in aggregate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "inference/discretizer.h"
+#include "inference/hmm.h"
+#include "inference/mmhd.h"
+#include "util/matrix.h"
+
+namespace dcl::inference {
+namespace {
+
+constexpr int kLoss = Discretizer::kLossSymbol;
+
+// ---------------------------------------------------------------------------
+// MMHD with N = 1 is a Markov chain over symbols with per-symbol loss
+// probabilities — everything is computable by hand.
+
+class TinyMmhd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = std::make_unique<Mmhd>(1, 2);
+    // pi = (0.6, 0.4); A = [[0.7, 0.3], [0.2, 0.8]]; C = (0.1, 0.5).
+    util::Matrix a(2, 2);
+    a(0, 0) = 0.7;
+    a(0, 1) = 0.3;
+    a(1, 0) = 0.2;
+    a(1, 1) = 0.8;
+    model_->set_parameters({0.6, 0.4}, a, {0.1, 0.5});
+  }
+  std::unique_ptr<Mmhd> model_;
+};
+
+TEST_F(TinyMmhd, LikelihoodOfObservedSequence) {
+  // P(1, 2, 2 and all received)
+  //   = pi_1 (1-C1) * a12 (1-C2) * a22 (1-C2)
+  //   = 0.6*0.9 * 0.3*0.5 * 0.8*0.5 = 0.0324.
+  const double ll = model_->log_likelihood({1, 2, 2});
+  EXPECT_NEAR(ll, std::log(0.0324), 1e-12);
+}
+
+TEST_F(TinyMmhd, LikelihoodMarginalizesTheLoss) {
+  // Sequence (1, LOST, 2): the middle symbol x is marginalized:
+  //   sum_x pi_1 (1-C1) * a_{1x} C_x * a_{x2} (1-C2)
+  //   x=1: 0.6*0.9 * 0.7*0.1 * 0.3*0.5 = 0.005670
+  //   x=2: 0.6*0.9 * 0.3*0.5 * 0.8*0.5 = 0.032400
+  const double expect = 0.00567 + 0.0324;
+  const double ll = model_->log_likelihood({1, kLoss, 2});
+  EXPECT_NEAR(ll, std::log(expect), 1e-12);
+}
+
+TEST_F(TinyMmhd, PosteriorOfTheMissingSymbol) {
+  // Same sequence: P(x = 2 | obs) = 0.0324 / 0.03807.
+  const auto pmf = model_->virtual_delay_pmf({1, kLoss, 2});
+  ASSERT_EQ(pmf.size(), 2u);
+  EXPECT_NEAR(pmf[1], 0.0324 / 0.03807, 1e-12);
+  EXPECT_NEAR(pmf[0] + pmf[1], 1.0, 1e-12);
+  // Per-loss posteriors carry the same values.
+  const auto per_loss = model_->per_loss_posteriors({1, kLoss, 2});
+  ASSERT_EQ(per_loss.size(), 1u);
+  EXPECT_NEAR(per_loss[0][1], 0.0324 / 0.03807, 1e-12);
+}
+
+TEST_F(TinyMmhd, ViterbiPicksTheMapPath) {
+  // For (1, LOST, 2), the x = 2 path dominates (0.0324 > 0.00567).
+  const auto path = model_->viterbi({1, kLoss, 2});
+  EXPECT_EQ(path, (std::vector<int>{1, 2, 2}));
+  // Make symbol 1 the better bridge by flipping C: C = (0.9, 0.02) makes
+  // path x=1 weight 0.6*0.1*0.7*0.9*0.3*0.98 vs x=2 0.6*0.1*0.3*0.02*...:
+  util::Matrix a(2, 2);
+  a(0, 0) = 0.7;
+  a(0, 1) = 0.3;
+  a(1, 0) = 0.2;
+  a(1, 1) = 0.8;
+  model_->set_parameters({0.6, 0.4}, a, {0.9, 0.02});
+  EXPECT_EQ(model_->viterbi({1, kLoss, 2}),
+            (std::vector<int>{1, 1, 2}));
+}
+
+TEST_F(TinyMmhd, LikelihoodInvariantToScalingLength) {
+  // Chain rule: ll(s1..s3) + ll(s3..s4 | s3) is not directly exposed, but
+  // appending an impossible-to-confuse observed step multiplies the
+  // likelihood by exactly a_{22}(1-C2).
+  const double l3 = model_->log_likelihood({1, 2, 2});
+  const double l4 = model_->log_likelihood({1, 2, 2, 2});
+  EXPECT_NEAR(l4 - l3, std::log(0.8 * 0.5), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// HMM with hand-set parameters.
+
+class TinyHmm : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = std::make_unique<Hmm>(2, 2);
+    // pi = (0.5, 0.5); A = [[0.9, 0.1], [0.3, 0.7]];
+    // B = [[0.8, 0.2], [0.25, 0.75]]; C = (0.05, 0.4).
+    util::Matrix a(2, 2), b(2, 2);
+    a(0, 0) = 0.9;
+    a(0, 1) = 0.1;
+    a(1, 0) = 0.3;
+    a(1, 1) = 0.7;
+    b(0, 0) = 0.8;
+    b(0, 1) = 0.2;
+    b(1, 0) = 0.25;
+    b(1, 1) = 0.75;
+    model_->set_parameters({0.5, 0.5}, a, b, {0.05, 0.4});
+  }
+  std::unique_ptr<Hmm> model_;
+};
+
+TEST_F(TinyHmm, TwoStepLikelihood) {
+  // Two steps, both symbol 1:
+  //   sum_{h1,h2} pi_{h1} B[h1][1](1-C1) a_{h1h2} B[h2][1](1-C1).
+  double expect = 0.0;
+  const double pi[2] = {0.5, 0.5};
+  const double a[2][2] = {{0.9, 0.1}, {0.3, 0.7}};
+  const double b[2][2] = {{0.8, 0.2}, {0.25, 0.75}};
+  for (int h1 = 0; h1 < 2; ++h1)
+    for (int h2 = 0; h2 < 2; ++h2)
+      expect += pi[h1] * b[h1][0] * 0.95 * a[h1][h2] * b[h2][0] * 0.95;
+  EXPECT_NEAR(model_->log_likelihood({1, 1}), std::log(expect), 1e-12);
+}
+
+TEST_F(TinyHmm, LossStepMarginalizesOverTheObservedSupport) {
+  const double pi[2] = {0.5, 0.5};
+  const double a[2][2] = {{0.9, 0.1}, {0.3, 0.7}};
+  const double b[2][2] = {{0.8, 0.2}, {0.25, 0.75}};
+  const double c[2] = {0.05, 0.4};
+
+  // (1, LOST): only symbol 1 is observed anywhere in the sequence, so the
+  // support restriction confines the loss to d = 1 — the loss emission in
+  // state h is B[h][1] C_1, not the full sum over d.
+  double restricted = 0.0;
+  for (int h1 = 0; h1 < 2; ++h1)
+    for (int h2 = 0; h2 < 2; ++h2)
+      restricted +=
+          pi[h1] * b[h1][0] * (1 - c[0]) * a[h1][h2] * b[h2][0] * c[0];
+  EXPECT_NEAR(model_->log_likelihood({1, kLoss}), std::log(restricted),
+              1e-12);
+
+  // (1, LOST, 2): both symbols observed -> the loss marginalizes over
+  // both.
+  double full = 0.0;
+  for (int h1 = 0; h1 < 2; ++h1)
+    for (int h2 = 0; h2 < 2; ++h2)
+      for (int h3 = 0; h3 < 2; ++h3)
+        for (int d2 = 0; d2 < 2; ++d2)
+          full += pi[h1] * b[h1][0] * (1 - c[0]) * a[h1][h2] * b[h2][d2] *
+                  c[d2] * a[h2][h3] * b[h3][1] * (1 - c[1]);
+  EXPECT_NEAR(model_->log_likelihood({1, kLoss, 2}), std::log(full), 1e-12);
+}
+
+TEST_F(TinyHmm, PosteriorMatchesBruteForceEnumeration) {
+  // (1, LOST, 2): enumerate all (h1, h2, h3, d2) paths by brute force and
+  // compare P(d2 | obs) with the library's smoothed posterior.
+  const double pi[2] = {0.5, 0.5};
+  const double a[2][2] = {{0.9, 0.1}, {0.3, 0.7}};
+  const double b[2][2] = {{0.8, 0.2}, {0.25, 0.75}};
+  const double c[2] = {0.05, 0.4};
+  double num[2] = {0.0, 0.0};
+  for (int h1 = 0; h1 < 2; ++h1)
+    for (int h2 = 0; h2 < 2; ++h2)
+      for (int h3 = 0; h3 < 2; ++h3)
+        for (int d2 = 0; d2 < 2; ++d2)
+          num[d2] += pi[h1] * b[h1][0] * (1 - c[0]) * a[h1][h2] *
+                     b[h2][d2] * c[d2] * a[h2][h3] * b[h3][1] * (1 - c[1]);
+  const double z = num[0] + num[1];
+  const auto pmf = model_->virtual_delay_pmf({1, kLoss, 2});
+  EXPECT_NEAR(pmf[0], num[0] / z, 1e-12);
+  EXPECT_NEAR(pmf[1], num[1] / z, 1e-12);
+}
+
+}  // namespace
+}  // namespace dcl::inference

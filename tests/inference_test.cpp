@@ -1,0 +1,376 @@
+// Tests for the inference layer: discretization, the HMM and MMHD EM
+// algorithms (including EM invariants as parameterized property sweeps),
+// and the virtual-delay posterior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "inference/discretizer.h"
+#include "inference/hmm.h"
+#include "inference/mmhd.h"
+#include "inference/observation.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dcl::inference {
+namespace {
+
+constexpr int kLoss = Discretizer::kLossSymbol;
+
+TEST(Discretizer, MapsDelaysToExpectedBins) {
+  // Floor 100 ms, ceiling 200 ms, 10 bins of 10 ms.
+  Discretizer d(0.100, 0.200, 10);
+  EXPECT_EQ(d.symbols(), 10);
+  EXPECT_NEAR(d.bin_width(), 0.010, 1e-12);
+  EXPECT_EQ(d.symbol_for(0.100), 1);   // zero queuing -> first bin
+  EXPECT_EQ(d.symbol_for(0.1001), 1);  // (0, w]
+  EXPECT_EQ(d.symbol_for(0.110), 1);   // exactly w
+  EXPECT_EQ(d.symbol_for(0.1101), 2);
+  EXPECT_EQ(d.symbol_for(0.200), 10);
+  EXPECT_EQ(d.symbol_for(0.250), 10);  // clamped above
+  EXPECT_EQ(d.symbol_for(0.050), 1);   // clamped below
+}
+
+TEST(Discretizer, QueuingDelayUpperEdge) {
+  Discretizer d(0.0, 0.5, 5);
+  EXPECT_NEAR(d.queuing_delay_upper(1), 0.1, 1e-12);
+  EXPECT_NEAR(d.queuing_delay_upper(5), 0.5, 1e-12);
+}
+
+TEST(Discretizer, FromObservationsUsesMinMaxReceivedDelay) {
+  ObservationSequence obs;
+  obs.push_back(Observation::received(0.10));
+  obs.push_back(Observation::loss());
+  obs.push_back(Observation::received(0.30));
+  obs.push_back(Observation::received(0.20));
+  DiscretizerConfig cfg;
+  cfg.symbols = 4;
+  const auto d = Discretizer::from_observations(obs, cfg);
+  EXPECT_NEAR(d.delay_floor(), 0.10, 1e-12);
+  // Default range factor 2: the grid spans twice the observed queuing
+  // range [0, 0.2], so w = 0.4 / 4 and received delays occupy the lower
+  // half of the symbols.
+  EXPECT_NEAR(d.bin_width(), 0.10, 1e-12);
+  const auto seq = d.discretize(obs);
+  EXPECT_EQ(seq, (std::vector<int>{1, kLoss, 2, 1}));
+  // With range factor 1 the observed range spans all symbols.
+  cfg.range_factor = 1.0;
+  const auto d1 = Discretizer::from_observations(obs, cfg);
+  EXPECT_NEAR(d1.bin_width(), 0.05, 1e-12);
+  EXPECT_EQ(d1.discretize(obs), (std::vector<int>{1, kLoss, 4, 2}));
+}
+
+TEST(Discretizer, KnownPropagationDelayOverridesFloor) {
+  ObservationSequence obs;
+  obs.push_back(Observation::received(0.15));
+  obs.push_back(Observation::received(0.25));
+  DiscretizerConfig cfg;
+  cfg.symbols = 5;
+  cfg.propagation_delay = 0.10;
+  const auto d = Discretizer::from_observations(obs, cfg);
+  EXPECT_NEAR(d.delay_floor(), 0.10, 1e-12);
+  // Queuing range [0, 0.15] doubled to [0, 0.30] over 5 symbols.
+  EXPECT_NEAR(d.bin_width(), 0.06, 1e-12);
+}
+
+TEST(Discretizer, DegenerateRangeStillWellDefined) {
+  ObservationSequence obs;
+  obs.push_back(Observation::received(0.1));
+  obs.push_back(Observation::received(0.1));
+  DiscretizerConfig cfg;
+  cfg.symbols = 10;
+  const auto d = Discretizer::from_observations(obs, cfg);
+  EXPECT_EQ(d.symbol_for(0.1), 1);
+  EXPECT_GT(d.bin_width(), 0.0);
+}
+
+TEST(Discretizer, AllLostSequenceThrows) {
+  ObservationSequence obs;
+  obs.push_back(Observation::loss());
+  obs.push_back(Observation::loss());
+  DiscretizerConfig cfg;
+  EXPECT_THROW(Discretizer::from_observations(obs, cfg), util::Error);
+}
+
+TEST(Discretizer, PmfOfOwdsHistograms) {
+  Discretizer d(0.0, 1.0, 4);
+  const auto pmf = d.pmf_of_owds({0.1, 0.2, 0.6, 0.9});
+  EXPECT_NEAR(pmf[0], 0.5, 1e-12);   // 0.1, 0.2
+  EXPECT_NEAR(pmf[2], 0.25, 1e-12);  // 0.6
+  EXPECT_NEAR(pmf[3], 0.25, 1e-12);  // 0.9
+}
+
+// --------------------------------------------------------------------------
+// Synthetic sequence generation from a known MMHD-style process: a Markov
+// chain over symbols with per-symbol loss probabilities.
+
+std::vector<int> synth_markov(std::size_t t_len, const util::Matrix& trans,
+                              const std::vector<double>& loss_prob,
+                              util::Rng& rng) {
+  const int m = static_cast<int>(trans.rows());
+  std::vector<int> seq;
+  int state = 0;
+  for (std::size_t t = 0; t < t_len; ++t) {
+    // Step the chain.
+    const double u = rng.uniform();
+    double acc = 0.0;
+    for (int j = 0; j < m; ++j) {
+      acc += trans(static_cast<std::size_t>(state),
+                   static_cast<std::size_t>(j));
+      if (u < acc) {
+        state = j;
+        break;
+      }
+    }
+    const bool lost = rng.bernoulli(loss_prob[static_cast<std::size_t>(state)]);
+    seq.push_back(lost ? kLoss : state + 1);
+  }
+  // The fitters assume nothing about the boundary, but keep the paper's
+  // convention of non-loss endpoints.
+  if (seq.front() == kLoss) seq.front() = 1;
+  if (seq.back() == kLoss) seq.back() = 1;
+  return seq;
+}
+
+// A 3-symbol "congested path": symbol 3 is sticky and carries nearly all
+// losses — the known virtual-delay distribution concentrates on symbol 3.
+std::vector<int> congested_sequence(std::size_t t_len, std::uint64_t seed,
+                                    util::Pmf* true_loss_pmf = nullptr) {
+  util::Matrix trans(3, 3);
+  // Rows: state persistence with occasional moves.
+  const double tr[3][3] = {{0.90, 0.08, 0.02},
+                           {0.10, 0.80, 0.10},
+                           {0.05, 0.15, 0.80}};
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) trans(i, j) = tr[i][j];
+  const std::vector<double> loss{0.001, 0.005, 0.20};
+  util::Rng rng(seed);
+  auto seq = synth_markov(t_len, trans, loss, rng);
+  if (true_loss_pmf != nullptr) {
+    // Stationary distribution of `tr` (computed offline for these values)
+    // is approximately (0.355, 0.403, 0.242); loss-conditioned:
+    // proportional to pi_d * loss_d.
+    util::Pmf p{0.355 * 0.001, 0.403 * 0.005, 0.242 * 0.20};
+    util::normalize(p);
+    *true_loss_pmf = p;
+  }
+  return seq;
+}
+
+TEST(Mmhd, RecoversLossConcentrationOnSyntheticData) {
+  util::Pmf truth;
+  const auto seq = congested_sequence(30000, 17, &truth);
+  Mmhd model(1, 3);
+  EmOptions opts;
+  opts.hidden_states = 1;
+  opts.seed = 3;
+  const auto fit = model.fit(seq, opts);
+  ASSERT_EQ(fit.virtual_delay_pmf.size(), 3u);
+  // Nearly all loss mass on symbol 3, matching the generator.
+  EXPECT_GT(fit.virtual_delay_pmf[2], 0.85);
+  EXPECT_LT(util::l1_distance(fit.virtual_delay_pmf, truth), 0.15);
+}
+
+TEST(Mmhd, LearnsPerSymbolLossProbabilities) {
+  const auto seq = congested_sequence(40000, 23);
+  Mmhd model(1, 3);
+  EmOptions opts;
+  opts.hidden_states = 1;
+  opts.seed = 9;
+  model.fit(seq, opts);
+  const auto& c = model.loss_given_symbol();
+  // True values 0.001 / 0.005 / 0.20: ordering must be recovered and the
+  // dominant one close.
+  EXPECT_LT(c[0], c[2]);
+  EXPECT_LT(c[1], c[2]);
+  EXPECT_NEAR(c[2], 0.20, 0.06);
+}
+
+TEST(Mmhd, WithOneHiddenStateMatchesMarkovChainCounts) {
+  // With N=1 and no losses, the MMHD transition estimate must equal the
+  // empirical bigram frequencies.
+  std::vector<int> seq;
+  util::Rng rng(31);
+  util::Matrix trans(2, 2);
+  trans(0, 0) = 0.7;
+  trans(0, 1) = 0.3;
+  trans(1, 0) = 0.4;
+  trans(1, 1) = 0.6;
+  const std::vector<double> loss{0.0, 0.0};
+  seq = synth_markov(20000, trans, loss, rng);
+  Mmhd model(1, 2);
+  EmOptions opts;
+  opts.hidden_states = 1;
+  opts.max_iterations = 50;
+  const auto fit = model.fit(seq, opts);
+  EXPECT_EQ(fit.losses, 0u);
+  EXPECT_NEAR(model.transitions()(0, 0), 0.7, 0.02);
+  EXPECT_NEAR(model.transitions()(1, 1), 0.6, 0.02);
+}
+
+TEST(Hmm, RecoversLossConcentrationOnSyntheticData) {
+  util::Pmf truth;
+  const auto seq = congested_sequence(30000, 29, &truth);
+  Hmm model(2, 3);
+  EmOptions opts;
+  opts.hidden_states = 2;
+  opts.seed = 4;
+  opts.restarts = 2;
+  const auto fit = model.fit(seq, opts);
+  EXPECT_GT(fit.virtual_delay_pmf[2], 0.6);
+}
+
+TEST(Hmm, FitRejectsTooShortSequences) {
+  Hmm model(2, 3);
+  EmOptions opts;
+  EXPECT_THROW(model.fit({1}, opts), util::Error);
+}
+
+TEST(Mmhd, VirtualPmfIsZeroWithoutLosses) {
+  std::vector<int> seq(100, 1);
+  for (std::size_t i = 0; i < seq.size(); i += 2) seq[i] = 2;
+  Mmhd model(1, 2);
+  EmOptions opts;
+  opts.hidden_states = 1;
+  opts.max_iterations = 20;
+  const auto fit = model.fit(seq, opts);
+  EXPECT_EQ(fit.losses, 0u);
+  for (double p : fit.virtual_delay_pmf) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(Mmhd, PosteriorUsesTemporalContext) {
+  // Loss events wedged inside runs of symbol 3 must be attributed to
+  // symbol 3 even though C starts near-uniform: the learned transition
+  // structure (3s follow 3s, 1s follow 1s) pins the missing symbol.
+  std::vector<int> seq;
+  for (int block = 0; block < 300; ++block) {
+    for (int i = 0; i < 30; ++i) seq.push_back(1);
+    seq.push_back(3);
+    seq.push_back(3);
+    seq.push_back(kLoss);
+    seq.push_back(3);
+    seq.push_back(3);
+  }
+  Mmhd model(1, 3);
+  EmOptions opts;
+  opts.hidden_states = 1;
+  opts.seed = 2;
+  const auto fit = model.fit(seq, opts);
+  EXPECT_GT(fit.virtual_delay_pmf[2], 0.9);
+}
+
+TEST(Mmhd, HandlesLossAtSequenceBoundary) {
+  std::vector<int> seq{kLoss, 1, 2, 1, kLoss, 2, 1, kLoss};
+  Mmhd model(1, 2);
+  EmOptions opts;
+  opts.hidden_states = 1;
+  opts.max_iterations = 30;
+  const auto fit = model.fit(seq, opts);
+  EXPECT_EQ(fit.losses, 3u);
+  double sum = 0.0;
+  for (double p : fit.virtual_delay_pmf) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Hmm, StationaryAndPosteriorPmfsAgreeOnStationaryData) {
+  const auto seq = congested_sequence(30000, 41);
+  Hmm model(2, 3);
+  EmOptions opts;
+  opts.hidden_states = 2;
+  opts.seed = 8;
+  const auto fit = model.fit(seq, opts);
+  const auto stat = model.stationary_virtual_delay_pmf();
+  EXPECT_LT(util::l1_distance(fit.virtual_delay_pmf, stat), 0.25);
+}
+
+// --------------------------------------------------------------------------
+// Property sweeps: EM invariants across seeds, state counts, and models.
+
+struct EmCase {
+  int hidden;
+  int symbols;
+  std::uint64_t seed;
+};
+
+class EmProperties : public ::testing::TestWithParam<EmCase> {};
+
+TEST_P(EmProperties, MmhdLogLikelihoodIsNonDecreasing) {
+  const auto& c = GetParam();
+  const auto seq = congested_sequence(4000, c.seed);
+  Mmhd model(c.hidden, c.symbols >= 3 ? c.symbols : 3);
+  EmOptions opts;
+  opts.hidden_states = c.hidden;
+  opts.seed = c.seed;
+  opts.max_iterations = 60;
+  // Plain maximum likelihood: only then is the data log likelihood itself
+  // an EM ascent objective (the MAP default ascends the penalized one).
+  opts.transition_prior = 0.0;
+  const auto fit = model.fit(seq, opts);
+  for (std::size_t i = 1; i < fit.log_likelihood_history.size(); ++i)
+    EXPECT_GE(fit.log_likelihood_history[i],
+              fit.log_likelihood_history[i - 1] - 1e-6)
+        << "EM decreased the likelihood at iteration " << i;
+}
+
+TEST_P(EmProperties, HmmLogLikelihoodIsNonDecreasing) {
+  const auto& c = GetParam();
+  const auto seq = congested_sequence(4000, c.seed + 100);
+  Hmm model(c.hidden, 3);
+  EmOptions opts;
+  opts.hidden_states = c.hidden;
+  opts.seed = c.seed;
+  opts.max_iterations = 60;
+  const auto fit = model.fit(seq, opts);
+  for (std::size_t i = 1; i < fit.log_likelihood_history.size(); ++i)
+    EXPECT_GE(fit.log_likelihood_history[i],
+              fit.log_likelihood_history[i - 1] - 1e-6);
+}
+
+TEST_P(EmProperties, VirtualPmfIsAProbabilityDistribution) {
+  const auto& c = GetParam();
+  const auto seq = congested_sequence(4000, c.seed + 200);
+  Mmhd model(c.hidden, 3);
+  EmOptions opts;
+  opts.hidden_states = c.hidden;
+  opts.seed = c.seed;
+  const auto fit = model.fit(seq, opts);
+  double sum = 0.0;
+  for (double p : fit.virtual_delay_pmf) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-12);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(EmProperties, MapFitStaysCloseToMaximumLikelihoodOnCleanData) {
+  // On data whose losses sit at well-observed symbols, the transition
+  // prior must not move the virtual-delay estimate materially.
+  const auto& c = GetParam();
+  const auto seq = congested_sequence(6000, c.seed + 300);
+  EmOptions opts;
+  opts.hidden_states = c.hidden;
+  opts.seed = c.seed;
+  Mmhd ml(c.hidden, 3), map(c.hidden, 3);
+  EmOptions ml_opts = opts;
+  ml_opts.transition_prior = 0.0;
+  const auto fit_ml = ml.fit(seq, ml_opts);
+  const auto fit_map = map.fit(seq, opts);
+  EXPECT_LT(util::l1_distance(fit_ml.virtual_delay_pmf,
+                              fit_map.virtual_delay_pmf),
+            0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EmProperties,
+    ::testing::Values(EmCase{1, 3, 1}, EmCase{1, 3, 2}, EmCase{2, 3, 3},
+                      EmCase{2, 3, 4}, EmCase{3, 3, 5}, EmCase{2, 5, 6},
+                      EmCase{4, 3, 7}),
+    [](const ::testing::TestParamInfo<EmCase>& info) {
+      return "N" + std::to_string(info.param.hidden) + "M" +
+             std::to_string(info.param.symbols) + "seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace dcl::inference

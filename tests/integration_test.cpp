@@ -1,0 +1,218 @@
+// End-to-end integration tests: simulate the paper's three ns regimes,
+// run the full identification pipeline on the probe observations, and
+// check the decisions and bounds against simulator ground truth.
+//
+// Durations are shorter than the benches' (the paper itself shows tens of
+// seconds suffice when an SDCL exists and a few minutes otherwise).
+#include <gtest/gtest.h>
+
+#include "core/identifier.h"
+#include "core/loss_pair.h"
+#include "inference/discretizer.h"
+#include "scenarios/presets.h"
+#include "util/stats.h"
+
+namespace dcl {
+namespace {
+
+using scenarios::ChainScenario;
+
+struct RunResult {
+  core::IdentificationResult id;
+  util::Pmf gt_pmf;                  // ground-truth virtual delays, same grid
+  core::WdclResult gt_wdcl;          // test applied to the ground truth
+  std::array<std::uint64_t, 3> losses_by_link;
+  double loss_rate = 0.0;
+};
+
+RunResult run_pipeline(const scenarios::ChainConfig& cfg,
+                       const core::IdentifierConfig& icfg) {
+  ChainScenario sc(cfg);
+  sc.run();
+  const auto obs = sc.observations();
+  RunResult r;
+  r.loss_rate = inference::loss_rate(obs);
+  r.losses_by_link = sc.probe_losses_by_link();
+
+  core::Identifier identifier(icfg);
+  r.id = identifier.identify(obs);
+
+  inference::DiscretizerConfig dc;
+  dc.symbols = icfg.symbols;
+  const auto disc = inference::Discretizer::from_observations(obs, dc);
+  r.gt_pmf = disc.pmf_of_owds(sc.ground_truth_virtual_owds());
+  r.gt_wdcl = core::wdcl_test(util::pmf_to_cdf(r.gt_pmf), icfg.eps_l,
+                              icfg.eps_d);
+  return r;
+}
+
+TEST(Integration, SdclIsAcceptedAndLocalizedToBottleneck) {
+  auto cfg = scenarios::presets::sdcl_chain(1e6, /*seed=*/11,
+                                            /*duration=*/400.0,
+                                            /*warmup=*/60.0);
+  core::IdentifierConfig icfg;
+  const auto r = run_pipeline(cfg, icfg);
+
+  ASSERT_TRUE(r.id.has_losses);
+  EXPECT_GT(r.loss_rate, 0.005);
+  EXPECT_LT(r.loss_rate, 0.12);
+  // All probe losses at the bottleneck L1.
+  EXPECT_EQ(r.losses_by_link[0], 0u);
+  EXPECT_EQ(r.losses_by_link[2], 0u);
+  EXPECT_GT(r.losses_by_link[1], 0u);
+
+  EXPECT_TRUE(r.id.sdcl.accepted);
+  EXPECT_TRUE(r.id.wdcl.accepted);
+  // The inferred distribution matches the ground truth closely.
+  EXPECT_LT(util::l1_distance(r.id.virtual_pmf, r.gt_pmf), 0.6);
+}
+
+TEST(Integration, SdclBoundTracksActualMaxQueuingDelay) {
+  auto cfg = scenarios::presets::sdcl_chain(1e6, /*seed=*/12,
+                                            /*duration=*/400.0,
+                                            /*warmup=*/60.0);
+  core::IdentifierConfig icfg;
+  const auto r = run_pipeline(cfg, icfg);
+  ASSERT_TRUE(r.id.sdcl.accepted);
+  // Nominal Q_max(L1) = 20 kB at 1 Mb/s = 160 ms; the packet-counted
+  // queue's real full-queue drain is somewhat lower. Both the coarse i*
+  // bound and the fine component bound must land in that vicinity.
+  EXPECT_GT(r.id.coarse_bound.seconds, 0.06);
+  EXPECT_LT(r.id.coarse_bound.seconds, 0.20);
+  ASSERT_TRUE(r.id.fine_valid);
+  EXPECT_GT(r.id.fine_bound.bound_seconds, 0.06);
+  EXPECT_LT(r.id.fine_bound.bound_seconds, 0.20);
+}
+
+TEST(Integration, WdclIsAcceptedWithDominantShareAtL1) {
+  auto cfg = scenarios::presets::wdcl_chain(0.8e6, 16e6, /*seed=*/21,
+                                            /*duration=*/500.0,
+                                            /*warmup=*/60.0);
+  core::IdentifierConfig icfg;  // eps_l = 0.06, eps_d = 0 (paper defaults)
+  const auto r = run_pipeline(cfg, icfg);
+
+  ASSERT_TRUE(r.id.has_losses);
+  const double total = static_cast<double>(
+      r.losses_by_link[0] + r.losses_by_link[1] + r.losses_by_link[2]);
+  ASSERT_GT(total, 0.0);
+  const double share1 = static_cast<double>(r.losses_by_link[1]) / total;
+  EXPECT_GT(share1, 0.90);   // L1 dominates the losses
+  EXPECT_LT(share1, 1.0);    // ... but L2 does lose some probes
+  EXPECT_TRUE(r.id.wdcl.accepted);
+}
+
+TEST(Integration, NoDclIsRejected) {
+  auto cfg = scenarios::presets::nodcl_chain(0.5e6, 8e6, /*seed=*/31,
+                                             /*duration=*/600.0,
+                                             /*warmup=*/60.0);
+  core::IdentifierConfig icfg;
+  const auto r = run_pipeline(cfg, icfg);
+
+  ASSERT_TRUE(r.id.has_losses);
+  // Both links lose probes; neither carries the >= 94% share a WDCL(0.06)
+  // would demand (the exact ratio varies with the seed).
+  const double a = static_cast<double>(r.losses_by_link[1]);
+  const double b = static_cast<double>(r.losses_by_link[2]);
+  ASSERT_GT(a, 0.0);
+  ASSERT_GT(b, 0.0);
+  EXPECT_LT(std::max(a, b) / (a + b), 0.94);
+
+  // Ground truth rejects, and so does the model-based test.
+  EXPECT_FALSE(r.gt_wdcl.accepted);
+  EXPECT_FALSE(r.id.wdcl.accepted);
+  EXPECT_FALSE(r.id.sdcl.accepted);
+}
+
+TEST(Integration, GroundTruthSatisfiesTheoremOneWhenSdclExists) {
+  // Theorem 1 invariant on the *ground truth*: with all losses at one
+  // link, every virtual delay is at least the (per-event) full-queue
+  // drain, so F(i*-1) = 0 and F(2 i*) = 1 on the discretized grid.
+  auto cfg = scenarios::presets::sdcl_chain(0.6e6, /*seed=*/13,
+                                            /*duration=*/400.0,
+                                            /*warmup=*/60.0);
+  ChainScenario sc(cfg);
+  sc.run();
+  const auto obs = sc.observations();
+  ASSERT_GT(inference::loss_count(obs), 10u);
+  inference::DiscretizerConfig dc;
+  const auto disc = inference::Discretizer::from_observations(obs, dc);
+  const auto gt_pmf = disc.pmf_of_owds(sc.ground_truth_virtual_owds());
+  const auto gt_cdf = util::pmf_to_cdf(gt_pmf);
+  const auto s = core::sdcl_test(gt_cdf, 0.01);
+  EXPECT_TRUE(s.accepted);
+}
+
+TEST(Integration, LossPairBaselineAgreesInSdclSetting) {
+  // In the SDCL setting the loss-pair estimate is also accurate (paper
+  // Table II): both estimators land within ~2 fine bins of each other.
+  auto cfg = scenarios::presets::sdcl_chain(1e6, /*seed=*/14,
+                                            /*duration=*/400.0,
+                                            /*warmup=*/60.0);
+  ChainScenario sc(cfg);
+  sc.run();
+  const auto obs = sc.observations();
+
+  core::IdentifierConfig icfg;
+  core::Identifier identifier(icfg);
+  const auto id = identifier.identify(obs);
+  ASSERT_TRUE(id.fine_valid);
+
+  // Pairs are a separate run of the same workload (paper methodology).
+  auto pair_cfg = cfg;
+  pair_cfg.probe_mode = scenarios::ChainConfig::ProbeMode::kPairs;
+  ChainScenario pair_sc(pair_cfg);
+  pair_sc.run();
+
+  inference::DiscretizerConfig fdc;
+  fdc.symbols = icfg.bound_symbols;
+  const auto fdisc = inference::Discretizer::from_observations(obs, fdc);
+  const auto lp = core::loss_pair_estimate(pair_sc.loss_pair_owds(), fdisc);
+  ASSERT_TRUE(lp.valid);
+  EXPECT_NEAR(lp.max_delay_estimate_s, id.fine_bound.bound_seconds, 0.06);
+}
+
+TEST(Integration, IdentifierHandlesLossFreeTrace) {
+  // No congestion at all: the identifier reports has_losses = false and
+  // makes no claim.
+  scenarios::ChainConfig cfg;
+  cfg.bandwidth_bps = {10e6, 10e6, 10e6};
+  cfg.buffer_bytes = {200000, 200000, 200000};
+  cfg.ftp_flows = 1;
+  cfg.http_arrival_rate = 0.0;
+  cfg.udp_rate_bps = {0.0, 0.0, 0.0};
+  cfg.duration_s = 60.0;
+  cfg.warmup_s = 10.0;
+  cfg.seed = 7;
+  ChainScenario sc(cfg);
+  sc.run();
+  const auto obs = sc.observations();
+  ASSERT_EQ(inference::loss_count(obs), 0u);
+  core::Identifier identifier(core::IdentifierConfig{});
+  const auto r = identifier.identify(obs);
+  EXPECT_FALSE(r.has_losses);
+  EXPECT_FALSE(r.sdcl.accepted);
+  EXPECT_FALSE(r.wdcl.accepted);
+}
+
+TEST(Integration, KnownPropagationDelayGivesSameDecision) {
+  // Paper Fig. 14: using the minimum observed delay as the propagation
+  // delay is a good enough approximation — the decision must match the
+  // known-dprop run.
+  auto cfg = scenarios::presets::sdcl_chain(1e6, /*seed=*/15,
+                                            /*duration=*/400.0,
+                                            /*warmup=*/60.0);
+  ChainScenario sc(cfg);
+  sc.run();
+  const auto obs = sc.observations();
+
+  core::IdentifierConfig unknown_cfg;
+  core::IdentifierConfig known_cfg;
+  known_cfg.propagation_delay = sc.true_propagation_delay();
+  const auto r_unknown = core::Identifier(unknown_cfg).identify(obs);
+  const auto r_known = core::Identifier(known_cfg).identify(obs);
+  EXPECT_EQ(r_unknown.wdcl.accepted, r_known.wdcl.accepted);
+  EXPECT_EQ(r_unknown.sdcl.accepted, r_known.sdcl.accepted);
+}
+
+}  // namespace
+}  // namespace dcl

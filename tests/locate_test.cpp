@@ -1,0 +1,184 @@
+// Tests for TTL-limited probing and the pathchar/pinpoint extensions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/identifier.h"
+#include "locate/locate.h"
+#include "scenarios/presets.h"
+#include "sim/droptail.h"
+#include "sim/network.h"
+#include "traffic/ttl_prober.h"
+#include "util/error.h"
+
+namespace dcl {
+namespace {
+
+TEST(Ttl, ExpiryGeneratesTimeExceededAtTheRightRouter) {
+  sim::Network net;
+  const auto h0 = net.add_node("h0");
+  const auto r0 = net.add_node("r0");
+  const auto r1 = net.add_node("r1");
+  const auto h1 = net.add_node("h1");
+  net.add_duplex_link(h0, r0, 10e6, 0.001, 100000);
+  net.add_duplex_link(r0, r1, 10e6, 0.002, 100000);
+  net.add_duplex_link(r1, h1, 10e6, 0.001, 100000);
+  net.compute_routes();
+
+  struct Sink final : sim::Agent {
+    std::vector<sim::Packet> got;
+    void on_receive(sim::Packet p, sim::Time) override { got.push_back(p); }
+  } sink;
+  net.node(h0).attach(42, &sink);
+
+  // ttl = 1 expires at r0, ttl = 2 at r1, ttl = 3 reaches h1.
+  for (std::uint16_t ttl : {1, 2, 3}) {
+    sim::Packet p;
+    p.type = sim::PacketType::kProbe;
+    p.src = h0;
+    p.dst = h1;
+    p.flow = 42;
+    p.seq = ttl;
+    p.size_bytes = 100;
+    p.ttl = ttl;
+    net.sim().schedule_at(0.0, [&net, p]() { net.inject(p); });
+  }
+  net.sim().run();
+
+  ASSERT_EQ(sink.got.size(), 2u);  // two ICMP replies back at h0
+  for (const auto& p : sink.got) {
+    EXPECT_EQ(p.type, sim::PacketType::kIcmp);
+    const auto router = static_cast<sim::NodeId>(p.aux);
+    EXPECT_EQ(router, p.seq == 1 ? r0 : r1);
+  }
+  EXPECT_EQ(net.node(r0).ttl_expired(), 1u);
+  EXPECT_EQ(net.node(r1).ttl_expired(), 1u);
+  EXPECT_EQ(net.node(h1).undeliverable(), 1u);  // the ttl=3 probe arrived
+}
+
+TEST(Ttl, IcmpExpiryDoesNotGenerateReplies) {
+  sim::Network net;
+  const auto a = net.add_node();
+  const auto b = net.add_node();
+  const auto c = net.add_node();
+  net.add_duplex_link(a, b, 10e6, 0.001, 100000);
+  net.add_duplex_link(b, c, 10e6, 0.001, 100000);
+  net.compute_routes();
+  sim::Packet p;
+  p.type = sim::PacketType::kIcmp;
+  p.src = a;
+  p.dst = c;
+  p.flow = 1;
+  p.size_bytes = 56;
+  p.ttl = 1;
+  net.sim().schedule_at(0.0, [&net, p]() { net.inject(p); });
+  net.sim().run();
+  EXPECT_EQ(net.node(b).ttl_expired(), 1u);
+  EXPECT_EQ(net.node(a).undeliverable(), 0u);  // no reply came back
+}
+
+TEST(TtlProber, MeasuresPerHopRttOnIdlePath) {
+  // Idle 3-router chain with known propagation delays: the per-hop min
+  // RTTs must match hand computation.
+  sim::Network net;
+  const auto h0 = net.add_node();
+  const auto r0 = net.add_node();
+  const auto r1 = net.add_node();
+  const auto r2 = net.add_node();
+  const auto h1 = net.add_node();
+  net.add_duplex_link(h0, r0, 100e6, 0.001, 1000000);
+  net.add_duplex_link(r0, r1, 10e6, 0.005, 1000000);
+  net.add_duplex_link(r1, r2, 10e6, 0.005, 1000000);
+  net.add_duplex_link(r2, h1, 100e6, 0.001, 1000000);
+  net.compute_routes();
+
+  traffic::TtlProberConfig cfg;
+  cfg.src = h0;
+  cfg.dst = h1;
+  cfg.max_hops = 3;
+  cfg.sizes = {100};
+  cfg.interval = 0.02;
+  cfg.stop = 5.0;
+  traffic::TtlProber prober(net, cfg);
+  prober.start();
+  net.sim().run_until(6.0);
+
+  ASSERT_GT(prober.replies(), 200u);
+  // Hop 1 (r0): probe 100B over the access link (0.001s prop, 8us tx),
+  // reply 56B back over the same link.
+  const double fwd1 = 0.001 + 100.0 * 8 / 100e6;
+  const double back1 = 0.001 + 56.0 * 8 / 100e6;
+  EXPECT_NEAR(prober.min_rtt(1), fwd1 + back1, 1e-6);
+  // Hop 2 adds the 10 Mb/s link both ways.
+  const double fwd2 = fwd1 + 0.005 + 100.0 * 8 / 10e6;
+  const double back2 = back1 + 0.005 + 56.0 * 8 / 10e6;
+  EXPECT_NEAR(prober.min_rtt(2), fwd2 + back2, 1e-6);
+  EXPECT_GT(prober.min_rtt(3), prober.min_rtt(2));
+}
+
+TEST(Locate, PathcharRecoversCapacitiesOnIdlePath) {
+  sim::Network net;
+  const auto h0 = net.add_node();
+  const auto r0 = net.add_node();
+  const auto r1 = net.add_node();
+  const auto r2 = net.add_node();
+  const auto h1 = net.add_node();
+  // Distinct capacities to recover: 100 Mb/s access, then 2 / 8 Mb/s.
+  net.add_duplex_link(h0, r0, 100e6, 0.001, 1000000);
+  net.add_duplex_link(r0, r1, 2e6, 0.004, 1000000);
+  net.add_duplex_link(r1, r2, 8e6, 0.006, 1000000);
+  net.add_duplex_link(r2, h1, 100e6, 0.001, 1000000);
+  net.compute_routes();
+
+  traffic::TtlProberConfig cfg;
+  cfg.src = h0;
+  cfg.dst = h1;
+  cfg.max_hops = 3;
+  cfg.sizes = {64, 400, 800, 1200};
+  cfg.interval = 0.01;
+  cfg.stop = 20.0;
+  traffic::TtlProber prober(net, cfg);
+  prober.start();
+  net.sim().run_until(22.0);
+
+  const auto hops = locate::estimate_hops(prober);
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_NEAR(hops[0].capacity_bps, 100e6, 10e6);  // access link
+  EXPECT_NEAR(hops[1].capacity_bps, 2e6, 0.2e6);   // into r1
+  EXPECT_NEAR(hops[2].capacity_bps, 8e6, 0.8e6);   // into r2
+}
+
+TEST(Locate, PinpointsTheDominantCongestedLink) {
+  auto cfg = scenarios::presets::sdcl_chain(1e6, /*seed=*/91,
+                                            /*duration=*/400.0,
+                                            /*warmup=*/60.0);
+  cfg.with_ttl_prober = true;
+  scenarios::ChainScenario sc(cfg);
+  sc.run();
+
+  // End-to-end identification first (as the paper prescribes): only after
+  // the WDCL is accepted does pinpointing make sense.
+  core::IdentifierConfig icfg;
+  const auto id = core::Identifier(icfg).identify(sc.observations());
+  ASSERT_TRUE(id.wdcl.accepted);
+  const double bound =
+      id.fine_valid ? id.fine_bound.bound_seconds : id.coarse_bound.seconds;
+
+  ASSERT_NE(sc.ttl_prober(), nullptr);
+  const auto hops = locate::estimate_hops(*sc.ttl_prober());
+  const auto pin = locate::pinpoint_dcl(hops, bound);
+  ASSERT_TRUE(pin.located);
+  // Ground truth: the DCL is router link 1 (r1 -> r2).
+  EXPECT_EQ(sc.router_link_for_node(pin.router), 1);
+  EXPECT_GT(pin.dominance, 0.6);
+  EXPECT_GT(pin.match_ratio, 0.4);
+}
+
+TEST(Locate, PinpointHandlesEmptyInput) {
+  const auto r = locate::pinpoint_dcl({}, 0.1);
+  EXPECT_FALSE(r.located);
+  EXPECT_THROW(locate::pinpoint_dcl({}, 0.0), util::Error);
+}
+
+}  // namespace
+}  // namespace dcl

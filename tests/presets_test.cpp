@@ -1,0 +1,93 @@
+// Structural checks on the calibrated scenario/emulation presets: the
+// invariants the experiments rely on (Q_max orderings, which links carry
+// the loss-producing load) hold by construction, without running the
+// simulations.
+#include <gtest/gtest.h>
+
+#include "emu/presets.h"
+#include "scenarios/presets.h"
+
+namespace dcl {
+namespace {
+
+double qmax(const scenarios::ChainConfig& cfg, int i) {
+  return static_cast<double>(cfg.buffer_bytes[static_cast<std::size_t>(i)]) *
+         8.0 / cfg.bandwidth_bps[static_cast<std::size_t>(i)];
+}
+
+TEST(Presets, SdclBottleneckIsTheOnlyLoadedLink) {
+  for (double bw : {0.6e6, 0.8e6, 1.0e6}) {
+    const auto cfg = scenarios::presets::sdcl_chain(bw);
+    EXPECT_DOUBLE_EQ(cfg.bandwidth_bps[1], bw);
+    EXPECT_GT(cfg.bandwidth_bps[0], 5.0 * bw);
+    EXPECT_GT(cfg.bandwidth_bps[2], 5.0 * bw);
+    EXPECT_DOUBLE_EQ(cfg.udp_rate_bps[0], 0.0);
+    EXPECT_GT(cfg.udp_rate_bps[1], 0.0);
+    EXPECT_DOUBLE_EQ(cfg.udp_rate_bps[2], 0.0);
+    // The bottleneck's Q_max dominates the other links'.
+    EXPECT_GT(qmax(cfg, 1), 1.5 * qmax(cfg, 0));
+    EXPECT_GT(qmax(cfg, 1), 1.5 * qmax(cfg, 2));
+  }
+}
+
+TEST(Presets, WdclDelayConditionHoldsByConstruction) {
+  const auto cfg = scenarios::presets::wdcl_chain(0.8e6, 16e6);
+  // The dominant link's maximum queuing delay must exceed the sum of the
+  // other links' maxima (Definition 2's delay condition, eps_d = 0).
+  EXPECT_GT(qmax(cfg, 1), qmax(cfg, 0) + qmax(cfg, 2));
+  // The secondary link's bursts exceed its capacity (it can lose), with
+  // long off periods (it loses rarely).
+  EXPECT_GT(cfg.udp_rate_bps[2], cfg.bandwidth_bps[2]);
+  EXPECT_GT(cfg.udp_mean_off_s[2], 20.0 * cfg.udp_mean_on_s[2]);
+}
+
+TEST(Presets, NoDclClustersAreWellSeparated) {
+  const auto cfg = scenarios::presets::nodcl_chain(0.5e6, 8e6);
+  // Separation factor >= 5 so the low cluster sits below half of the
+  // high one (what the 2 i* test discriminates on).
+  EXPECT_GT(qmax(cfg, 1), 5.0 * qmax(cfg, 2));
+  EXPECT_GT(cfg.udp_rate_bps[2], cfg.bandwidth_bps[2]);
+}
+
+TEST(Presets, EmuPathsMatchTheirPaperCounterparts) {
+  const auto ethernet = emu::presets::cornell_to_ufpr();
+  EXPECT_EQ(ethernet.router_hops, 11);
+  EXPECT_EQ(ethernet.last_mile_bw_bps, 0.0);  // Ethernet receiver
+  ASSERT_EQ(ethernet.congested.size(), 1u);
+  EXPECT_NE(ethernet.clock_skew, 0.0);
+
+  const auto ufpr = emu::presets::ufpr_to_adsl();
+  EXPECT_EQ(ufpr.router_hops, 15);
+  EXPECT_GT(ufpr.last_mile_bw_bps, 0.0);
+
+  const auto usevilla = emu::presets::usevilla_to_adsl();
+  EXPECT_EQ(usevilla.router_hops, 11);
+  EXPECT_GT(usevilla.last_mile_bw_bps, 0.0);
+  // The paper's highest-loss Internet path: most frequent bursts.
+  ASSERT_EQ(usevilla.congested.size(), 1u);
+  EXPECT_LT(usevilla.congested[0].udp_mean_off_s,
+            ufpr.congested[0].udp_mean_off_s);
+
+  const auto snu = emu::presets::snu_to_adsl();
+  EXPECT_EQ(snu.router_hops, 20);
+  ASSERT_EQ(snu.congested.size(), 2u);
+  // Strongly separated full-queue delays (no-DCL construction).
+  const auto& a = snu.congested[0];
+  const auto& b = snu.congested[1];
+  const double qa = a.buffer_bytes * 8.0 / a.bandwidth_bps;
+  const double qb = b.buffer_bytes * 8.0 / b.bandwidth_bps;
+  EXPECT_GT(std::max(qa, qb), 5.0 * std::min(qa, qb));
+}
+
+TEST(Presets, SeedsAndDurationsFlowThrough) {
+  const auto cfg = scenarios::presets::sdcl_chain(1e6, 42, 321.0, 12.0);
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_DOUBLE_EQ(cfg.duration_s, 321.0);
+  EXPECT_DOUBLE_EQ(cfg.warmup_s, 12.0);
+  const auto path = emu::presets::snu_to_adsl(7, 654.0);
+  EXPECT_EQ(path.seed, 7u);
+  EXPECT_DOUBLE_EQ(path.duration_s, 654.0);
+}
+
+}  // namespace
+}  // namespace dcl

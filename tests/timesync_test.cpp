@@ -1,0 +1,108 @@
+// Tests for the convex-hull clock skew/offset removal.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timesync/skew.h"
+#include "util/rng.h"
+
+namespace dcl::timesync {
+namespace {
+
+// Synthetic one-way delays: base propagation + bursty queuing + clock
+// error offset + skew*t.
+void make_trace(std::size_t n, double skew, double offset,
+                std::vector<double>* times, std::vector<double>* owds,
+                std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * 0.02;
+    double queue = rng.exponential(0.005);
+    if (rng.bernoulli(0.02)) queue += rng.uniform(0.05, 0.2);  // bursts
+    times->push_back(t);
+    owds->push_back(0.050 + queue + offset + skew * t);
+  }
+}
+
+TEST(Skew, RecoversLinearDrift) {
+  std::vector<double> t, m;
+  make_trace(20000, 100e-6, 0.5, &t, &m);  // 100 ppm drift, 0.5 s offset
+  const auto est = estimate_skew(t, m);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.skew, 100e-6, 5e-6);
+  // Envelope intercept = propagation + offset (plus the smallest queuing
+  // excursion, which is ~0 for 20000 samples).
+  EXPECT_NEAR(est.offset, 0.550, 0.005);
+}
+
+TEST(Skew, ZeroSkewEstimatedAsZero) {
+  std::vector<double> t, m;
+  make_trace(20000, 0.0, 0.0, &t, &m);
+  const auto est = estimate_skew(t, m);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.skew, 0.0, 5e-6);
+}
+
+TEST(Skew, NegativeSkewSupported) {
+  std::vector<double> t, m;
+  make_trace(20000, -50e-6, 0.0, &t, &m);
+  const auto est = estimate_skew(t, m);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.skew, -50e-6, 5e-6);
+}
+
+TEST(Skew, RemoveSkewFlattensTheTrend) {
+  std::vector<double> t, m;
+  make_trace(20000, 200e-6, 0.0, &t, &m);
+  const auto est = estimate_skew(t, m);
+  const auto corrected = remove_skew(t, m, est.skew);
+  // Compare the minimum delay over the first and last quarters: without
+  // correction they differ by ~ skew * 300 s = 60 ms; corrected they agree
+  // to within a couple of ms.
+  auto min_range = [&](const std::vector<double>& v, std::size_t lo,
+                       std::size_t hi) {
+    double best = v[lo];
+    for (std::size_t i = lo; i < hi; ++i) best = std::min(best, v[i]);
+    return best;
+  };
+  const std::size_t q = corrected.size() / 4;
+  const double first = min_range(corrected, 0, q);
+  const double last = min_range(corrected, corrected.size() - q,
+                                corrected.size());
+  EXPECT_LT(std::abs(first - last), 0.003);
+}
+
+TEST(Skew, DegenerateInputsHandled) {
+  EXPECT_FALSE(estimate_skew({}, {}).valid);
+  EXPECT_FALSE(estimate_skew({1.0}, {0.5}).valid);
+  // Identical times collapse to one point -> flat envelope.
+  const auto est = estimate_skew({1.0, 1.0, 1.0}, {0.5, 0.6, 0.7});
+  EXPECT_TRUE(est.valid);
+  EXPECT_DOUBLE_EQ(est.skew, 0.0);
+}
+
+TEST(Skew, CorrectObservationsSkipsLosses) {
+  std::vector<double> t, m;
+  make_trace(5000, 80e-6, 0.1, &t, &m);
+  inference::ObservationSequence obs;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (i % 50 == 7)
+      obs.push_back(inference::Observation::loss());
+    else
+      obs.push_back(inference::Observation::received(m[i]));
+  }
+  SkewEstimate est;
+  const auto corrected = correct_observations(obs, t, &est);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.skew, 80e-6, 1e-5);
+  ASSERT_EQ(corrected.size(), obs.size());
+  for (std::size_t i = 0; i < corrected.size(); ++i) {
+    EXPECT_EQ(corrected[i].lost, obs[i].lost);
+    if (!corrected[i].lost) {
+      EXPECT_NEAR(corrected[i].delay, obs[i].delay - est.skew * t[i], 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcl::timesync

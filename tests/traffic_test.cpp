@@ -1,0 +1,188 @@
+// Tests for probe streams, UDP on-off sources, and the HTTP workload.
+#include <gtest/gtest.h>
+
+#include "sim/droptail.h"
+#include "sim/network.h"
+#include "traffic/http.h"
+#include "traffic/probes.h"
+#include "traffic/udp_onoff.h"
+
+namespace dcl::traffic {
+namespace {
+
+struct Pipe {
+  sim::Network net;
+  sim::NodeId a, b;
+};
+
+void build_pipe(Pipe& p, double bw = 1e7, std::size_t buf = 1000000,
+                double prop = 0.005) {
+  p.a = p.net.add_node();
+  p.b = p.net.add_node();
+  p.net.add_link(p.a, p.b, bw, prop,
+                 std::make_unique<sim::DropTailQueue>(buf));
+  p.net.add_link(p.b, p.a, bw, prop,
+                 std::make_unique<sim::DropTailQueue>(buf));
+  p.net.compute_routes();
+}
+
+TEST(PeriodicProber, SendsAtConfiguredIntervalAndMeasuresDelay) {
+  Pipe p;
+  build_pipe(p);
+  ProberConfig cfg;
+  cfg.src = p.a;
+  cfg.dst = p.b;
+  cfg.interval = 0.020;
+  cfg.stop = 1.0;
+  PeriodicProber prober(p.net, cfg);
+  prober.start();
+  p.net.sim().run_until(2.0);
+  // [0, 1.0] at 20 ms: 51 probes (t = 0, 0.02, ..., 1.0).
+  EXPECT_EQ(prober.sent(), 51u);
+  EXPECT_EQ(prober.sink().count(), 51u);
+  const auto obs = prober.observations();
+  ASSERT_EQ(obs.size(), 51u);
+  for (const auto& o : obs) {
+    EXPECT_FALSE(o.lost);
+    // Idle 10 Mb/s path: delay = prop + tx = 5 ms + 8 us.
+    EXPECT_NEAR(o.delay, 0.005008, 1e-6);
+  }
+}
+
+TEST(PeriodicProber, WindowSelectionFiltersBySendTime) {
+  Pipe p;
+  build_pipe(p);
+  ProberConfig cfg;
+  cfg.src = p.a;
+  cfg.dst = p.b;
+  cfg.interval = 0.1;
+  cfg.stop = 10.0;
+  PeriodicProber prober(p.net, cfg);
+  prober.start();
+  p.net.sim().run_until(11.0);
+  const auto obs = prober.observations(2.0, 4.0);
+  EXPECT_EQ(obs.size(), 21u);  // 2.0, 2.1, ..., 4.0
+  const auto seqs = prober.seqs_in(2.0, 4.0);
+  ASSERT_EQ(seqs.size(), obs.size());
+  EXPECT_EQ(seqs.front(), 20u);
+}
+
+TEST(PeriodicProber, LostProbesAppearAsLosses) {
+  // Probes arrive at 8 kb/s on a 6 kb/s link: the 100-byte queue
+  // overflows and some probes are lost (the earliest ones get through).
+  Pipe p;
+  build_pipe(p, /*bw=*/6e3, /*buf=*/100);
+  ProberConfig cfg;
+  cfg.src = p.a;
+  cfg.dst = p.b;
+  cfg.interval = 0.010;
+  cfg.stop = 5.0;
+  PeriodicProber prober(p.net, cfg);
+  prober.start();
+  p.net.sim().run_until(10.0);
+  const auto obs = prober.observations(0.0, 5.0);
+  EXPECT_GT(inference::loss_count(obs), 0u);
+  EXPECT_LT(inference::loss_count(obs), obs.size());
+}
+
+TEST(PairProber, DetectsLossPairs) {
+  // A persistently overloaded link (pairs arrive at 4 kb/s, capacity
+  // 3 kb/s) keeps the tiny buffer full, so pairs regularly split: one
+  // probe takes the last buffer slot and the other is dropped.
+  Pipe p;
+  build_pipe(p, /*bw=*/3e3, /*buf=*/60);
+  PairProberConfig cfg;
+  cfg.src = p.a;
+  cfg.dst = p.b;
+  cfg.pair_interval = 0.040;
+  cfg.probe_bytes = 10;
+  cfg.stop = 20.0;
+  PairProber prober(p.net, cfg);
+  prober.start();
+  p.net.sim().run_until(25.0);
+  EXPECT_GT(prober.pairs_sent(), 400u);
+  const auto owds = prober.loss_pair_owds();
+  // With a 60-byte buffer the second probe of a pair often drops while the
+  // first survives.
+  EXPECT_GT(owds.size(), 0u);
+  for (double d : owds) EXPECT_GT(d, 0.0);
+  EXPECT_LT(prober.min_owd(0.0, 20.0), 0.1);
+}
+
+TEST(UdpOnOff, LongRunRateMatchesDutyCycle) {
+  Pipe p;
+  build_pipe(p, 1e7);
+  UdpOnOffConfig cfg;
+  cfg.src = p.a;
+  cfg.dst = p.b;
+  cfg.rate_bps = 1e6;
+  cfg.pkt_bytes = 500;
+  cfg.mean_on = 0.5;
+  cfg.mean_off = 0.5;
+  cfg.stop = 200.0;
+  cfg.seed = 77;
+  UdpOnOffSource src(p.net, cfg);
+  src.start();
+  p.net.sim().run_until(210.0);
+  // Expected: 1 Mb/s * 50% duty over 200 s = 12.5 MB = 25000 packets.
+  const double expected = 25000.0;
+  EXPECT_NEAR(static_cast<double>(src.packets_sent()), expected,
+              0.15 * expected);
+}
+
+TEST(UdpOnOff, RespectsStopTime) {
+  Pipe p;
+  build_pipe(p);
+  UdpOnOffConfig cfg;
+  cfg.src = p.a;
+  cfg.dst = p.b;
+  cfg.rate_bps = 1e6;
+  cfg.mean_off = 0.0;  // always on
+  cfg.stop = 1.0;
+  UdpOnOffSource src(p.net, cfg);
+  src.start();
+  p.net.sim().run_until(10.0);
+  // 1 Mb/s of 500-byte packets for 1 s = 250 packets (±1 boundary).
+  EXPECT_NEAR(static_cast<double>(src.packets_sent()), 250.0, 2.0);
+}
+
+TEST(Http, TransfersCompleteAndLoadIsBounded) {
+  Pipe p;
+  build_pipe(p, 1e7);
+  HttpConfig cfg;
+  cfg.server = p.a;
+  cfg.client = p.b;
+  cfg.arrival_rate = 10.0;
+  cfg.mean_file_bytes = 8000.0;
+  cfg.stop = 60.0;
+  cfg.seed = 5;
+  HttpWorkload http(p.net, cfg);
+  http.start();
+  p.net.sim().run_until(120.0);
+  EXPECT_GT(http.transfers_started(), 400u);
+  // On a fast idle pipe everything started should have finished.
+  EXPECT_EQ(http.transfers_completed(), http.transfers_started());
+  EXPECT_EQ(http.active(), 0u);
+}
+
+TEST(Http, ConcurrencyCapShedsLoad) {
+  // A very slow pipe with a high arrival rate: active transfers pile up
+  // until the cap, and further arrivals are shed.
+  Pipe p;
+  build_pipe(p, 1e5, 20000);
+  HttpConfig cfg;
+  cfg.server = p.a;
+  cfg.client = p.b;
+  cfg.arrival_rate = 50.0;
+  cfg.mean_file_bytes = 50000.0;
+  cfg.max_concurrent = 10;
+  cfg.stop = 30.0;
+  cfg.seed = 6;
+  HttpWorkload http(p.net, cfg);
+  http.start();
+  p.net.sim().run_until(31.0);
+  EXPECT_LE(http.active(), 10u);
+}
+
+}  // namespace
+}  // namespace dcl::traffic

@@ -1,0 +1,68 @@
+// Scratch lab: fit MMHD variants against ground truth on chain scenarios.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include "scenarios/chain.h"
+#include "inference/mmhd.h"
+#include "inference/discretizer.h"
+#include "inference/hmm.h"
+#include "core/hypothesis.h"
+#include "util/stats.h"
+using namespace dcl;
+
+int main(int argc, char** argv) {
+  scenarios::ChainConfig cfg;
+  cfg.duration_s = 300; cfg.warmup_s = 50;
+  const char* mode = argc > 2 ? argv[2] : "nodcl";
+  if (!strcmp(mode, "wdcl")) {
+    cfg.bandwidth_bps = {10e6, 0.8e6, 3e6};
+    cfg.buffer_bytes = {80000, 24000, 9000};
+    cfg.ftp_flows = 3; cfg.http_arrival_rate = 0.5;
+    cfg.udp_rate_bps = {0, 250e3, 3.2e6};
+    cfg.udp_mean_on_s = {0.5, 0.5, 0.08};
+    cfg.udp_mean_off_s = {0.5, 0.5, 4.0};
+  } else {
+    cfg.bandwidth_bps = {10e6, 0.5e6, 2e6};
+    cfg.buffer_bytes = {80000, 25000, 10000};
+    cfg.ftp_flows = 2; cfg.http_arrival_rate = 0.3;
+    cfg.udp_rate_bps = {0, 120e3, 3.5e6};
+    cfg.udp_mean_on_s = {0.5, 0.5, 0.04};
+    cfg.udp_mean_off_s = {0.5, 0.5, 0.8};
+  }
+  cfg.seed = argc > 1 ? strtoull(argv[1], 0, 10) : 1;
+  scenarios::ChainScenario sc(cfg);
+  sc.run();
+  auto obs = sc.observations();
+  inference::DiscretizerConfig dc; dc.symbols = 10;
+  auto disc = inference::Discretizer::from_observations(obs, dc);
+  auto gt_pmf = disc.pmf_of_owds(sc.ground_truth_virtual_owds());
+  printf("loss=%.3f  gt:  ", inference::loss_rate(obs));
+  for (double p : gt_pmf) printf("%.3f ", p);
+  auto gtw = core::wdcl_test(util::pmf_to_cdf(gt_pmf), 0.06, 0.0);
+  printf("| gt WDCL acc=%d i*=%d\n", gtw.accepted, gtw.i_star);
+  // symbol counts
+  auto seq = disc.discretize(obs);
+  std::vector<int> cnt(11,0); for (int s : seq) if (s>0) cnt[s]++;
+  printf("obs counts: "); for (int i=1;i<=10;i++) printf("%d ", cnt[i]); printf("\n");
+  // loss-run length histogram
+  std::vector<int> runs(12,0); int run=0;
+  for (int s : seq) { if (s<0) run++; else { if (run) runs[std::min(run,11)]++; run=0; } }
+  if (run) runs[std::min(run,11)]++;
+  printf("loss runs: "); for (int i=1;i<=11;i++) printf("%d ", runs[i]); printf("\n");
+
+  for (int n : {1, 2, 3, 4}) {
+    for (double tp : {1.0, 2.0, 4.0}) {
+      int r = 1;
+      inference::Mmhd m(n, 10);
+      inference::EmOptions eo; eo.hidden_states = n; eo.restarts = r; eo.seed = 99;
+      eo.transition_prior = tp;
+      auto fit = m.fit(seq, eo);
+      auto w = core::wdcl_test(util::pmf_to_cdf(fit.virtual_delay_pmf), 0.06, 0.0);
+      printf("MMHD N=%d P=%.0f ll=%.0f L1=%.3f wdcl=%d i*=%d : ", n, tp, fit.log_likelihood,
+             util::l1_distance(fit.virtual_delay_pmf, gt_pmf), w.accepted, w.i_star);
+      for (double p : fit.virtual_delay_pmf) printf("%.3f ", p);
+      printf("\n");
+    }
+  }
+  return 0;
+}

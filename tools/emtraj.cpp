@@ -1,0 +1,40 @@
+// Track the MMHD virtual-delay PMF along the EM trajectory.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include "scenarios/chain.h"
+#include "inference/mmhd.h"
+#include "inference/discretizer.h"
+#include "core/hypothesis.h"
+#include "util/stats.h"
+using namespace dcl;
+int main(int argc, char** argv) {
+  scenarios::ChainConfig cfg;
+  cfg.duration_s = 300; cfg.warmup_s = 50;
+  cfg.bandwidth_bps = {10e6, 0.5e6, 2e6};
+  cfg.buffer_bytes = {80000, 25000, 10000};
+  cfg.ftp_flows = 2; cfg.http_arrival_rate = 0.3;
+  cfg.udp_rate_bps = {0, 120e3, 2.3e6};
+  cfg.udp_mean_on_s = {0.5, 0.5, 0.15};
+  cfg.udp_mean_off_s = {0.5, 0.5, 2.0};
+  cfg.seed = argc > 1 ? strtoull(argv[1], 0, 10) : 1;
+  scenarios::ChainScenario sc(cfg);
+  sc.run();
+  auto obs = sc.observations();
+  inference::DiscretizerConfig dc; dc.symbols = 10;
+  auto disc = inference::Discretizer::from_observations(obs, dc);
+  auto gt_pmf = disc.pmf_of_owds(sc.ground_truth_virtual_owds());
+  auto seq = disc.discretize(obs);
+  printf("gt: "); for (double p : gt_pmf) printf("%.3f ", p); printf("\n");
+  for (int iters : {5, 10, 20, 40, 80, 160, 320, 640}) {
+    inference::Mmhd m(1, 10);
+    inference::EmOptions eo; eo.hidden_states = 1; eo.seed = 7;
+    eo.max_iterations = iters; eo.tolerance = 0.0;
+    auto fit = m.fit(seq, eo);
+    printf("it=%3d ll=%.0f L1=%.3f : ", iters, fit.log_likelihood,
+           util::l1_distance(fit.virtual_delay_pmf, gt_pmf));
+    for (double p : fit.virtual_delay_pmf) printf("%.3f ", p);
+    printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Calibration for the emulated Internet paths (Figs. 12-14 substitutes).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include "emu/internet_path.h"
+#include "emu/presets.h"
+#include "core/identifier.h"
+#include "inference/discretizer.h"
+#include "timesync/skew.h"
+#include "util/stats.h"
+using namespace dcl;
+
+int main(int argc, char** argv) {
+  emu::InternetPathConfig cfg;
+  cfg.duration_s = 400; cfg.warmup_s = 50;
+  const char* mode = argc > 2 ? argv[2] : "ethernet";
+  if (!strcmp(mode, "ethernet")) {
+    // Cornell -> UFPR: 11 hops, one congested link "inside Brazil".
+    cfg.router_hops = 11;
+    cfg.congested.push_back({6, 3e6, 30000, 8e6, 0.06, 6.0, 0});
+    cfg.clock_skew = 80e-6; cfg.clock_offset_s = 0.3;
+  } else if (!strcmp(mode, "adsl")) {
+    // USevilla -> ADSL receiver: last-mile bottleneck, ~0.7% loss.
+    cfg.router_hops = 11;
+    cfg.last_mile_bw_bps = 3e6; cfg.last_mile_buffer_bytes = 30000;
+    cfg.congested.push_back({9, 3e6, 30000, 8e6, 0.08, 2.5, 0});
+    cfg.clock_skew = -50e-6; cfg.clock_offset_s = -0.2;
+  } else { // "nodcl" (SNU path): use the preset
+    cfg = emu::presets::snu_to_adsl(4, 500.0);
+  }
+  cfg.seed = argc > 1 ? strtoull(argv[1], 0, 10) : 1;
+  emu::InternetPathScenario sc(cfg);
+  sc.run();
+  printf("loss=%.4f dprop=%.4f hops=%d\n", sc.probe_loss_rate(), sc.true_propagation_delay(), sc.hop_count());
+  auto byhop = sc.probe_losses_by_hop();
+  printf("loss by hop: "); for (auto c : byhop) printf("%llu ", (unsigned long long)c); printf("\n");
+  auto raw = sc.measured_observations();
+  auto st = sc.send_times(sc.window_start(), sc.window_end());
+  timesync::SkewEstimate est;
+  auto obs = timesync::correct_observations(raw, st, &est);
+  printf("skew est=%.1fppm (true %.1f) offset=%.3f\n", est.skew*1e6, cfg.clock_skew*1e6, est.offset);
+  inference::DiscretizerConfig dc; dc.symbols = 10;
+  auto disc = inference::Discretizer::from_observations(obs, dc);
+  auto gt_pmf = disc.pmf_of_owds(sc.ground_truth_virtual_owds());
+  // note: gt owds are true delays; the corrected obs delays retain offset.
+  // shift gt by (est offset - dprop?) ... compare distribution on corrected grid:
+  // instead discretize gt with its own floor = true dprop and same width.
+  printf("gt (approx grid): "); for (double p : gt_pmf) printf("%.3f ", p); printf("\n");
+  core::IdentifierConfig ic; ic.eps_l = 0.1; ic.eps_d = 0.1; ic.compute_fine_bound = false;
+  core::Identifier id(ic);
+  auto r = id.identify(obs);
+  printf("mmhd: "); for (double p : r.virtual_pmf) printf("%.3f ", p); printf("\n");
+  printf("WDCL(0.1,0.1): acc=%d i*=%d F=%.3f losses=%zu\n", r.wdcl.accepted, r.wdcl.i_star, r.wdcl.f_at_2istar, r.losses);
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include <cstdio>
+#include <cstdlib>
+#include "scenarios/chain.h"
+#include "core/identifier.h"
+#include "core/loss_pair.h"
+#include "util/stats.h"
+using namespace dcl;
+
+#include <cstring>
+int main(int argc, char** argv) {
+  scenarios::ChainConfig cfg;
+  cfg.duration_s = 300; cfg.warmup_s = 50;
+  const char* mode = argc > 2 ? argv[2] : "sdcl";
+  if (std::strcmp(mode, "sdcl") == 0) {
+    cfg.bandwidth_bps = {10e6, 1e6, 10e6};
+    cfg.buffer_bytes = {80000, 20000, 80000};
+    cfg.ftp_flows = 3; cfg.http_arrival_rate = 0.5;
+    cfg.udp_rate_bps = {0, 400e3, 0};
+  } else if (std::strcmp(mode, "wdcl") == 0) {
+    cfg.bandwidth_bps = {10e6, 0.8e6, 3e6};
+    cfg.buffer_bytes = {80000, 24000, 9000};
+    cfg.ftp_flows = 3; cfg.http_arrival_rate = 0.5;
+    cfg.udp_rate_bps = {0, 250e3, 3.2e6};
+    cfg.udp_mean_on_s = {0.5, 0.5, 0.08};
+    cfg.udp_mean_off_s = {0.5, 0.5, 4.0};
+  } else { // nodcl
+    cfg.bandwidth_bps = {10e6, 0.5e6, 2e6};
+    cfg.buffer_bytes = {80000, 25000, 10000};
+    cfg.ftp_flows = 2; cfg.http_arrival_rate = 0.3;
+    cfg.udp_rate_bps = {0, 120e3, 2.3e6};
+    cfg.udp_mean_on_s = {0.5, 0.5, 0.15};
+    cfg.udp_mean_off_s = {0.5, 0.5, 2.0};
+  }
+  if (argc > 1) cfg.seed = std::strtoull(argv[1], nullptr, 10);
+  scenarios::ChainScenario sc(cfg);
+  sc.run();
+  auto obs = sc.observations();
+  printf("probes=%zu loss_rate=%.4f\n", obs.size(), inference::loss_rate(obs));
+  auto bylink = sc.probe_losses_by_link();
+  printf("probe losses by link: %lu %lu %lu\n", bylink[0], bylink[1], bylink[2]);
+  printf("link loss rates: %.4f %.4f %.4f\n", sc.link_loss_rate(0), sc.link_loss_rate(1), sc.link_loss_rate(2));
+  printf("true qmax: %.4f %.4f %.4f  dprop=%.4f\n", sc.true_qmax(0), sc.true_qmax(1), sc.true_qmax(2), sc.true_propagation_delay());
+  auto gt = sc.ground_truth_virtual_owds();
+  printf("gt virtual owds: n=%zu\n", gt.size());
+  // ground truth pmf on M=10 grid
+  inference::DiscretizerConfig dc; dc.symbols = 10;
+  auto disc = inference::Discretizer::from_observations(obs, dc);
+  auto gt_pmf = disc.pmf_of_owds(gt);
+  printf("gt pmf:   "); for (double p : gt_pmf) printf("%.3f ", p); printf("\n");
+  printf("floor=%.4f width=%.4f\n", disc.delay_floor(), disc.bin_width());
+
+  core::IdentifierConfig ic;
+  ic.compute_fine_bound = true;
+  core::Identifier id(ic);
+  auto r = id.identify(obs);
+  printf("mmhd pmf: "); for (double p : r.virtual_pmf) printf("%.3f ", p); printf("\n");
+  printf("SDCL: accepted=%d i*=%d F(2i*)=%.4f\n", r.sdcl.accepted, r.sdcl.i_star, r.sdcl.f_at_2istar);
+  printf("WDCL: accepted=%d i*=%d F(2i*)=%.4f\n", r.wdcl.accepted, r.wdcl.i_star, r.wdcl.f_at_2istar);
+  printf("coarse bound: %.4f s ; fine bound: %.4f s (valid=%d, comp %d..%d mass %.3f)\n",
+         r.coarse_bound.seconds, r.fine_bound.bound_seconds, r.fine_valid,
+         r.fine_bound.first_symbol, r.fine_bound.last_symbol, r.fine_bound.mass);
+  // loss pair
+  inference::DiscretizerConfig fdc; fdc.symbols = 50;
+  auto fdisc = inference::Discretizer::from_observations(obs, fdc);
+  auto lp = core::loss_pair_estimate(sc.loss_pair_owds(), fdisc);
+  printf("loss pair: n=%zu est=%.4f s\n", lp.pairs, lp.max_delay_estimate_s);
+  printf("fit: iters=%d conv=%d ll=%.1f losses=%zu\n", r.fit.iterations, r.fit.converged, r.fit.log_likelihood, r.fit.losses);
+  for (const auto& f : sc.ftp_senders())
+    printf("ftp: acked=%llu retx=%llu timeouts=%llu cwnd=%.1f ssthresh=%.1f srtt=%.3f\n",
+           (unsigned long long)f->segments_acked(), (unsigned long long)f->retransmissions(),
+           (unsigned long long)f->timeouts(), f->cwnd(), f->ssthresh(), f->srtt());
+  if (sc.http()) printf("http: started=%llu done=%llu active=%zu\n",
+    (unsigned long long)sc.http()->transfers_started(), (unsigned long long)sc.http()->transfers_completed(), sc.http()->active());
+  for (const auto& u : sc.udp_sources()) printf("udp sent=%llu\n", (unsigned long long)u->packets_sent());
+  return 0;
+}

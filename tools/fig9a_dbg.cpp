@@ -1,0 +1,35 @@
+#include <cstdio>
+#include "scenarios/presets.h"
+#include "core/identifier.h"
+#include "inference/observation.h"
+using namespace dcl;
+int main() {
+  auto cfg = scenarios::presets::wdcl_chain(0.7e6, 16e6, 210, 440.0, 60.0);
+  cfg.udp_mean_off_s[2] = 60.0;
+  scenarios::ChainScenario sc(cfg);
+  sc.run();
+  auto bl = sc.probe_losses_by_link();
+  printf("bylink %llu %llu %llu\n", (unsigned long long)bl[0],(unsigned long long)bl[1],(unsigned long long)bl[2]);
+  const auto& q = sc.network().links()[4]->queue();
+  const char* names[5] = {"probe","udp","tcpdata","tcpack","icmp"};
+  for (int t = 0; t < 5; ++t)
+    printf("  L2 %s: arr=%llu drop=%llu\n", names[t],
+      (unsigned long long)q.arrivals((sim::PacketType)t),
+      (unsigned long long)q.drops((sim::PacketType)t));
+  int shown = 0;
+  for (const auto& [seq, rec] : sc.tracer().losses(sc.prober().flow())) {
+    if (rec.loss_link_id != 4) continue;
+    if (++shown > 12) break;
+    printf("  L2loss t=%.3f pkts=%zu bytes=%zu\n", rec.send_time,
+           rec.backlog_pkts_at_drop, rec.backlog_bytes_at_drop);
+  }
+  for (double d : {80.0, 400.0}) {
+    auto obs = sc.observations(60.0, 60.0+d);
+    core::IdentifierConfig ic; ic.eps_l=0.05; ic.eps_d=0.05; ic.compute_fine_bound=false;
+    auto r = core::Identifier(ic).identify(obs);
+    printf("d=%3.0f loss=%.4f wdcl=%d i*=%d F=%.3f pmf: ", d, inference::loss_rate(obs), r.wdcl.accepted, r.wdcl.i_star, r.wdcl.f_at_2istar);
+    for (double p : r.virtual_pmf) printf("%.3f ", p);
+    printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include <cstdio>
+#include "scenarios/presets.h"
+#include "core/identifier.h"
+#include "inference/discretizer.h"
+#include "util/stats.h"
+using namespace dcl;
+int main() {
+  auto cfg = scenarios::presets::nodcl_chain(0.5e6, 8e6, 310, 1100.0, 60.0);
+  scenarios::ChainScenario sc(cfg);
+  sc.run();
+  core::IdentifierConfig ic; ic.eps_l=0.05; ic.eps_d=0.05; ic.compute_fine_bound=false;
+  // full window
+  {
+    auto obs = sc.observations();
+    auto r = core::Identifier(ic).identify(obs);
+    auto bl = sc.probe_losses_by_link();
+    inference::DiscretizerConfig dc;
+    auto disc = inference::Discretizer::from_observations(obs, dc);
+    auto gt = disc.pmf_of_owds(sc.ground_truth_virtual_owds());
+    printf("FULL: loss=%.4f n1=%llu n2=%llu wdcl=%d F=%.3f i*=%d\n",
+      inference::loss_rate(obs), (unsigned long long)bl[1], (unsigned long long)bl[2],
+      r.wdcl.accepted, r.wdcl.f_at_2istar, r.wdcl.i_star);
+    printf("  gt:   "); for (double p : gt) printf("%.3f ", p); printf("\n");
+    printf("  mmhd: "); for (double p : r.virtual_pmf) printf("%.3f ", p); printf("\n");
+  }
+  for (double t0 : {100.0, 300.0, 500.0, 698.0}) {
+    auto obs = sc.observations(t0, t0+400);
+    auto r = core::Identifier(ic).identify(obs);
+    printf("seg[%4.0f,%4.0f]: loss=%.4f wdcl=%d F=%.3f i*=%d mmhd: ", t0, t0+400,
+      inference::loss_rate(obs), r.wdcl.accepted, r.wdcl.f_at_2istar, r.wdcl.i_star);
+    for (double p : r.virtual_pmf) printf("%.3f ", p);
+    printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include <cstdio>
+#include "scenarios/presets.h"
+using namespace dcl;
+int main() {
+  auto cfg = scenarios::presets::wdcl_chain(0.7e6, 16e6, 202, 400.0, 60.0);
+  cfg.udp_rate_bps[2] = 0.0;
+  cfg.http_arrival_rate = 0.0;  // FTP only
+  scenarios::ChainScenario sc(cfg);
+  sc.run();
+  auto l2 = sc.ground_truth_losses_at(2);
+  printf("L2 probe losses: %zu\n", l2.size());
+  // Per-type accounting at the forward L2 queue (link id 4: L0f=0,L0r=1,
+  // L1f=2,L1r=3,L2f=4).
+  const auto& q = sc.network().links()[4]->queue();
+  const char* names[5] = {"probe","udp","tcpdata","tcpack","icmp"};
+  for (int t = 0; t < 5; ++t)
+    printf("  L2 %s: arrivals=%llu drops=%llu\n", names[t],
+      (unsigned long long)q.arrivals((sim::PacketType)t),
+      (unsigned long long)q.drops((sim::PacketType)t));
+  for (size_t i = 0; i < l2.size() && i < 60; ++i)
+    printf("  t=%8.3f vq=%.3f\n", l2[i].first, l2[i].second);
+  return 0;
+}

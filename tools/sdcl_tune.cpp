@@ -1,0 +1,28 @@
+#include <cstdio>
+#include <cstdlib>
+#include "scenarios/presets.h"
+#include "scenarios/chain.h"
+#include "core/identifier.h"
+#include "inference/observation.h"
+using namespace dcl;
+int main(int argc, char** argv) {
+  double ftp = argc>1?atof(argv[1]):3;
+  double udpf = argc>2?atof(argv[2]):0.5;
+  double http = argc>3?atof(argv[3]):0.3;
+  for (double bw : {0.4e6, 0.6e6, 0.8e6, 1.0e6}) {
+    for (std::uint64_t seed : {100, 101}) {
+      auto cfg = scenarios::presets::sdcl_chain(bw, seed, 300.0, 60.0);
+      cfg.ftp_flows = (int)ftp; cfg.udp_rate_bps[1] = udpf*bw; cfg.http_arrival_rate = http;
+      scenarios::ChainScenario sc(cfg);
+      sc.run();
+      auto obs = sc.observations();
+      core::IdentifierConfig ic; ic.compute_fine_bound=false;
+      auto r = core::Identifier(ic).identify(obs);
+      auto bl = sc.probe_losses_by_link();
+      printf("bw=%.1f seed=%llu probloss=%.4f linkloss=%.4f sdcl=%d bylink=%llu/%llu/%llu\n",
+        bw/1e6, (unsigned long long)seed, inference::loss_rate(obs), sc.link_loss_rate(1),
+        r.sdcl.accepted, (unsigned long long)bl[0],(unsigned long long)bl[1],(unsigned long long)bl[2]);
+    }
+  }
+  return 0;
+}

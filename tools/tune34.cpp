@@ -1,0 +1,43 @@
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include "scenarios/presets.h"
+#include "core/identifier.h"
+#include "inference/observation.h"
+using namespace dcl;
+int main(int argc, char** argv) {
+  const char* mode = argc>1?argv[1]:"wdcl";
+  if (!strcmp(mode,"wdcl")) {
+    int idx=0;
+    for (double bw : {0.6e6, 0.65e6, 0.7e6, 0.8e6}) {
+      auto cfg = scenarios::presets::wdcl_chain(bw, 16e6, 200+idx, 400.0, 60.0);
+      scenarios::ChainScenario sc(cfg); sc.run();
+      auto obs = sc.observations();
+      core::IdentifierConfig ic; ic.compute_fine_bound=false;
+      auto r = core::Identifier(ic).identify(obs);
+      auto bl = sc.probe_losses_by_link();
+      double tot = bl[0]+bl[1]+bl[2];
+      printf("bw=%.2f loss=%.4f share1=%.3f wdcl=%d n1=%llu n2=%llu\n", bw/1e6,
+        inference::loss_rate(obs), tot?bl[1]/tot:0, r.wdcl.accepted,
+        (unsigned long long)bl[1], (unsigned long long)bl[2]);
+      idx++;
+    }
+  } else {
+    int idx=0;
+    for (auto [b1,b2] : std::vector<std::pair<double,double>>{{0.5e6,8.0e6},{0.55e6,8.8e6},{0.6e6,9.6e6},{0.5e6,6.4e6}}) {
+      auto cfg = scenarios::presets::nodcl_chain(b1, b2, 300+idx, 400.0, 60.0);
+      scenarios::ChainScenario sc(cfg); sc.run();
+      auto obs = sc.observations();
+      core::IdentifierConfig ic; ic.eps_l=0.05; ic.eps_d=0.05; ic.compute_fine_bound=false;
+      auto r = core::Identifier(ic).identify(obs);
+      auto bl = sc.probe_losses_by_link();
+      printf("bw=%.1f/%.1f loss=%.4f wdcl=%d F=%.3f i*=%d n1=%llu n2=%llu | pmf: ", b1/1e6, b2/1e6,
+        inference::loss_rate(obs), r.wdcl.accepted, r.wdcl.f_at_2istar, r.wdcl.i_star,
+        (unsigned long long)bl[1], (unsigned long long)bl[2]);
+      for (double p : r.virtual_pmf) printf("%.2f ", p);
+      printf("\n");
+      idx++;
+    }
+  }
+  return 0;
+}
