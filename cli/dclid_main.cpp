@@ -21,12 +21,19 @@
 //   --bootstrap R          bootstrap decision confidence with R replicates
 //   --select-N MAX         choose the hidden-state count by BIC in 1..MAX
 //   --seed N               EM seed (1)
+//   --metrics-json FILE    write an observability snapshot (stage timings,
+//                          EM telemetry) as JSON to FILE ("-" = stdout)
+//   --verbose              progress and stage timings to stderr
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/pipeline.h"
+#include "inference/em_telemetry.h"
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace {
@@ -46,23 +53,126 @@ namespace {
       "  --bound-symbols N      fine grid for the delay bound (default 50)\n"
       "  --bootstrap R          bootstrap confidence with R replicates\n"
       "  --select-N MAX         choose hidden states by BIC in 1..MAX\n"
-      "  --seed N               EM seed (default 1)\n",
+      "  --seed N               EM seed (default 1)\n"
+      "  --metrics-json FILE    write metrics/span snapshot as JSON\n"
+      "  --verbose              progress and stage timings to stderr\n",
       argv0);
   std::exit(code);
 }
 
+[[noreturn]] void bad_value(const char* v, const char* flag) {
+  std::fprintf(stderr, "dclid: bad value '%s' for %s\n", v, flag);
+  std::exit(2);
+}
+
 double parse_double(const char* v, const char* flag) {
   char* end = nullptr;
+  errno = 0;
   const double x = std::strtod(v, &end);
-  if (end == v || *end != '\0') {
-    std::fprintf(stderr, "dclid: bad value '%s' for %s\n", v, flag);
-    std::exit(2);
-  }
+  if (end == v || *end != '\0' || errno == ERANGE) bad_value(v, flag);
+  return x;
+}
+
+// Strict integer parse: no fractional part silently truncated, no trailing
+// garbage, range-checked.
+long parse_long(const char* v, const char* flag) {
+  char* end = nullptr;
+  errno = 0;
+  const long x = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) bad_value(v, flag);
   return x;
 }
 
 int parse_int(const char* v, const char* flag) {
-  return static_cast<int>(parse_double(v, flag));
+  const long x = parse_long(v, flag);
+  if (x < INT_MIN || x > INT_MAX) bad_value(v, flag);
+  return static_cast<int>(x);
+}
+
+std::uint64_t parse_u64(const char* v, const char* flag) {
+  // strtoull accepts a leading '-' (wrapping modulo 2^64); reject it.
+  const char* p = v;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p == '-') bad_value(v, flag);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long x = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) bad_value(v, flag);
+  return static_cast<std::uint64_t>(x);
+}
+
+[[noreturn]] void config_error(const char* msg) {
+  std::fprintf(stderr, "dclid: %s\n", msg);
+  std::exit(2);
+}
+
+// Reject invalid combinations up front with a one-line message instead of
+// a DCL_ENSURE throw from deep inside the library.
+void validate(const dcl::core::PipelineConfig& cfg) {
+  const auto& id = cfg.identifier;
+  if (id.symbols < 2) config_error("--symbols must be >= 2");
+  if (id.hidden_states < 1) config_error("--hidden must be >= 1");
+  if (id.bound_symbols < id.symbols)
+    config_error("--bound-symbols must be >= --symbols");
+  if (id.eps_l < 0.0 || id.eps_l >= 1.0)
+    config_error("--eps-l must be in [0, 1)");
+  if (id.eps_d < 0.0 || id.eps_d >= 1.0)
+    config_error("--eps-d must be in [0, 1)");
+  if (id.bootstrap_replicates < 0) config_error("--bootstrap must be >= 0");
+  if (id.auto_hidden_max < 0) config_error("--select-N must be >= 0");
+  if (id.propagation_delay && *id.propagation_delay < 0.0)
+    config_error("--dprop must be >= 0");
+}
+
+// EM telemetry into the global registry, plus optional per-restart
+// progress lines on stderr.
+class CliEmObserver : public dcl::inference::RegistryEmObserver {
+ public:
+  CliEmObserver(dcl::obs::Registry& reg, bool verbose)
+      : RegistryEmObserver(reg), verbose_(verbose) {}
+
+  void on_restart(int restart, const dcl::inference::FitResult& result,
+                  bool new_best) override {
+    RegistryEmObserver::on_restart(restart, result, new_best);
+    if (verbose_)
+      std::fprintf(stderr,
+                   "dclid: em restart %d: %d iteration%s, ll %.4f%s%s\n",
+                   restart, result.iterations,
+                   result.iterations == 1 ? "" : "s", result.log_likelihood,
+                   result.converged ? "" : " (max iterations)",
+                   new_best ? " *" : "");
+  }
+
+ private:
+  bool verbose_;
+};
+
+void print_stage_timings(const dcl::obs::Registry& reg) {
+  const auto snap = reg.snapshot();
+  std::fprintf(stderr, "dclid: stage timings:\n");
+  for (const auto& h : snap.histograms) {
+    if (h.name.rfind("span.", 0) != 0) continue;
+    std::fprintf(stderr, "dclid:   %-24s %8.2f ms", h.name.c_str() + 5,
+                 h.sum * 1e3);
+    if (h.count > 1)
+      std::fprintf(stderr, "  (%llu calls, mean %.2f ms)",
+                   static_cast<unsigned long long>(h.count), h.mean * 1e3);
+    std::fprintf(stderr, "\n");
+  }
+}
+
+bool write_metrics_json(const std::string& path,
+                        const dcl::obs::Registry& reg) {
+  const std::string json = reg.to_json();
+  if (path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -70,6 +180,8 @@ int parse_int(const char* v, const char* flag) {
 int main(int argc, char** argv) {
   dcl::core::PipelineConfig cfg;
   std::string path;
+  std::string metrics_json_path;
+  bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -99,10 +211,11 @@ int main(int argc, char** argv) {
           parse_double(need("--dprop"), "--dprop");
     else if (a == "--no-skew-correction")
       cfg.correct_clock_skew = false;
-    else if (a == "--window")
-      cfg.stationary_window =
-          static_cast<std::size_t>(parse_int(need("--window"), "--window"));
-    else if (a == "--bound-symbols")
+    else if (a == "--window") {
+      const long w = parse_long(need("--window"), "--window");
+      if (w < 0) config_error("--window must be >= 0");
+      cfg.stationary_window = static_cast<std::size_t>(w);
+    } else if (a == "--bound-symbols")
       cfg.identifier.bound_symbols =
           parse_int(need("--bound-symbols"), "--bound-symbols");
     else if (a == "--bootstrap")
@@ -112,8 +225,11 @@ int main(int argc, char** argv) {
       cfg.identifier.auto_hidden_max =
           parse_int(need("--select-N"), "--select-N");
     else if (a == "--seed")
-      cfg.identifier.em.seed =
-          static_cast<std::uint64_t>(parse_int(need("--seed"), "--seed"));
+      cfg.identifier.em.seed = parse_u64(need("--seed"), "--seed");
+    else if (a == "--metrics-json")
+      metrics_json_path = need("--metrics-json");
+    else if (a == "--verbose" || a == "-v")
+      verbose = true;
     else if (!a.empty() && a[0] == '-')
       usage(argv[0], 2);
     else if (path.empty())
@@ -122,9 +238,22 @@ int main(int argc, char** argv) {
       usage(argv[0], 2);
   }
   if (path.empty()) usage(argv[0], 2);
+  validate(cfg);
+
+  auto& registry = dcl::obs::Registry::global();
+  const bool observing = verbose || !metrics_json_path.empty();
+  CliEmObserver em_observer(registry, verbose);
+  if (observing) {
+    dcl::obs::set_enabled(true);
+    cfg.identifier.em.observer = &em_observer;
+  }
 
   try {
+    if (verbose) std::fprintf(stderr, "dclid: reading %s\n", path.c_str());
     const auto trace = dcl::trace::read_trace_file(path);
+    if (verbose)
+      std::fprintf(stderr, "dclid: analyzing %zu probes\n",
+                   trace.records.size());
     const auto r = dcl::core::analyze_trace(trace, cfg);
     const auto& id = r.identification;
 
@@ -138,6 +267,13 @@ int main(int argc, char** argv) {
     if (!id.has_losses) {
       std::printf("no losses: a dominant congested link cannot be "
                   "asserted (and none is evidently needed).\n");
+      if (verbose) print_stage_timings(registry);
+      if (!metrics_json_path.empty() &&
+          !write_metrics_json(metrics_json_path, registry)) {
+        std::fprintf(stderr, "dclid: cannot write %s\n",
+                     metrics_json_path.c_str());
+        return 1;
+      }
       return 0;
     }
 
@@ -170,6 +306,14 @@ int main(int argc, char** argv) {
     } else {
       std::printf("\nno dominant congested link: congestion is spread over "
                   "multiple links.\n");
+    }
+
+    if (verbose) print_stage_timings(registry);
+    if (!metrics_json_path.empty() &&
+        !write_metrics_json(metrics_json_path, registry)) {
+      std::fprintf(stderr, "dclid: cannot write %s\n",
+                   metrics_json_path.c_str());
+      return 1;
     }
     return 0;
   } catch (const dcl::util::Error& e) {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the test suite — first
+# plain, then (unless DCL_CHECK_SKIP_SANITIZED=1) with ASan+UBSan so
+# regressions in the instrumented hot paths are caught mechanically.
+#
+#   scripts/check.sh            # plain + sanitized
+#   DCL_CHECK_SKIP_SANITIZED=1 scripts/check.sh
+#
+# Runs from the repo root regardless of the invocation directory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  echo "==> configure ${build_dir} ($*)"
+  cmake -B "${build_dir}" -S . "$@"
+  echo "==> build ${build_dir}"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "==> ctest ${build_dir}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_suite build
+
+if [[ "${DCL_CHECK_SKIP_SANITIZED:-0}" != "1" ]]; then
+  run_suite build-sanitized -DDCL_SANITIZE="address;undefined" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "==> all checks passed"

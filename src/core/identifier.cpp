@@ -3,6 +3,7 @@
 #include "inference/hmm.h"
 #include "inference/mmhd.h"
 #include "inference/model_selection.h"
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace dcl::core {
@@ -33,6 +34,7 @@ Identifier::Identifier(const IdentifierConfig& cfg) : cfg_(cfg) {
 
 IdentificationResult Identifier::identify(
     const inference::ObservationSequence& obs) const {
+  DCL_SPAN("identify");
   DCL_ENSURE_MSG(obs.size() >= 2, "need at least two probes");
   IdentificationResult r;
   r.probes = obs.size();
@@ -45,7 +47,10 @@ IdentificationResult Identifier::identify(
   inference::DiscretizerConfig dc;
   dc.symbols = cfg_.symbols;
   dc.propagation_delay = cfg_.propagation_delay;
-  const auto disc = inference::Discretizer::from_observations(obs, dc);
+  const auto disc = [&] {
+    DCL_SPAN("discretize");
+    return inference::Discretizer::from_observations(obs, dc);
+  }();
   r.bin_width_s = disc.bin_width();
   r.delay_floor_s = disc.delay_floor();
   const auto seq = disc.discretize(obs);
@@ -53,22 +58,30 @@ IdentificationResult Identifier::identify(
   inference::EmOptions em = cfg_.em;
   em.hidden_states = cfg_.hidden_states;
   if (cfg_.auto_hidden_max > 0 && cfg_.model == ModelKind::kMmhd) {
+    DCL_SPAN("model_selection");
     const auto sel = inference::select_mmhd_hidden_states(
         seq, cfg_.symbols, cfg_.auto_hidden_max, em);
     em.hidden_states = sel.best_hidden_states;
   }
   r.hidden_states_used = em.hidden_states;
   std::vector<util::Pmf> per_loss;
-  r.fit = fit_model(cfg_.model, cfg_.symbols, seq, em,
-                    cfg_.bootstrap_replicates > 0 ? &per_loss : nullptr);
+  {
+    DCL_SPAN("coarse_fit");
+    r.fit = fit_model(cfg_.model, cfg_.symbols, seq, em,
+                      cfg_.bootstrap_replicates > 0 ? &per_loss : nullptr);
+  }
   r.virtual_pmf = r.fit.virtual_delay_pmf;
   r.virtual_cdf = util::pmf_to_cdf(r.virtual_pmf);
 
-  r.sdcl = sdcl_test(r.virtual_cdf, cfg_.sdcl_mass_epsilon);
-  r.wdcl = wdcl_test(r.virtual_cdf, cfg_.eps_l, cfg_.eps_d);
-  r.coarse_bound = max_delay_bound(r.virtual_cdf, disc, cfg_.eps_l);
+  {
+    DCL_SPAN("hypothesis_tests");
+    r.sdcl = sdcl_test(r.virtual_cdf, cfg_.sdcl_mass_epsilon);
+    r.wdcl = wdcl_test(r.virtual_cdf, cfg_.eps_l, cfg_.eps_d);
+    r.coarse_bound = max_delay_bound(r.virtual_cdf, disc, cfg_.eps_l);
+  }
 
   if (cfg_.bootstrap_replicates > 0 && cfg_.model == ModelKind::kMmhd) {
+    DCL_SPAN("bootstrap");
     BootstrapConfig bc;
     bc.replicates = cfg_.bootstrap_replicates;
     bc.eps_l = cfg_.eps_l;
@@ -79,6 +92,7 @@ IdentificationResult Identifier::identify(
 
   // Fine grid: tighter delay bound via the connected-component heuristic.
   if (cfg_.compute_fine_bound) {
+    DCL_SPAN("fine_bound");
     inference::DiscretizerConfig fdc;
     fdc.symbols = cfg_.bound_symbols;
     fdc.propagation_delay = cfg_.propagation_delay;

@@ -1,23 +1,28 @@
 #include "core/pipeline.h"
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace dcl::core {
 
 PipelineResult analyze_trace(const trace::Trace& trace,
                              const PipelineConfig& cfg) {
+  DCL_SPAN("analyze_trace");
   DCL_ENSURE_MSG(trace.records.size() >= 2, "trace too short to analyze");
   PipelineResult out;
   out.trace_gaps = trace.gaps();
 
   auto obs = trace.observations();
   const auto send_times = trace.send_times();
-  if (cfg.correct_clock_skew)
+  if (cfg.correct_clock_skew) {
+    DCL_SPAN("skew_removal");
     obs = timesync::correct_observations(obs, send_times, &out.skew);
+  }
 
   out.window_begin = 0;
   out.window_end = obs.size();
   if (cfg.stationary_window > 0 && cfg.stationary_window < obs.size()) {
+    DCL_SPAN("window_selection");
     const auto [lo, hi] = most_stationary_window(
         obs, cfg.stationary_window, cfg.window_stride, cfg.min_losses);
     out.window_begin = lo;
@@ -25,7 +30,10 @@ PipelineResult analyze_trace(const trace::Trace& trace,
     obs.assign(obs.begin() + static_cast<long>(lo),
                obs.begin() + static_cast<long>(hi));
   }
-  out.stationarity = stationarity(obs);
+  {
+    DCL_SPAN("stationarity");
+    out.stationarity = stationarity(obs);
+  }
   out.identification = Identifier(cfg.identifier).identify(obs);
   return out;
 }

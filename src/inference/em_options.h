@@ -8,6 +8,35 @@
 
 namespace dcl::inference {
 
+struct FitResult;
+
+// Optional telemetry hook for the EM fits. The model invokes the observer
+// synchronously from inside the fit loop, so implementations must be cheap
+// (record a number, bump a counter) and must not call back into the model.
+// All methods have empty defaults; override only what you need.
+class EmObserver {
+ public:
+  virtual ~EmObserver() = default;
+  // After every EM iteration of every restart: the data log likelihood of
+  // the parameters *entering* the iteration and the largest absolute
+  // parameter change the iteration produced.
+  virtual void on_iteration(int restart, int iteration, double log_likelihood,
+                            double max_param_delta) {
+    (void)restart; (void)iteration; (void)log_likelihood;
+    (void)max_param_delta;
+  }
+  // After a restart finishes (converged or hit max_iterations). `new_best`
+  // is true when this restart currently leads the winner selection.
+  virtual void on_restart(int restart, const FitResult& result,
+                          bool new_best) {
+    (void)restart; (void)result; (void)new_best;
+  }
+  // Once per fit, after the winning restart has been chosen.
+  virtual void on_winner(int restart, const FitResult& result) {
+    (void)restart; (void)result;
+  }
+};
+
 struct EmOptions {
   int hidden_states = 2;    // N
   int max_iterations = 300;
@@ -29,11 +58,15 @@ struct EmOptions {
   // observed bigrams breaks that self-reinforcement while leaving
   // well-evidenced structure untouched. Ignored by the HMM.
   double transition_prior = 2.0;
+  // Telemetry hook (not owned; may be null). See EmObserver above.
+  EmObserver* observer = nullptr;
 };
 
 struct FitResult {
   bool converged = false;
   int iterations = 0;
+  // Index (0-based) of the restart that won the likelihood comparison.
+  int winning_restart = 0;
   double log_likelihood = 0.0;
   // Per-iteration log likelihood of the winning restart (for monotonicity
   // checks and diagnostics).

@@ -1,0 +1,73 @@
+// Registry-backed EmObserver: streams EM fit telemetry into a dcl::obs
+// registry so fits become externally observable without touching the model
+// code. Attach via EmOptions::observer:
+//
+//   obs::Registry reg;                     // or obs::Registry::global()
+//   inference::RegistryEmObserver watch(reg, "em.coarse");
+//   EmOptions em; em.observer = &watch;
+//   model.fit(seq, em);
+//
+// Exported metrics (under the given prefix, default "em"):
+//   <p>.fits               counter   completed fit() calls
+//   <p>.restarts           counter   restarts across all fits
+//   <p>.iterations         counter   EM iterations across all fits
+//   <p>.converged_restarts counter   restarts that met the tolerance
+//   <p>.iterations_per_restart  histogram
+//   <p>.final_log_likelihood    gauge (of the most recent winner)
+//   <p>.winning_restart         gauge
+//
+// The observer additionally keeps the winning restart's per-iteration log
+// likelihoods of the most recent fit (winner_history()) for monotonicity
+// checks and trajectory plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "inference/em_options.h"
+#include "obs/obs.h"
+
+namespace dcl::inference {
+
+class RegistryEmObserver : public EmObserver {
+ public:
+  explicit RegistryEmObserver(obs::Registry& reg, std::string prefix = "em")
+      : reg_(reg), prefix_(std::move(prefix)) {}
+
+  void on_iteration(int restart, int iteration, double log_likelihood,
+                    double max_param_delta) override {
+    (void)restart;
+    (void)iteration;
+    (void)log_likelihood;
+    (void)max_param_delta;
+    reg_.counter(prefix_ + ".iterations").add();
+  }
+
+  void on_restart(int restart, const FitResult& result,
+                  bool new_best) override {
+    (void)restart;
+    reg_.counter(prefix_ + ".restarts").add();
+    if (result.converged) reg_.counter(prefix_ + ".converged_restarts").add();
+    reg_.histogram(prefix_ + ".iterations_per_restart")
+        .record(static_cast<double>(result.iterations));
+    if (new_best) winner_history_ = result.log_likelihood_history;
+  }
+
+  void on_winner(int restart, const FitResult& result) override {
+    reg_.counter(prefix_ + ".fits").add();
+    reg_.gauge(prefix_ + ".final_log_likelihood").set(result.log_likelihood);
+    reg_.gauge(prefix_ + ".winning_restart")
+        .set(static_cast<double>(restart));
+  }
+
+  // Per-iteration log likelihood of the winning restart of the most recent
+  // completed fit (empty before the first on_restart).
+  const std::vector<double>& winner_history() const { return winner_history_; }
+
+ private:
+  obs::Registry& reg_;
+  std::string prefix_;
+  std::vector<double> winner_history_;
+};
+
+}  // namespace dcl::inference

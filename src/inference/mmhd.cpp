@@ -297,19 +297,24 @@ FitResult Mmhd::fit(const std::vector<int>& seq, const EmOptions& opts) {
     random_init(child, loss_rate);
     Trellis w;
     FitResult res;
+    res.winning_restart = r;
     double last_ll = -std::numeric_limits<double>::infinity();
     for (int it = 0; it < opts.max_iterations; ++it) {
       const auto [ll, delta] = em_step(seq, w, prior_ptr);
       res.log_likelihood_history.push_back(ll);
       last_ll = ll;
       res.iterations = it + 1;
+      if (opts.observer != nullptr)
+        opts.observer->on_iteration(r, it, ll, delta);
       if (delta < opts.tolerance) {
         res.converged = true;
         break;
       }
     }
     res.log_likelihood = last_ll;
-    if (res.log_likelihood > best.log_likelihood) {
+    const bool new_best = res.log_likelihood > best.log_likelihood;
+    if (opts.observer != nullptr) opts.observer->on_restart(r, res, new_best);
+    if (new_best) {
       best = std::move(res);
       best_params = {pi_, a_, c_};
       have_best = true;
@@ -322,6 +327,8 @@ FitResult Mmhd::fit(const std::vector<int>& seq, const EmOptions& opts) {
   }
   best.losses = losses;
   best.virtual_delay_pmf = virtual_delay_pmf(seq);
+  if (opts.observer != nullptr)
+    opts.observer->on_winner(best.winning_restart, best);
   return best;
 }
 

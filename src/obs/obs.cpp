@@ -1,0 +1,301 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace dcl::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Relaxed CAS-max over an atomic<double>.
+void atomic_max(std::atomic<double>& a, double x) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !a.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double x) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !a.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& a, double x) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void Gauge::set(double x) {
+  v_.store(x, std::memory_order_relaxed);
+  atomic_max(max_, x);
+}
+
+void Gauge::update_max(double x) {
+  atomic_max(v_, x);
+  atomic_max(max_, x);
+}
+
+void Gauge::reset() {
+  v_.store(0.0, std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Histogram::record(double x) {
+  std::size_t idx = 0;
+  if (x > kBase) {
+    const double octaves = std::log2(x / kBase);
+    idx = std::min(kBuckets - 1,
+                   static_cast<std::size_t>(std::max(0.0, octaves)) + 1);
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, x);
+  if (prev == 0) {
+    // First sample seeds min/max; racing first samples still converge
+    // because both CAS loops run afterwards.
+    min_.store(x, std::memory_order_relaxed);
+    max_.store(x, std::memory_order_relaxed);
+  }
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::bucket_upper(std::size_t i) {
+  if (i == 0) return kBase;
+  return kBase * std::pow(2.0, static_cast<double>(i));
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket_count(i);
+    if (static_cast<double>(seen) >= target && seen > 0)
+      return std::min(bucket_upper(i), max());
+  }
+  return max();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.emplace_back(name, g->value());
+    s.gauge_maxima.emplace_back(name, g->max());
+  }
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramData d;
+    d.name = name;
+    d.count = h->count();
+    d.sum = h->sum();
+    d.min = h->min();
+    d.max = h->max();
+    d.mean = h->mean();
+    d.p50 = h->quantile(0.5);
+    d.p99 = h->quantile(0.99);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n > 0) d.buckets.emplace_back(Histogram::bucket_upper(i), n);
+    }
+    s.histograms.push_back(std::move(d));
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& Registry::global() {
+  static Registry* reg = new Registry();  // never destroyed: exit-safe
+  return *reg;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double x) {
+  if (!std::isfinite(x)) return "0";
+  char buf[64];
+  // %.17g round-trips doubles; trim to a sane default precision that still
+  // survives a parse-and-compare in the tests.
+  std::snprintf(buf, sizeof buf, "%.12g", x);
+  return buf;
+}
+
+std::string Registry::to_json() const {
+  const Snapshot s = snapshot();
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << '"' << json_escape(s.counters[i].first)
+       << "\": " << s.counters[i].second;
+  }
+  os << (s.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << '"' << json_escape(s.gauges[i].first)
+       << "\": {\"value\": " << json_number(s.gauges[i].second)
+       << ", \"max\": " << json_number(s.gauge_maxima[i].second) << '}';
+  }
+  os << (s.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < s.histograms.size(); ++i) {
+    const auto& h = s.histograms[i];
+    os << (i ? ",\n    " : "\n    ") << '"' << json_escape(h.name) << "\": {"
+       << "\"count\": " << h.count << ", \"sum\": " << json_number(h.sum)
+       << ", \"min\": " << json_number(h.min)
+       << ", \"max\": " << json_number(h.max)
+       << ", \"mean\": " << json_number(h.mean)
+       << ", \"p50\": " << json_number(h.p50)
+       << ", \"p99\": " << json_number(h.p99) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b ? ", " : "") << "{\"le\": " << json_number(h.buckets[b].first)
+         << ", \"count\": " << h.buckets[b].second << '}';
+    }
+    os << "]}";
+  }
+  os << (s.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string Registry::to_csv() const {
+  const Snapshot s = snapshot();
+  std::ostringstream os;
+  os << "type,name,field,value\n";
+  for (const auto& [name, v] : s.counters)
+    os << "counter," << name << ",value," << v << '\n';
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    os << "gauge," << s.gauges[i].first << ",value,"
+       << json_number(s.gauges[i].second) << '\n';
+    os << "gauge," << s.gauges[i].first << ",max,"
+       << json_number(s.gauge_maxima[i].second) << '\n';
+  }
+  for (const auto& h : s.histograms) {
+    os << "histogram," << h.name << ",count," << h.count << '\n';
+    os << "histogram," << h.name << ",sum," << json_number(h.sum) << '\n';
+    os << "histogram," << h.name << ",min," << json_number(h.min) << '\n';
+    os << "histogram," << h.name << ",max," << json_number(h.max) << '\n';
+    os << "histogram," << h.name << ",mean," << json_number(h.mean) << '\n';
+    os << "histogram," << h.name << ",p50," << json_number(h.p50) << '\n';
+    os << "histogram," << h.name << ",p99," << json_number(h.p99) << '\n';
+  }
+  return os.str();
+}
+
+Span::Span(const char* name) : name_(name), reg_(nullptr) {
+  if (!enabled()) return;
+  reg_ = &Registry::global();
+  start_ns_ = now_ns();
+}
+
+Span::Span(const char* name, Registry& reg) : name_(name), reg_(&reg) {
+  start_ns_ = now_ns();
+}
+
+double Span::elapsed_s() const {
+  if (reg_ == nullptr) return 0.0;
+  return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+}
+
+Span::~Span() {
+  if (reg_ == nullptr) return;
+  const double secs = static_cast<double>(now_ns() - start_ns_) * 1e-9;
+  reg_->histogram(std::string("span.") + name_).record(secs);
+}
+
+}  // namespace dcl::obs

@@ -1,0 +1,190 @@
+// dcl::obs — lightweight observability primitives for the dclid libraries.
+//
+// A Registry holds named Counters, Gauges, and log-scale Histograms with
+// thread-safe (atomic, relaxed) updates; metric handles returned by the
+// registry stay valid for the registry's lifetime, so hot paths look up a
+// metric once and update it lock-free afterwards. Scoped Span timers on
+// the monotonic clock record stage durations into `span.<name>` histograms
+// via the DCL_SPAN(name) macro.
+//
+// Instrumentation is off by default: DCL_SPAN and Span{} check a single
+// relaxed atomic flag and do not even read the clock when observability is
+// disabled, so instrumented hot paths (EM inner loops, simulator event
+// handlers) pay a load+branch and nothing else. Exporters produce a JSON
+// document or CSV rows from a consistent point-in-time snapshot.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcl::obs {
+
+// Global on/off switch for the scoped timers (counters and gauges are
+// plain atomics and always live). Disabled by default.
+bool enabled();
+void set_enabled(bool on);
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  // Overwrite — used by exporters that mirror externally-kept counts
+  // (e.g. simulator queue accounting) into a registry idempotently.
+  void set(std::uint64_t n) { v_.store(n, std::memory_order_relaxed); }
+  void reset() { set(0); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Last-written value plus a running maximum (for high-water marks).
+class Gauge {
+ public:
+  void set(double x);
+  // Raises the running maximum (and the value) to at least `x`.
+  void update_max(double x);
+  void reset();
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  // Largest value ever set (also for negative-valued gauges such as log
+  // likelihoods); -inf until the first write.
+  double max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+// Log-scale histogram over positive values (durations in seconds, sizes,
+// counts). Bucket i spans (kBase * 2^(i-1), kBase * 2^i]; values at or
+// below kBase land in bucket 0, values beyond the last boundary in the
+// overflow bucket. Also tracks count/sum/min/max exactly.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  static constexpr double kBase = 1e-9;
+
+  void record(double x);
+  void reset();
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double mean() const;
+
+  // Upper bound of bucket i.
+  static double bucket_upper(std::size_t i);
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  // Quantile estimate from the bucket boundaries (q in [0, 1]); an upper
+  // bound accurate to one octave. 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// Point-in-time copy of a registry, used by the exporters and tests.
+struct Snapshot {
+  struct HistogramData {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    // Non-empty buckets as (upper_bound, count) pairs.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, double>> gauge_maxima;
+  std::vector<HistogramData> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Find-or-create; the returned reference is stable for the registry's
+  // lifetime (metrics are never removed, reset() only zeroes them).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  Snapshot snapshot() const;
+  // Pretty-printed JSON object {"counters": {...}, "gauges": {...},
+  // "histograms": {...}}.
+  std::string to_json() const;
+  // CSV rows "type,name,field,value" with a header line.
+  std::string to_csv() const;
+
+  // Zeroes every metric (handles stay valid).
+  void reset();
+
+  // Process-wide default registry used by DCL_SPAN and the CLI exporter.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// RAII stage timer: records the scope's wall duration (monotonic clock,
+// seconds) into histogram `span.<name>` of the target registry on
+// destruction. Inactive (no clock read) when observability is disabled
+// and no explicit registry is given.
+class Span {
+ public:
+  // Records into Registry::global() iff obs::enabled().
+  explicit Span(const char* name);
+  // Records into `reg` unconditionally (tests, explicit collectors).
+  Span(const char* name, Registry& reg);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Seconds since construction (0 when inactive).
+  double elapsed_s() const;
+  bool active() const { return reg_ != nullptr; }
+
+ private:
+  const char* name_;
+  Registry* reg_;  // nullptr -> inactive
+  std::uint64_t start_ns_ = 0;
+};
+
+// Escapes `s` for inclusion in a JSON string literal (quotes not added).
+std::string json_escape(std::string_view s);
+// Formats a double as a JSON number (finite; non-finite becomes 0).
+std::string json_number(double x);
+
+}  // namespace dcl::obs
+
+#define DCL_OBS_CONCAT_INNER(a, b) a##b
+#define DCL_OBS_CONCAT(a, b) DCL_OBS_CONCAT_INNER(a, b)
+// Times the enclosing scope into `span.<name>` of the global registry.
+#define DCL_SPAN(name) \
+  ::dcl::obs::Span DCL_OBS_CONCAT(dcl_obs_span_, __LINE__)(name)

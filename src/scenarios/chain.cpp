@@ -1,5 +1,6 @@
 #include "scenarios/chain.h"
 
+#include "obs/obs.h"
 #include "sim/droptail.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -145,8 +146,14 @@ void ChainScenario::run() {
   for (auto& s : ftp_senders_) s->start();
   if (http_) http_->start();
   for (auto& u : udp_) u->start();
-  net_.sim().run_until(cfg_.duration_s + cfg_.drain_s);
+  {
+    DCL_SPAN("simulate");
+    net_.sim().run_until(cfg_.duration_s + cfg_.drain_s);
+  }
   ran_ = true;
+  // When observability is on, publish the per-link queue accounting so a
+  // metrics snapshot taken after the run carries the simulator telemetry.
+  if (obs::enabled()) net_.export_metrics(obs::Registry::global());
 }
 
 inference::ObservationSequence ChainScenario::observations() const {

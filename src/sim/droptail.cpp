@@ -19,6 +19,7 @@ bool DropTailQueue::try_enqueue(const Packet& p, Time /*now*/) {
   }
   backlog_ += p.size_bytes;
   q_.push_back(p);
+  note_backlog(backlog_, q_.size());
   return true;
 }
 

@@ -33,9 +33,11 @@ void Link::send(Packet p) {
   const bool is_probe = p.type == PacketType::kProbe;
   const double qdelay = is_probe ? current_queuing_delay(now) : 0.0;
   if (!queue_->try_enqueue(p, now)) {
+    ++dropped_;
     if (is_probe && observer_ != nullptr) observer_->on_probe_dropped(*this, p, now);
     return;
   }
+  ++enqueued_;
   if (is_probe && observer_ != nullptr)
     observer_->on_probe_enqueued(*this, p, qdelay, now);
   start_service_if_idle();

@@ -73,6 +73,9 @@ class Link {
   void set_observer(LinkObserver* obs) { observer_ = obs; }
 
   std::uint64_t delivered() const { return delivered_; }
+  // Packets admitted to / rejected by the output queue at this link.
+  std::uint64_t enqueued() const { return enqueued_; }
+  std::uint64_t dropped() const { return dropped_; }
 
  private:
   void start_service_if_idle();
@@ -89,6 +92,8 @@ class Link {
   bool busy_ = false;
   Time service_end_ = 0.0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace dcl::sim

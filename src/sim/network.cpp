@@ -83,8 +83,31 @@ Link* Network::find_link(NodeId from, NodeId to) {
   return nullptr;
 }
 
-void Network::set_link_observer(LinkObserver* obs) {
-  for (const auto& l : links_) l->set_observer(obs);
+void Network::set_link_observer(LinkObserver* observer) {
+  for (const auto& l : links_) l->set_observer(observer);
+}
+
+void Network::export_metrics(obs::Registry& reg,
+                             std::string_view prefix) const {
+  for (const auto& l : links_) {
+    const std::string base = std::string(prefix) + ".link" +
+                             std::to_string(l->id()) + "." +
+                             l->from().name() + "->" + l->to().name();
+    const Queue& q = l->queue();
+    reg.counter(base + ".enqueued").set(l->enqueued());
+    reg.counter(base + ".dropped").set(l->dropped());
+    reg.counter(base + ".delivered").set(l->delivered());
+    reg.counter(base + ".arrivals").set(q.arrivals());
+    reg.counter(base + ".probe_arrivals").set(q.arrivals(PacketType::kProbe));
+    reg.counter(base + ".probe_drops").set(q.drops(PacketType::kProbe));
+    reg.gauge(base + ".loss_rate").set(q.loss_rate());
+    reg.gauge(base + ".queue_hwm_bytes")
+        .set(static_cast<double>(q.high_water_bytes()));
+    reg.gauge(base + ".queue_hwm_pkts")
+        .set(static_cast<double>(q.high_water_pkts()));
+    reg.gauge(base + ".capacity_bytes")
+        .set(static_cast<double>(q.capacity_bytes()));
+  }
 }
 
 std::vector<Link*> Network::route_links(NodeId src, NodeId dst) {

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/link.h"
 #include "sim/node.h"
 #include "sim/simulator.h"
@@ -60,6 +62,13 @@ class Network {
 
   // Installs `obs` on every existing link (call after topology is built).
   void set_link_observer(LinkObserver* obs);
+
+  // Mirrors per-link accounting (enqueue/drop counts per packet type,
+  // deliveries, occupancy high-water marks, loss rate) into `reg` under
+  // `<prefix>.link<id>.<from>-><to>.*`. Idempotent: values are written
+  // with set semantics, so calling it again refreshes the snapshot.
+  void export_metrics(obs::Registry& reg,
+                      std::string_view prefix = "sim") const;
 
   // The sequence of links a packet from `src` to `dst` traverses under the
   // current routes; empty when unroutable.

@@ -57,6 +57,10 @@ class Queue {
                      : 0.0;
   }
 
+  // Occupancy high-water marks, sampled after every accepted enqueue.
+  std::size_t high_water_bytes() const { return high_water_bytes_; }
+  std::size_t high_water_pkts() const { return high_water_pkts_; }
+
  protected:
   Queue() = default;
   void count_arrival(PacketType t) {
@@ -67,12 +71,19 @@ class Queue {
     ++drops_;
     ++drops_by_type_[static_cast<std::size_t>(t)];
   }
+  // Called by disciplines after admitting a packet with the new occupancy.
+  void note_backlog(std::size_t bytes, std::size_t pkts) {
+    if (bytes > high_water_bytes_) high_water_bytes_ = bytes;
+    if (pkts > high_water_pkts_) high_water_pkts_ = pkts;
+  }
 
  private:
   std::uint64_t arrivals_ = 0;
   std::uint64_t drops_ = 0;
   std::array<std::uint64_t, 5> arrivals_by_type_{};
   std::array<std::uint64_t, 5> drops_by_type_{};
+  std::size_t high_water_bytes_ = 0;
+  std::size_t high_water_pkts_ = 0;
 };
 
 }  // namespace dcl::sim

@@ -94,6 +94,7 @@ bool RedQueue::try_enqueue(const Packet& p, Time now) {
   }
   backlog_ += p.size_bytes;
   q_.push_back(p);
+  note_backlog(backlog_, q_.size());
   return true;
 }
 

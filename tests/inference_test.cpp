@@ -6,9 +6,11 @@
 #include <cmath>
 
 #include "inference/discretizer.h"
+#include "inference/em_telemetry.h"
 #include "inference/hmm.h"
 #include "inference/mmhd.h"
 #include "inference/observation.h"
+#include "obs/obs.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -324,6 +326,63 @@ TEST_P(EmProperties, HmmLogLikelihoodIsNonDecreasing) {
   for (std::size_t i = 1; i < fit.log_likelihood_history.size(); ++i)
     EXPECT_GE(fit.log_likelihood_history[i],
               fit.log_likelihood_history[i - 1] - 1e-6);
+}
+
+TEST(EmTelemetry, ObserverSeesWinningRestartTrajectory) {
+  const auto seq = congested_sequence(3000, 7);
+  obs::Registry reg;
+  RegistryEmObserver watch(reg, "em.test");
+  EmOptions opts;
+  opts.hidden_states = 2;
+  opts.restarts = 3;
+  opts.max_iterations = 40;
+  // Plain maximum likelihood so the observed per-iteration log likelihood
+  // is an EM ascent objective (the MAP default ascends the penalized one).
+  opts.transition_prior = 0.0;
+  opts.observer = &watch;
+  Mmhd model(2, 3);
+  const auto fit = model.fit(seq, opts);
+
+  // The observer's winning-restart trajectory is exactly what the fit
+  // reports, and it is non-decreasing.
+  EXPECT_EQ(watch.winner_history(), fit.log_likelihood_history);
+  ASSERT_FALSE(watch.winner_history().empty());
+  for (std::size_t i = 1; i < watch.winner_history().size(); ++i)
+    EXPECT_GE(watch.winner_history()[i], watch.winner_history()[i - 1] - 1e-6)
+        << "winning restart decreased the likelihood at iteration " << i;
+
+  // Registry accounting is consistent with the fit.
+  EXPECT_EQ(reg.counter("em.test.fits").value(), 1u);
+  EXPECT_EQ(reg.counter("em.test.restarts").value(), 3u);
+  EXPECT_EQ(reg.counter("em.test.iterations").value(),
+            static_cast<std::uint64_t>(
+                reg.histogram("em.test.iterations_per_restart").sum()));
+  EXPECT_LE(reg.counter("em.test.converged_restarts").value(), 3u);
+  EXPECT_DOUBLE_EQ(reg.gauge("em.test.final_log_likelihood").value(),
+                   fit.log_likelihood);
+  EXPECT_DOUBLE_EQ(reg.gauge("em.test.winning_restart").value(),
+                   static_cast<double>(fit.winning_restart));
+  EXPECT_GE(fit.winning_restart, 0);
+  EXPECT_LT(fit.winning_restart, 3);
+}
+
+TEST(EmTelemetry, HmmObserverCountsIterations) {
+  const auto seq = congested_sequence(2000, 11);
+  obs::Registry reg;
+  RegistryEmObserver watch(reg, "em");
+  EmOptions opts;
+  opts.hidden_states = 2;
+  opts.restarts = 2;
+  opts.max_iterations = 30;
+  opts.observer = &watch;
+  Hmm model(2, 3);
+  const auto fit = model.fit(seq, opts);
+  EXPECT_EQ(reg.counter("em.restarts").value(), 2u);
+  EXPECT_GE(reg.counter("em.iterations").value(),
+            static_cast<std::uint64_t>(fit.iterations));
+  EXPECT_EQ(watch.winner_history(), fit.log_likelihood_history);
+  for (std::size_t i = 1; i < watch.winner_history().size(); ++i)
+    EXPECT_GE(watch.winner_history()[i], watch.winner_history()[i - 1] - 1e-6);
 }
 
 TEST_P(EmProperties, VirtualPmfIsAProbabilityDistribution) {

@@ -1,0 +1,334 @@
+// Tests for the dcl::obs observability layer: counter/gauge/histogram
+// semantics, span timing, concurrent updates, and the JSON/CSV exporters
+// (including a parse-back of the JSON snapshot with a minimal validating
+// parser).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace dcl::obs {
+namespace {
+
+// ---- minimal JSON parser (objects, arrays, strings, numbers, bools) ----
+// Just enough to validate the exporter's output structurally and read
+// numeric leaves back out.
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v;
+  const JsonObject& obj() const { return std::get<JsonObject>(v); }
+  const JsonArray& arr() const { return std::get<JsonArray>(v); }
+  double num() const { return std::get<double>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string s) : s_(std::move(s)) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    EXPECT_EQ(i_, s_.size()) << "trailing garbage after JSON document";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_])))
+      ++i_;
+  }
+  char peek() {
+    skip_ws();
+    EXPECT_LT(i_, s_.size()) << "unexpected end of JSON";
+    return i_ < s_.size() ? s_[i_] : '\0';
+  }
+  void expect(char c) {
+    EXPECT_EQ(peek(), c) << "at offset " << i_;
+    ++i_;
+  }
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't': i_ += 4; return JsonValue{true};
+      case 'f': i_ += 5; return JsonValue{false};
+      case 'n': i_ += 4; return JsonValue{nullptr};
+      default: return number();
+    }
+  }
+  JsonValue object() {
+    expect('{');
+    JsonObject out;
+    if (peek() == '}') { ++i_; return JsonValue{std::move(out)}; }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      out.emplace(std::move(key), value());
+      if (peek() == ',') { ++i_; continue; }
+      expect('}');
+      break;
+    }
+    return JsonValue{std::move(out)};
+  }
+  JsonValue array() {
+    expect('[');
+    JsonArray out;
+    if (peek() == ']') { ++i_; return JsonValue{std::move(out)}; }
+    while (true) {
+      out.push_back(value());
+      if (peek() == ',') { ++i_; continue; }
+      expect(']');
+      break;
+    }
+    return JsonValue{std::move(out)};
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') {
+        ++i_;
+        EXPECT_LT(i_, s_.size());
+        switch (s_[i_]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': i_ += 4; out += '?'; break;  // tests don't need exact
+          default: out += s_[i_];
+        }
+      } else {
+        out += s_[i_];
+      }
+      ++i_;
+    }
+    expect('"');
+    return out;
+  }
+  JsonValue number() {
+    const std::size_t start = i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) || s_[i_] == '-' ||
+            s_[i_] == '+' || s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E'))
+      ++i_;
+    EXPECT_GT(i_, start) << "expected a number at offset " << start;
+    return JsonValue{std::stod(s_.substr(start, i_ - start))};
+  }
+
+  const std::string s_;
+  std::size_t i_ = 0;
+};
+
+// ------------------------------------------------------------------------
+
+TEST(Counter, AddSetReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.set(7);
+  EXPECT_EQ(c.value(), 7u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, TracksValueAndMax) {
+  Gauge g;
+  g.set(3.5);
+  g.set(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  EXPECT_DOUBLE_EQ(g.max(), 3.5);
+  g.update_max(0.5);  // below the current value: no effect
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  g.update_max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+  EXPECT_DOUBLE_EQ(g.max(), 9.0);
+}
+
+TEST(Histogram, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  h.record(0.002);
+  h.record(0.004);
+  h.record(0.030);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum(), 0.036, 1e-12);
+  EXPECT_DOUBLE_EQ(h.min(), 0.002);
+  EXPECT_DOUBLE_EQ(h.max(), 0.030);
+  EXPECT_NEAR(h.mean(), 0.012, 1e-12);
+}
+
+TEST(Histogram, LogBucketsCoverValues) {
+  Histogram h;
+  const std::vector<double> xs{1e-9, 1e-6, 1e-3, 1.0, 100.0};
+  for (double x : xs) h.record(x);
+  // Every recorded value lands in a bucket whose upper bound covers it.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+    total += h.bucket_count(i);
+  EXPECT_EQ(total, xs.size());
+  // Quantiles are monotone and bounded by the true max.
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+  EXPECT_LE(h.quantile(1.0), h.max());
+  EXPECT_GT(h.quantile(0.01), 0.0);
+}
+
+TEST(Registry, HandlesAreStableAndNamed) {
+  Registry reg;
+  Counter& a = reg.counter("a");
+  Counter& a2 = reg.counter("a");
+  EXPECT_EQ(&a, &a2);  // find-or-create returns the same metric
+  a.add(3);
+  EXPECT_EQ(reg.counter("a").value(), 3u);
+  reg.gauge("g").set(1.25);
+  reg.histogram("h").record(0.5);
+  const Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 1u);
+  EXPECT_EQ(s.counters[0].first, "a");
+  EXPECT_EQ(s.counters[0].second, 3u);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.gauges[0].second, 1.25);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].count, 1u);
+  reg.reset();
+  EXPECT_EQ(reg.counter("a").value(), 0u);
+  EXPECT_EQ(&reg.counter("a"), &a);  // reset keeps handles valid
+}
+
+TEST(Registry, ConcurrentIncrementsAreLossless) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter& c = reg.counter("shared");
+      Histogram& h = reg.histogram("durations");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(1e-6 * (1 + i % 10));
+        reg.gauge("hwm").update_max(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(reg.histogram("durations").count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(reg.gauge("hwm").max(), kPerThread - 1);
+}
+
+TEST(Span, RecordsScopeDurationIntoRegistry) {
+  Registry reg;
+  {
+    Span span("stage", reg);
+    EXPECT_TRUE(span.active());
+    // Do a little work so the duration is strictly positive.
+    volatile double x = 0;
+    for (int i = 0; i < 1000; ++i) x += i;
+    EXPECT_GE(span.elapsed_s(), 0.0);
+  }
+  const Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].name, "span.stage");
+  EXPECT_EQ(s.histograms[0].count, 1u);
+  EXPECT_GT(s.histograms[0].sum, 0.0);
+}
+
+TEST(Span, InactiveWhenDisabled) {
+  const bool was = enabled();
+  set_enabled(false);
+  {
+    Span span("idle");
+    EXPECT_FALSE(span.active());
+    EXPECT_DOUBLE_EQ(span.elapsed_s(), 0.0);
+  }
+  set_enabled(was);
+}
+
+TEST(Span, GlobalRegistryViaMacroWhenEnabled) {
+  const bool was = enabled();
+  set_enabled(true);
+  const std::uint64_t before =
+      Registry::global().histogram("span.macro_stage").count();
+  { DCL_SPAN("macro_stage"); }
+  EXPECT_EQ(Registry::global().histogram("span.macro_stage").count(),
+            before + 1);
+  set_enabled(was);
+}
+
+TEST(JsonExport, SnapshotRoundTrips) {
+  Registry reg;
+  reg.counter("em.iterations").add(123);
+  reg.counter("weird \"name\"\n").add(1);
+  reg.gauge("queue.hwm").set(4096.0);
+  Histogram& h = reg.histogram("span.fit");
+  h.record(0.001);
+  h.record(0.002);
+  h.record(0.5);
+
+  const std::string json = reg.to_json();
+  JsonParser parser(json);
+  const JsonValue doc = parser.parse();
+
+  const auto& root = doc.obj();
+  ASSERT_TRUE(root.count("counters"));
+  ASSERT_TRUE(root.count("gauges"));
+  ASSERT_TRUE(root.count("histograms"));
+
+  const auto& counters = root.at("counters").obj();
+  EXPECT_DOUBLE_EQ(counters.at("em.iterations").num(), 123.0);
+  EXPECT_EQ(counters.size(), 2u);  // escaped name survived as its own key
+
+  const auto& gauges = root.at("gauges").obj();
+  EXPECT_DOUBLE_EQ(gauges.at("queue.hwm").obj().at("value").num(), 4096.0);
+  EXPECT_DOUBLE_EQ(gauges.at("queue.hwm").obj().at("max").num(), 4096.0);
+
+  const auto& hist = root.at("histograms").obj().at("span.fit").obj();
+  EXPECT_DOUBLE_EQ(hist.at("count").num(), 3.0);
+  EXPECT_NEAR(hist.at("sum").num(), 0.503, 1e-9);
+  EXPECT_DOUBLE_EQ(hist.at("min").num(), 0.001);
+  EXPECT_DOUBLE_EQ(hist.at("max").num(), 0.5);
+  // Bucket counts add up to the sample count.
+  double bucket_total = 0;
+  for (const auto& b : hist.at("buckets").arr())
+    bucket_total += b.obj().at("count").num();
+  EXPECT_DOUBLE_EQ(bucket_total, 3.0);
+}
+
+TEST(JsonExport, EmptyRegistryIsValid) {
+  Registry reg;
+  JsonParser parser(reg.to_json());
+  const JsonValue doc = parser.parse();
+  EXPECT_TRUE(doc.obj().at("counters").obj().empty());
+  EXPECT_TRUE(doc.obj().at("gauges").obj().empty());
+  EXPECT_TRUE(doc.obj().at("histograms").obj().empty());
+}
+
+TEST(CsvExport, EmitsHeaderAndRows) {
+  Registry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h").record(1.0);
+  const std::string csv = reg.to_csv();
+  EXPECT_EQ(csv.rfind("type,name,field,value\n", 0), 0u);
+  EXPECT_NE(csv.find("counter,c,value,5"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,value,2"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h,count,1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcl::obs
