@@ -1,0 +1,171 @@
+// EM scaling benchmark: wall time of HMM and MMHD fits under the threaded
+// restart engine at 1/2/4/8 worker threads, plus the single-thread win of
+// the cached emission tables over the per-call reference path. The fit
+// results are asserted identical across thread counts (they are bitwise so
+// by construction), making this benchmark double as a smoke test.
+//
+// Writes a single-line JSON record to argv[1] (default
+// "BENCH_em_scaling.json", i.e. the repo root when run from there) and
+// mirrors a human-readable summary to stdout.
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "inference/discretizer.h"
+#include "inference/hmm.h"
+#include "inference/mmhd.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dcl {
+namespace {
+
+constexpr int kTLen = 20000;
+constexpr int kSymbols = 10;
+constexpr int kRestarts = 8;
+constexpr int kIterations = 15;
+constexpr int kReps = 3;  // best-of to damp scheduler noise
+
+// Same congested-path shape as bench_micro: sticky symbols, losses
+// concentrated at the top symbol.
+std::vector<int> synth_sequence(std::size_t t_len, int symbols,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<int> seq;
+  seq.reserve(t_len);
+  int state = 1;
+  for (std::size_t t = 0; t < t_len; ++t) {
+    if (rng.uniform() < 0.2)
+      state = static_cast<int>(rng.uniform_int(1, symbols));
+    const double loss_p = state == symbols ? 0.2 : 0.002;
+    seq.push_back(rng.bernoulli(loss_p) ? inference::Discretizer::kLossSymbol
+                                        : state);
+  }
+  seq.front() = 1;
+  seq.back() = 1;
+  return seq;
+}
+
+inference::EmOptions options(int threads, bool cache) {
+  inference::EmOptions em;
+  em.restarts = kRestarts;
+  em.max_iterations = kIterations;
+  em.tolerance = 0.0;  // fixed iteration count: measures raw E+M cost
+  em.seed = 42;
+  em.threads = threads;
+  em.cache_emissions = cache;
+  return em;
+}
+
+template <typename Model>
+double time_fit(const std::vector<int>& seq, int hidden_states,
+                const inference::EmOptions& em, double* ll_out) {
+  double best_ms = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Model model(hidden_states, kSymbols);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto fit = model.fit(seq, em);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best_ms) best_ms = ms;
+    *ll_out = fit.log_likelihood;
+  }
+  return best_ms;
+}
+
+struct ModelScaling {
+  int hidden_states = 0;
+  double naive_1t_ms = 0.0;
+  std::vector<int> threads;
+  std::vector<double> cached_ms;
+  double emission_cache_speedup = 0.0;  // naive 1t / cached 1t
+  double speedup_4t = 0.0;              // cached 1t / cached 4t
+};
+
+template <typename Model>
+ModelScaling run_model(const char* name, const std::vector<int>& seq,
+                       int hidden_states) {
+  ModelScaling out;
+  out.hidden_states = hidden_states;
+  out.threads = {1, 2, 4, 8};
+
+  double ll_ref = 0.0;
+  out.naive_1t_ms =
+      time_fit<Model>(seq, hidden_states, options(1, false), &ll_ref);
+  std::printf("%-5s N=%d  naive 1t        %8.1f ms  (ll %.6f)\n", name,
+              hidden_states, out.naive_1t_ms, ll_ref);
+
+  double ll_first = 0.0;
+  for (std::size_t i = 0; i < out.threads.size(); ++i) {
+    double ll = 0.0;
+    const double ms =
+        time_fit<Model>(seq, hidden_states, options(out.threads[i], true), &ll);
+    out.cached_ms.push_back(ms);
+    if (i == 0) ll_first = ll;
+    // The engine guarantees bitwise identity across thread counts; hold it
+    // to that here so a future regression fails the benchmark loudly.
+    DCL_ENSURE_MSG(ll == ll_first,
+                   "fit log likelihood differs across thread counts");
+    std::printf("%-5s N=%d  cached %dt       %8.1f ms  (ll %.6f)\n", name,
+                hidden_states, out.threads[i], ms, ll);
+  }
+  out.emission_cache_speedup = out.naive_1t_ms / out.cached_ms[0];
+  out.speedup_4t = out.cached_ms[0] / out.cached_ms[2];
+  std::printf("%-5s N=%d  emission cache  %8.2fx   4-thread %7.2fx\n", name,
+              hidden_states, out.emission_cache_speedup, out.speedup_4t);
+  return out;
+}
+
+std::string json_block(const char* name, const ModelScaling& s) {
+  char buf[512];
+  std::string cached = "{";
+  for (std::size_t i = 0; i < s.threads.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\"%d\":%.3f", i > 0 ? "," : "",
+                  s.threads[i], s.cached_ms[i]);
+    cached += buf;
+  }
+  cached += "}";
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\":{\"hidden_states\":%d,\"naive_1t_ms\":%.3f,"
+                "\"cached_ms\":%s,\"emission_cache_speedup\":%.3f,"
+                "\"speedup_4t\":%.3f}",
+                name, s.hidden_states, s.naive_1t_ms, cached.c_str(),
+                s.emission_cache_speedup, s.speedup_4t);
+  return buf;
+}
+
+}  // namespace
+}  // namespace dcl
+
+int main(int argc, char** argv) {
+  using namespace dcl;
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_em_scaling.json");
+  const auto seq =
+      synth_sequence(static_cast<std::size_t>(kTLen), kSymbols, 42);
+
+  std::printf("EM scaling: T=%d M=%d restarts=%d iterations=%d (%zu hw threads)\n",
+              kTLen, kSymbols, kRestarts, kIterations,
+              util::ThreadPool::hardware_threads());
+  const auto hmm = run_model<inference::Hmm>("hmm", seq, 3);
+  const auto mmhd = run_model<inference::Mmhd>("mmhd", seq, 2);
+
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\"bench\":\"em_scaling\",\"t_len\":%d,\"symbols\":%d,"
+                "\"restarts\":%d,\"iterations\":%d,\"hardware_threads\":%zu,",
+                kTLen, kSymbols, kRestarts, kIterations,
+                util::ThreadPool::hardware_threads());
+  const std::string line = std::string(head) + json_block("hmm", hmm) + "," +
+                           json_block("mmhd", mmhd) + "}";
+  std::ofstream out(out_path);
+  DCL_ENSURE_MSG(out.good(), "cannot open benchmark output file");
+  out << line << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

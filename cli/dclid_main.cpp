@@ -21,6 +21,9 @@
 //   --bootstrap R          bootstrap decision confidence with R replicates
 //   --select-N MAX         choose the hidden-state count by BIC in 1..MAX
 //   --seed N               EM seed (1)
+//   --threads N            worker threads for EM restarts, BIC candidates,
+//                          and bootstrap replicates (0 = all cores; the
+//                          result is identical for any value)
 //   --metrics-json FILE    write an observability snapshot (stage timings,
 //                          EM telemetry) as JSON to FILE ("-" = stdout)
 //   --verbose              progress and stage timings to stderr
@@ -54,6 +57,8 @@ namespace {
       "  --bootstrap R          bootstrap confidence with R replicates\n"
       "  --select-N MAX         choose hidden states by BIC in 1..MAX\n"
       "  --seed N               EM seed (default 1)\n"
+      "  --threads N            worker threads for the parallel stages\n"
+      "                         (default 0 = all cores; results identical)\n"
       "  --metrics-json FILE    write metrics/span snapshot as JSON\n"
       "  --verbose              progress and stage timings to stderr\n",
       argv0);
@@ -119,6 +124,7 @@ void validate(const dcl::core::PipelineConfig& cfg) {
   if (id.eps_d < 0.0 || id.eps_d >= 1.0)
     config_error("--eps-d must be in [0, 1)");
   if (id.bootstrap_replicates < 0) config_error("--bootstrap must be >= 0");
+  if (id.em.threads < 0) config_error("--threads must be >= 0");
   if (id.auto_hidden_max < 0) config_error("--select-N must be >= 0");
   if (id.propagation_delay && *id.propagation_delay < 0.0)
     config_error("--dprop must be >= 0");
@@ -226,6 +232,8 @@ int main(int argc, char** argv) {
           parse_int(need("--select-N"), "--select-N");
     else if (a == "--seed")
       cfg.identifier.em.seed = parse_u64(need("--seed"), "--seed");
+    else if (a == "--threads")
+      cfg.identifier.em.threads = parse_int(need("--threads"), "--threads");
     else if (a == "--metrics-json")
       metrics_json_path = need("--metrics-json");
     else if (a == "--verbose" || a == "-v")

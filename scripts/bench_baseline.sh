@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Performance baseline snapshot: Release build, then the EM scaling
+# benchmark plus the EM-fit microbenchmarks, appended as one JSON line per
+# run to BENCH_baseline.jsonl (repo root) so perf regressions show up as a
+# diffable series across commits.
+#
+#   scripts/bench_baseline.sh           # build + run + append
+#   BENCH_OUT=custom.jsonl scripts/bench_baseline.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+OUT="${BENCH_OUT:-BENCH_baseline.jsonl}"
+
+echo "==> configure build-release (Release)"
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+echo "==> build benchmarks"
+cmake --build build-release -j "${JOBS}" \
+  --target bench_em_scaling bench_micro
+
+echo "==> bench_em_scaling"
+./build-release/bench/bench_em_scaling BENCH_em_scaling.json
+scaling="$(cat BENCH_em_scaling.json)"
+
+echo "==> bench_micro (EM fit filters)"
+micro="$(./build-release/bench/bench_micro \
+  --benchmark_filter='BM_(HmmFit|MmhdFit)' \
+  --benchmark_format=json 2>/dev/null | tr -d '\n')"
+
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+printf '{"timestamp":"%s","commit":"%s","em_scaling":%s,"micro":%s}\n' \
+  "${stamp}" "${commit}" "${scaling}" "${micro}" >> "${OUT}"
+echo "==> appended baseline to ${OUT}"

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the test suite — first
 # plain, then (unless DCL_CHECK_SKIP_SANITIZED=1) with ASan+UBSan so
-# regressions in the instrumented hot paths are caught mechanically.
+# regressions in the instrumented hot paths are caught mechanically, then
+# (unless DCL_CHECK_SKIP_TSAN=1) with TSan over the suites that exercise
+# the threaded EM engine and the observability layer.
 #
-#   scripts/check.sh            # plain + sanitized
+#   scripts/check.sh            # plain + ASan/UBSan + TSan
 #   DCL_CHECK_SKIP_SANITIZED=1 scripts/check.sh
+#   DCL_CHECK_SKIP_TSAN=1      scripts/check.sh
 #
 # Runs from the repo root regardless of the invocation directory.
 set -euo pipefail
@@ -12,22 +15,37 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+# run_suite <build_dir> <ctest_label_regex_or_empty> [cmake args...]
+# An empty label regex runs the full suite; otherwise only tests whose
+# label (= test binary name, see tests/CMakeLists.txt) matches.
 run_suite() {
   local build_dir="$1"
-  shift
+  local label_re="$2"
+  shift 2
   echo "==> configure ${build_dir} ($*)"
   cmake -B "${build_dir}" -S . "$@"
   echo "==> build ${build_dir}"
   cmake --build "${build_dir}" -j "${JOBS}"
-  echo "==> ctest ${build_dir}"
-  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+  echo "==> ctest ${build_dir}${label_re:+ (-L ${label_re})}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
+    ${label_re:+-L "${label_re}"}
 }
 
-run_suite build
+run_suite build ""
 
 if [[ "${DCL_CHECK_SKIP_SANITIZED:-0}" != "1" ]]; then
-  run_suite build-sanitized -DDCL_SANITIZE="address;undefined" \
+  run_suite build-sanitized "" -DDCL_SANITIZE="address;undefined" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+# TSan is mutually exclusive with ASan (enforced by CMakeLists.txt), so it
+# gets its own build tree. Restricted to the suites that spawn threads or
+# share registries: the parallel EM engine, inference, obs, and the
+# bootstrap/selection layer on top of them.
+if [[ "${DCL_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
+  run_suite build-tsan \
+    "parallel_em_test|inference_test|obs_test|selection_bootstrap_test|util_test" \
+    -DDCL_SANITIZE="thread" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
 
 echo "==> all checks passed"

@@ -1,9 +1,11 @@
 #include "core/bootstrap.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dcl::core {
 
@@ -18,24 +20,51 @@ BootstrapResult bootstrap_wdcl(
   const std::size_t m = per_loss_posteriors.front().size();
   for (const auto& p : per_loss_posteriors) DCL_ENSURE(p.size() == m);
 
-  util::Rng rng(cfg.seed);
-  std::vector<double> f2s;
-  f2s.reserve(static_cast<std::size_t>(cfg.replicates));
-  int accepts = 0;
-  util::Pmf pmf(m);
+  // One RNG stream per replicate, forked in replicate order before any
+  // dispatch, so replicate r draws the same resample no matter how the
+  // replicates are distributed over workers.
+  util::Rng parent(cfg.seed);
+  std::vector<util::Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(cfg.replicates));
+  for (int r = 0; r < cfg.replicates; ++r) rngs.push_back(parent.fork());
+
+  // Per-replicate result slots, reduced in replicate order afterwards.
+  std::vector<double> f2s(static_cast<std::size_t>(cfg.replicates), 0.0);
+  std::vector<char> accepted(static_cast<std::size_t>(cfg.replicates), 0);
   const auto n = static_cast<std::int64_t>(per_loss_posteriors.size());
-  for (int r = 0; r < cfg.replicates; ++r) {
-    std::fill(pmf.begin(), pmf.end(), 0.0);
-    for (std::int64_t i = 0; i < n; ++i) {
-      const auto& p =
-          per_loss_posteriors[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
-      for (std::size_t d = 0; d < m; ++d) pmf[d] += p[d];
+
+  const std::size_t workers =
+      std::min(util::ThreadPool::resolve(cfg.threads),
+               static_cast<std::size_t>(cfg.replicates));
+  // Contiguous chunks, one per worker: a single replicate is far too small
+  // a unit to pay queue traffic for.
+  const int chunks = static_cast<int>(workers);
+  const int per_chunk = (cfg.replicates + chunks - 1) / chunks;
+  auto run_chunk = [&](int chunk) {
+    const int lo = chunk * per_chunk;
+    const int hi = std::min(cfg.replicates, lo + per_chunk);
+    util::Pmf pmf(m);
+    for (int r = lo; r < hi; ++r) {
+      util::Rng& rng = rngs[static_cast<std::size_t>(r)];
+      std::fill(pmf.begin(), pmf.end(), 0.0);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const auto& p = per_loss_posteriors[static_cast<std::size_t>(
+            rng.uniform_int(0, n - 1))];
+        for (std::size_t d = 0; d < m; ++d) pmf[d] += p[d];
+      }
+      util::normalize(pmf);
+      const auto w = wdcl_test(util::pmf_to_cdf(pmf), cfg.eps_l, cfg.eps_d);
+      accepted[static_cast<std::size_t>(r)] = w.accepted ? 1 : 0;
+      f2s[static_cast<std::size_t>(r)] = w.f_at_2istar;
     }
-    util::normalize(pmf);
-    const auto w = wdcl_test(util::pmf_to_cdf(pmf), cfg.eps_l, cfg.eps_d);
-    accepts += w.accepted ? 1 : 0;
-    f2s.push_back(w.f_at_2istar);
-  }
+  };
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<util::ThreadPool>(workers);
+  util::parallel_indexed(pool.get(), chunks, run_chunk);
+
+  int accepts = 0;
+  for (char a : accepted) accepts += a ? 1 : 0;
   out.accept_fraction = static_cast<double>(accepts) / cfg.replicates;
   out.f2istar_lo = util::quantile(f2s, 0.05);
   out.f2istar_hi = util::quantile(f2s, 0.95);

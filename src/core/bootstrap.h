@@ -27,6 +27,10 @@ struct BootstrapConfig {
   double eps_l = 0.06;
   double eps_d = 0.0;
   std::uint64_t seed = 1;
+  // Worker threads for the replicates: 0 = all hardware threads, 1 =
+  // serial. Each replicate draws from its own RNG stream forked by
+  // replicate index, so the result is identical for any thread count.
+  int threads = 0;
 };
 
 struct BootstrapResult {

@@ -87,6 +87,7 @@ IdentificationResult Identifier::identify(
     bc.eps_l = cfg_.eps_l;
     bc.eps_d = cfg_.eps_d;
     bc.seed = cfg_.em.seed + 0x5bd1e995;
+    bc.threads = cfg_.em.threads;
     r.bootstrap = bootstrap_wdcl(per_loss, bc);
   }
 

@@ -1,0 +1,74 @@
+// Shared machinery of the parallel EM drivers in hmm.cpp and mmhd.cpp:
+// the buffered observer events recorded inside restart workers and the
+// deterministic join-point reduction that replays them. Internal to
+// src/inference — not part of the public API.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "inference/em_options.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dcl::inference::detail {
+
+// One EmObserver::on_iteration call, recorded by a restart worker and
+// replayed at the join point so observers never run concurrently.
+struct IterEvent {
+  int iteration = 0;
+  double log_likelihood = 0.0;
+  double max_param_delta = 0.0;
+};
+
+// Child RNG streams for `restarts` restarts, forked in restart order from
+// a parent seeded with `seed` — the exact streams the serial loop drew, so
+// parallel dispatch cannot perturb them.
+inline std::vector<util::Rng> fork_restart_rngs(std::uint64_t seed,
+                                                int restarts) {
+  util::Rng parent(seed);
+  std::vector<util::Rng> children;
+  children.reserve(static_cast<std::size_t>(restarts));
+  for (int r = 0; r < restarts; ++r) children.push_back(parent.fork());
+  return children;
+}
+
+// Deterministic winner reduction over completed restarts, in restart order:
+// replay each restart's buffered iteration events, notify on_restart with
+// the incrementally recomputed new_best flag (strict '>' comparison, so
+// ties resolve to the lowest restart index), and invoke `install(outcome)`
+// whenever the lead changes so the caller can capture that restart's
+// parameters. Outcome must expose `.res` (FitResult) and `.events`
+// (std::vector<IterEvent>). Exactly reproduces the serial observer call
+// order and winner choice for any thread count.
+template <typename Outcome, typename InstallFn>
+FitResult reduce_restarts(std::vector<Outcome>& outcomes, EmObserver* observer,
+                          InstallFn&& install) {
+  FitResult best;
+  best.log_likelihood = -std::numeric_limits<double>::infinity();
+  bool have_best = false;
+  for (std::size_t r = 0; r < outcomes.size(); ++r) {
+    Outcome& o = outcomes[r];
+    if (observer != nullptr)
+      for (const IterEvent& e : o.events)
+        observer->on_iteration(static_cast<int>(r), e.iteration,
+                               e.log_likelihood, e.max_param_delta);
+    const bool new_best = o.res.log_likelihood > best.log_likelihood;
+    if (observer != nullptr)
+      observer->on_restart(static_cast<int>(r), o.res, new_best);
+    if (new_best) {
+      best = std::move(o.res);
+      install(o);
+      have_best = true;
+    }
+  }
+  DCL_ENSURE_MSG(have_best,
+                 "EM fit produced no usable restart: every restart returned "
+                 "a non-finite log likelihood");
+  return best;
+}
+
+}  // namespace dcl::inference::detail

@@ -11,8 +11,10 @@ namespace dcl::inference {
 struct FitResult;
 
 // Optional telemetry hook for the EM fits. The model invokes the observer
-// synchronously from inside the fit loop, so implementations must be cheap
-// (record a number, bump a counter) and must not call back into the model.
+// only from the thread that called fit(), in serial restart order (worker
+// threads buffer their iteration events; see EmOptions::observer below), so
+// implementations need no synchronization — but must be cheap (record a
+// number, bump a counter) and must not call back into the model.
 // All methods have empty defaults; override only what you need.
 class EmObserver {
  public:
@@ -58,7 +60,22 @@ struct EmOptions {
   // observed bigrams breaks that self-reinforcement while leaving
   // well-evidenced structure untouched. Ignored by the HMM.
   double transition_prior = 2.0;
-  // Telemetry hook (not owned; may be null). See EmObserver above.
+  // Worker threads for the independent restarts: 0 = all hardware threads,
+  // 1 = fully serial, k = at most k workers (never more than `restarts`).
+  // The fit result is bitwise identical for every value — each restart is
+  // an isolated computation over a pre-forked RNG, and the winner is a
+  // deterministic index-ordered reduction — so this only changes wall time.
+  int threads = 0;
+  // Reference-path switch for regression tests and baseline benchmarks:
+  // when false, the fit recomputes emissions per (t, state) as the original
+  // implementation did instead of indexing a per-iteration emission table.
+  // Equal results to floating-point accuracy; substantially slower.
+  bool cache_emissions = true;
+  // Telemetry hook (not owned; may be null). See EmObserver above. Under a
+  // multi-threaded fit the per-iteration events are buffered inside each
+  // worker and replayed in restart order at the join, so the observer is
+  // always invoked from the calling thread in the serial call order and
+  // needs no locking.
   EmObserver* observer = nullptr;
 };
 

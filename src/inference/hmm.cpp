@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "inference/discretizer.h"
+#include "inference/em_internal.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace dcl::inference {
 
@@ -27,6 +30,47 @@ struct Hmm::Trellis {
     alpha = util::Matrix(t, n);
     beta = util::Matrix(t, n);
     scale.assign(t, 0.0);
+  }
+
+  // Reuse-friendly variant for the cached path: keeps the existing storage
+  // when the shape already matches (every cell is overwritten per pass).
+  void ensure(std::size_t t, std::size_t n) {
+    if (alpha.rows() != t || alpha.cols() != n) {
+      alpha = util::Matrix(t, n);
+      beta = util::Matrix(t, n);
+    }
+    if (scale.size() != t) scale.resize(t);
+  }
+};
+
+// Immutable per-fit inputs, computed once and shared (read-only) by every
+// restart worker.
+struct Hmm::FitContext {
+  std::vector<char> support;
+  // Emission-table column per step: the 0-based symbol, or M for a loss.
+  std::vector<int> col;
+};
+
+// Everything a restart mutates besides the model parameters themselves.
+// Owned by the restart worker; sized once, then reused across iterations so
+// the inner loops allocate nothing.
+struct Hmm::Workspace {
+  Trellis w;
+  util::Matrix emit;  // N x (M+1); column M = loss emission
+  // Hoisted em_step accumulators.
+  std::vector<double> new_pi, gamma_sum, c_loss, c_total, gamma;
+  util::Matrix a_num, b_num;
+  // Parameters entering the most recent em_step — the values run_restart
+  // installs, since the step's reported likelihood is theirs.
+  std::vector<double> old_pi, old_c;
+  util::Matrix old_a, old_b;
+
+  void prepare(std::size_t n, std::size_t m) {
+    if (emit.rows() != n || emit.cols() != m + 1)
+      emit = util::Matrix(n, m + 1);
+    if (a_num.rows() != n || a_num.cols() != n) a_num = util::Matrix(n, n);
+    if (b_num.rows() != n || b_num.cols() != m) b_num = util::Matrix(n, m);
+    gamma.resize(n);
   }
 };
 
@@ -69,7 +113,7 @@ void Hmm::random_init(util::Rng& rng, double observed_loss_rate) {
   }
   pi_.assign(static_cast<std::size_t>(n_), 1.0 / static_cast<double>(n_));
   // Start the per-symbol loss probabilities near the empirical loss rate
-  // with random jitter so EM can break the symbetry between symbols.
+  // with random jitter so EM can break the symmetry between symbols.
   const double base = std::clamp(observed_loss_rate, 0.005, 0.5);
   for (int d = 0; d < m_; ++d)
     c_[static_cast<std::size_t>(d)] = base * rng.uniform(0.25, 4.0);
@@ -101,6 +145,17 @@ std::vector<char> Hmm::observed_support(const std::vector<int>& seq) const {
   return support;
 }
 
+Hmm::FitContext Hmm::make_context(const std::vector<int>& seq) const {
+  FitContext ctx;
+  ctx.support = observed_support(seq);
+  ctx.col.resize(seq.size());
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    const int d = sym(seq[t]);
+    ctx.col[t] = d >= 0 ? d : m_;
+  }
+  return ctx;
+}
+
 double Hmm::emission(int h, int obs, const std::vector<char>& support) const {
   const int d = sym(obs);
   if (d < 0) return loss_emission(h, support);
@@ -113,6 +168,22 @@ double Hmm::loss_emission(int h, const std::vector<char>& support) const {
     if (support[static_cast<std::size_t>(d)])
       e += b_(h, d) * c_[static_cast<std::size_t>(d)];
   return e;
+}
+
+void Hmm::build_emission_table(const std::vector<char>& support,
+                               util::Matrix& emit) const {
+  // Same expressions and (for the loss column) the same d-ascending
+  // summation order as emission()/loss_emission(), so table entries equal
+  // the per-call values.
+  for (int h = 0; h < n_; ++h) {
+    double loss = 0.0;
+    for (int d = 0; d < m_; ++d) {
+      const auto di = static_cast<std::size_t>(d);
+      emit(h, d) = b_(h, d) * (1.0 - c_[di]);
+      if (support[di]) loss += b_(h, d) * c_[di];
+    }
+    emit(h, m_) = loss;
+  }
 }
 
 double Hmm::forward_backward(const std::vector<int>& seq, Trellis& w) const {
@@ -163,9 +234,64 @@ double Hmm::forward_backward(const std::vector<int>& seq, Trellis& w) const {
   return ll;
 }
 
+double Hmm::forward_backward_cached(const FitContext& ctx,
+                                    Workspace& ws) const {
+  const std::size_t t_len = ctx.col.size();
+  const auto n = static_cast<std::size_t>(n_);
+  Trellis& w = ws.w;
+  w.ensure(t_len, n);
+  const util::Matrix& emit = ws.emit;
+
+  double sum = 0.0;
+  {
+    const int c0 = ctx.col[0];
+    for (std::size_t h = 0; h < n; ++h) {
+      const double v = pi_[h] * emit(h, c0);
+      w.alpha(0, h) = v;
+      sum += v;
+    }
+  }
+  DCL_ENSURE_MSG(sum > 0.0, "impossible observation at t=0");
+  w.scale[0] = sum;
+  for (std::size_t h = 0; h < n; ++h) w.alpha(0, h) /= sum;
+
+  for (std::size_t t = 1; t < t_len; ++t) {
+    const int ct = ctx.col[t];
+    sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += w.alpha(t - 1, i) * a_(i, j);
+      const double v = acc * emit(j, ct);
+      w.alpha(t, j) = v;
+      sum += v;
+    }
+    DCL_ENSURE_MSG(sum > 0.0, "impossible observation at t=" << t);
+    w.scale[t] = sum;
+    for (std::size_t j = 0; j < n; ++j) w.alpha(t, j) /= sum;
+  }
+
+  for (std::size_t h = 0; h < n; ++h) w.beta(t_len - 1, h) = 1.0;
+  for (std::size_t t = t_len - 1; t-- > 0;) {
+    const int cn = ctx.col[t + 1];
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j)
+        acc += a_(i, j) * emit(j, cn) * w.beta(t + 1, j);
+      w.beta(t, i) = acc / w.scale[t + 1];
+    }
+  }
+
+  double ll = 0.0;
+  for (double c : w.scale) ll += std::log(c);
+  return ll;
+}
+
 std::pair<double, double> Hmm::em_step(const std::vector<int>& seq,
-                                       Trellis& w) {
+                                       Workspace& ws) {
+  // Reference path (EmOptions::cache_emissions == false): per-call
+  // emission() evaluation and per-step allocations, as originally written.
   const std::size_t t_len = seq.size();
+  Trellis& w = ws.w;
   const double ll = forward_backward(seq, w);
 
   std::vector<double> new_pi(static_cast<std::size_t>(n_), 0.0);
@@ -231,10 +357,10 @@ std::pair<double, double> Hmm::em_step(const std::vector<int>& seq,
   }
 
   // M-step.
-  std::vector<double> old_pi = pi_;
-  util::Matrix old_a = a_;
-  util::Matrix old_b = b_;
-  std::vector<double> old_c = c_;
+  ws.old_pi = pi_;
+  ws.old_a = a_;
+  ws.old_b = b_;
+  ws.old_c = c_;
 
   pi_ = new_pi;
   a_ = a_num;
@@ -251,15 +377,141 @@ std::pair<double, double> Hmm::em_step(const std::vector<int>& seq,
   clamp_parameters();
 
   double delta = 0.0;
-  for (int h = 0; h < n_; ++h)
-    delta = std::max(delta, std::abs(pi_[static_cast<std::size_t>(h)] -
-                                     old_pi[static_cast<std::size_t>(h)]));
-  delta = std::max(delta, util::Matrix::max_abs_diff(a_, old_a));
-  delta = std::max(delta, util::Matrix::max_abs_diff(b_, old_b));
-  for (int d = 0; d < m_; ++d)
-    delta = std::max(delta, std::abs(c_[static_cast<std::size_t>(d)] -
-                                     old_c[static_cast<std::size_t>(d)]));
+  for (std::size_t h = 0; h < static_cast<std::size_t>(n_); ++h)
+    delta = std::max(delta, std::abs(pi_[h] - ws.old_pi[h]));
+  delta = std::max(delta, util::Matrix::max_abs_diff(a_, ws.old_a));
+  delta = std::max(delta, util::Matrix::max_abs_diff(b_, ws.old_b));
+  for (std::size_t d = 0; d < static_cast<std::size_t>(m_); ++d)
+    delta = std::max(delta, std::abs(c_[d] - ws.old_c[d]));
   return {ll, delta};
+}
+
+std::pair<double, double> Hmm::em_step_cached(const std::vector<int>& seq,
+                                              const FitContext& ctx,
+                                              Workspace& ws) {
+  const std::size_t t_len = seq.size();
+  const auto n = static_cast<std::size_t>(n_);
+  const auto m = static_cast<std::size_t>(m_);
+
+  build_emission_table(ctx.support, ws.emit);
+  const double ll = forward_backward_cached(ctx, ws);
+
+  // Snapshot the entering parameters (the E-step reads, never writes them).
+  ws.old_pi = pi_;
+  ws.old_a = a_;
+  ws.old_b = b_;
+  ws.old_c = c_;
+
+  ws.new_pi.assign(n, 0.0);
+  ws.a_num.fill(0.0);
+  ws.b_num.fill(0.0);
+  ws.gamma_sum.assign(n, 0.0);
+  ws.c_loss.assign(m, 0.0);
+  ws.c_total.assign(m, 0.0);
+
+  const Trellis& w = ws.w;
+  const util::Matrix& emit = ws.emit;
+
+  for (std::size_t t = 0; t < t_len; ++t) {
+    double gsum = 0.0;
+    for (std::size_t h = 0; h < n; ++h) {
+      ws.gamma[h] = w.alpha(t, h) * w.beta(t, h);
+      gsum += ws.gamma[h];
+    }
+    DCL_ENSURE(gsum > 0.0);
+    for (std::size_t h = 0; h < n; ++h) ws.gamma[h] /= gsum;
+
+    if (t == 0)
+      for (std::size_t h = 0; h < n; ++h) ws.new_pi[h] = ws.gamma[h];
+
+    const int d = sym(seq[t]);
+    for (std::size_t h = 0; h < n; ++h) {
+      const double g = ws.gamma[h];
+      ws.gamma_sum[h] += g;
+      if (d >= 0) {
+        ws.b_num(h, static_cast<std::size_t>(d)) += g;
+        ws.c_total[static_cast<std::size_t>(d)] += g;
+      } else {
+        const double denom = emit(h, m);  // loss column
+        for (std::size_t dd = 0; dd < m; ++dd) {
+          if (!ctx.support[dd]) continue;
+          const double p = g * b_(h, dd) * c_[dd] / denom;
+          ws.b_num(h, dd) += p;
+          ws.c_loss[dd] += p;
+          ws.c_total[dd] += p;
+        }
+      }
+    }
+
+    if (t + 1 < t_len) {
+      const int cn = ctx.col[t + 1];
+      for (std::size_t i = 0; i < n; ++i) {
+        const double ai = w.alpha(t, i);
+        for (std::size_t j = 0; j < n; ++j) {
+          ws.a_num(i, j) +=
+              ai * a_(i, j) * emit(j, cn) * w.beta(t + 1, j) / w.scale[t + 1];
+        }
+      }
+    }
+  }
+
+  // M-step from the workspace accumulators (vector/matrix copy-assignments
+  // below reuse the existing storage — no allocations in steady state).
+  pi_ = ws.new_pi;
+  a_ = ws.a_num;
+  a_.normalize_rows();
+  for (std::size_t h = 0; h < n; ++h)
+    for (std::size_t d = 0; d < m; ++d)
+      b_(h, d) = ws.gamma_sum[h] > 0.0
+                     ? ws.b_num(h, d) / ws.gamma_sum[h]
+                     : 1.0 / static_cast<double>(m_);
+  for (std::size_t d = 0; d < m; ++d)
+    if (ws.c_total[d] > 0.0) c_[d] = ws.c_loss[d] / ws.c_total[d];
+  clamp_parameters();
+
+  double delta = 0.0;
+  for (std::size_t h = 0; h < n; ++h)
+    delta = std::max(delta, std::abs(pi_[h] - ws.old_pi[h]));
+  delta = std::max(delta, util::Matrix::max_abs_diff(a_, ws.old_a));
+  delta = std::max(delta, util::Matrix::max_abs_diff(b_, ws.old_b));
+  for (std::size_t d = 0; d < m; ++d)
+    delta = std::max(delta, std::abs(c_[d] - ws.old_c[d]));
+  return {ll, delta};
+}
+
+FitResult Hmm::run_restart(const std::vector<int>& seq, const FitContext& ctx,
+                           const EmOptions& opts, util::Rng rng, int restart,
+                           double loss_rate,
+                           std::vector<detail::IterEvent>* events) {
+  random_init(rng, loss_rate);
+  Workspace ws;
+  ws.prepare(static_cast<std::size_t>(n_), static_cast<std::size_t>(m_));
+  FitResult res;
+  res.winning_restart = restart;
+  double last_ll = -std::numeric_limits<double>::infinity();
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    const auto [ll, delta] = opts.cache_emissions
+                                 ? em_step_cached(seq, ctx, ws)
+                                 : em_step(seq, ws);
+    res.log_likelihood_history.push_back(ll);
+    last_ll = ll;
+    res.iterations = it + 1;
+    if (events != nullptr) events->push_back({it, ll, delta});
+    if (delta < opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  // Install the parameters *entering* the final step: last_ll is exactly
+  // their likelihood, and the retained trellis was computed from them, so
+  // the posterior costs no extra forward-backward pass.
+  pi_ = std::move(ws.old_pi);
+  a_ = std::move(ws.old_a);
+  b_ = std::move(ws.old_b);
+  c_ = std::move(ws.old_c);
+  res.log_likelihood = last_ll;
+  res.virtual_delay_pmf = posterior_from_trellis(seq, ctx.support, ws.w);
+  return res;
 }
 
 FitResult Hmm::fit(const std::vector<int>& seq, const EmOptions& opts) {
@@ -270,65 +522,59 @@ FitResult Hmm::fit(const std::vector<int>& seq, const EmOptions& opts) {
   const double loss_rate =
       static_cast<double>(losses) / static_cast<double>(seq.size());
 
-  util::Rng rng(opts.seed);
-  FitResult best;
-  best.log_likelihood = -std::numeric_limits<double>::infinity();
-  struct Params {
-    std::vector<double> pi;
-    util::Matrix a, b;
-    std::vector<double> c;
-  };
-  Params best_params;
-  bool have_best = false;
+  const FitContext ctx = make_context(seq);
+  // RNG streams are forked in restart order before dispatch, so every
+  // restart sees the same stream for any thread count.
+  auto rngs = detail::fork_restart_rngs(opts.seed, opts.restarts);
 
-  for (int r = 0; r < opts.restarts; ++r) {
-    util::Rng child = rng.fork();
-    random_init(child, loss_rate);
-    Trellis w;
+  struct Outcome {
     FitResult res;
-    res.winning_restart = r;
-    double last_ll = -std::numeric_limits<double>::infinity();
-    for (int it = 0; it < opts.max_iterations; ++it) {
-      const auto [ll, delta] = em_step(seq, w);
-      res.log_likelihood_history.push_back(ll);
-      last_ll = ll;
-      res.iterations = it + 1;
-      if (opts.observer != nullptr)
-        opts.observer->on_iteration(r, it, ll, delta);
-      if (delta < opts.tolerance) {
-        res.converged = true;
-        break;
-      }
-    }
-    res.log_likelihood = last_ll;
-    const bool new_best = res.log_likelihood > best.log_likelihood;
-    if (opts.observer != nullptr) opts.observer->on_restart(r, res, new_best);
-    if (new_best) {
-      best = std::move(res);
-      best_params = {pi_, a_, b_, c_};
-      have_best = true;
-    }
-  }
-  if (have_best) {
-    pi_ = std::move(best_params.pi);
-    a_ = std::move(best_params.a);
-    b_ = std::move(best_params.b);
-    c_ = std::move(best_params.c);
-  }
+    std::vector<double> pi, c;
+    util::Matrix a, b;
+    std::vector<detail::IterEvent> events;
+  };
+  std::vector<Outcome> outcomes(static_cast<std::size_t>(opts.restarts));
+
+  auto run_one = [&](int r) {
+    const auto ri = static_cast<std::size_t>(r);
+    Hmm local(n_, m_);
+    Outcome& out = outcomes[ri];
+    out.res =
+        local.run_restart(seq, ctx, opts, rngs[ri], r, loss_rate,
+                          opts.observer != nullptr ? &out.events : nullptr);
+    out.pi = std::move(local.pi_);
+    out.a = std::move(local.a_);
+    out.b = std::move(local.b_);
+    out.c = std::move(local.c_);
+  };
+
+  const std::size_t workers =
+      std::min(util::ThreadPool::resolve(opts.threads),
+               static_cast<std::size_t>(opts.restarts));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<util::ThreadPool>(workers);
+  util::parallel_indexed(pool.get(), opts.restarts, run_one);
+
+  FitResult best =
+      detail::reduce_restarts(outcomes, opts.observer, [&](Outcome& o) {
+        pi_ = std::move(o.pi);
+        a_ = std::move(o.a);
+        b_ = std::move(o.b);
+        c_ = std::move(o.c);
+      });
   best.losses = losses;
-  best.virtual_delay_pmf = virtual_delay_pmf(seq);
   if (opts.observer != nullptr)
     opts.observer->on_winner(best.winning_restart, best);
   return best;
 }
 
-util::Pmf Hmm::virtual_delay_pmf(const std::vector<int>& seq) const {
+util::Pmf Hmm::posterior_from_trellis(const std::vector<int>& seq,
+                                      const std::vector<char>& support,
+                                      const Trellis& w) const {
   util::Pmf pmf(static_cast<std::size_t>(m_), 0.0);
-  Trellis w;
-  forward_backward(seq, w);
   std::vector<double> loss_emit(static_cast<std::size_t>(n_));
   for (int h = 0; h < n_; ++h)
-    loss_emit[static_cast<std::size_t>(h)] = loss_emission(h, w.support);
+    loss_emit[static_cast<std::size_t>(h)] = loss_emission(h, support);
   std::size_t losses = 0;
   for (std::size_t t = 0; t < seq.size(); ++t) {
     if (sym(seq[t]) >= 0) continue;
@@ -339,7 +585,7 @@ util::Pmf Hmm::virtual_delay_pmf(const std::vector<int>& seq) const {
       const double g = w.alpha(t, h) * w.beta(t, h) / gsum;
       const double denom = loss_emit[static_cast<std::size_t>(h)];
       for (int d = 0; d < m_; ++d)
-        if (w.support[static_cast<std::size_t>(d)])
+        if (support[static_cast<std::size_t>(d)])
           pmf[static_cast<std::size_t>(d)] +=
               g * b_(h, d) * c_[static_cast<std::size_t>(d)] / denom;
     }
@@ -347,6 +593,12 @@ util::Pmf Hmm::virtual_delay_pmf(const std::vector<int>& seq) const {
   if (losses > 0)
     for (auto& p : pmf) p /= static_cast<double>(losses);
   return pmf;
+}
+
+util::Pmf Hmm::virtual_delay_pmf(const std::vector<int>& seq) const {
+  Trellis w;
+  forward_backward(seq, w);
+  return posterior_from_trellis(seq, w.support, w);
 }
 
 util::Pmf Hmm::stationary_virtual_delay_pmf() const {

@@ -25,6 +25,10 @@
 
 namespace dcl::inference {
 
+namespace detail {
+struct IterEvent;  // buffered observer event, see em_internal.h
+}
+
 class Hmm {
  public:
   Hmm(int hidden_states, int symbols);
@@ -56,14 +60,42 @@ class Hmm {
                       std::vector<double> c);
 
  private:
-  struct Trellis;  // scaled alpha/beta workspace
+  struct Trellis;     // scaled alpha/beta workspace
+  struct FitContext;  // immutable per-fit inputs shared by every restart
+  struct Workspace;   // per-restart trellis, emission table, accumulators
 
   void random_init(util::Rng& rng, double observed_loss_rate);
   void clamp_parameters();
+  FitContext make_context(const std::vector<int>& seq) const;
   double forward_backward(const std::vector<int>& seq, Trellis& w) const;
-  // One EM step in place; returns (log likelihood of the *old* parameters,
-  // max absolute parameter change).
-  std::pair<double, double> em_step(const std::vector<int>& seq, Trellis& w);
+  // One EM step in place; returns (log likelihood of the parameters
+  // *entering* the step, max absolute parameter change). Both variants
+  // snapshot the entering parameters into the workspace so run_restart can
+  // install them afterwards; the cached variant indexes the workspace's
+  // N x (M+1) emission table instead of calling emission() per (t, state).
+  std::pair<double, double> em_step(const std::vector<int>& seq,
+                                    Workspace& ws);
+  std::pair<double, double> em_step_cached(const std::vector<int>& seq,
+                                           const FitContext& ctx,
+                                           Workspace& ws);
+  // Fills `emit` (N x (M+1)) from the current parameters: column d holds
+  // B[h][d]*(1-C[d]), column M the loss emission over `support`.
+  void build_emission_table(const std::vector<char>& support,
+                            util::Matrix& emit) const;
+  double forward_backward_cached(const FitContext& ctx, Workspace& ws) const;
+  // One complete restart on this instance: random init from `rng`, EM
+  // until convergence, then install the parameters whose likelihood the
+  // final step reported (so the retained trellis matches them and the
+  // posterior needs no extra forward-backward pass). Buffers observer
+  // events into `events` when non-null.
+  FitResult run_restart(const std::vector<int>& seq, const FitContext& ctx,
+                        const EmOptions& opts, util::Rng rng, int restart,
+                        double loss_rate,
+                        std::vector<detail::IterEvent>* events);
+  // Paper eq. (5) from an already-computed trellis of this model.
+  util::Pmf posterior_from_trellis(const std::vector<int>& seq,
+                                   const std::vector<char>& support,
+                                   const Trellis& w) const;
   // Symbols observed at least once in the sequence; losses may only be
   // attributed to these (prevents the degenerate optimum of dumping loss
   // mass on a never-observed symbol whose C[d] can grow freely).

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "inference/discretizer.h"
+#include "inference/em_internal.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace dcl::inference {
 
@@ -26,6 +29,60 @@ struct Mmhd::Trellis {
 
   const int* begin(std::size_t t) const { return active.data() + offset[t]; }
   const int* end(std::size_t t) const { return active.data() + offset[t + 1]; }
+
+  // Reuse-friendly sizing for the cached path, which reads and writes only
+  // inside the (fit-constant) active sets of the FitContext: stale values
+  // at never-active cells are harmless, so the storage is kept when the
+  // shape already matches.
+  void ensure(std::size_t t, std::size_t s) {
+    if (alpha.rows() != t || alpha.cols() != s) {
+      alpha = util::Matrix(t, s);
+      beta = util::Matrix(t, s);
+    }
+    if (scale.size() != t) scale.resize(t);
+  }
+};
+
+// Immutable per-fit inputs, computed once and shared (read-only) by every
+// restart worker: the support mask, per-step loss flags and active state
+// sets (these depend only on the sequence, not the parameters — the old
+// code rebuilt them inside every forward_backward call), and the
+// transition prior.
+struct Mmhd::FitContext {
+  std::vector<char> support;
+  std::vector<char> is_loss;        // per step
+  std::vector<int> active;          // flattened active sets
+  std::vector<std::size_t> offset;  // size T+1
+  util::Matrix prior;
+  bool use_prior = false;
+
+  const int* begin(std::size_t t) const { return active.data() + offset[t]; }
+  const int* end(std::size_t t) const { return active.data() + offset[t + 1]; }
+};
+
+// Per-restart mutable state besides the parameters: the trellis, the
+// per-state emission vectors rebuilt once per iteration, and the hoisted
+// em_step accumulators. Sized once, reused across iterations.
+struct Mmhd::Workspace {
+  Trellis w;
+  // emit_obs[s] = 1 - C[sym(s)] (emission of s's own symbol when observed);
+  // emit_loss[s] = C[sym(s)]. Observed steps only ever evaluate states
+  // carrying the observed symbol (the active set), so one value per state
+  // suffices for both the loss and the observed case.
+  std::vector<double> emit_obs, emit_loss;
+  std::vector<double> new_pi, c_loss, c_total;
+  util::Matrix a_num;
+  // Parameters entering the most recent em_step — the values run_restart
+  // installs, since the step's reported likelihood is theirs.
+  std::vector<double> old_pi, old_c;
+  util::Matrix old_a;
+
+  void prepare(std::size_t s_count) {
+    if (a_num.rows() != s_count || a_num.cols() != s_count)
+      a_num = util::Matrix(s_count, s_count);
+    emit_obs.resize(s_count);
+    emit_loss.resize(s_count);
+  }
 };
 
 Mmhd::Mmhd(int hidden_states, int symbols)
@@ -95,6 +152,46 @@ double Mmhd::emission(int s, int obs) const {
   const int ds = symbol_of_state(s);
   if (d < 0) return c_[static_cast<std::size_t>(ds)];
   return ds == d ? 1.0 - c_[static_cast<std::size_t>(d)] : 0.0;
+}
+
+void Mmhd::build_emission_tables(Workspace& ws) const {
+  const int s_count = states();
+  for (int s = 0; s < s_count; ++s) {
+    const double cd = c_[static_cast<std::size_t>(symbol_of_state(s))];
+    ws.emit_obs[static_cast<std::size_t>(s)] = 1.0 - cd;
+    ws.emit_loss[static_cast<std::size_t>(s)] = cd;
+  }
+}
+
+Mmhd::FitContext Mmhd::make_context(const std::vector<int>& seq,
+                                    const EmOptions& opts) const {
+  FitContext ctx;
+  const std::size_t t_len = seq.size();
+  ctx.support.assign(static_cast<std::size_t>(m_), 0);
+  bool any_observed = false;
+  for (int o : seq) {
+    if (o != kLoss) {
+      ctx.support[static_cast<std::size_t>(sym(o))] = 1;
+      any_observed = true;
+    }
+  }
+  if (!any_observed) ctx.support.assign(static_cast<std::size_t>(m_), 1);
+
+  ctx.is_loss.resize(t_len);
+  ctx.offset.assign(t_len + 1, 0);
+  std::vector<int> act;
+  for (std::size_t t = 0; t < t_len; ++t) {
+    ctx.is_loss[t] = sym(seq[t]) < 0 ? 1 : 0;
+    active_states(seq[t], ctx.support, act);
+    ctx.active.insert(ctx.active.end(), act.begin(), act.end());
+    ctx.offset[t + 1] = ctx.active.size();
+  }
+
+  if (opts.transition_prior > 0.0) {
+    ctx.prior = build_transition_prior(seq, opts.transition_prior);
+    ctx.use_prior = true;
+  }
+  return ctx;
 }
 
 double Mmhd::forward_backward(const std::vector<int>& seq,
@@ -178,6 +275,67 @@ double Mmhd::forward_backward(const std::vector<int>& seq,
   return ll;
 }
 
+double Mmhd::forward_backward_cached(const FitContext& ctx,
+                                     Workspace& ws) const {
+  const std::size_t t_len = ctx.is_loss.size();
+  const auto s_count = static_cast<std::size_t>(states());
+  Trellis& w = ws.w;
+  w.ensure(t_len, s_count);
+
+  const double* emit0 =
+      ctx.is_loss[0] ? ws.emit_loss.data() : ws.emit_obs.data();
+  double sum = 0.0;
+  for (const int* s = ctx.begin(0); s != ctx.end(0); ++s) {
+    const double v = pi_[static_cast<std::size_t>(*s)] *
+                     emit0[static_cast<std::size_t>(*s)];
+    w.alpha(0, static_cast<std::size_t>(*s)) = v;
+    sum += v;
+  }
+  DCL_ENSURE_MSG(sum > 0.0, "impossible observation at t=0");
+  w.scale[0] = sum;
+  for (const int* s = ctx.begin(0); s != ctx.end(0); ++s)
+    w.alpha(0, static_cast<std::size_t>(*s)) /= sum;
+
+  for (std::size_t t = 1; t < t_len; ++t) {
+    const double* emit_t =
+        ctx.is_loss[t] ? ws.emit_loss.data() : ws.emit_obs.data();
+    sum = 0.0;
+    for (const int* j = ctx.begin(t); j != ctx.end(t); ++j) {
+      double acc = 0.0;
+      for (const int* i = ctx.begin(t - 1); i != ctx.end(t - 1); ++i)
+        acc += w.alpha(t - 1, static_cast<std::size_t>(*i)) *
+               a_(static_cast<std::size_t>(*i), static_cast<std::size_t>(*j));
+      const double v = acc * emit_t[static_cast<std::size_t>(*j)];
+      w.alpha(t, static_cast<std::size_t>(*j)) = v;
+      sum += v;
+    }
+    DCL_ENSURE_MSG(sum > 0.0, "impossible observation at t=" << t);
+    w.scale[t] = sum;
+    for (const int* j = ctx.begin(t); j != ctx.end(t); ++j)
+      w.alpha(t, static_cast<std::size_t>(*j)) /= sum;
+  }
+
+  for (const int* s = ctx.begin(t_len - 1); s != ctx.end(t_len - 1); ++s)
+    w.beta(t_len - 1, static_cast<std::size_t>(*s)) = 1.0;
+  for (std::size_t t = t_len - 1; t-- > 0;) {
+    const double* emit_n =
+        ctx.is_loss[t + 1] ? ws.emit_loss.data() : ws.emit_obs.data();
+    for (const int* i = ctx.begin(t); i != ctx.end(t); ++i) {
+      double acc = 0.0;
+      for (const int* j = ctx.begin(t + 1); j != ctx.end(t + 1); ++j)
+        acc += a_(static_cast<std::size_t>(*i),
+                  static_cast<std::size_t>(*j)) *
+               emit_n[static_cast<std::size_t>(*j)] *
+               w.beta(t + 1, static_cast<std::size_t>(*j));
+      w.beta(t, static_cast<std::size_t>(*i)) = acc / w.scale[t + 1];
+    }
+  }
+
+  double ll = 0.0;
+  for (double c : w.scale) ll += std::log(c);
+  return ll;
+}
+
 util::Matrix Mmhd::build_transition_prior(const std::vector<int>& seq,
                                           double strength) const {
   const auto s_count = static_cast<std::size_t>(states());
@@ -200,10 +358,13 @@ util::Matrix Mmhd::build_transition_prior(const std::vector<int>& seq,
 }
 
 std::pair<double, double> Mmhd::em_step(const std::vector<int>& seq,
-                                        Trellis& w,
-                                        const util::Matrix* prior) {
+                                        const util::Matrix* prior,
+                                        Workspace& ws) {
+  // Reference path (EmOptions::cache_emissions == false): per-call
+  // emission() and active-set construction, as originally written.
   const std::size_t t_len = seq.size();
   const auto s_count = static_cast<std::size_t>(states());
+  Trellis& w = ws.w;
   const double ll = forward_backward(seq, w);
 
   std::vector<double> new_pi(s_count, 0.0);
@@ -242,9 +403,9 @@ std::pair<double, double> Mmhd::em_step(const std::vector<int>& seq,
     }
   }
 
-  std::vector<double> old_pi = pi_;
-  util::Matrix old_a = a_;
-  std::vector<double> old_c = c_;
+  ws.old_pi = pi_;
+  ws.old_a = a_;
+  ws.old_c = c_;
 
   pi_ = new_pi;
   if (prior != nullptr) {
@@ -262,12 +423,125 @@ std::pair<double, double> Mmhd::em_step(const std::vector<int>& seq,
 
   double delta = 0.0;
   for (std::size_t s = 0; s < s_count; ++s)
-    delta = std::max(delta, std::abs(pi_[s] - old_pi[s]));
-  delta = std::max(delta, util::Matrix::max_abs_diff(a_, old_a));
-  for (int d = 0; d < m_; ++d)
-    delta = std::max(delta, std::abs(c_[static_cast<std::size_t>(d)] -
-                                     old_c[static_cast<std::size_t>(d)]));
+    delta = std::max(delta, std::abs(pi_[s] - ws.old_pi[s]));
+  delta = std::max(delta, util::Matrix::max_abs_diff(a_, ws.old_a));
+  for (std::size_t d = 0; d < static_cast<std::size_t>(m_); ++d)
+    delta = std::max(delta, std::abs(c_[d] - ws.old_c[d]));
   return {ll, delta};
+}
+
+std::pair<double, double> Mmhd::em_step_cached(const FitContext& ctx,
+                                               Workspace& ws) {
+  const std::size_t t_len = ctx.is_loss.size();
+  const auto s_count = static_cast<std::size_t>(states());
+
+  build_emission_tables(ws);
+  const double ll = forward_backward_cached(ctx, ws);
+
+  // Snapshot the entering parameters (the E-step reads, never writes them).
+  ws.old_pi = pi_;
+  ws.old_a = a_;
+  ws.old_c = c_;
+
+  ws.new_pi.assign(s_count, 0.0);
+  ws.a_num.fill(0.0);
+  ws.c_loss.assign(static_cast<std::size_t>(m_), 0.0);
+  ws.c_total.assign(static_cast<std::size_t>(m_), 0.0);
+
+  const Trellis& w = ws.w;
+
+  for (std::size_t t = 0; t < t_len; ++t) {
+    double gsum = 0.0;
+    for (const int* s = ctx.begin(t); s != ctx.end(t); ++s)
+      gsum += w.alpha(t, static_cast<std::size_t>(*s)) *
+              w.beta(t, static_cast<std::size_t>(*s));
+    DCL_ENSURE(gsum > 0.0);
+
+    const bool is_loss = ctx.is_loss[t] != 0;
+    for (const int* s = ctx.begin(t); s != ctx.end(t); ++s) {
+      const auto si = static_cast<std::size_t>(*s);
+      const double g = w.alpha(t, si) * w.beta(t, si) / gsum;
+      if (t == 0) ws.new_pi[si] = g;
+      const auto d = static_cast<std::size_t>(symbol_of_state(*s));
+      if (is_loss) ws.c_loss[d] += g;
+      ws.c_total[d] += g;
+    }
+
+    if (t + 1 < t_len) {
+      const double* emit_n =
+          ctx.is_loss[t + 1] ? ws.emit_loss.data() : ws.emit_obs.data();
+      for (const int* i = ctx.begin(t); i != ctx.end(t); ++i) {
+        const auto ii = static_cast<std::size_t>(*i);
+        const double ai = w.alpha(t, ii);
+        if (ai == 0.0) continue;
+        for (const int* j = ctx.begin(t + 1); j != ctx.end(t + 1); ++j) {
+          const auto jj = static_cast<std::size_t>(*j);
+          ws.a_num(ii, jj) +=
+              ai * a_(ii, jj) * emit_n[jj] * w.beta(t + 1, jj) /
+              w.scale[t + 1];
+        }
+      }
+    }
+  }
+
+  // M-step from the workspace accumulators (copy-assignments reuse the
+  // existing storage — no allocations in steady state).
+  pi_ = ws.new_pi;
+  if (ctx.use_prior) {
+    for (std::size_t i = 0; i < s_count; ++i)
+      for (std::size_t j = 0; j < s_count; ++j)
+        ws.a_num(i, j) += ctx.prior(i, j);
+  }
+  a_ = ws.a_num;
+  a_.normalize_rows();
+  for (int d = 0; d < m_; ++d) {
+    const auto di = static_cast<std::size_t>(d);
+    if (ws.c_total[di] > 0.0) c_[di] = ws.c_loss[di] / ws.c_total[di];
+  }
+  clamp_parameters();
+
+  double delta = 0.0;
+  for (std::size_t s = 0; s < s_count; ++s)
+    delta = std::max(delta, std::abs(pi_[s] - ws.old_pi[s]));
+  delta = std::max(delta, util::Matrix::max_abs_diff(a_, ws.old_a));
+  for (std::size_t d = 0; d < static_cast<std::size_t>(m_); ++d)
+    delta = std::max(delta, std::abs(c_[d] - ws.old_c[d]));
+  return {ll, delta};
+}
+
+FitResult Mmhd::run_restart(const std::vector<int>& seq,
+                            const FitContext& ctx, const EmOptions& opts,
+                            util::Rng rng, int restart, double loss_rate,
+                            std::vector<detail::IterEvent>* events) {
+  random_init(rng, loss_rate);
+  Workspace ws;
+  ws.prepare(static_cast<std::size_t>(states()));
+  const util::Matrix* prior = ctx.use_prior ? &ctx.prior : nullptr;
+  FitResult res;
+  res.winning_restart = restart;
+  double last_ll = -std::numeric_limits<double>::infinity();
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    const auto [ll, delta] = opts.cache_emissions
+                                 ? em_step_cached(ctx, ws)
+                                 : em_step(seq, prior, ws);
+    res.log_likelihood_history.push_back(ll);
+    last_ll = ll;
+    res.iterations = it + 1;
+    if (events != nullptr) events->push_back({it, ll, delta});
+    if (delta < opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  // Install the parameters *entering* the final step: last_ll is exactly
+  // their likelihood, and the retained trellis was computed from them, so
+  // the posterior costs no extra forward-backward pass.
+  pi_ = std::move(ws.old_pi);
+  a_ = std::move(ws.old_a);
+  c_ = std::move(ws.old_c);
+  res.log_likelihood = last_ll;
+  res.virtual_delay_pmf = posterior_from_trellis(ctx, ws.w);
+  return res;
 }
 
 FitResult Mmhd::fit(const std::vector<int>& seq, const EmOptions& opts) {
@@ -278,64 +552,80 @@ FitResult Mmhd::fit(const std::vector<int>& seq, const EmOptions& opts) {
   const double loss_rate =
       static_cast<double>(losses) / static_cast<double>(seq.size());
 
-  util::Rng rng(opts.seed);
-  FitResult best;
-  best.log_likelihood = -std::numeric_limits<double>::infinity();
-  struct Params {
-    std::vector<double> pi;
-    util::Matrix a;
-    std::vector<double> c;
-  };
-  Params best_params;
-  bool have_best = false;
+  const FitContext ctx = make_context(seq, opts);
+  // RNG streams are forked in restart order before dispatch, so every
+  // restart sees the same stream for any thread count.
+  auto rngs = detail::fork_restart_rngs(opts.seed, opts.restarts);
 
-  const util::Matrix prior = build_transition_prior(seq, opts.transition_prior);
-  const util::Matrix* prior_ptr = opts.transition_prior > 0.0 ? &prior : nullptr;
-
-  for (int r = 0; r < opts.restarts; ++r) {
-    util::Rng child = rng.fork();
-    random_init(child, loss_rate);
-    Trellis w;
+  struct Outcome {
     FitResult res;
-    res.winning_restart = r;
-    double last_ll = -std::numeric_limits<double>::infinity();
-    for (int it = 0; it < opts.max_iterations; ++it) {
-      const auto [ll, delta] = em_step(seq, w, prior_ptr);
-      res.log_likelihood_history.push_back(ll);
-      last_ll = ll;
-      res.iterations = it + 1;
-      if (opts.observer != nullptr)
-        opts.observer->on_iteration(r, it, ll, delta);
-      if (delta < opts.tolerance) {
-        res.converged = true;
-        break;
-      }
-    }
-    res.log_likelihood = last_ll;
-    const bool new_best = res.log_likelihood > best.log_likelihood;
-    if (opts.observer != nullptr) opts.observer->on_restart(r, res, new_best);
-    if (new_best) {
-      best = std::move(res);
-      best_params = {pi_, a_, c_};
-      have_best = true;
-    }
-  }
-  if (have_best) {
-    pi_ = std::move(best_params.pi);
-    a_ = std::move(best_params.a);
-    c_ = std::move(best_params.c);
-  }
+    std::vector<double> pi, c;
+    util::Matrix a;
+    std::vector<detail::IterEvent> events;
+  };
+  std::vector<Outcome> outcomes(static_cast<std::size_t>(opts.restarts));
+
+  auto run_one = [&](int r) {
+    const auto ri = static_cast<std::size_t>(r);
+    Mmhd local(n_, m_);
+    Outcome& out = outcomes[ri];
+    out.res =
+        local.run_restart(seq, ctx, opts, rngs[ri], r, loss_rate,
+                          opts.observer != nullptr ? &out.events : nullptr);
+    out.pi = std::move(local.pi_);
+    out.a = std::move(local.a_);
+    out.c = std::move(local.c_);
+  };
+
+  const std::size_t workers =
+      std::min(util::ThreadPool::resolve(opts.threads),
+               static_cast<std::size_t>(opts.restarts));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<util::ThreadPool>(workers);
+  util::parallel_indexed(pool.get(), opts.restarts, run_one);
+
+  FitResult best =
+      detail::reduce_restarts(outcomes, opts.observer, [&](Outcome& o) {
+        pi_ = std::move(o.pi);
+        a_ = std::move(o.a);
+        c_ = std::move(o.c);
+      });
   best.losses = losses;
-  best.virtual_delay_pmf = virtual_delay_pmf(seq);
   if (opts.observer != nullptr)
     opts.observer->on_winner(best.winning_restart, best);
   return best;
 }
 
-util::Pmf Mmhd::virtual_delay_pmf(const std::vector<int>& seq) const {
+util::Pmf Mmhd::posterior_from_trellis(const FitContext& ctx,
+                                       const Trellis& w) const {
   // P(D = d | loss): smoothed posterior over the composite states at the
   // loss steps, marginalized to the symbol dimension (paper eq. (5)) —
   // the average of the per-loss posteriors.
+  util::Pmf pmf(static_cast<std::size_t>(m_), 0.0);
+  util::Pmf p(static_cast<std::size_t>(m_), 0.0);
+  std::size_t losses = 0;
+  const std::size_t t_len = ctx.is_loss.size();
+  for (std::size_t t = 0; t < t_len; ++t) {
+    if (!ctx.is_loss[t]) continue;
+    ++losses;
+    double gsum = 0.0;
+    for (const int* s = ctx.begin(t); s != ctx.end(t); ++s)
+      gsum += w.alpha(t, static_cast<std::size_t>(*s)) *
+              w.beta(t, static_cast<std::size_t>(*s));
+    std::fill(p.begin(), p.end(), 0.0);
+    for (const int* s = ctx.begin(t); s != ctx.end(t); ++s) {
+      const auto si = static_cast<std::size_t>(*s);
+      p[static_cast<std::size_t>(symbol_of_state(*s))] +=
+          w.alpha(t, si) * w.beta(t, si) / gsum;
+    }
+    for (std::size_t d = 0; d < pmf.size(); ++d) pmf[d] += p[d];
+  }
+  if (losses > 0)
+    for (auto& x : pmf) x /= static_cast<double>(losses);
+  return pmf;
+}
+
+util::Pmf Mmhd::virtual_delay_pmf(const std::vector<int>& seq) const {
   util::Pmf pmf(static_cast<std::size_t>(m_), 0.0);
   const auto per_loss = per_loss_posteriors(seq);
   for (const auto& p : per_loss)

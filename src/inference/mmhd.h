@@ -28,6 +28,10 @@
 
 namespace dcl::inference {
 
+namespace detail {
+struct IterEvent;  // buffered observer event, see em_internal.h
+}
+
 class Mmhd {
  public:
   Mmhd(int hidden_states, int symbols);
@@ -69,9 +73,13 @@ class Mmhd {
 
  private:
   struct Trellis;
+  struct FitContext;  // immutable per-fit inputs shared by every restart
+  struct Workspace;   // per-restart trellis, emission vectors, accumulators
 
   void random_init(util::Rng& rng, double observed_loss_rate);
   void clamp_parameters();
+  FitContext make_context(const std::vector<int>& seq,
+                          const EmOptions& opts) const;
   // Dirichlet pseudo-counts for the transition M-step, built from the
   // observed symbol bigrams of `seq` (see EmOptions::transition_prior).
   util::Matrix build_transition_prior(const std::vector<int>& seq,
@@ -85,8 +93,25 @@ class Mmhd {
                      std::vector<int>& out) const;
   double emission(int s, int obs) const;
   double forward_backward(const std::vector<int>& seq, Trellis& w) const;
-  std::pair<double, double> em_step(const std::vector<int>& seq, Trellis& w,
-                                    const util::Matrix* prior);
+  // One EM step in place; both variants snapshot the parameters *entering*
+  // the step into the workspace (their likelihood is the one reported).
+  // The cached variant reads per-state emission vectors rebuilt once per
+  // iteration and the active sets precomputed in the FitContext instead of
+  // evaluating emission() and active_states() per step.
+  std::pair<double, double> em_step(const std::vector<int>& seq,
+                                    const util::Matrix* prior, Workspace& ws);
+  std::pair<double, double> em_step_cached(const FitContext& ctx,
+                                           Workspace& ws);
+  void build_emission_tables(Workspace& ws) const;
+  double forward_backward_cached(const FitContext& ctx, Workspace& ws) const;
+  // One complete restart on this instance; see Hmm::run_restart.
+  FitResult run_restart(const std::vector<int>& seq, const FitContext& ctx,
+                        const EmOptions& opts, util::Rng rng, int restart,
+                        double loss_rate,
+                        std::vector<detail::IterEvent>* events);
+  // Paper eq. (5) from an already-computed trellis of this model.
+  util::Pmf posterior_from_trellis(const FitContext& ctx,
+                                   const Trellis& w) const;
 
   int n_;
   int m_;

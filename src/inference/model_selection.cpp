@@ -1,11 +1,14 @@
 #include "inference/model_selection.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "inference/discretizer.h"
 #include "inference/mmhd.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace dcl::inference {
 
@@ -27,17 +30,27 @@ ModelSelectionResult select_mmhd_hidden_states(const std::vector<int>& seq,
   if (m_obs == 0) m_obs = static_cast<std::size_t>(symbols);
 
   const auto t_len = static_cast<double>(seq.size());
-  ModelSelectionResult out;
-  double best_bic = std::numeric_limits<double>::infinity();
+  std::vector<ModelScore> scores(static_cast<std::size_t>(max_hidden_states));
 
-  for (int n = 1; n <= max_hidden_states; ++n) {
+  // An attached observer must keep receiving its callbacks serially in
+  // candidate order, so with an observer the candidate loop stays serial
+  // and each fit parallelizes its restarts instead. Either way the scores
+  // are identical: fit() is bitwise thread-count-invariant.
+  const bool parallel_candidates = base.observer == nullptr;
+
+  auto fit_one = [&](int idx) {
+    const int n = idx + 1;
     Mmhd model(n, symbols);
     EmOptions opts = base;
     opts.hidden_states = n;
+    // When candidates run in the pool, keep each fit serial so the total
+    // worker count stays bounded by base.threads (and no pool blocks
+    // inside a pool worker).
+    if (parallel_candidates) opts.threads = 1;
     const auto fit = model.fit(seq, opts);
 
     const std::size_t s = static_cast<std::size_t>(n) * m_obs;
-    ModelScore score;
+    ModelScore& score = scores[static_cast<std::size_t>(idx)];
     score.hidden_states = n;
     score.log_likelihood = fit.log_likelihood;
     // pi: s-1 free; transitions: s rows with s-1 free entries; C: one
@@ -48,12 +61,30 @@ ModelSelectionResult select_mmhd_hidden_states(const std::vector<int>& seq,
     score.aic = -2.0 * fit.log_likelihood +
                 2.0 * static_cast<double>(score.parameters);
     score.virtual_delay_pmf = fit.virtual_delay_pmf;
+  };
+
+  if (parallel_candidates) {
+    const std::size_t workers =
+        std::min(util::ThreadPool::resolve(base.threads),
+                 static_cast<std::size_t>(max_hidden_states));
+    std::unique_ptr<util::ThreadPool> pool;
+    if (workers > 1) pool = std::make_unique<util::ThreadPool>(workers);
+    util::parallel_indexed(pool.get(), max_hidden_states, fit_one);
+  } else {
+    for (int idx = 0; idx < max_hidden_states; ++idx) fit_one(idx);
+  }
+
+  // Deterministic reduction in ascending N (strict '<', so ties resolve to
+  // the smallest candidate) — independent of fit completion order.
+  ModelSelectionResult out;
+  double best_bic = std::numeric_limits<double>::infinity();
+  for (const ModelScore& score : scores) {
     if (score.bic < best_bic) {
       best_bic = score.bic;
-      out.best_hidden_states = n;
+      out.best_hidden_states = score.hidden_states;
     }
-    out.scores.push_back(std::move(score));
   }
+  out.scores = std::move(scores);
   return out;
 }
 

@@ -36,6 +36,10 @@ struct ModelSelectionResult {
 
 // Fits an MMHD for each N in [1, max_hidden_states] and scores it.
 // `base` supplies seed/tolerance/prior; its hidden_states is ignored.
+// base.threads parallelizes the candidate fits (each fit runs serially in
+// a pool worker); the result is identical for any thread count. With an
+// observer attached the candidates run serially — each fit then
+// parallelizes its own restarts — so observer callbacks never interleave.
 ModelSelectionResult select_mmhd_hidden_states(const std::vector<int>& seq,
                                                int symbols,
                                                int max_hidden_states,

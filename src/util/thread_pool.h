@@ -1,0 +1,98 @@
+// Fixed-size worker pool for the embarrassingly parallel layers of the
+// pipeline: EM restarts, BIC candidates, bootstrap replicates.
+//
+// Design constraints (see DESIGN.md "Threading model"):
+//   * Determinism is owned by the callers, not the pool: every parallel
+//     site forks its RNGs and allocates its output slots *before* dispatch
+//     and reduces results in index order afterwards, so the answer is
+//     bitwise identical for any worker count (including the serial path).
+//   * No work stealing, no task priorities — the units of work here are
+//     coarse (an entire EM restart), so a mutex-protected queue is cheap.
+//   * Exceptions thrown by a task are captured in its future and rethrown
+//     at the join point, lowest index first (parallel_indexed), so error
+//     behavior also does not depend on scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dcl::util {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` threads (at least one). The pool is fixed-size for
+  // its whole lifetime.
+  explicit ThreadPool(std::size_t workers);
+
+  // Drains the queue (already-submitted tasks run to completion), then
+  // joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return threads_.size(); }
+
+  // Enqueues `fn` and returns a future for its result. The future also
+  // carries any exception the task throws.
+  template <typename Fn>
+  std::future<std::invoke_result_t<Fn>> submit(Fn&& fn) {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // std::thread::hardware_concurrency(), floored at 1 (the standard allows
+  // it to return 0 when unknown).
+  static std::size_t hardware_threads();
+
+  // Maps a user-facing thread-count option to a worker count:
+  // 0 (or negative) = all hardware threads, k = exactly k.
+  static std::size_t resolve(int requested);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Runs fn(0), fn(1), ..., fn(n - 1), each exactly once. With a null pool
+// (or n <= 1) the calls run serially in index order on the calling thread;
+// otherwise they are dispatched to the pool and joined before returning.
+// Exceptions propagate deterministically: all tasks are waited for, then
+// the exception of the lowest-index failing task is rethrown.
+template <typename Fn>
+void parallel_indexed(ThreadPool* pool, int n, Fn&& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    futures.push_back(pool->submit([&fn, i]() { fn(i); }));
+  for (auto& f : futures) f.wait();
+  for (auto& f : futures) f.get();  // rethrows lowest index first
+}
+
+}  // namespace dcl::util
