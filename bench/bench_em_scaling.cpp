@@ -1,19 +1,31 @@
-// EM scaling benchmark: wall time of HMM and MMHD fits under the threaded
-// restart engine at 1/2/4/8 worker threads, plus the single-thread win of
-// the cached emission tables over the per-call reference path. The fit
-// results are asserted identical across thread counts (they are bitwise so
-// by construction), making this benchmark double as a smoke test.
+// EM scaling benchmark: wall time of HMM and MMHD fits across the three
+// engines — per-call reference ("naive"), cached emission tables
+// ("cached", the PR 2 path), and the vectorized SoA kernels ("kernel",
+// the default) — plus the threaded restart engine at 1/2/4/8 workers on
+// the kernel path. Each timing is the median of DCL_EM_SCALING_SAMPLES
+// runs after DCL_EM_SCALING_WARMUP warmup runs (bench/common.h), with the
+// min–max spread recorded so the JSON shows whether a speedup clears the
+// run-to-run noise. Fit results are asserted identical across thread
+// counts (bitwise by construction), making the benchmark double as a
+// smoke test.
 //
-// Writes a single-line JSON record to argv[1] (default
-// "BENCH_em_scaling.json", i.e. the repo root when run from there) and
-// mirrors a human-readable summary to stdout.
+// Writes a single-line JSON record to the first non-flag argument
+// (default "BENCH_em_scaling.json") and mirrors a human-readable summary
+// to stdout. `--min-kernel-speedup X` exits nonzero when either model's
+// single-thread kernel-over-cached speedup falls below X — the hook the
+// check.sh perf smoke stage uses.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench/common.h"
 #include "inference/discretizer.h"
 #include "inference/hmm.h"
 #include "inference/mmhd.h"
@@ -28,7 +40,6 @@ constexpr int kTLen = 20000;
 constexpr int kSymbols = 10;
 constexpr int kRestarts = 8;
 constexpr int kIterations = 15;
-constexpr int kReps = 3;  // best-of to damp scheduler noise
 
 // Same congested-path shape as bench_micro: sticky symbols, losses
 // concentrated at the top symbol.
@@ -50,93 +61,154 @@ std::vector<int> synth_sequence(std::size_t t_len, int symbols,
   return seq;
 }
 
-inference::EmOptions options(int threads, bool cache) {
+// The three engines (em_options.h): naive recomputes emissions per
+// (t, state); cached is the PR 2 emission-table path; kernel is the SoA
+// vectorized path.
+enum class Engine { kNaive, kCached, kKernel };
+
+inference::EmOptions options(int threads, Engine engine) {
   inference::EmOptions em;
   em.restarts = kRestarts;
   em.max_iterations = kIterations;
   em.tolerance = 0.0;  // fixed iteration count: measures raw E+M cost
   em.seed = 42;
   em.threads = threads;
-  em.cache_emissions = cache;
+  em.cache_emissions = engine != Engine::kNaive;
+  em.kernels = engine == Engine::kKernel;
   return em;
 }
 
+struct FitTiming {
+  bench::TimingStats wall;
+  double log_likelihood = 0.0;
+  int iterations = 0;  // EM iterations of the winning restart, per run
+  int restarts = 0;    // restarts that ran to completion (none pruned here)
+};
+
 template <typename Model>
-double time_fit(const std::vector<int>& seq, int hidden_states,
-                const inference::EmOptions& em, double* ll_out) {
-  double best_ms = 0.0;
-  for (int rep = 0; rep < kReps; ++rep) {
-    Model model(hidden_states, kSymbols);
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto fit = model.fit(seq, em);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    if (rep == 0 || ms < best_ms) best_ms = ms;
-    *ll_out = fit.log_likelihood;
-  }
-  return best_ms;
+FitTiming time_fit(const std::vector<int>& seq, int hidden_states,
+                   const inference::EmOptions& em, int samples, int warmup) {
+  FitTiming out;
+  out.wall = bench::time_median_ms(
+      [&] {
+        Model model(hidden_states, kSymbols);
+        const auto fit = model.fit(seq, em);
+        out.log_likelihood = fit.log_likelihood;
+        out.iterations = fit.iterations;
+        out.restarts = em.restarts - fit.pruned_restarts;
+      },
+      samples, warmup);
+  return out;
 }
 
 struct ModelScaling {
   int hidden_states = 0;
-  double naive_1t_ms = 0.0;
+  FitTiming naive_1t;
+  FitTiming cached_1t;
   std::vector<int> threads;
-  std::vector<double> cached_ms;
+  std::vector<FitTiming> kernel;        // kernel engine per thread count
   double emission_cache_speedup = 0.0;  // naive 1t / cached 1t
-  double speedup_4t = 0.0;              // cached 1t / cached 4t
+  double kernel_speedup_1t = 0.0;       // cached 1t / kernel 1t
+  double speedup_4t = 0.0;              // kernel 1t / kernel 4t
 };
+
+void print_row(const char* name, int n, const char* engine, int threads,
+               const FitTiming& t) {
+  std::printf(
+      "%-5s N=%d  %-6s %dt  %8.1f ms  (spread %5.1f, %d iters, ll %.6f)\n",
+      name, n, engine, threads, t.wall.median_ms, t.wall.spread_ms,
+      t.iterations, t.log_likelihood);
+}
 
 template <typename Model>
 ModelScaling run_model(const char* name, const std::vector<int>& seq,
-                       int hidden_states) {
+                       int hidden_states, int samples, int warmup) {
   ModelScaling out;
   out.hidden_states = hidden_states;
   out.threads = {1, 2, 4, 8};
 
-  double ll_ref = 0.0;
-  out.naive_1t_ms =
-      time_fit<Model>(seq, hidden_states, options(1, false), &ll_ref);
-  std::printf("%-5s N=%d  naive 1t        %8.1f ms  (ll %.6f)\n", name,
-              hidden_states, out.naive_1t_ms, ll_ref);
+  out.naive_1t = time_fit<Model>(seq, hidden_states,
+                                 options(1, Engine::kNaive), samples, warmup);
+  print_row(name, hidden_states, "naive", 1, out.naive_1t);
+  out.cached_1t = time_fit<Model>(
+      seq, hidden_states, options(1, Engine::kCached), samples, warmup);
+  print_row(name, hidden_states, "cached", 1, out.cached_1t);
 
-  double ll_first = 0.0;
   for (std::size_t i = 0; i < out.threads.size(); ++i) {
-    double ll = 0.0;
-    const double ms =
-        time_fit<Model>(seq, hidden_states, options(out.threads[i], true), &ll);
-    out.cached_ms.push_back(ms);
-    if (i == 0) ll_first = ll;
+    out.kernel.push_back(
+        time_fit<Model>(seq, hidden_states,
+                        options(out.threads[i], Engine::kKernel), samples,
+                        warmup));
+    print_row(name, hidden_states, "kernel", out.threads[i], out.kernel[i]);
     // The engine guarantees bitwise identity across thread counts; hold it
     // to that here so a future regression fails the benchmark loudly.
-    DCL_ENSURE_MSG(ll == ll_first,
-                   "fit log likelihood differs across thread counts");
-    std::printf("%-5s N=%d  cached %dt       %8.1f ms  (ll %.6f)\n", name,
-                hidden_states, out.threads[i], ms, ll);
+    DCL_ENSURE_MSG(
+        out.kernel[i].log_likelihood == out.kernel[0].log_likelihood,
+        "fit log likelihood differs across thread counts");
   }
-  out.emission_cache_speedup = out.naive_1t_ms / out.cached_ms[0];
-  out.speedup_4t = out.cached_ms[0] / out.cached_ms[2];
-  std::printf("%-5s N=%d  emission cache  %8.2fx   4-thread %7.2fx\n", name,
-              hidden_states, out.emission_cache_speedup, out.speedup_4t);
+  // The engines agree to floating-point accuracy, not bitwise; a loose
+  // relative check still catches a broken engine before it pollutes the
+  // timing series.
+  const double ll_ref = out.naive_1t.log_likelihood;
+  DCL_ENSURE_MSG(std::abs(out.cached_1t.log_likelihood - ll_ref) <=
+                         1e-6 * std::abs(ll_ref) &&
+                     std::abs(out.kernel[0].log_likelihood - ll_ref) <=
+                         1e-6 * std::abs(ll_ref),
+                 "fit log likelihood differs across engines");
+
+  out.emission_cache_speedup =
+      out.naive_1t.wall.median_ms / out.cached_1t.wall.median_ms;
+  out.kernel_speedup_1t =
+      out.cached_1t.wall.median_ms / out.kernel[0].wall.median_ms;
+  out.speedup_4t = out.kernel[0].wall.median_ms / out.kernel[2].wall.median_ms;
+  std::printf(
+      "%-5s N=%d  cache %5.2fx   kernel/cached %5.2fx   4-thread %5.2fx\n",
+      name, hidden_states, out.emission_cache_speedup, out.kernel_speedup_1t,
+      out.speedup_4t);
   return out;
 }
 
-std::string json_block(const char* name, const ModelScaling& s) {
-  char buf[512];
-  std::string cached = "{";
-  for (std::size_t i = 0; i < s.threads.size(); ++i) {
-    std::snprintf(buf, sizeof(buf), "%s\"%d\":%.3f", i > 0 ? "," : "",
-                  s.threads[i], s.cached_ms[i]);
-    cached += buf;
+std::string json_timing(const FitTiming& t) {
+  char buf[256];
+  std::string samples = "[";
+  for (std::size_t i = 0; i < t.wall.samples_ms.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f", i > 0 ? "," : "",
+                  t.wall.samples_ms[i]);
+    samples += buf;
   }
-  cached += "}";
+  samples += "]";
   std::snprintf(buf, sizeof(buf),
-                "\"%s\":{\"hidden_states\":%d,\"naive_1t_ms\":%.3f,"
-                "\"cached_ms\":%s,\"emission_cache_speedup\":%.3f,"
-                "\"speedup_4t\":%.3f}",
-                name, s.hidden_states, s.naive_1t_ms, cached.c_str(),
-                s.emission_cache_speedup, s.speedup_4t);
+                "{\"median_ms\":%.3f,\"spread_ms\":%.3f,\"samples_ms\":%s,"
+                "\"iterations\":%d,\"restarts\":%d,\"log_likelihood\":%.6f}",
+                t.wall.median_ms, t.wall.spread_ms, samples.c_str(),
+                t.iterations, t.restarts, t.log_likelihood);
   return buf;
+}
+
+std::string json_block(const char* name, const ModelScaling& s) {
+  char buf[256];
+  std::string kernel = "{";
+  for (std::size_t i = 0; i < s.threads.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\"%d\":", i > 0 ? "," : "",
+                  s.threads[i]);
+    kernel += buf;
+    kernel += json_timing(s.kernel[i]);
+  }
+  kernel += "}";
+  std::string out = "\"";
+  out += name;
+  std::snprintf(buf, sizeof(buf), "\":{\"hidden_states\":%d,",
+                s.hidden_states);
+  out += buf;
+  out += "\"naive_1t\":" + json_timing(s.naive_1t) + ",";
+  out += "\"cached_1t\":" + json_timing(s.cached_1t) + ",";
+  out += "\"kernel\":" + kernel + ",";
+  std::snprintf(buf, sizeof(buf),
+                "\"emission_cache_speedup\":%.3f,\"kernel_speedup_1t\":%.3f,"
+                "\"speedup_4t\":%.3f}",
+                s.emission_cache_speedup, s.kernel_speedup_1t, s.speedup_4t);
+  out += buf;
+  return out;
 }
 
 }  // namespace
@@ -144,28 +216,54 @@ std::string json_block(const char* name, const ModelScaling& s) {
 
 int main(int argc, char** argv) {
   using namespace dcl;
-  const std::string out_path =
-      argc > 1 ? argv[1] : std::string("BENCH_em_scaling.json");
+  std::string out_path = "BENCH_em_scaling.json";
+  double min_kernel_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-kernel-speedup") == 0 && i + 1 < argc) {
+      min_kernel_speedup = std::atof(argv[++i]);
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const int samples = bench::env_int("DCL_EM_SCALING_SAMPLES", 3, 1);
+  const int warmup = bench::env_int("DCL_EM_SCALING_WARMUP", 1, 0);
   const auto seq =
       synth_sequence(static_cast<std::size_t>(kTLen), kSymbols, 42);
 
-  std::printf("EM scaling: T=%d M=%d restarts=%d iterations=%d (%zu hw threads)\n",
-              kTLen, kSymbols, kRestarts, kIterations,
-              util::ThreadPool::hardware_threads());
-  const auto hmm = run_model<inference::Hmm>("hmm", seq, 3);
-  const auto mmhd = run_model<inference::Mmhd>("mmhd", seq, 2);
+  std::printf(
+      "EM scaling: T=%d M=%d restarts=%d iterations=%d "
+      "(%u hw threads, median of %d after %d warmup)\n",
+      kTLen, kSymbols, kRestarts, kIterations,
+      std::thread::hardware_concurrency(), samples, warmup);
+  const auto hmm = run_model<inference::Hmm>("hmm", seq, 3, samples, warmup);
+  const auto mmhd =
+      run_model<inference::Mmhd>("mmhd", seq, 2, samples, warmup);
 
-  char head[256];
+  char head[320];
   std::snprintf(head, sizeof(head),
                 "{\"bench\":\"em_scaling\",\"t_len\":%d,\"symbols\":%d,"
-                "\"restarts\":%d,\"iterations\":%d,\"hardware_threads\":%zu,",
+                "\"restarts\":%d,\"iterations\":%d,\"hardware_threads\":%u,"
+                "\"samples\":%d,\"warmup\":%d,",
                 kTLen, kSymbols, kRestarts, kIterations,
-                util::ThreadPool::hardware_threads());
+                std::thread::hardware_concurrency(), samples, warmup);
   const std::string line = std::string(head) + json_block("hmm", hmm) + "," +
                            json_block("mmhd", mmhd) + "}";
   std::ofstream out(out_path);
   DCL_ENSURE_MSG(out.good(), "cannot open benchmark output file");
   out << line << "\n";
   std::printf("wrote %s\n", out_path.c_str());
+
+  if (min_kernel_speedup > 0.0) {
+    const double worst =
+        std::min(hmm.kernel_speedup_1t, mmhd.kernel_speedup_1t);
+    if (worst < min_kernel_speedup) {
+      std::fprintf(stderr, "FAIL: kernel speedup %.2fx below required %.2fx\n",
+                   worst, min_kernel_speedup);
+      return 1;
+    }
+    std::printf("kernel speedup %.2fx >= %.2fx required\n", worst,
+                min_kernel_speedup);
+  }
   return 0;
 }

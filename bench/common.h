@@ -7,6 +7,7 @@
 // one. Random seeds are fixed so every run at a given scale is identical.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdio>
@@ -135,6 +136,52 @@ inline ChainRun run_chain(const scenarios::ChainConfig& cfg,
         lo - disc.delay_floor(), hi - disc.delay_floor()};
   }
   return r;
+}
+
+// Integer env knob with a floor of `min_value` (unset or unparsable gives
+// `fallback`). Used for the measurement controls below so CI can trade
+// benchmark fidelity against wall time without a rebuild.
+inline int env_int(const char* name, int fallback, int min_value = 0) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  const int v = std::atoi(s);
+  return v < min_value ? min_value : v;
+}
+
+// Median-of-N wall-clock measurement with warmup. The warmup runs touch
+// every cache line and page the measured runs will, and the median with a
+// reported spread separates a real kernel speedup from scheduler noise —
+// a lone best-of run cannot tell the two apart on a busy container.
+struct TimingStats {
+  double median_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  double spread_ms = 0.0;  // max - min across the measured samples
+  std::vector<double> samples_ms;
+};
+
+template <typename Fn>
+TimingStats time_median_ms(Fn&& fn, int samples, int warmup) {
+  TimingStats st;
+  if (samples < 1) samples = 1;
+  for (int i = 0; i < warmup; ++i) fn();
+  st.samples_ms.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    st.samples_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::vector<double> sorted = st.samples_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  st.median_ms = n % 2 == 1 ? sorted[n / 2]
+                            : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  st.min_ms = sorted.front();
+  st.max_ms = sorted.back();
+  st.spread_ms = st.max_ms - st.min_ms;
+  return st;
 }
 
 // Monotonic wall timer for per-run telemetry.

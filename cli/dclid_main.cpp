@@ -19,7 +19,12 @@
 //   --window N             analyze the most stationary window of N probes
 //   --bound-symbols N      fine grid for the delay bound (50)
 //   --bootstrap R          bootstrap decision confidence with R replicates
+//   --bootstrap-refit      sequence bootstrap with warm-started EM refits
+//                          instead of posterior resampling
 //   --select-N MAX         choose the hidden-state count by BIC in 1..MAX
+//   --prune-warmup K       abandon trailing EM restarts after K iterations
+//                          (0 = off)
+//   --prune-margin X       log-likelihood margin for restart pruning (25)
 //   --seed N               EM seed (1)
 //   --threads N            worker threads for EM restarts, BIC candidates,
 //                          and bootstrap replicates (0 = all cores; the
@@ -55,7 +60,12 @@ namespace {
       "  --window N             analyze most stationary window of N probes\n"
       "  --bound-symbols N      fine grid for the delay bound (default 50)\n"
       "  --bootstrap R          bootstrap confidence with R replicates\n"
+      "  --bootstrap-refit      sequence bootstrap with warm-started EM\n"
+      "                         refits instead of posterior resampling\n"
       "  --select-N MAX         choose hidden states by BIC in 1..MAX\n"
+      "  --prune-warmup K       abandon trailing EM restarts after K\n"
+      "                         iterations (default 0 = off)\n"
+      "  --prune-margin X       log-likelihood margin for pruning (25)\n"
       "  --seed N               EM seed (default 1)\n"
       "  --threads N            worker threads for the parallel stages\n"
       "                         (default 0 = all cores; results identical)\n"
@@ -124,6 +134,8 @@ void validate(const dcl::core::PipelineConfig& cfg) {
   if (id.eps_d < 0.0 || id.eps_d >= 1.0)
     config_error("--eps-d must be in [0, 1)");
   if (id.bootstrap_replicates < 0) config_error("--bootstrap must be >= 0");
+  if (id.em.prune_warmup < 0) config_error("--prune-warmup must be >= 0");
+  if (id.em.prune_margin < 0.0) config_error("--prune-margin must be >= 0");
   if (id.em.threads < 0) config_error("--threads must be >= 0");
   if (id.auto_hidden_max < 0) config_error("--select-N must be >= 0");
   if (id.propagation_delay && *id.propagation_delay < 0.0)
@@ -227,9 +239,17 @@ int main(int argc, char** argv) {
     else if (a == "--bootstrap")
       cfg.identifier.bootstrap_replicates =
           parse_int(need("--bootstrap"), "--bootstrap");
+    else if (a == "--bootstrap-refit")
+      cfg.identifier.bootstrap_refit = true;
     else if (a == "--select-N")
       cfg.identifier.auto_hidden_max =
           parse_int(need("--select-N"), "--select-N");
+    else if (a == "--prune-warmup")
+      cfg.identifier.em.prune_warmup =
+          parse_int(need("--prune-warmup"), "--prune-warmup");
+    else if (a == "--prune-margin")
+      cfg.identifier.em.prune_margin =
+          parse_double(need("--prune-margin"), "--prune-margin");
     else if (a == "--seed")
       cfg.identifier.em.seed = parse_u64(need("--seed"), "--seed");
     else if (a == "--threads")
@@ -298,11 +318,18 @@ int main(int argc, char** argv) {
     if (cfg.identifier.auto_hidden_max > 0)
       std::printf("hidden states (BIC over 1..%d): N = %d\n",
                   cfg.identifier.auto_hidden_max, id.hidden_states_used);
-    if (cfg.identifier.bootstrap_replicates > 0)
-      std::printf("bootstrap (%d replicates): accept fraction %.3f, "
-                  "F(2 i*) in [%.3f, %.3f]\n",
-                  id.bootstrap.replicates, id.bootstrap.accept_fraction,
-                  id.bootstrap.f2istar_lo, id.bootstrap.f2istar_hi);
+    if (cfg.identifier.bootstrap_replicates > 0) {
+      std::printf("bootstrap (%d %sreplicates): accept fraction %.3f, "
+                  "F(2 i*) in [%.3f, %.3f]",
+                  id.bootstrap.replicates,
+                  cfg.identifier.bootstrap_refit ? "refit " : "",
+                  id.bootstrap.accept_fraction, id.bootstrap.f2istar_lo,
+                  id.bootstrap.f2istar_hi);
+      if (cfg.identifier.bootstrap_refit)
+        std::printf(", mean %.1f EM iterations",
+                    id.bootstrap.mean_refit_iterations);
+      std::printf("\n");
+    }
     if (id.wdcl.accepted) {
       std::printf("\na dominant congested link exists on this path.\n");
       std::printf("max queuing delay bound: %.1f ms (coarse i*)",

@@ -5,9 +5,15 @@
 # (unless DCL_CHECK_SKIP_TSAN=1) with TSan over the suites that exercise
 # the threaded EM engine and the observability layer.
 #
-#   scripts/check.sh            # plain + ASan/UBSan + TSan
+#   scripts/check.sh            # plain + ASan/UBSan + TSan + perf smoke
 #   DCL_CHECK_SKIP_SANITIZED=1 scripts/check.sh
 #   DCL_CHECK_SKIP_TSAN=1      scripts/check.sh
+#   DCL_CHECK_SKIP_PERF=1      scripts/check.sh
+#
+# The final stage (unless DCL_CHECK_SKIP_PERF=1) builds bench_em_scaling
+# in Release and fails when the kernel engine's single-thread speedup over
+# the cached path drops below 90% of the last committed BENCH_baseline.jsonl
+# entry — a ratio, so the gate holds on machines of any absolute speed.
 #
 # Runs from the repo root regardless of the invocation directory.
 set -euo pipefail
@@ -46,6 +52,42 @@ if [[ "${DCL_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
   run_suite build-tsan \
     "parallel_em_test|inference_test|obs_test|selection_bootstrap_test|util_test" \
     -DDCL_SANITIZE="thread" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+if [[ "${DCL_CHECK_SKIP_PERF:-0}" != "1" ]]; then
+  echo "==> configure build-release (Release, perf smoke)"
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "${JOBS}" --target bench_em_scaling
+  fresh="$(mktemp)"
+  trap 'rm -f "${fresh}"' EXIT
+  echo "==> bench_em_scaling perf smoke"
+  # The bench's own floor catches an outright broken kernel path even when
+  # the baseline predates the kernel JSON schema.
+  ./build-release/bench/bench_em_scaling "${fresh}" --min-kernel-speedup 1.2
+  if command -v python3 >/dev/null 2>&1 && [[ -s BENCH_baseline.jsonl ]]; then
+    python3 - "${fresh}" BENCH_baseline.jsonl <<'PY'
+import json, sys
+
+fresh = json.load(open(sys.argv[1]))
+lines = [l for l in open(sys.argv[2]) if l.strip()]
+base = json.loads(lines[-1]).get("em_scaling", {})
+ok = True
+for model in ("hmm", "mmhd"):
+    ref = base.get(model, {}).get("kernel_speedup_1t")
+    got = fresh[model]["kernel_speedup_1t"]
+    if ref is None:
+        print(f"{model}: baseline predates kernel_speedup_1t; ratio check skipped")
+        continue
+    floor = 0.9 * ref
+    verdict = "ok" if got >= floor else "REGRESSION"
+    print(f"{model}: kernel_speedup_1t {got:.2f} vs baseline {ref:.2f} "
+          f"(floor {floor:.2f}) {verdict}")
+    ok = ok and got >= floor
+sys.exit(0 if ok else 1)
+PY
+  else
+    echo "==> python3 or BENCH_baseline.jsonl missing; baseline ratio check skipped"
+  fi
 fi
 
 echo "==> all checks passed"

@@ -1,5 +1,7 @@
 #include "core/identifier.h"
 
+#include <memory>
+
 #include "inference/hmm.h"
 #include "inference/mmhd.h"
 #include "inference/model_selection.h"
@@ -10,14 +12,17 @@ namespace dcl::core {
 
 namespace {
 
-inference::FitResult fit_model(ModelKind kind, int symbols,
-                               const std::vector<int>& seq,
-                               inference::EmOptions em,
-                               std::vector<util::Pmf>* per_loss = nullptr) {
+// `keep_model` (optional) receives the fitted MMHD so callers can run
+// model-dependent follow-ups (refit bootstrap) without refitting.
+inference::FitResult fit_model(
+    ModelKind kind, int symbols, const std::vector<int>& seq,
+    inference::EmOptions em, std::vector<util::Pmf>* per_loss = nullptr,
+    std::unique_ptr<inference::Mmhd>* keep_model = nullptr) {
   if (kind == ModelKind::kMmhd) {
-    inference::Mmhd model(em.hidden_states, symbols);
-    auto fit = model.fit(seq, em);
-    if (per_loss != nullptr) *per_loss = model.per_loss_posteriors(seq);
+    auto model = std::make_unique<inference::Mmhd>(em.hidden_states, symbols);
+    auto fit = model->fit(seq, em);
+    if (per_loss != nullptr) *per_loss = model->per_loss_posteriors(seq);
+    if (keep_model != nullptr) *keep_model = std::move(model);
     return fit;
   }
   inference::Hmm model(em.hidden_states, symbols);
@@ -64,11 +69,16 @@ IdentificationResult Identifier::identify(
     em.hidden_states = sel.best_hidden_states;
   }
   r.hidden_states_used = em.hidden_states;
+  const bool want_bootstrap =
+      cfg_.bootstrap_replicates > 0 && cfg_.model == ModelKind::kMmhd;
   std::vector<util::Pmf> per_loss;
+  std::unique_ptr<inference::Mmhd> coarse_model;
   {
     DCL_SPAN("coarse_fit");
-    r.fit = fit_model(cfg_.model, cfg_.symbols, seq, em,
-                      cfg_.bootstrap_replicates > 0 ? &per_loss : nullptr);
+    r.fit = fit_model(
+        cfg_.model, cfg_.symbols, seq, em,
+        want_bootstrap && !cfg_.bootstrap_refit ? &per_loss : nullptr,
+        want_bootstrap && cfg_.bootstrap_refit ? &coarse_model : nullptr);
   }
   r.virtual_pmf = r.fit.virtual_delay_pmf;
   r.virtual_cdf = util::pmf_to_cdf(r.virtual_pmf);
@@ -80,7 +90,7 @@ IdentificationResult Identifier::identify(
     r.coarse_bound = max_delay_bound(r.virtual_cdf, disc, cfg_.eps_l);
   }
 
-  if (cfg_.bootstrap_replicates > 0 && cfg_.model == ModelKind::kMmhd) {
+  if (want_bootstrap) {
     DCL_SPAN("bootstrap");
     BootstrapConfig bc;
     bc.replicates = cfg_.bootstrap_replicates;
@@ -88,7 +98,9 @@ IdentificationResult Identifier::identify(
     bc.eps_d = cfg_.eps_d;
     bc.seed = cfg_.em.seed + 0x5bd1e995;
     bc.threads = cfg_.em.threads;
-    r.bootstrap = bootstrap_wdcl(per_loss, bc);
+    r.bootstrap = cfg_.bootstrap_refit
+                      ? bootstrap_wdcl_refit(seq, *coarse_model, em, bc)
+                      : bootstrap_wdcl(per_loss, bc);
   }
 
   // Fine grid: tighter delay bound via the connected-component heuristic.

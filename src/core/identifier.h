@@ -46,6 +46,12 @@ struct IdentifierConfig {
   // Bootstrap confidence for the WDCL decision (MMHD only): number of
   // replicates over the per-loss posteriors; 0 disables.
   int bootstrap_replicates = 0;
+  // When true the bootstrap resamples the *sequence* (circular blocks)
+  // and refits each replicate by EM warm-started from the point fit —
+  // see bootstrap_wdcl_refit — instead of resampling the point fit's
+  // per-loss posteriors. Dearer per replicate but also captures
+  // parameter re-estimation noise.
+  bool bootstrap_refit = false;
 
   // Choose hidden_states automatically by BIC over 1..auto_hidden_max
   // before the main fit (MMHD only); 0 disables.

@@ -4,6 +4,7 @@
 // src/inference — not part of the public API.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <limits>
 #include <utility>
@@ -69,6 +70,55 @@ FitResult reduce_restarts(std::vector<Outcome>& outcomes, EmObserver* observer,
                  "EM fit produced no usable restart: every restart returned "
                  "a non-finite log likelihood");
   return best;
+}
+
+// Two-phase restart driver with deterministic likelihood pruning. Runner is
+// the per-restart state owned by the model (local model copy, workspace,
+// buffered events) and must expose:
+//   void advance(int upto)   run EM until `upto` iterations are done (or
+//                            convergence); resumable
+//   void finalize()          install winning-convention parameters/posterior
+//   double last_ll() const   log likelihood after the latest iteration
+//   bool finished() const    converged or exhausted max_iterations
+//   void mark_pruned()       abandon this restart
+//
+// With pruning disabled (prune_warmup == 0, margin <= 0, or a single
+// restart) every runner advances straight to max_iterations — the same
+// per-restart computation as the single-phase driver, bitwise. With pruning
+// on, all restarts run `prune_warmup` iterations, the warmup-best log
+// likelihood is found by an index-ordered scan on the calling thread, and
+// restarts trailing it by more than `prune_margin` are abandoned. The
+// surviving set is a deterministic function of per-restart values, so the
+// fit stays bitwise identical across thread counts. The best restart is
+// never pruned (it trails itself by zero), so at least one survives.
+template <typename Runner>
+void drive_restarts(util::ThreadPool* pool, const EmOptions& opts,
+                    std::vector<Runner>& runs) {
+  const int restarts = static_cast<int>(runs.size());
+  const bool prune =
+      opts.prune_warmup > 0 && opts.prune_margin > 0.0 && restarts > 1;
+  if (!prune) {
+    util::parallel_indexed(pool, static_cast<std::size_t>(restarts),
+                           [&](std::size_t r) {
+                             runs[r].advance(opts.max_iterations);
+                             runs[r].finalize();
+                           });
+    return;
+  }
+  const int warmup = std::min(opts.prune_warmup, opts.max_iterations);
+  util::parallel_indexed(pool, static_cast<std::size_t>(restarts),
+                         [&](std::size_t r) { runs[r].advance(warmup); });
+  double best = -std::numeric_limits<double>::infinity();
+  for (const Runner& run : runs)
+    if (run.last_ll() > best) best = run.last_ll();
+  for (Runner& run : runs)
+    if (!run.finished() && run.last_ll() < best - opts.prune_margin)
+      run.mark_pruned();
+  util::parallel_indexed(pool, static_cast<std::size_t>(restarts),
+                         [&](std::size_t r) {
+                           runs[r].advance(opts.max_iterations);
+                           runs[r].finalize();
+                         });
 }
 
 }  // namespace dcl::inference::detail

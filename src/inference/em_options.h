@@ -71,6 +71,26 @@ struct EmOptions {
   // implementation did instead of indexing a per-iteration emission table.
   // Equal results to floating-point accuracy; substantially slower.
   bool cache_emissions = true;
+  // Engine switch for the vectorized SoA forward-backward kernels
+  // (src/inference/fb_kernels.h): padded/aligned state rows, per-iteration
+  // folded transition x emission blocks, fused backward + E-step sweep.
+  // With kernels=false the fit runs the PR 2 cached-emission-table path
+  // bit-for-bit; cache_emissions=false overrides both and runs the original
+  // per-call reference path. Kernel results match the other engines to
+  // floating-point accuracy (see fb_kernels_test), not bitwise.
+  bool kernels = true;
+  // Likelihood-based restart pruning: after `prune_warmup` EM iterations,
+  // restarts whose log likelihood trails the warmup-best by more than
+  // `prune_margin` are abandoned (their entering parameters are kept for
+  // the observer, flagged FitResult::pruned). The warmup-best is found by
+  // an index-ordered reduction, so the surviving set — and therefore the
+  // winner — is identical for every thread count. Because EM likelihood is
+  // non-decreasing, a pruned restart can only have won if its final
+  // likelihood lay within the margin, so a generous margin keeps the
+  // winner exact in practice. prune_warmup = 0 (the default) disables
+  // pruning and reproduces the unpruned results bitwise.
+  int prune_warmup = 0;
+  double prune_margin = 25.0;
   // Telemetry hook (not owned; may be null). See EmObserver above. Under a
   // multi-threaded fit the per-iteration events are buffered inside each
   // worker and replayed in restart order at the join, so the observer is
@@ -91,6 +111,11 @@ struct FitResult {
   // P(D = d | loss): the paper's virtual queuing delay PMF, eq. (5).
   util::Pmf virtual_delay_pmf;
   std::size_t losses = 0;
+  // True when this restart was abandoned by likelihood pruning (only ever
+  // seen through EmObserver::on_restart — a pruned restart cannot win).
+  bool pruned = false;
+  // On the winning fit result: how many restarts of this fit were pruned.
+  int pruned_restarts = 0;
 };
 
 }  // namespace dcl::inference

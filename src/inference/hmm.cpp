@@ -7,6 +7,7 @@
 
 #include "inference/discretizer.h"
 #include "inference/em_internal.h"
+#include "inference/fb_kernels.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -60,16 +61,26 @@ struct Hmm::Workspace {
   // Hoisted em_step accumulators.
   std::vector<double> new_pi, gamma_sum, c_loss, c_total, gamma;
   util::Matrix a_num, b_num;
-  // Parameters entering the most recent em_step — the values run_restart
-  // installs, since the step's reported likelihood is theirs.
+  // Parameters entering the most recent em_step — the values the restart
+  // installs at the end, since the step's reported likelihood is theirs.
   std::vector<double> old_pi, old_c;
   util::Matrix old_a, old_b;
+  // Vectorized-engine state (EmOptions::kernels): folded blocks, padded
+  // forward trellis, fused E-step accumulators, the per-iteration loss
+  // posterior split W(h,d) = B[h][d] C[d] / loss_emit(h), and the retained
+  // loss-column numerator that doubles as the virtual-delay posterior.
+  fb::FoldedMatrices folded;
+  fb::Trellis ktr;
+  fb::EStep acc;
+  util::Matrix wsplit;
+  std::vector<double> kpmf;
 
   void prepare(std::size_t n, std::size_t m) {
     if (emit.rows() != n || emit.cols() != m + 1)
       emit = util::Matrix(n, m + 1);
     if (a_num.rows() != n || a_num.cols() != n) a_num = util::Matrix(n, n);
     if (b_num.rows() != n || b_num.cols() != m) b_num = util::Matrix(n, m);
+    if (wsplit.rows() != n || wsplit.cols() != m) wsplit = util::Matrix(n, m);
     gamma.resize(n);
   }
 };
@@ -479,40 +490,171 @@ std::pair<double, double> Hmm::em_step_cached(const std::vector<int>& seq,
   return {ll, delta};
 }
 
-FitResult Hmm::run_restart(const std::vector<int>& seq, const FitContext& ctx,
-                           const EmOptions& opts, util::Rng rng, int restart,
-                           double loss_rate,
-                           std::vector<detail::IterEvent>* events) {
-  random_init(rng, loss_rate);
+std::pair<double, double> Hmm::em_step_kernel(const FitContext& ctx,
+                                              Workspace& ws) {
+  const auto n = static_cast<std::size_t>(n_);
+  const auto m = static_cast<std::size_t>(m_);
+
+  build_emission_table(ctx.support, ws.emit);
+  ws.folded.build(a_, ws.emit);
+  const double ll = fb::forward(ws.folded, ctx.col, pi_.data(), ws.ktr);
+  ws.acc.prepare(m + 1, n);
+  fb::backward_estep(ws.folded, ctx.col, ws.ktr, ws.acc);
+
+  // Snapshot the entering parameters, then build the loss posterior split
+  // from them — W is constant within the iteration, which is what lets the
+  // per-loss-step bookkeeping collapse to the single gl row.
+  ws.old_pi = pi_;
+  ws.old_a = a_;
+  ws.old_b = b_;
+  ws.old_c = c_;
+  for (std::size_t h = 0; h < n; ++h) {
+    const double denom = ws.emit(h, m);
+    for (std::size_t d = 0; d < m; ++d)
+      ws.wsplit(h, d) = ctx.support[d] ? b_(h, d) * c_[d] / denom : 0.0;
+  }
+
+  const double* gl = ws.acc.col_gamma.row(m);  // loss-column gamma sums
+
+  // M-step from the fused accumulators.
+  for (std::size_t h = 0; h < n; ++h) pi_[h] = ws.acc.pi0[h];
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a_(i, j) = ws.acc.xi.at(i, j);
+  a_.normalize_rows();
+
+  ws.gamma_sum.assign(n, 0.0);
+  ws.c_loss.assign(m, 0.0);
+  ws.c_total.assign(m, 0.0);
+  for (std::size_t h = 0; h < n; ++h) {
+    double gs = gl[h];
+    for (std::size_t d = 0; d < m; ++d) gs += ws.acc.col_gamma.at(d, h);
+    ws.gamma_sum[h] = gs;
+  }
+  for (std::size_t d = 0; d < m; ++d) {
+    double obs_g = 0.0;
+    double loss_g = 0.0;
+    for (std::size_t h = 0; h < n; ++h) {
+      obs_g += ws.acc.col_gamma.at(d, h);
+      loss_g += gl[h] * ws.wsplit(h, d);
+    }
+    ws.c_loss[d] = loss_g;
+    ws.c_total[d] = obs_g + loss_g;
+  }
+  for (std::size_t h = 0; h < n; ++h)
+    for (std::size_t d = 0; d < m; ++d)
+      b_(h, d) = ws.gamma_sum[h] > 0.0
+                     ? (ws.acc.col_gamma.at(d, h) + gl[h] * ws.wsplit(h, d)) /
+                           ws.gamma_sum[h]
+                     : 1.0 / static_cast<double>(m_);
+  for (std::size_t d = 0; d < m; ++d)
+    if (ws.c_total[d] > 0.0) c_[d] = ws.c_loss[d] / ws.c_total[d];
+  clamp_parameters();
+
+  // The loss-column numerator, divided by the loss count, is exactly the
+  // paper's eq. (5) posterior for the entering parameters — the kernel
+  // path never needs a retained beta trellis for it.
+  ws.kpmf = ws.c_loss;
+
+  double delta = 0.0;
+  for (std::size_t h = 0; h < n; ++h)
+    delta = std::max(delta, std::abs(pi_[h] - ws.old_pi[h]));
+  delta = std::max(delta, util::Matrix::max_abs_diff(a_, ws.old_a));
+  delta = std::max(delta, util::Matrix::max_abs_diff(b_, ws.old_b));
+  for (std::size_t d = 0; d < m; ++d)
+    delta = std::max(delta, std::abs(c_[d] - ws.old_c[d]));
+  return {ll, delta};
+}
+
+// Resumable per-restart EM state for detail::drive_restarts: a local model
+// copy plus everything run_restart used to keep on its stack, so a restart
+// can pause at the pruning checkpoint and continue (or be abandoned)
+// without redoing work.
+struct Hmm::Runner {
+  Hmm model;
+  const std::vector<int>* seq = nullptr;
+  const FitContext* ctx = nullptr;
+  const EmOptions* opts = nullptr;
+  util::Rng rng;
+  double loss_rate = 0.0;
+  std::size_t losses = 0;
   Workspace ws;
-  ws.prepare(static_cast<std::size_t>(n_), static_cast<std::size_t>(m_));
   FitResult res;
-  res.winning_restart = restart;
-  double last_ll = -std::numeric_limits<double>::infinity();
-  for (int it = 0; it < opts.max_iterations; ++it) {
-    const auto [ll, delta] = opts.cache_emissions
-                                 ? em_step_cached(seq, ctx, ws)
-                                 : em_step(seq, ws);
-    res.log_likelihood_history.push_back(ll);
-    last_ll = ll;
-    res.iterations = it + 1;
-    if (events != nullptr) events->push_back({it, ll, delta});
-    if (delta < opts.tolerance) {
-      res.converged = true;
-      break;
+  std::vector<detail::IterEvent> events;
+  bool inited = false;
+  bool done = false;
+  bool pruned_flag = false;
+  double ll_last = -std::numeric_limits<double>::infinity();
+
+  Runner(const Hmm& proto, const std::vector<int>& s, const FitContext& c,
+         const EmOptions& o, util::Rng r, int restart, double rate,
+         std::size_t loss_count)
+      : model(proto.n_, proto.m_),
+        seq(&s),
+        ctx(&c),
+        opts(&o),
+        rng(r),
+        loss_rate(rate),
+        losses(loss_count) {
+    res.winning_restart = restart;
+  }
+
+  double last_ll() const { return ll_last; }
+  bool finished() const { return done; }
+  void mark_pruned() {
+    pruned_flag = true;
+    done = true;
+  }
+
+  void advance(int upto) {
+    if (done) return;
+    if (!inited) {
+      model.random_init(rng, loss_rate);
+      ws.prepare(static_cast<std::size_t>(model.n_),
+                 static_cast<std::size_t>(model.m_));
+      inited = true;
+    }
+    const int cap = std::min(upto, opts->max_iterations);
+    while (res.iterations < cap) {
+      const int it = res.iterations;
+      const auto [ll, delta] =
+          !opts->cache_emissions ? model.em_step(*seq, ws)
+          : opts->kernels        ? model.em_step_kernel(*ctx, ws)
+                                 : model.em_step_cached(*seq, *ctx, ws);
+      res.log_likelihood_history.push_back(ll);
+      ll_last = ll;
+      res.iterations = it + 1;
+      if (opts->observer != nullptr) events.push_back({it, ll, delta});
+      if (delta < opts->tolerance) {
+        res.converged = true;
+        done = true;
+        break;
+      }
+    }
+    if (res.iterations >= opts->max_iterations) done = true;
+  }
+
+  void finalize() {
+    // Install the parameters *entering* the final step: ll_last is exactly
+    // their likelihood, and the retained trellis/accumulators were computed
+    // from them, so the posterior costs no extra forward-backward pass.
+    model.pi_ = std::move(ws.old_pi);
+    model.a_ = std::move(ws.old_a);
+    model.b_ = std::move(ws.old_b);
+    model.c_ = std::move(ws.old_c);
+    res.log_likelihood = ll_last;
+    res.pruned = pruned_flag;
+    if (pruned_flag) return;  // cannot win; skip the posterior
+    if (opts->cache_emissions && opts->kernels) {
+      util::Pmf pmf(ws.kpmf.begin(), ws.kpmf.end());
+      if (losses > 0)
+        for (auto& p : pmf) p /= static_cast<double>(losses);
+      res.virtual_delay_pmf = std::move(pmf);
+    } else {
+      res.virtual_delay_pmf =
+          model.posterior_from_trellis(*seq, ctx->support, ws.w);
     }
   }
-  // Install the parameters *entering* the final step: last_ll is exactly
-  // their likelihood, and the retained trellis was computed from them, so
-  // the posterior costs no extra forward-backward pass.
-  pi_ = std::move(ws.old_pi);
-  a_ = std::move(ws.old_a);
-  b_ = std::move(ws.old_b);
-  c_ = std::move(ws.old_c);
-  res.log_likelihood = last_ll;
-  res.virtual_delay_pmf = posterior_from_trellis(seq, ctx.support, ws.w);
-  return res;
-}
+};
 
 FitResult Hmm::fit(const std::vector<int>& seq, const EmOptions& opts) {
   DCL_ENSURE_MSG(seq.size() >= 2, "need at least two observations to fit");
@@ -527,42 +669,31 @@ FitResult Hmm::fit(const std::vector<int>& seq, const EmOptions& opts) {
   // restart sees the same stream for any thread count.
   auto rngs = detail::fork_restart_rngs(opts.seed, opts.restarts);
 
-  struct Outcome {
-    FitResult res;
-    std::vector<double> pi, c;
-    util::Matrix a, b;
-    std::vector<detail::IterEvent> events;
-  };
-  std::vector<Outcome> outcomes(static_cast<std::size_t>(opts.restarts));
-
-  auto run_one = [&](int r) {
-    const auto ri = static_cast<std::size_t>(r);
-    Hmm local(n_, m_);
-    Outcome& out = outcomes[ri];
-    out.res =
-        local.run_restart(seq, ctx, opts, rngs[ri], r, loss_rate,
-                          opts.observer != nullptr ? &out.events : nullptr);
-    out.pi = std::move(local.pi_);
-    out.a = std::move(local.a_);
-    out.b = std::move(local.b_);
-    out.c = std::move(local.c_);
-  };
+  std::vector<Runner> runs;
+  runs.reserve(static_cast<std::size_t>(opts.restarts));
+  for (int r = 0; r < opts.restarts; ++r)
+    runs.emplace_back(*this, seq, ctx, opts,
+                      rngs[static_cast<std::size_t>(r)], r, loss_rate, losses);
 
   const std::size_t workers =
       std::min(util::ThreadPool::resolve(opts.threads),
                static_cast<std::size_t>(opts.restarts));
   std::unique_ptr<util::ThreadPool> pool;
   if (workers > 1) pool = std::make_unique<util::ThreadPool>(workers);
-  util::parallel_indexed(pool.get(), opts.restarts, run_one);
+  detail::drive_restarts(pool.get(), opts, runs);
+
+  int pruned_count = 0;
+  for (const Runner& run : runs) pruned_count += run.pruned_flag ? 1 : 0;
 
   FitResult best =
-      detail::reduce_restarts(outcomes, opts.observer, [&](Outcome& o) {
-        pi_ = std::move(o.pi);
-        a_ = std::move(o.a);
-        b_ = std::move(o.b);
-        c_ = std::move(o.c);
+      detail::reduce_restarts(runs, opts.observer, [&](Runner& o) {
+        pi_ = std::move(o.model.pi_);
+        a_ = std::move(o.model.a_);
+        b_ = std::move(o.model.b_);
+        c_ = std::move(o.model.c_);
       });
   best.losses = losses;
+  best.pruned_restarts = pruned_count;
   if (opts.observer != nullptr)
     opts.observer->on_winner(best.winning_restart, best);
   return best;
@@ -631,8 +762,21 @@ util::Pmf Hmm::stationary_virtual_delay_pmf() const {
 }
 
 double Hmm::log_likelihood(const std::vector<int>& seq) const {
-  Trellis w;
-  return forward_backward(seq, w);
+  // Likelihood-only evaluation goes through the folded kernel with
+  // run-length power folding: runs of one symbol (loss bursts especially)
+  // collapse to O(log L) matrix applications, and the per-power
+  // renormalization keeps 500k-step sequences finite.
+  DCL_ENSURE_MSG(!seq.empty(), "log_likelihood of an empty sequence");
+  const FitContext ctx = make_context(seq);
+  util::Matrix emit(static_cast<std::size_t>(n_),
+                    static_cast<std::size_t>(m_) + 1);
+  build_emission_table(ctx.support, emit);
+  fb::FoldedMatrices folded;
+  folded.build(a_, emit);
+  fb::RunLengthIndex runs;
+  runs.build(ctx.col);
+  std::vector<fb::ScaledPowers> cache;
+  return fb::log_likelihood(folded, runs, pi_.data(), cache);
 }
 
 }  // namespace dcl::inference

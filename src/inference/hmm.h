@@ -63,6 +63,7 @@ class Hmm {
   struct Trellis;     // scaled alpha/beta workspace
   struct FitContext;  // immutable per-fit inputs shared by every restart
   struct Workspace;   // per-restart trellis, emission table, accumulators
+  struct Runner;      // resumable per-restart EM state for drive_restarts
 
   void random_init(util::Rng& rng, double observed_loss_rate);
   void clamp_parameters();
@@ -78,20 +79,17 @@ class Hmm {
   std::pair<double, double> em_step_cached(const std::vector<int>& seq,
                                            const FitContext& ctx,
                                            Workspace& ws);
+  // Vectorized engine (EmOptions::kernels): folded transition x emission
+  // blocks + fused backward/E-step sweep from fb_kernels.h. Equal to the
+  // other variants to floating-point accuracy; the loss-step posterior
+  // falls out of the E-step accumulators, so no beta trellis is kept.
+  std::pair<double, double> em_step_kernel(const FitContext& ctx,
+                                           Workspace& ws);
   // Fills `emit` (N x (M+1)) from the current parameters: column d holds
   // B[h][d]*(1-C[d]), column M the loss emission over `support`.
   void build_emission_table(const std::vector<char>& support,
                             util::Matrix& emit) const;
   double forward_backward_cached(const FitContext& ctx, Workspace& ws) const;
-  // One complete restart on this instance: random init from `rng`, EM
-  // until convergence, then install the parameters whose likelihood the
-  // final step reported (so the retained trellis matches them and the
-  // posterior needs no extra forward-backward pass). Buffers observer
-  // events into `events` when non-null.
-  FitResult run_restart(const std::vector<int>& seq, const FitContext& ctx,
-                        const EmOptions& opts, util::Rng rng, int restart,
-                        double loss_rate,
-                        std::vector<detail::IterEvent>* events);
   // Paper eq. (5) from an already-computed trellis of this model.
   util::Pmf posterior_from_trellis(const std::vector<int>& seq,
                                    const std::vector<char>& support,

@@ -7,6 +7,7 @@
 
 #include "inference/discretizer.h"
 #include "inference/em_internal.h"
+#include "inference/fb_kernels.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -56,6 +57,17 @@ struct Mmhd::FitContext {
   util::Matrix prior;
   bool use_prior = false;
 
+  // Kernel-engine class structure: class d < M for steps observing symbol
+  // d, class M for losses. Every loss step shares one active set (the
+  // supported states, ascending — `loss_states`), and an observed step's
+  // set is just the N hidden copies of its symbol, so a step is fully
+  // described by its class and the kernels can run in compact per-class
+  // coordinates.
+  std::vector<int> cls;                 // per step, in [0, M]
+  std::vector<int> loss_states;         // loss-class compact index -> state
+  std::vector<std::size_t> widths;      // per class, M+1 entries
+  std::vector<char> pair_used;          // (M+1)^2 adjacency of cls
+
   const int* begin(std::size_t t) const { return active.data() + offset[t]; }
   const int* end(std::size_t t) const { return active.data() + offset[t + 1]; }
 };
@@ -72,10 +84,18 @@ struct Mmhd::Workspace {
   std::vector<double> emit_obs, emit_loss;
   std::vector<double> new_pi, c_loss, c_total;
   util::Matrix a_num;
-  // Parameters entering the most recent em_step — the values run_restart
-  // installs, since the step's reported likelihood is theirs.
+  // Parameters entering the most recent em_step — the values the runner
+  // installs at finalize, since the step's reported likelihood is theirs.
   std::vector<double> old_pi, old_c;
   util::Matrix old_a;
+  // Vectorized-engine state (EmOptions::kernels): folded per-class-pair
+  // blocks, padded trellis, fused E-step accumulators, the t = 0 init row,
+  // and the loss-posterior numerator (eq. (5) * losses).
+  fb::BlockChain chain;
+  fb::Trellis ktr;
+  fb::ChainEStep acc;
+  util::AlignedVector<double> v0;
+  std::vector<double> kpmf;
 
   void prepare(std::size_t s_count) {
     if (a_num.rows() != s_count || a_num.cols() != s_count)
@@ -186,6 +206,23 @@ Mmhd::FitContext Mmhd::make_context(const std::vector<int>& seq,
     ctx.active.insert(ctx.active.end(), act.begin(), act.end());
     ctx.offset[t + 1] = ctx.active.size();
   }
+
+  // Class structure for the kernel engine. loss_states must enumerate the
+  // supported states ascending — the same order active_states produces for
+  // a loss step — so compact loss coordinates match the cached engine's.
+  const auto n_cls = static_cast<std::size_t>(m_) + 1;
+  ctx.cls.resize(t_len);
+  for (std::size_t t = 0; t < t_len; ++t)
+    ctx.cls[t] = ctx.is_loss[t] ? m_ : sym(seq[t]);
+  for (int s = 0; s < states(); ++s)
+    if (ctx.support[static_cast<std::size_t>(symbol_of_state(s))])
+      ctx.loss_states.push_back(s);
+  ctx.widths.assign(n_cls, static_cast<std::size_t>(n_));
+  ctx.widths[static_cast<std::size_t>(m_)] = ctx.loss_states.size();
+  ctx.pair_used.assign(n_cls * n_cls, 0);
+  for (std::size_t t = 0; t + 1 < t_len; ++t)
+    ctx.pair_used[static_cast<std::size_t>(ctx.cls[t]) * n_cls +
+                  static_cast<std::size_t>(ctx.cls[t + 1])] = 1;
 
   if (opts.transition_prior > 0.0) {
     ctx.prior = build_transition_prior(seq, opts.transition_prior);
@@ -509,40 +546,234 @@ std::pair<double, double> Mmhd::em_step_cached(const FitContext& ctx,
   return {ll, delta};
 }
 
-FitResult Mmhd::run_restart(const std::vector<int>& seq,
-                            const FitContext& ctx, const EmOptions& opts,
-                            util::Rng rng, int restart, double loss_rate,
-                            std::vector<detail::IterEvent>* events) {
-  random_init(rng, loss_rate);
-  Workspace ws;
-  ws.prepare(static_cast<std::size_t>(states()));
-  const util::Matrix* prior = ctx.use_prior ? &ctx.prior : nullptr;
-  FitResult res;
-  res.winning_restart = restart;
-  double last_ll = -std::numeric_limits<double>::infinity();
-  for (int it = 0; it < opts.max_iterations; ++it) {
-    const auto [ll, delta] = opts.cache_emissions
-                                 ? em_step_cached(ctx, ws)
-                                 : em_step(seq, prior, ws);
-    res.log_likelihood_history.push_back(ll);
-    last_ll = ll;
-    res.iterations = it + 1;
-    if (events != nullptr) events->push_back({it, ll, delta});
-    if (delta < opts.tolerance) {
-      res.converged = true;
-      break;
+int Mmhd::class_state(const FitContext& ctx, std::size_t cls,
+                      std::size_t k) const {
+  return cls == static_cast<std::size_t>(m_)
+             ? ctx.loss_states[k]
+             : state_of(static_cast<int>(k), static_cast<int>(cls));
+}
+
+void Mmhd::build_chain(const FitContext& ctx, Workspace& ws) const {
+  fb::BlockChain& bc = ws.chain;
+  if (bc.classes() == 0) bc.init(ctx.widths, ctx.pair_used);
+  const auto loss_cls = static_cast<std::size_t>(m_);
+  const std::size_t n_cls = loss_cls + 1;
+  // Fold transition * destination-emission into every used class-pair
+  // block (the entries the kernels read; row padding stays zero from
+  // init). Cost is a few block sweeps over A per iteration, against O(T)
+  // kernel work.
+  for (std::size_t u = 0; u < n_cls; ++u) {
+    for (std::size_t v = 0; v < n_cls; ++v) {
+      if (!bc.used(u, v)) continue;
+      double* blk = bc.block(u, v);
+      double* blt = bc.block_t(u, v);
+      const std::size_t wu = bc.width(u);
+      const std::size_t wv = bc.width(v);
+      const std::size_t su = bc.stride(u);
+      const std::size_t sv = bc.stride(v);
+      const double e_obs = v == loss_cls ? 0.0 : 1.0 - c_[v];
+      for (std::size_t i = 0; i < wu; ++i) {
+        const auto si = static_cast<std::size_t>(class_state(ctx, u, i));
+        const double* arow = a_.row(si);
+        for (std::size_t j = 0; j < wv; ++j) {
+          const int sj = class_state(ctx, v, j);
+          const double e =
+              v == loss_cls
+                  ? c_[static_cast<std::size_t>(symbol_of_state(sj))]
+                  : e_obs;
+          const double val = arow[static_cast<std::size_t>(sj)] * e;
+          blk[i * sv + j] = val;
+          blt[j * su + i] = val;
+        }
+      }
     }
   }
-  // Install the parameters *entering* the final step: last_ll is exactly
-  // their likelihood, and the retained trellis was computed from them, so
-  // the posterior costs no extra forward-backward pass.
-  pi_ = std::move(ws.old_pi);
-  a_ = std::move(ws.old_a);
-  c_ = std::move(ws.old_c);
-  res.log_likelihood = last_ll;
-  res.virtual_delay_pmf = posterior_from_trellis(ctx, ws.w);
-  return res;
+  // t = 0 init row: pi .* emission in class-cls[0] compact coordinates.
+  const auto c0 = static_cast<std::size_t>(ctx.cls[0]);
+  ws.v0.assign(bc.max_stride(), 0.0);
+  for (std::size_t k = 0; k < bc.width(c0); ++k) {
+    const int s = class_state(ctx, c0, k);
+    const double e =
+        c0 == loss_cls ? c_[static_cast<std::size_t>(symbol_of_state(s))]
+                       : 1.0 - c_[c0];
+    ws.v0[k] = pi_[static_cast<std::size_t>(s)] * e;
+  }
 }
+
+std::pair<double, double> Mmhd::em_step_kernel(const FitContext& ctx,
+                                               Workspace& ws) {
+  const auto s_count = static_cast<std::size_t>(states());
+  const auto m = static_cast<std::size_t>(m_);
+
+  build_chain(ctx, ws);
+  const double ll = fb::chain_forward(ws.chain, ctx.cls, ws.v0.data(), ws.ktr);
+  ws.acc.prepare(ws.chain);
+  fb::chain_backward_estep(ws.chain, ctx.cls, ws.ktr, ws.acc);
+
+  // Snapshot the entering parameters (the sweeps above used them).
+  ws.old_pi = pi_;
+  ws.old_a = a_;
+  ws.old_c = c_;
+
+  // M-step, scattering the compact accumulators back to composite states.
+  // A composite transition can be reached through several class pairs
+  // (e.g. observed->observed and loss->loss over the same states), so the
+  // scatter accumulates, exactly like the per-step cached accumulation.
+  ws.new_pi.assign(s_count, 0.0);
+  const auto c0 = static_cast<std::size_t>(ctx.cls[0]);
+  for (std::size_t k = 0; k < ws.chain.width(c0); ++k)
+    ws.new_pi[static_cast<std::size_t>(class_state(ctx, c0, k))] =
+        ws.acc.pi0[k];
+  pi_ = ws.new_pi;
+
+  ws.a_num.fill(0.0);
+  const std::size_t n_cls = m + 1;
+  for (std::size_t u = 0; u < n_cls; ++u) {
+    for (std::size_t v = 0; v < n_cls; ++v) {
+      if (!ws.chain.used(u, v)) continue;
+      const double* x = ws.acc.xi.data() + ws.chain.offset(u, v);
+      const std::size_t wu = ws.chain.width(u);
+      const std::size_t wv = ws.chain.width(v);
+      const std::size_t sv = ws.chain.stride(v);
+      for (std::size_t i = 0; i < wu; ++i) {
+        const auto si = static_cast<std::size_t>(class_state(ctx, u, i));
+        for (std::size_t j = 0; j < wv; ++j) {
+          const auto sj = static_cast<std::size_t>(class_state(ctx, v, j));
+          ws.a_num(si, sj) += x[i * sv + j];
+        }
+      }
+    }
+  }
+  if (ctx.use_prior) {
+    for (std::size_t i = 0; i < s_count; ++i)
+      for (std::size_t j = 0; j < s_count; ++j)
+        ws.a_num(i, j) += ctx.prior(i, j);
+  }
+  a_ = ws.a_num;
+  a_.normalize_rows();
+
+  ws.c_loss.assign(m, 0.0);
+  ws.c_total.assign(m, 0.0);
+  for (std::size_t d = 0; d < m; ++d) {
+    const double* row = ws.acc.cls_gamma.row(d);
+    double s = 0.0;
+    for (std::size_t h = 0; h < static_cast<std::size_t>(n_); ++h)
+      s += row[h];
+    ws.c_total[d] += s;
+  }
+  const double* lrow = ws.acc.cls_gamma.row(m);
+  for (std::size_t k = 0; k < ctx.loss_states.size(); ++k) {
+    const auto d =
+        static_cast<std::size_t>(symbol_of_state(ctx.loss_states[k]));
+    ws.c_loss[d] += lrow[k];
+    ws.c_total[d] += lrow[k];
+  }
+  for (std::size_t d = 0; d < m; ++d)
+    if (ws.c_total[d] > 0.0) c_[d] = ws.c_loss[d] / ws.c_total[d];
+  clamp_parameters();
+
+  // The loss-class gamma sums, marginalized to symbols and divided by the
+  // loss count, are exactly the paper's eq. (5) posterior for the entering
+  // parameters — the kernel path never retains a beta trellis for it.
+  ws.kpmf = ws.c_loss;
+
+  double delta = 0.0;
+  for (std::size_t s = 0; s < s_count; ++s)
+    delta = std::max(delta, std::abs(pi_[s] - ws.old_pi[s]));
+  delta = std::max(delta, util::Matrix::max_abs_diff(a_, ws.old_a));
+  for (std::size_t d = 0; d < m; ++d)
+    delta = std::max(delta, std::abs(c_[d] - ws.old_c[d]));
+  return {ll, delta};
+}
+
+// Resumable per-restart EM state for detail::drive_restarts: a local model
+// copy plus everything the old run_restart kept on its stack, so a restart
+// can pause at the pruning checkpoint and continue (or be abandoned)
+// without redoing work.
+struct Mmhd::Runner {
+  Mmhd model;
+  const std::vector<int>* seq = nullptr;
+  const FitContext* ctx = nullptr;
+  const EmOptions* opts = nullptr;
+  util::Rng rng;
+  double loss_rate = 0.0;
+  std::size_t losses = 0;
+  Workspace ws;
+  FitResult res;
+  std::vector<detail::IterEvent> events;
+  bool inited = false;
+  bool done = false;
+  bool pruned_flag = false;
+  double ll_last = -std::numeric_limits<double>::infinity();
+
+  Runner(const Mmhd& proto, const std::vector<int>& s, const FitContext& c,
+         const EmOptions& o, util::Rng r, int restart, double rate,
+         std::size_t loss_count)
+      : model(proto.n_, proto.m_),
+        seq(&s),
+        ctx(&c),
+        opts(&o),
+        rng(r),
+        loss_rate(rate),
+        losses(loss_count) {
+    res.winning_restart = restart;
+  }
+
+  double last_ll() const { return ll_last; }
+  bool finished() const { return done; }
+  void mark_pruned() {
+    pruned_flag = true;
+    done = true;
+  }
+
+  void advance(int upto) {
+    if (done) return;
+    if (!inited) {
+      model.random_init(rng, loss_rate);
+      ws.prepare(static_cast<std::size_t>(model.states()));
+      inited = true;
+    }
+    const util::Matrix* prior = ctx->use_prior ? &ctx->prior : nullptr;
+    const int cap = std::min(upto, opts->max_iterations);
+    while (res.iterations < cap) {
+      const int it = res.iterations;
+      const auto [ll, delta] =
+          !opts->cache_emissions ? model.em_step(*seq, prior, ws)
+          : opts->kernels        ? model.em_step_kernel(*ctx, ws)
+                                 : model.em_step_cached(*ctx, ws);
+      res.log_likelihood_history.push_back(ll);
+      ll_last = ll;
+      res.iterations = it + 1;
+      if (opts->observer != nullptr) events.push_back({it, ll, delta});
+      if (delta < opts->tolerance) {
+        res.converged = true;
+        done = true;
+        break;
+      }
+    }
+    if (res.iterations >= opts->max_iterations) done = true;
+  }
+
+  void finalize() {
+    // Install the parameters *entering* the final step: ll_last is exactly
+    // their likelihood, and the retained trellis/accumulators were computed
+    // from them, so the posterior costs no extra forward-backward pass.
+    model.pi_ = std::move(ws.old_pi);
+    model.a_ = std::move(ws.old_a);
+    model.c_ = std::move(ws.old_c);
+    res.log_likelihood = ll_last;
+    res.pruned = pruned_flag;
+    if (pruned_flag) return;  // cannot win; skip the posterior
+    if (opts->cache_emissions && opts->kernels) {
+      util::Pmf pmf(ws.kpmf.begin(), ws.kpmf.end());
+      if (losses > 0)
+        for (auto& p : pmf) p /= static_cast<double>(losses);
+      res.virtual_delay_pmf = std::move(pmf);
+    } else {
+      res.virtual_delay_pmf = model.posterior_from_trellis(*ctx, ws.w);
+    }
+  }
+};
 
 FitResult Mmhd::fit(const std::vector<int>& seq, const EmOptions& opts) {
   DCL_ENSURE_MSG(seq.size() >= 2, "need at least two observations to fit");
@@ -557,40 +788,31 @@ FitResult Mmhd::fit(const std::vector<int>& seq, const EmOptions& opts) {
   // restart sees the same stream for any thread count.
   auto rngs = detail::fork_restart_rngs(opts.seed, opts.restarts);
 
-  struct Outcome {
-    FitResult res;
-    std::vector<double> pi, c;
-    util::Matrix a;
-    std::vector<detail::IterEvent> events;
-  };
-  std::vector<Outcome> outcomes(static_cast<std::size_t>(opts.restarts));
-
-  auto run_one = [&](int r) {
-    const auto ri = static_cast<std::size_t>(r);
-    Mmhd local(n_, m_);
-    Outcome& out = outcomes[ri];
-    out.res =
-        local.run_restart(seq, ctx, opts, rngs[ri], r, loss_rate,
-                          opts.observer != nullptr ? &out.events : nullptr);
-    out.pi = std::move(local.pi_);
-    out.a = std::move(local.a_);
-    out.c = std::move(local.c_);
-  };
+  std::vector<Runner> runs;
+  runs.reserve(static_cast<std::size_t>(opts.restarts));
+  for (int r = 0; r < opts.restarts; ++r)
+    runs.emplace_back(*this, seq, ctx, opts,
+                      rngs[static_cast<std::size_t>(r)], r, loss_rate,
+                      losses);
 
   const std::size_t workers =
       std::min(util::ThreadPool::resolve(opts.threads),
                static_cast<std::size_t>(opts.restarts));
   std::unique_ptr<util::ThreadPool> pool;
   if (workers > 1) pool = std::make_unique<util::ThreadPool>(workers);
-  util::parallel_indexed(pool.get(), opts.restarts, run_one);
+  detail::drive_restarts(pool.get(), opts, runs);
+
+  int pruned_count = 0;
+  for (const Runner& run : runs) pruned_count += run.pruned_flag ? 1 : 0;
 
   FitResult best =
-      detail::reduce_restarts(outcomes, opts.observer, [&](Outcome& o) {
-        pi_ = std::move(o.pi);
-        a_ = std::move(o.a);
-        c_ = std::move(o.c);
+      detail::reduce_restarts(runs, opts.observer, [&](Runner& o) {
+        pi_ = std::move(o.model.pi_);
+        a_ = std::move(o.model.a_);
+        c_ = std::move(o.model.c_);
       });
   best.losses = losses;
+  best.pruned_restarts = pruned_count;
   if (opts.observer != nullptr)
     opts.observer->on_winner(best.winning_restart, best);
   return best;
@@ -658,8 +880,20 @@ std::vector<util::Pmf> Mmhd::per_loss_posteriors(
 }
 
 double Mmhd::log_likelihood(const std::vector<int>& seq) const {
-  Trellis w;
-  return forward_backward(seq, w);
+  // Likelihood-only evaluation goes through the block-chain kernel with
+  // run-length folding: a run of one class repeats its self block, and
+  // long runs collapse to a handful of memoized squared-power
+  // applications (fb::ScaledPowers).
+  DCL_ENSURE_MSG(!seq.empty(), "log_likelihood: empty sequence");
+  EmOptions opts;
+  opts.transition_prior = 0.0;  // the prior only shapes the M-step
+  const FitContext ctx = make_context(seq, opts);
+  Workspace ws;
+  build_chain(ctx, ws);
+  fb::RunLengthIndex runs;
+  runs.build(ctx.cls);
+  std::vector<fb::ScaledPowers> cache;
+  return fb::chain_log_likelihood(ws.chain, runs, ws.v0.data(), cache);
 }
 
 std::vector<int> Mmhd::viterbi(const std::vector<int>& seq) const {
@@ -731,6 +965,83 @@ std::vector<int> Mmhd::viterbi(const std::vector<int>& seq) const {
     if (t > 0) s_cur = back[t * s_count + static_cast<std::size_t>(s_cur)];
   }
   return symbols;
+}
+
+MmhdRefitter::MmhdRefitter(const Mmhd& fitted, const EmOptions& opts)
+    : model_(fitted),
+      pi0_(fitted.pi_),
+      c0_(fitted.c_),
+      a0_(fitted.a_),
+      opts_(opts),
+      ws_(std::make_unique<Mmhd::Workspace>()) {
+  DCL_ENSURE(opts_.max_iterations >= 1);
+  // A refit is one warm EM run inside a replicate loop: no restarts to
+  // prune or parallelize, and per-iteration telemetry would swamp any
+  // observer attached for the point fit.
+  opts_.restarts = 1;
+  opts_.threads = 1;
+  opts_.prune_warmup = 0;
+  opts_.observer = nullptr;
+  ws_->prepare(static_cast<std::size_t>(model_.states()));
+}
+
+MmhdRefitter::~MmhdRefitter() = default;
+MmhdRefitter::MmhdRefitter(MmhdRefitter&&) noexcept = default;
+MmhdRefitter& MmhdRefitter::operator=(MmhdRefitter&&) noexcept = default;
+
+FitResult MmhdRefitter::refit(const std::vector<int>& seq) {
+  DCL_ENSURE_MSG(seq.size() >= 2, "need at least two observations to refit");
+  std::size_t losses = 0;
+  for (int o : seq) losses += (o == kLoss) ? 1 : 0;
+
+  // Reset to the snapshot: every refit starts from the point estimate, not
+  // from wherever the previous replicate's EM ended.
+  model_.pi_ = pi0_;
+  model_.a_ = a0_;
+  model_.c_ = c0_;
+
+  const Mmhd::FitContext ctx = model_.make_context(seq, opts_);
+  Mmhd::Workspace& ws = *ws_;
+  const bool kernel = opts_.cache_emissions && opts_.kernels;
+  // The class adjacency differs per sequence, so rebuild the block layout
+  // here (build_chain's lazy init only covers the first sequence); the
+  // assign() calls inside reuse the previous replicate's storage.
+  if (kernel) ws.chain.init(ctx.widths, ctx.pair_used);
+  const util::Matrix* prior = ctx.use_prior ? &ctx.prior : nullptr;
+
+  FitResult res;
+  double ll_last = -std::numeric_limits<double>::infinity();
+  while (res.iterations < opts_.max_iterations) {
+    const auto [ll, delta] =
+        !opts_.cache_emissions ? model_.em_step(seq, prior, ws)
+        : kernel               ? model_.em_step_kernel(ctx, ws)
+                               : model_.em_step_cached(ctx, ws);
+    res.log_likelihood_history.push_back(ll);
+    ll_last = ll;
+    ++res.iterations;
+    if (delta < opts_.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  // Same conventions as Runner::finalize: install the parameters entering
+  // the final step (ll_last is their likelihood) and reuse the retained
+  // trellis for the posterior.
+  model_.pi_ = std::move(ws.old_pi);
+  model_.a_ = std::move(ws.old_a);
+  model_.c_ = std::move(ws.old_c);
+  res.log_likelihood = ll_last;
+  res.losses = losses;
+  if (kernel) {
+    util::Pmf pmf(ws.kpmf.begin(), ws.kpmf.end());
+    if (losses > 0)
+      for (auto& p : pmf) p /= static_cast<double>(losses);
+    res.virtual_delay_pmf = std::move(pmf);
+  } else {
+    res.virtual_delay_pmf = model_.posterior_from_trellis(ctx, ws.w);
+  }
+  return res;
 }
 
 }  // namespace dcl::inference

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "inference/em_options.h"
@@ -31,6 +32,8 @@ namespace dcl::inference {
 namespace detail {
 struct IterEvent;  // buffered observer event, see em_internal.h
 }
+
+class MmhdRefitter;
 
 class Mmhd {
  public:
@@ -72,9 +75,12 @@ class Mmhd {
                       std::vector<double> c);
 
  private:
+  friend class MmhdRefitter;  // warm-started EM over a reused workspace
+
   struct Trellis;
   struct FitContext;  // immutable per-fit inputs shared by every restart
   struct Workspace;   // per-restart trellis, emission vectors, accumulators
+  struct Runner;      // resumable per-restart EM state for drive_restarts
 
   void random_init(util::Rng& rng, double observed_loss_rate);
   void clamp_parameters();
@@ -102,13 +108,22 @@ class Mmhd {
                                     const util::Matrix* prior, Workspace& ws);
   std::pair<double, double> em_step_cached(const FitContext& ctx,
                                            Workspace& ws);
+  // Vectorized engine (EmOptions::kernels): folds the current parameters
+  // into per-class-pair transition blocks (fb::BlockChain) and runs the raw
+  // block-chain forward/backward kernels in each class's compact
+  // coordinates — no per-step active-set gathers, no per-step
+  // normalization. Classes: one per delay symbol plus a shared loss class
+  // over the supported states.
+  std::pair<double, double> em_step_kernel(const FitContext& ctx,
+                                           Workspace& ws);
+  // Composite state behind compact index k of class `cls` (an observed
+  // symbol's hidden index, or a position in the loss-class state list).
+  int class_state(const FitContext& ctx, std::size_t cls,
+                  std::size_t k) const;
+  // (Re)folds the parameters into ws.chain and the t = 0 init row ws.v0.
+  void build_chain(const FitContext& ctx, Workspace& ws) const;
   void build_emission_tables(Workspace& ws) const;
   double forward_backward_cached(const FitContext& ctx, Workspace& ws) const;
-  // One complete restart on this instance; see Hmm::run_restart.
-  FitResult run_restart(const std::vector<int>& seq, const FitContext& ctx,
-                        const EmOptions& opts, util::Rng rng, int restart,
-                        double loss_rate,
-                        std::vector<detail::IterEvent>* events);
   // Paper eq. (5) from an already-computed trellis of this model.
   util::Pmf posterior_from_trellis(const FitContext& ctx,
                                    const Trellis& w) const;
@@ -118,6 +133,38 @@ class Mmhd {
   std::vector<double> pi_;  // N*M
   util::Matrix a_;          // (N*M) x (N*M)
   std::vector<double> c_;   // M
+};
+
+// Warm-started EM refits for the sequence bootstrap: snapshots a fitted
+// model's parameters and, per refit() call, runs EM on a (resampled)
+// sequence starting from that snapshot instead of cold random restarts.
+// One Workspace/Trellis is allocated at construction and reused across
+// every refit, so a replicate loop allocates nothing per replicate in
+// steady state. The EmOptions engine switches (cache_emissions, kernels)
+// and the convergence/prior settings apply as in Mmhd::fit; restarts,
+// pruning and the observer are ignored — a refit is a single warm run.
+// Not thread-safe: use one refitter per worker thread.
+class MmhdRefitter {
+ public:
+  MmhdRefitter(const Mmhd& fitted, const EmOptions& opts);
+  ~MmhdRefitter();
+  MmhdRefitter(MmhdRefitter&&) noexcept;
+  MmhdRefitter& operator=(MmhdRefitter&&) noexcept;
+
+  // EM from the stored snapshot on `seq`; the result follows the fit()
+  // conventions (entering-parameter likelihood, eq. (5) posterior).
+  FitResult refit(const std::vector<int>& seq);
+
+  // Parameters produced by the most recent refit (the snapshot's values
+  // before the first call).
+  const Mmhd& model() const { return model_; }
+
+ private:
+  Mmhd model_;
+  std::vector<double> pi0_, c0_;  // the warm-start snapshot
+  util::Matrix a0_;
+  EmOptions opts_;
+  std::unique_ptr<Mmhd::Workspace> ws_;
 };
 
 }  // namespace dcl::inference

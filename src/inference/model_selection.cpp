@@ -61,6 +61,8 @@ ModelSelectionResult select_mmhd_hidden_states(const std::vector<int>& seq,
     score.aic = -2.0 * fit.log_likelihood +
                 2.0 * static_cast<double>(score.parameters);
     score.virtual_delay_pmf = fit.virtual_delay_pmf;
+    score.iterations = fit.iterations;
+    score.converged = fit.converged;
   };
 
   if (parallel_candidates) {

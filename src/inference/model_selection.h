@@ -27,6 +27,11 @@ struct ModelScore {
   double aic = 0.0;
   std::size_t parameters = 0;
   util::Pmf virtual_delay_pmf;
+  // Fit diagnostics of the winning restart: a candidate that hit
+  // max_iterations without converging signals its BIC may be understated
+  // (likelihood still climbing), worth knowing before trusting the choice.
+  int iterations = 0;
+  bool converged = false;
 };
 
 struct ModelSelectionResult {

@@ -1,0 +1,51 @@
+// 64-byte-aligned storage for the vectorized inference kernels. The kernel
+// layer (src/inference/fb_kernels.h) lays state vectors out in cache-line
+// aligned, lane-padded rows so the compiler can emit unmasked vector loops;
+// this header supplies the allocator that makes std::vector hand out such
+// rows without a custom container.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace dcl::util {
+
+// One x86 cache line / one AVX-512 register worth of doubles. Also a safe
+// over-alignment on aarch64 (128-bit NEON only needs 16).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Minimal C++17 aligned allocator. Not templated on alignment: everything in
+// this codebase that wants over-aligned memory wants a cache line.
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+
+  CacheAlignedAllocator() noexcept = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kCacheLineBytes}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kCacheLineBytes});
+  }
+
+  template <typename U>
+  bool operator==(const CacheAlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const CacheAlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, CacheAlignedAllocator<T>>;
+
+}  // namespace dcl::util

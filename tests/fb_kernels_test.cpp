@@ -1,0 +1,327 @@
+// Parity and stress tests for the vectorized forward-backward kernels
+// (EmOptions::kernels): randomized HMM and MMHD fits against the retained
+// per-call reference path (cache_emissions=false), engine agreement of the
+// PR 2 cached-table path, degenerate sequences (all-loss, single-symbol,
+// length-1), run-length folded likelihood evaluation, and a T=500k
+// underflow stress run guarding the power-cache scaling.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "inference/discretizer.h"
+#include "inference/hmm.h"
+#include "inference/mmhd.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dcl {
+namespace {
+
+constexpr int kLoss = inference::Discretizer::kLossSymbol;
+
+// Sticky symbol chain with symbol-dependent losses and optional loss
+// bursts (runs of consecutive losses, the shape that exercises the
+// run-length machinery).
+std::vector<int> synth_sequence(std::size_t t_len, int symbols,
+                                double loss_p_top, int burst_len,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<int> seq;
+  seq.reserve(t_len);
+  int state = 1;
+  std::size_t t = 0;
+  while (t < t_len) {
+    if (rng.uniform() < 0.2)
+      state = static_cast<int>(rng.uniform_int(1, symbols));
+    const double loss_p = state == symbols ? loss_p_top : 0.003;
+    if (rng.bernoulli(loss_p)) {
+      const int burst =
+          burst_len > 1 ? static_cast<int>(rng.uniform_int(1, burst_len)) : 1;
+      for (int k = 0; k < burst && t < t_len; ++k, ++t) seq.push_back(kLoss);
+    } else {
+      seq.push_back(state);
+      ++t;
+    }
+  }
+  seq.front() = 1;
+  seq.back() = 1;
+  return seq;
+}
+
+inference::EmOptions engine_options(bool cache, bool kernels) {
+  inference::EmOptions em;
+  em.hidden_states = 2;
+  em.restarts = 3;
+  em.max_iterations = 25;
+  em.tolerance = 0.0;  // fixed iteration count: histories align exactly
+  em.seed = 31;
+  em.threads = 1;
+  em.cache_emissions = cache;
+  em.kernels = kernels;
+  return em;
+}
+
+// The kernels reorder float arithmetic, so parity with the reference path
+// is relative 1e-12 per history entry, not bitwise.
+void expect_fits_match(const inference::FitResult& a,
+                       const inference::FitResult& b, double rel = 1e-12) {
+  EXPECT_EQ(a.winning_restart, b.winning_restart);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.losses, b.losses);
+  ASSERT_EQ(a.log_likelihood_history.size(), b.log_likelihood_history.size());
+  for (std::size_t i = 0; i < a.log_likelihood_history.size(); ++i) {
+    const double tol =
+        rel * std::max(1.0, std::abs(b.log_likelihood_history[i]));
+    EXPECT_NEAR(a.log_likelihood_history[i], b.log_likelihood_history[i], tol)
+        << "iteration " << i;
+  }
+  const double tol = rel * std::max(1.0, std::abs(b.log_likelihood));
+  EXPECT_NEAR(a.log_likelihood, b.log_likelihood, tol);
+  ASSERT_EQ(a.virtual_delay_pmf.size(), b.virtual_delay_pmf.size());
+  for (std::size_t d = 0; d < a.virtual_delay_pmf.size(); ++d)
+    EXPECT_NEAR(a.virtual_delay_pmf[d], b.virtual_delay_pmf[d], 1e-9)
+        << "symbol " << d;
+}
+
+template <typename Model>
+void check_kernel_vs_naive(const std::vector<int>& seq, int symbols,
+                           std::uint64_t em_seed, int restarts = 3) {
+  auto kernel = engine_options(true, true);
+  auto naive = engine_options(false, false);
+  kernel.seed = naive.seed = em_seed;
+  kernel.restarts = naive.restarts = restarts;
+
+  Model mk(kernel.hidden_states, symbols);
+  const auto fk = mk.fit(seq, kernel);
+  Model mn(naive.hidden_states, symbols);
+  const auto fn = mn.fit(seq, naive);
+  expect_fits_match(fk, fn);
+}
+
+// --------------------------------------------------------------------------
+// Randomized parity: kernel engine vs the per-call reference path across
+// sequence shapes — short/long, sparse/bursty losses, small/large
+// alphabets. Fixed seeds keep the suite deterministic.
+
+TEST(FbKernels, HmmRandomizedParityWithNaivePath) {
+  struct Case {
+    std::size_t t_len;
+    int symbols;
+    double loss_p;
+    int burst;
+    std::uint64_t seed;
+  };
+  const Case cases[] = {
+      {700, 3, 0.15, 1, 101}, {1200, 6, 0.25, 4, 102},
+      {1500, 10, 0.2, 1, 103}, {900, 4, 0.4, 8, 104},
+      {2000, 8, 0.1, 2, 105},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(::testing::Message() << "T=" << c.t_len << " M=" << c.symbols
+                                      << " seed=" << c.seed);
+    const auto seq = synth_sequence(c.t_len, c.symbols, c.loss_p, c.burst,
+                                    c.seed);
+    check_kernel_vs_naive<inference::Hmm>(seq, c.symbols, c.seed * 7 + 1);
+  }
+}
+
+TEST(FbKernels, MmhdRandomizedParityWithNaivePath) {
+  struct Case {
+    std::size_t t_len;
+    int symbols;
+    double loss_p;
+    int burst;
+    std::uint64_t seed;
+  };
+  const Case cases[] = {
+      {700, 3, 0.15, 1, 201}, {1200, 6, 0.25, 4, 202},
+      {1500, 10, 0.2, 1, 203}, {900, 4, 0.4, 8, 204},
+      {2000, 8, 0.1, 2, 205},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(::testing::Message() << "T=" << c.t_len << " M=" << c.symbols
+                                      << " seed=" << c.seed);
+    const auto seq = synth_sequence(c.t_len, c.symbols, c.loss_p, c.burst,
+                                    c.seed);
+    check_kernel_vs_naive<inference::Mmhd>(seq, c.symbols, c.seed * 7 + 1);
+  }
+}
+
+// The middle engine — PR 2's cached emission tables (kernels=false) — must
+// also agree with the kernels, so all three engines are interchangeable.
+TEST(FbKernels, CachedEngineAgreesWithKernels) {
+  const auto seq = synth_sequence(1200, 6, 0.2, 3, 301);
+  auto kernel = engine_options(true, true);
+  auto cached = engine_options(true, false);
+
+  inference::Hmm hk(2, 6), hc(2, 6);
+  expect_fits_match(hk.fit(seq, kernel), hc.fit(seq, cached));
+  inference::Mmhd mk(2, 6), mc(2, 6);
+  expect_fits_match(mk.fit(seq, kernel), mc.fit(seq, cached));
+}
+
+// --------------------------------------------------------------------------
+// Degenerate sequences
+
+TEST(FbKernels, AllLossSequenceParity) {
+  // Every observation lost: the support falls back to the full alphabet
+  // and the whole sequence runs through the loss emission column. A single
+  // restart — degenerate data makes restart likelihoods near-tie, and a
+  // 1e-15 engine difference flipping the winner index is not a parity
+  // failure.
+  const std::vector<int> seq(60, kLoss);
+  check_kernel_vs_naive<inference::Hmm>(seq, 4, 11, 1);
+  check_kernel_vs_naive<inference::Mmhd>(seq, 4, 11, 1);
+}
+
+TEST(FbKernels, SingleSymbolSequenceParity) {
+  // One repeated symbol, no losses: a single run the length of the
+  // sequence, empty virtual-delay PMF. Single restart, same reason as the
+  // all-loss case.
+  const std::vector<int> seq(80, 2);
+  check_kernel_vs_naive<inference::Hmm>(seq, 4, 13, 1);
+  check_kernel_vs_naive<inference::Mmhd>(seq, 4, 13, 1);
+
+  inference::Hmm model(2, 4);
+  const auto fit = model.fit(seq, engine_options(true, true));
+  EXPECT_EQ(fit.losses, 0u);
+  for (double p : fit.virtual_delay_pmf) EXPECT_EQ(p, 0.0);
+}
+
+TEST(FbKernels, LengthOneLikelihoodMatchesHandComputed) {
+  // fit() needs two observations, but likelihood evaluation goes through
+  // the run-length kernel for any length; at T=1 it must reduce to
+  // log(sum_h pi[h] * emission(h, obs)).
+  inference::Hmm hmm(2, 3);
+  util::Matrix a(2, 2);
+  a(0, 0) = 0.9; a(0, 1) = 0.1; a(1, 0) = 0.2; a(1, 1) = 0.8;
+  util::Matrix b_in(2, 3);
+  b_in(0, 0) = 0.5; b_in(0, 1) = 0.3; b_in(0, 2) = 0.2;
+  b_in(1, 0) = 0.1; b_in(1, 1) = 0.2; b_in(1, 2) = 0.7;
+  hmm.set_parameters({0.6, 0.4}, a, b_in, {0.01, 0.05, 0.3});
+  // Accessors reflect the clamped/normalized installed parameters; build
+  // the reference from them, not from the raw inputs.
+  const auto& pi = hmm.initial();
+  const auto& b = hmm.emissions();
+  const auto& c = hmm.loss_given_symbol();
+  {
+    const int d = 2;  // observed symbol (1-based), support = {2}
+    double p = 0.0;
+    for (int h = 0; h < 2; ++h)
+      p += pi[static_cast<std::size_t>(h)] *
+           b(static_cast<std::size_t>(h), static_cast<std::size_t>(d - 1)) *
+           (1.0 - c[static_cast<std::size_t>(d - 1)]);
+    EXPECT_NEAR(hmm.log_likelihood({d}), std::log(p), 1e-12);
+  }
+  {
+    // A lone loss: support falls back to the full alphabet and the loss
+    // emission is sum_d B[h][d] * C[d].
+    double p = 0.0;
+    for (int h = 0; h < 2; ++h) {
+      double loss_emit = 0.0;
+      for (int d = 0; d < 3; ++d)
+        loss_emit += b(static_cast<std::size_t>(h), static_cast<std::size_t>(d)) *
+                     c[static_cast<std::size_t>(d)];
+      p += pi[static_cast<std::size_t>(h)] * loss_emit;
+    }
+    EXPECT_NEAR(hmm.log_likelihood({kLoss}), std::log(p), 1e-12);
+  }
+
+  // MMHD: composite states (h, d) emit their own symbol, so a length-1
+  // observation of d keeps exactly the states whose symbol is d.
+  const int m = 3;
+  inference::Mmhd mmhd(2, m);
+  const auto seq2 = synth_sequence(400, m, 0.3, 2, 33);
+  mmhd.fit(seq2, engine_options(true, true));
+  const auto& mpi = mmhd.initial();
+  const auto& mc = mmhd.loss_given_symbol();
+  const int d = 2;
+  double p = 0.0;
+  for (int h = 0; h < 2; ++h)
+    p += mpi[static_cast<std::size_t>(mmhd.state_of(h, d - 1))] *
+         (1.0 - mc[static_cast<std::size_t>(d - 1)]);
+  EXPECT_NEAR(mmhd.log_likelihood({d}), std::log(p),
+              1e-12 * std::max(1.0, std::abs(std::log(p))));
+}
+
+// --------------------------------------------------------------------------
+// Run-length folding: likelihood-only evaluation folds runs through the
+// memoized power cache; it must agree with the per-step fit likelihood.
+
+TEST(FbKernels, FoldedLikelihoodMatchesFitOnBurstySequence) {
+  // Long single-symbol stretches and loss bursts well past the folding
+  // threshold, so the evaluation path actually exercises the power cache.
+  std::vector<int> seq;
+  util::Rng rng(41);
+  for (int block = 0; block < 12; ++block) {
+    const int sym = static_cast<int>(rng.uniform_int(1, 4));
+    const auto run = static_cast<std::size_t>(rng.uniform_int(50, 300));
+    for (std::size_t k = 0; k < run; ++k) seq.push_back(sym);
+    const auto burst = static_cast<std::size_t>(rng.uniform_int(40, 120));
+    for (std::size_t k = 0; k < burst; ++k) seq.push_back(kLoss);
+  }
+  seq.front() = 1;
+  seq.back() = 1;
+
+  auto em = engine_options(true, true);
+  em.tolerance = 1e-4;
+
+  inference::Hmm hmm(2, 4);
+  const auto hf = hmm.fit(seq, em);
+  EXPECT_NEAR(hmm.log_likelihood(seq), hf.log_likelihood,
+              1e-9 * std::abs(hf.log_likelihood));
+
+  inference::Mmhd mmhd(2, 4);
+  const auto mf = mmhd.fit(seq, em);
+  EXPECT_NEAR(mmhd.log_likelihood(seq), mf.log_likelihood,
+              1e-9 * std::abs(mf.log_likelihood));
+}
+
+// --------------------------------------------------------------------------
+// T=500k underflow stress: the raw (renormalize-on-demand) recursions and
+// the power cache must keep half a million steps finite and the eq. (5)
+// posterior normalized.
+
+template <typename Model>
+void stress_half_million(std::uint64_t seed) {
+  const auto seq = synth_sequence(500000, 6, 0.3, 16, seed);
+  inference::EmOptions em;
+  em.hidden_states = 2;
+  em.restarts = 1;
+  em.max_iterations = 3;
+  em.tolerance = 0.0;
+  em.seed = seed;
+  em.threads = 1;
+
+  Model model(2, 6);
+  const auto fit = model.fit(seq, em);
+  ASSERT_TRUE(std::isfinite(fit.log_likelihood));
+  EXPECT_LT(fit.log_likelihood, 0.0);
+  EXPECT_GT(fit.losses, 10000u);
+  ASSERT_EQ(fit.virtual_delay_pmf.size(), 6u);
+  double sum = 0.0;
+  for (double p : fit.virtual_delay_pmf) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Likelihood-only evaluation folds the long loss bursts through the
+  // power cache; it must stay finite and match the installed parameters.
+  const double ll = model.log_likelihood(seq);
+  ASSERT_TRUE(std::isfinite(ll));
+}
+
+TEST(FbKernels, HmmHalfMillionStepsStayFinite) {
+  stress_half_million<inference::Hmm>(51);
+}
+
+TEST(FbKernels, MmhdHalfMillionStepsStayFinite) {
+  stress_half_million<inference::Mmhd>(52);
+}
+
+}  // namespace
+}  // namespace dcl

@@ -305,6 +305,119 @@ TEST(ParallelEm, ModelSelectionIsThreadCountInvariant) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Likelihood-based restart pruning (EmOptions::prune_warmup/prune_margin)
+
+TEST(ParallelEm, PruningOffReproducesUnprunedFitBitwise) {
+  // prune_warmup = 0 disables pruning entirely; a huge margin with a
+  // warmup checkpoint must also leave every restart running, and both
+  // must reproduce the unpruned fit bitwise — same checkpointed restart
+  // scheduling, same winner, same installed parameters.
+  const auto seq = synth_sequence(1500, 4, 71);
+  auto em = base_options();
+  em.restarts = 6;
+
+  inference::Mmhd off(em.hidden_states, 4);
+  const auto f_off = off.fit(seq, em);
+
+  auto pruning = em;
+  pruning.prune_warmup = 4;
+  pruning.prune_margin = 1e12;
+  inference::Mmhd huge(em.hidden_states, 4);
+  const auto f_huge = huge.fit(seq, pruning);
+
+  EXPECT_EQ(f_off.pruned_restarts, 0);
+  EXPECT_EQ(f_huge.pruned_restarts, 0);
+  EXPECT_EQ(f_off.winning_restart, f_huge.winning_restart);
+  EXPECT_EQ(f_off.log_likelihood, f_huge.log_likelihood);
+  EXPECT_EQ(f_off.log_likelihood_history, f_huge.log_likelihood_history);
+  EXPECT_EQ(f_off.virtual_delay_pmf, f_huge.virtual_delay_pmf);
+  EXPECT_EQ(off.initial(), huge.initial());
+  EXPECT_EQ(off.transitions().data(), huge.transitions().data());
+  EXPECT_EQ(off.loss_given_symbol(), huge.loss_given_symbol());
+}
+
+TEST(ParallelEm, PruningAbandonsTrailersAndKeepsWinnerExact) {
+  const auto seq = synth_sequence(1500, 4, 73);
+  auto em = base_options();
+  em.restarts = 8;
+
+  inference::Hmm unpruned(em.hidden_states, 4);
+  const auto f_full = unpruned.fit(seq, em);
+
+  auto pruning = em;
+  pruning.prune_warmup = 3;
+  pruning.prune_margin = 25.0;
+  inference::Hmm pruned(em.hidden_states, 4);
+  const auto f_pruned = pruned.fit(seq, pruning);
+
+  // With random restarts on real structure at least one trailer falls
+  // outside the margin, while at least one survivor runs to completion.
+  EXPECT_GT(f_pruned.pruned_restarts, 0);
+  EXPECT_LT(f_pruned.pruned_restarts, em.restarts);
+  // The pruned fit maximizes over a subset of the restarts, so it can
+  // never beat the full fit; on this data every surviving restart reaches
+  // the same basin, so it also lands within a whisker of it. (Winner
+  // *identity* is not asserted: when restarts converge to the same
+  // optimum, which index wins depends on sub-0.1-nat differences that
+  // pruning legitimately reshuffles.)
+  EXPECT_LE(f_pruned.log_likelihood, f_full.log_likelihood);
+  EXPECT_NEAR(f_pruned.log_likelihood, f_full.log_likelihood, 0.5);
+}
+
+TEST(ParallelEm, PruningIsThreadCountInvariant) {
+  const auto seq = synth_sequence(1500, 4, 79);
+  auto em = base_options();
+  em.restarts = 8;
+  em.prune_warmup = 3;
+  em.prune_margin = 10.0;
+
+  inference::Mmhd serial(em.hidden_states, 4);
+  em.threads = 1;
+  const auto f1 = serial.fit(seq, em);
+
+  inference::Mmhd threaded(em.hidden_states, 4);
+  em.threads = 8;
+  const auto f8 = threaded.fit(seq, em);
+
+  // The warmup-best is an index-ordered reduction over the checkpointed
+  // restarts, so the pruned set — not just the winner — is identical for
+  // any thread count.
+  EXPECT_EQ(f1.pruned_restarts, f8.pruned_restarts);
+  EXPECT_EQ(f1.winning_restart, f8.winning_restart);
+  EXPECT_EQ(f1.log_likelihood, f8.log_likelihood);
+  EXPECT_EQ(f1.log_likelihood_history, f8.log_likelihood_history);
+  EXPECT_EQ(f1.virtual_delay_pmf, f8.virtual_delay_pmf);
+  EXPECT_EQ(serial.initial(), threaded.initial());
+  EXPECT_EQ(serial.transitions().data(), threaded.transitions().data());
+}
+
+TEST(ParallelEm, ObserverSeesPrunedRestarts) {
+  // Pruned restarts still surface through the observer, flagged pruned,
+  // with their entering parameters' likelihood.
+  const auto seq = synth_sequence(1500, 4, 83);
+  auto em = base_options();
+  em.restarts = 8;
+  em.prune_warmup = 3;
+  em.prune_margin = 10.0;
+
+  struct PruneCounter : inference::EmObserver {
+    int pruned = 0;
+    int restarts = 0;
+    void on_restart(int, const inference::FitResult& r, bool) override {
+      ++restarts;
+      if (r.pruned) ++pruned;
+    }
+  } counter;
+  em.observer = &counter;
+
+  inference::Hmm model(em.hidden_states, 4);
+  const auto fit = model.fit(seq, em);
+  EXPECT_EQ(counter.restarts, em.restarts);
+  EXPECT_EQ(counter.pruned, fit.pruned_restarts);
+  EXPECT_GT(fit.pruned_restarts, 0);
+}
+
 TEST(ParallelEm, BootstrapIsThreadCountInvariant) {
   // Synthetic per-loss posteriors with enough spread that replicates do
   // not all land on the same decision.
