@@ -216,6 +216,7 @@ std::string json_block(const char* name, const ModelScaling& s) {
 
 int main(int argc, char** argv) {
   using namespace dcl;
+  bench::BenchTraceGuard trace_guard("bench_em_scaling");
   std::string out_path = "BENCH_em_scaling.json";
   double min_kernel_speedup = 0.0;
   for (int i = 1; i < argc; ++i) {
@@ -247,7 +248,9 @@ int main(int argc, char** argv) {
                 "\"samples\":%d,\"warmup\":%d,",
                 kTLen, kSymbols, kRestarts, kIterations,
                 std::thread::hardware_concurrency(), samples, warmup);
-  const std::string line = std::string(head) + json_block("hmm", hmm) + "," +
+  const std::string line = std::string(head) + "\"manifest\":" +
+                           obs::manifest("em_scaling").to_json() + "," +
+                           json_block("hmm", hmm) + "," +
                            json_block("mmhd", mmhd) + "}";
   std::ofstream out(out_path);
   DCL_ENSURE_MSG(out.good(), "cannot open benchmark output file");

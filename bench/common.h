@@ -18,7 +18,9 @@
 #include "core/identifier.h"
 #include "core/loss_pair.h"
 #include "inference/discretizer.h"
+#include "obs/manifest.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "scenarios/chain.h"
 #include "util/stats.h"
 
@@ -212,6 +214,7 @@ inline void append_run_telemetry(const std::string& bench,
   if (f == nullptr) return;
   std::string line = "{";
   line += "\"bench\": \"" + obs::json_escape(bench) + "\"";
+  line += ", \"manifest\": " + obs::manifest(bench).to_json();
   line += ", \"label\": \"" + obs::json_escape(label) + "\"";
   line += ", \"wall_s\": " + obs::json_number(wall_s);
   line += ", \"probes\": " + std::to_string(r.obs.size());
@@ -241,5 +244,35 @@ inline void append_run_telemetry(const std::string& bench,
   std::fwrite(line.data(), 1, line.size(), f);
   std::fclose(f);
 }
+
+// Opt-in flight recording for any bench binary: when DCL_BENCH_TRACE=FILE
+// is set, the whole process run is recorded and exported as Chrome trace
+// JSON (with the run manifest) when the guard goes out of scope. Unset,
+// the guard is inert and the bench pays nothing.
+class BenchTraceGuard {
+ public:
+  explicit BenchTraceGuard(std::string bench) : bench_(std::move(bench)) {
+    const char* p = std::getenv("DCL_BENCH_TRACE");
+    if (p == nullptr || *p == '\0') return;
+    path_ = p;
+    obs::trace::TraceSession::instance().start(1u << 18);
+    obs::trace::set_thread_name("main");
+  }
+  ~BenchTraceGuard() {
+    if (path_.empty()) return;
+    auto& session = obs::trace::TraceSession::instance();
+    session.stop();
+    const auto man = obs::manifest(bench_);
+    if (!session.write_chrome_json(path_, &man))
+      std::fprintf(stderr, "%s: cannot write trace %s\n", bench_.c_str(),
+                   path_.c_str());
+  }
+  BenchTraceGuard(const BenchTraceGuard&) = delete;
+  BenchTraceGuard& operator=(const BenchTraceGuard&) = delete;
+
+ private:
+  std::string bench_;
+  std::string path_;
+};
 
 }  // namespace dcl::bench

@@ -2,12 +2,20 @@
 //
 // Usage:
 //   dclid [options] <trace.csv>
+//   dclid [options] --scenario sdcl|wdcl|nodcl
 //
-// Reads a dclid-trace CSV (see src/trace/trace_io.h), optionally removes
-// clock skew and selects a stationary window, runs the model-based
-// identification, and prints a human-readable report:
+// Reads a dclid-trace CSV (see src/trace/trace_io.h) — or simulates one of
+// the built-in chain scenarios in-process — optionally removes clock skew
+// and selects a stationary window, runs the model-based identification,
+// and prints a human-readable report:
 //
 //   $ dclid --eps-l 0.1 --eps-d 0.1 path-to-receiver.csv
+//
+// With --trace-out FILE the whole run is captured by the flight recorder
+// (obs/trace.h) and exported as Chrome trace-event JSON loadable in
+// Perfetto / chrome://tracing — pipeline stages and EM restart/iteration
+// spans per worker thread, plus simulated-time tracks (per-link queue
+// occupancy, drops, probe lifecycle) when --scenario is used.
 //
 // Options:
 //   -M, --symbols N        delay symbols for the hypothesis tests (10)
@@ -25,13 +33,20 @@
 //   --prune-warmup K       abandon trailing EM restarts after K iterations
 //                          (0 = off)
 //   --prune-margin X       log-likelihood margin for restart pruning (25)
-//   --seed N               EM seed (1)
+//   --restarts R           independent EM restarts (1)
+//   --seed N               EM (and scenario) seed (1)
 //   --threads N            worker threads for EM restarts, BIC candidates,
 //                          and bootstrap replicates (0 = all cores; the
 //                          result is identical for any value)
+//   --scenario NAME        simulate a built-in chain scenario (sdcl, wdcl,
+//                          nodcl) instead of reading a trace file
+//   --duration SECONDS     simulated seconds for --scenario (700)
+//   --trace-out FILE       flight-record the run; write Chrome trace JSON
 //   --metrics-json FILE    write an observability snapshot (stage timings,
-//                          EM telemetry) as JSON to FILE ("-" = stdout)
-//   --verbose              progress and stage timings to stderr
+//                          EM telemetry, run manifest) as JSON to FILE
+//                          ("-" = stdout)
+//   --verbose              progress, stage timings, and the run manifest
+//                          to stderr
 #include <cerrno>
 #include <climits>
 #include <cstdio>
@@ -41,7 +56,11 @@
 
 #include "core/pipeline.h"
 #include "inference/em_telemetry.h"
+#include "obs/manifest.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
+#include "scenarios/presets.h"
+#include "trace/trace_io.h"
 #include "util/error.h"
 
 namespace {
@@ -66,11 +85,18 @@ namespace {
       "  --prune-warmup K       abandon trailing EM restarts after K\n"
       "                         iterations (default 0 = off)\n"
       "  --prune-margin X       log-likelihood margin for pruning (25)\n"
-      "  --seed N               EM seed (default 1)\n"
+      "  --restarts R           independent EM restarts (default 1)\n"
+      "  --seed N               EM (and scenario) seed (default 1)\n"
       "  --threads N            worker threads for the parallel stages\n"
       "                         (default 0 = all cores; results identical)\n"
+      "  --scenario NAME        simulate a built-in chain scenario instead\n"
+      "                         of reading a trace (sdcl, wdcl, nodcl)\n"
+      "  --duration SECONDS     simulated seconds for --scenario (700)\n"
+      "  --trace-out FILE       flight-record the run; write Chrome trace\n"
+      "                         JSON (Perfetto / chrome://tracing)\n"
       "  --metrics-json FILE    write metrics/span snapshot as JSON\n"
-      "  --verbose              progress and stage timings to stderr\n",
+      "  --verbose              progress, stage timings, and the run\n"
+      "                         manifest to stderr\n",
       argv0);
   std::exit(code);
 }
@@ -180,8 +206,9 @@ void print_stage_timings(const dcl::obs::Registry& reg) {
 }
 
 bool write_metrics_json(const std::string& path,
-                        const dcl::obs::Registry& reg) {
-  const std::string json = reg.to_json();
+                        const dcl::obs::Registry& reg,
+                        const dcl::obs::RunManifest& manifest) {
+  const std::string json = reg.to_json(manifest);
   if (path == "-") {
     std::fwrite(json.data(), 1, json.size(), stdout);
     return true;
@@ -193,12 +220,48 @@ bool write_metrics_json(const std::string& path,
   return true;
 }
 
+// Provenance stamp shared by every export of this run (see obs/manifest.h):
+// build facts from the library, invocation facts from the parsed config.
+dcl::obs::RunManifest make_manifest(const dcl::core::PipelineConfig& cfg,
+                                    const std::string& input,
+                                    const std::string& scenario,
+                                    double duration_s) {
+  const auto& id = cfg.identifier;
+  auto man = dcl::obs::manifest("dclid");
+  man.seed = id.em.seed;
+  man.add("input", scenario.empty() ? input : "scenario:" + scenario);
+  man.add("model",
+          id.model == dcl::core::ModelKind::kMmhd ? "mmhd" : "hmm");
+  man.add("symbols", std::to_string(id.symbols));
+  man.add("hidden", std::to_string(id.hidden_states));
+  man.add("restarts", std::to_string(id.em.restarts));
+  man.add("threads", std::to_string(id.em.threads));
+  if (!scenario.empty()) man.add("duration_s", std::to_string(duration_s));
+  // Digest over the knobs that change the numeric result, so two runs with
+  // the same digest (and seed) are comparable.
+  std::string key;
+  for (const auto& [k, v] : man.extra) key += k + '=' + v + ';';
+  key += "eps_l=" + std::to_string(id.eps_l) + ';';
+  key += "eps_d=" + std::to_string(id.eps_d) + ';';
+  key += "bound_symbols=" + std::to_string(id.bound_symbols) + ';';
+  key += "bootstrap=" + std::to_string(id.bootstrap_replicates) + ';';
+  key += "prune_warmup=" + std::to_string(id.em.prune_warmup) + ';';
+  key += "select_N=" + std::to_string(id.auto_hidden_max) + ';';
+  key += "skew=" + std::to_string(cfg.correct_clock_skew ? 1 : 0) + ';';
+  key += "window=" + std::to_string(cfg.stationary_window);
+  man.config_digest = dcl::obs::digest_hex(key);
+  return man;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   dcl::core::PipelineConfig cfg;
   std::string path;
   std::string metrics_json_path;
+  std::string trace_out_path;
+  std::string scenario;
+  double duration_s = 700.0;
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -250,10 +313,18 @@ int main(int argc, char** argv) {
     else if (a == "--prune-margin")
       cfg.identifier.em.prune_margin =
           parse_double(need("--prune-margin"), "--prune-margin");
+    else if (a == "--restarts")
+      cfg.identifier.em.restarts = parse_int(need("--restarts"), "--restarts");
     else if (a == "--seed")
       cfg.identifier.em.seed = parse_u64(need("--seed"), "--seed");
     else if (a == "--threads")
       cfg.identifier.em.threads = parse_int(need("--threads"), "--threads");
+    else if (a == "--scenario")
+      scenario = need("--scenario");
+    else if (a == "--duration")
+      duration_s = parse_double(need("--duration"), "--duration");
+    else if (a == "--trace-out")
+      trace_out_path = need("--trace-out");
     else if (a == "--metrics-json")
       metrics_json_path = need("--metrics-json");
     else if (a == "--verbose" || a == "-v")
@@ -265,8 +336,14 @@ int main(int argc, char** argv) {
     else
       usage(argv[0], 2);
   }
-  if (path.empty()) usage(argv[0], 2);
+  if (path.empty() == scenario.empty()) usage(argv[0], 2);
+  if (!scenario.empty()) {
+    if (scenario != "sdcl" && scenario != "wdcl" && scenario != "nodcl")
+      config_error("--scenario must be sdcl, wdcl, or nodcl");
+    if (duration_s <= 0.0) config_error("--duration must be > 0");
+  }
   validate(cfg);
+  if (cfg.identifier.em.restarts < 1) config_error("--restarts must be >= 1");
 
   auto& registry = dcl::obs::Registry::global();
   const bool observing = verbose || !metrics_json_path.empty();
@@ -275,10 +352,71 @@ int main(int argc, char** argv) {
     dcl::obs::set_enabled(true);
     cfg.identifier.em.observer = &em_observer;
   }
+  const auto man = make_manifest(cfg, path, scenario, duration_s);
+  if (verbose)
+    std::fprintf(stderr, "dclid: manifest: %s\n", man.to_json().c_str());
+
+  auto& recorder = dcl::obs::trace::TraceSession::instance();
+  if (!trace_out_path.empty()) {
+    // 256Ki events/thread (~10 MB): the simulated-time tracks of a
+    // --scenario run all land on the main thread and overflow the default
+    // ring within a couple of simulated minutes.
+    recorder.start(1u << 18);
+    dcl::obs::trace::set_thread_name("main");
+  }
+  // Exports shared by every exit path; returns the process exit code.
+  auto finish = [&]() -> int {
+    if (verbose) print_stage_timings(registry);
+    int rc = 0;
+    if (!metrics_json_path.empty() &&
+        !write_metrics_json(metrics_json_path, registry, man)) {
+      std::fprintf(stderr, "dclid: cannot write %s\n",
+                   metrics_json_path.c_str());
+      rc = 1;
+    }
+    if (!trace_out_path.empty()) {
+      recorder.stop();
+      if (!recorder.write_chrome_json(trace_out_path, &man)) {
+        std::fprintf(stderr, "dclid: cannot write %s\n",
+                     trace_out_path.c_str());
+        rc = 1;
+      } else if (verbose) {
+        std::fprintf(stderr,
+                     "dclid: wrote %s (%zu thread tracks, %llu dropped)\n",
+                     trace_out_path.c_str(), recorder.thread_count(),
+                     static_cast<unsigned long long>(recorder.dropped()));
+      }
+    }
+    return rc;
+  };
 
   try {
-    if (verbose) std::fprintf(stderr, "dclid: reading %s\n", path.c_str());
-    const auto trace = dcl::trace::read_trace_file(path);
+    dcl::trace::Trace trace;
+    if (!scenario.empty()) {
+      if (verbose)
+        std::fprintf(stderr, "dclid: simulating %s chain (%g s)\n",
+                     scenario.c_str(), duration_s);
+      // Warmup before the probed window, scaled down for short runs.
+      const double warmup_s =
+          duration_s >= 300.0 ? 60.0 : 0.2 * duration_s;
+      const std::uint64_t seed = cfg.identifier.em.seed;
+      dcl::scenarios::ChainConfig scfg =
+          scenario == "sdcl"
+              ? dcl::scenarios::presets::sdcl_chain(1e6, seed, duration_s,
+                                                    warmup_s)
+          : scenario == "wdcl"
+              ? dcl::scenarios::presets::wdcl_chain(0.8e6, 16e6, seed,
+                                                    duration_s, warmup_s)
+              : dcl::scenarios::presets::nodcl_chain(0.5e6, 8e6, seed,
+                                                     duration_s, warmup_s);
+      dcl::scenarios::ChainScenario sc(scfg);
+      sc.run();
+      trace = dcl::trace::make_trace(sc.observations(), sc.window_start(),
+                                     scfg.probe_interval_s);
+    } else {
+      if (verbose) std::fprintf(stderr, "dclid: reading %s\n", path.c_str());
+      trace = dcl::trace::read_trace_file(path);
+    }
     if (verbose)
       std::fprintf(stderr, "dclid: analyzing %zu probes\n",
                    trace.records.size());
@@ -295,14 +433,7 @@ int main(int argc, char** argv) {
     if (!id.has_losses) {
       std::printf("no losses: a dominant congested link cannot be "
                   "asserted (and none is evidently needed).\n");
-      if (verbose) print_stage_timings(registry);
-      if (!metrics_json_path.empty() &&
-          !write_metrics_json(metrics_json_path, registry)) {
-        std::fprintf(stderr, "dclid: cannot write %s\n",
-                     metrics_json_path.c_str());
-        return 1;
-      }
-      return 0;
+      return finish();
     }
 
     std::printf("\nvirtual queuing delay PMF (M = %d, bin %.1f ms):\n  ",
@@ -343,14 +474,7 @@ int main(int argc, char** argv) {
                   "multiple links.\n");
     }
 
-    if (verbose) print_stage_timings(registry);
-    if (!metrics_json_path.empty() &&
-        !write_metrics_json(metrics_json_path, registry)) {
-      std::fprintf(stderr, "dclid: cannot write %s\n",
-                   metrics_json_path.c_str());
-      return 1;
-    }
-    return 0;
+    return finish();
   } catch (const dcl::util::Error& e) {
     std::fprintf(stderr, "dclid: %s\n", e.what());
     return 1;

@@ -5,9 +5,10 @@
 # (unless DCL_CHECK_SKIP_TSAN=1) with TSan over the suites that exercise
 # the threaded EM engine and the observability layer.
 #
-#   scripts/check.sh            # plain + ASan/UBSan + TSan + perf smoke
+#   scripts/check.sh            # plain + ASan/UBSan + TSan + trace + perf
 #   DCL_CHECK_SKIP_SANITIZED=1 scripts/check.sh
 #   DCL_CHECK_SKIP_TSAN=1      scripts/check.sh
+#   DCL_CHECK_SKIP_TRACE=1     scripts/check.sh
 #   DCL_CHECK_SKIP_PERF=1      scripts/check.sh
 #
 # The final stage (unless DCL_CHECK_SKIP_PERF=1) builds bench_em_scaling
@@ -50,16 +51,59 @@ fi
 # bootstrap/selection layer on top of them.
 if [[ "${DCL_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
   run_suite build-tsan \
-    "parallel_em_test|inference_test|obs_test|selection_bootstrap_test|util_test" \
+    "parallel_em_test|inference_test|obs_test|trace_test|selection_bootstrap_test|util_test" \
     -DDCL_SANITIZE="thread" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+# Trace smoke: one flight-recorded end-to-end dclid run; the exported
+# Chrome trace must be valid JSON with multiple wall-clock thread tracks,
+# per-link simulated-time counter tracks, and the embedded run manifest.
+if [[ "${DCL_CHECK_SKIP_TRACE:-0}" != "1" ]]; then
+  echo "==> trace smoke (flight-recorded dclid run)"
+  cmake --build build -j "${JOBS}" --target dclid_cli
+  trace_json="$(mktemp)"
+  trap 'rm -f "${trace_json:-}" "${fresh:-}"' EXIT
+  ./build/cli/dclid --scenario wdcl --duration 60 --threads 4 --restarts 4 \
+    --trace-out "${trace_json}" > /dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${trace_json}" <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+wall_tids = {e["tid"] for e in events if e.get("pid") == 1 and e["ph"] != "M"}
+sim_counters = {e["name"] for e in events
+                if e.get("pid") == 2 and e["ph"] == "C"}
+link_tracks = {n for n in sim_counters if n.endswith(".queue_bytes")}
+depth = {}
+for e in events:
+    key = (e.get("pid"), e["tid"])
+    if e["ph"] == "B":
+        depth[key] = depth.get(key, 0) + 1
+    elif e["ph"] == "E":
+        depth[key] = depth.get(key, 0) - 1
+        assert depth[key] >= 0, f"unmatched end on track {key}"
+man = doc["otherData"]["manifest"]
+for field in ("tool", "git", "compiler", "hostname", "wall_time_utc",
+              "seed", "config_digest"):
+    assert field in man and man[field] != "", f"manifest missing {field}"
+assert len(wall_tids) >= 3, f"expected >=3 thread tracks, got {len(wall_tids)}"
+assert len(link_tracks) >= 3, f"expected per-link counter tracks, got {link_tracks}"
+assert "dropped" in doc["otherData"]
+print(f"trace ok: {len(events)} events, {len(wall_tids)} thread tracks, "
+      f"{len(link_tracks)} link tracks, dropped={doc['otherData']['dropped']}")
+PY
+  else
+    echo "==> python3 missing; trace validation skipped"
+  fi
 fi
 
 if [[ "${DCL_CHECK_SKIP_PERF:-0}" != "1" ]]; then
   echo "==> configure build-release (Release, perf smoke)"
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-release -j "${JOBS}" --target bench_em_scaling
+  cmake --build build-release -j "${JOBS}" --target bench_em_scaling bench_micro
   fresh="$(mktemp)"
-  trap 'rm -f "${fresh}"' EXIT
+  trap 'rm -f "${trace_json:-}" "${fresh:-}"' EXIT
   echo "==> bench_em_scaling perf smoke"
   # The bench's own floor catches an outright broken kernel path even when
   # the baseline predates the kernel JSON schema.
@@ -87,6 +131,44 @@ sys.exit(0 if ok else 1)
 PY
   else
     echo "==> python3 or BENCH_baseline.jsonl missing; baseline ratio check skipped"
+  fi
+  echo "==> trace overhead smoke (disabled emit must stay near-free)"
+  micro_json="$(mktemp)"
+  trap 'rm -f "${trace_json:-}" "${fresh:-}" "${micro_json:-}"' EXIT
+  ./build-release/bench/bench_micro \
+    --benchmark_filter='BM_TraceEventDisabled' \
+    --benchmark_out="${micro_json}" --benchmark_out_format=json > /dev/null
+  if command -v python3 >/dev/null 2>&1 && [[ -s BENCH_baseline.jsonl ]]; then
+    python3 - "${micro_json}" BENCH_baseline.jsonl <<'PY'
+import json, sys
+
+def disabled_ns(doc):
+    # Prefer the repetition median; fall back to any matching entry.
+    rows = [b for b in doc.get("benchmarks", [])
+            if b["name"].startswith("BM_TraceEventDisabled")]
+    med = [b for b in rows if b["name"].endswith("_median")]
+    pick = med or rows
+    return min(b["cpu_time"] for b in pick) if pick else None
+
+fresh = disabled_ns(json.load(open(sys.argv[1])))
+lines = [l for l in open(sys.argv[2]) if l.strip()]
+base = disabled_ns(json.loads(lines[-1]).get("micro", {}))
+if fresh is None:
+    sys.exit("bench_micro produced no BM_TraceEventDisabled rows")
+if base is None:
+    print(f"trace overhead: disabled emit {fresh:.2f} ns "
+          "(baseline predates the bench; ratio check skipped)")
+    sys.exit(0)
+# Sub-ns measurements are noisy on shared machines: 3x is far above jitter
+# yet still catches a disabled path that grew a clock read or TLS lookup.
+ceiling = max(3.0 * base, 2.0)
+verdict = "ok" if fresh <= ceiling else "REGRESSION"
+print(f"trace overhead: disabled emit {fresh:.2f} ns vs baseline "
+      f"{base:.2f} ns (ceiling {ceiling:.2f}) {verdict}")
+sys.exit(0 if fresh <= ceiling else 1)
+PY
+  else
+    echo "==> python3 or BENCH_baseline.jsonl missing; trace overhead check skipped"
   fi
 fi
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "inference/em_options.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -111,9 +112,14 @@ void drive_restarts(util::ThreadPool* pool, const EmOptions& opts,
   double best = -std::numeric_limits<double>::infinity();
   for (const Runner& run : runs)
     if (run.last_ll() > best) best = run.last_ll();
-  for (Runner& run : runs)
-    if (!run.finished() && run.last_ll() < best - opts.prune_margin)
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    Runner& run = runs[r];
+    if (!run.finished() && run.last_ll() < best - opts.prune_margin) {
       run.mark_pruned();
+      // Flight-recorder marker; value = abandoned restart's index.
+      obs::trace::instant("em.prune", static_cast<double>(r));
+    }
+  }
   util::parallel_indexed(pool, static_cast<std::size_t>(restarts),
                          [&](std::size_t r) {
                            runs[r].advance(opts.max_iterations);

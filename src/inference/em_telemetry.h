@@ -13,14 +13,18 @@
 //   <p>.iterations         counter   EM iterations across all fits
 //   <p>.converged_restarts counter   restarts that met the tolerance
 //   <p>.iterations_per_restart  histogram
+//   <p>.param_delta             histogram (per-iteration max parameter move)
+//   <p>.log_likelihood          gauge (last iteration seen; max = best ever)
 //   <p>.final_log_likelihood    gauge (of the most recent winner)
 //   <p>.winning_restart         gauge
 //
 // The observer additionally keeps the winning restart's per-iteration log
 // likelihoods of the most recent fit (winner_history()) for monotonicity
-// checks and trajectory plots.
+// checks and trajectory plots; is_monotone_non_decreasing() is the shared
+// assertion helper for those checks.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -28,6 +32,21 @@
 #include "obs/obs.h"
 
 namespace dcl::inference {
+
+// True when `history` is non-decreasing up to `tolerance` (EM's guarantee
+// for log likelihood). On failure, fills `*first_violation` (when given)
+// with the index whose value dropped below its predecessor.
+inline bool is_monotone_non_decreasing(const std::vector<double>& history,
+                                       double tolerance = 1e-9,
+                                       std::size_t* first_violation = nullptr) {
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    if (history[i] < history[i - 1] - tolerance) {
+      if (first_violation != nullptr) *first_violation = i;
+      return false;
+    }
+  }
+  return true;
+}
 
 class RegistryEmObserver : public EmObserver {
  public:
@@ -38,9 +57,11 @@ class RegistryEmObserver : public EmObserver {
                     double max_param_delta) override {
     (void)restart;
     (void)iteration;
-    (void)log_likelihood;
-    (void)max_param_delta;
     reg_.counter(prefix_ + ".iterations").add();
+    reg_.histogram(prefix_ + ".param_delta").record(max_param_delta);
+    // set() keeps the gauge at the last iteration's value while the gauge's
+    // running max tracks the best log likelihood seen across all restarts.
+    reg_.gauge(prefix_ + ".log_likelihood").set(log_likelihood);
   }
 
   void on_restart(int restart, const FitResult& result,

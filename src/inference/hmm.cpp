@@ -8,6 +8,7 @@
 #include "inference/discretizer.h"
 #include "inference/em_internal.h"
 #include "inference/fb_kernels.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -584,6 +585,7 @@ struct Hmm::Runner {
   bool done = false;
   bool pruned_flag = false;
   double ll_last = -std::numeric_limits<double>::infinity();
+  const char* ll_track = nullptr;  // interned trace counter name, lazy
 
   Runner(const Hmm& proto, const std::vector<int>& s, const FitContext& c,
          const EmOptions& o, util::Rng r, int restart, double rate,
@@ -607,6 +609,14 @@ struct Hmm::Runner {
 
   void advance(int upto) {
     if (done) return;
+    // Restart scope + per-restart log-likelihood counter track; the work
+    // runs on whichever pool worker picked this restart up, so the trace
+    // shows the actual thread-to-restart assignment.
+    obs::trace::Scope restart_scope(
+        "hmm.restart", static_cast<double>(res.winning_restart));
+    if (obs::trace::enabled() && ll_track == nullptr)
+      ll_track = obs::trace::intern(
+          "hmm.restart" + std::to_string(res.winning_restart) + ".ll");
     if (!inited) {
       model.random_init(rng, loss_rate);
       ws.prepare(static_cast<std::size_t>(model.n_),
@@ -615,6 +625,7 @@ struct Hmm::Runner {
     }
     const int cap = std::min(upto, opts->max_iterations);
     while (res.iterations < cap) {
+      DCL_TRACE_SCOPE("hmm.iter");
       const int it = res.iterations;
       const auto [ll, delta] =
           !opts->cache_emissions ? model.em_step(*seq, ws)
@@ -623,6 +634,7 @@ struct Hmm::Runner {
       res.log_likelihood_history.push_back(ll);
       ll_last = ll;
       res.iterations = it + 1;
+      if (ll_track != nullptr) obs::trace::counter(ll_track, ll);
       if (opts->observer != nullptr) events.push_back({it, ll, delta});
       if (delta < opts->tolerance) {
         res.converged = true;

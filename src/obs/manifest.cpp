@@ -1,0 +1,120 @@
+#include "obs/manifest.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+#include "obs/obs.h"
+
+// Build facts injected by src/obs/CMakeLists.txt; the fallbacks keep
+// non-CMake builds (e.g. IDE single-file checks) compiling.
+#ifndef DCL_GIT_DESCRIBE
+#define DCL_GIT_DESCRIBE "unknown"
+#endif
+#ifndef DCL_BUILD_TYPE
+#define DCL_BUILD_TYPE "unknown"
+#endif
+#ifndef DCL_CXX_FLAGS
+#define DCL_CXX_FLAGS ""
+#endif
+#ifndef DCL_PROJECT_VERSION
+#define DCL_PROJECT_VERSION "0.0.0"
+#endif
+
+namespace dcl::obs {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string utc_now_iso8601() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string host_name() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof buf - 1) != 0) return "unknown";
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string digest_hex(std::string_view s) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(s)));
+  return buf;
+}
+
+RunManifest manifest(std::string tool) {
+  RunManifest m;
+  m.tool = std::move(tool);
+  m.version = DCL_PROJECT_VERSION;
+  m.git = DCL_GIT_DESCRIBE;
+  m.compiler = compiler_id();
+  m.build_type = DCL_BUILD_TYPE;
+  m.cxx_flags = DCL_CXX_FLAGS;
+  m.hostname = host_name();
+  const unsigned hw = std::thread::hardware_concurrency();
+  m.hardware_threads = hw == 0 ? 1 : hw;
+  m.wall_time_utc = utc_now_iso8601();
+  return m;
+}
+
+std::string RunManifest::to_json() const {
+  std::string out = "{";
+  auto field = [&out](const char* key, const std::string& value, bool first =
+                                                                     false) {
+    if (!first) out += ", ";
+    out += '"';
+    out += key;
+    out += "\": \"";
+    out += json_escape(value);
+    out += '"';
+  };
+  field("tool", tool, /*first=*/true);
+  field("version", version);
+  field("git", git);
+  field("compiler", compiler);
+  field("build_type", build_type);
+  field("cxx_flags", cxx_flags);
+  field("hostname", hostname);
+  out += ", \"hardware_threads\": " + std::to_string(hardware_threads);
+  field("wall_time_utc", wall_time_utc);
+  out += ", \"seed\": " + std::to_string(seed);
+  field("config_digest", config_digest);
+  out += ", \"config\": {";
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    if (i) out += ", ";
+    out += '"' + json_escape(extra[i].first) + "\": \"" +
+           json_escape(extra[i].second) + '"';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dcl::obs

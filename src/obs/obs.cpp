@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/manifest.h"
+#include "obs/trace.h"
+
 namespace dcl::obs {
 
 namespace {
@@ -253,6 +256,14 @@ std::string Registry::to_json() const {
   return os.str();
 }
 
+std::string Registry::to_json(const RunManifest& manifest) const {
+  // Splice "manifest" in as the first key of the snapshot object.
+  std::string body = to_json();
+  const std::size_t brace = body.find('{');
+  return body.substr(0, brace + 1) + "\n  \"manifest\": " +
+         manifest.to_json() + "," + body.substr(brace + 1);
+}
+
 std::string Registry::to_csv() const {
   const Snapshot s = snapshot();
   std::ostringstream os;
@@ -277,13 +288,140 @@ std::string Registry::to_csv() const {
   return os.str();
 }
 
+std::string Registry::to_csv(const RunManifest& manifest) const {
+  // CSV has no nesting; provenance rides along as typed rows the same
+  // loader scripts already split on commas. Values are quoted because
+  // compiler flags contain commas.
+  std::ostringstream os;
+  os << "type,name,field,value\n";
+  auto row = [&os](const char* key, const std::string& v) {
+    std::string quoted = v;
+    std::string::size_type pos = 0;
+    while ((pos = quoted.find('"', pos)) != std::string::npos) {
+      quoted.insert(pos, 1, '"');
+      pos += 2;
+    }
+    os << "manifest," << key << ",,\"" << quoted << "\"\n";
+  };
+  row("tool", manifest.tool);
+  row("version", manifest.version);
+  row("git", manifest.git);
+  row("compiler", manifest.compiler);
+  row("build_type", manifest.build_type);
+  row("cxx_flags", manifest.cxx_flags);
+  row("hostname", manifest.hostname);
+  row("hardware_threads", std::to_string(manifest.hardware_threads));
+  row("wall_time_utc", manifest.wall_time_utc);
+  row("seed", std::to_string(manifest.seed));
+  row("config_digest", manifest.config_digest);
+  for (const auto& [k, v] : manifest.extra) row(k.c_str(), v);
+  const std::string body = to_csv();
+  return os.str() + body.substr(body.find('\n') + 1);  // drop dup header
+}
+
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots and every other
+// foreign character become underscores; a leading digit gets a '_' prefix.
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+// Label value escaping per the exposition format: backslash, quote, newline.
+std::string prometheus_label_value(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+// `{dcl_name="<original>"}` when sanitization altered the name, else "".
+std::string prometheus_labels(const std::string& sanitized,
+                              std::string_view original) {
+  if (sanitized == original) return "";
+  return "{dcl_name=\"" + prometheus_label_value(original) + "\"}";
+}
+
+std::string prometheus_number(double x) {
+  if (std::isnan(x)) return "NaN";
+  if (std::isinf(x)) return x > 0 ? "+Inf" : "-Inf";
+  return json_number(x);
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus() const {
+  const Snapshot s = snapshot();
+  std::ostringstream os;
+  for (const auto& [name, v] : s.counters) {
+    const std::string p = prometheus_name(name);
+    const std::string labels = prometheus_labels(p, name);
+    os << "# TYPE " << p << " counter\n";
+    os << p << labels << ' ' << v << '\n';
+  }
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    const std::string& name = s.gauges[i].first;
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " gauge\n";
+    os << p << prometheus_labels(p, name) << ' '
+       << prometheus_number(s.gauges[i].second) << '\n';
+    const std::string pmax = p + "_max";
+    os << "# TYPE " << pmax << " gauge\n";
+    os << pmax << prometheus_labels(p, name) << ' '
+       << prometheus_number(s.gauge_maxima[i].second) << '\n';
+  }
+  for (const auto& h : s.histograms) {
+    const std::string p = prometheus_name(h.name);
+    os << "# TYPE " << p << " histogram\n";
+    // Prometheus buckets are cumulative; ours are disjoint octaves.
+    std::uint64_t cum = 0;
+    for (const auto& [le, n] : h.buckets) {
+      cum += n;
+      os << p << "_bucket{";
+      if (p != h.name)
+        os << "dcl_name=\"" << prometheus_label_value(h.name) << "\",";
+      os << "le=\"" << prometheus_number(le) << "\"} " << cum << '\n';
+    }
+    os << p << "_bucket{";
+    if (p != h.name)
+      os << "dcl_name=\"" << prometheus_label_value(h.name) << "\",";
+    os << "le=\"+Inf\"} " << h.count << '\n';
+    os << p << "_sum" << prometheus_labels(p, h.name) << ' '
+       << prometheus_number(h.sum) << '\n';
+    os << p << "_count" << prometheus_labels(p, h.name) << ' '
+       << h.count << '\n';
+  }
+  return os.str();
+}
+
 Span::Span(const char* name) : name_(name), reg_(nullptr) {
+  if (trace::enabled()) {
+    traced_ = true;
+    trace::begin(name_);
+  }
   if (!enabled()) return;
   reg_ = &Registry::global();
   start_ns_ = now_ns();
 }
 
 Span::Span(const char* name, Registry& reg) : name_(name), reg_(&reg) {
+  if (trace::enabled()) {
+    traced_ = true;
+    trace::begin(name_);
+  }
   start_ns_ = now_ns();
 }
 
@@ -293,6 +431,7 @@ double Span::elapsed_s() const {
 }
 
 Span::~Span() {
+  if (traced_) trace::end(name_);
   if (reg_ == nullptr) return;
   const double secs = static_cast<double>(now_ns() - start_ns_) * 1e-9;
   reg_->histogram(std::string("span.") + name_).record(secs);

@@ -27,6 +27,8 @@
 
 namespace dcl::obs {
 
+struct RunManifest;
+
 // Global on/off switch for the scoped timers (counters and gauges are
 // plain atomics and always live). Disabled by default.
 bool enabled();
@@ -135,8 +137,20 @@ class Registry {
   // Pretty-printed JSON object {"counters": {...}, "gauges": {...},
   // "histograms": {...}}.
   std::string to_json() const;
-  // CSV rows "type,name,field,value" with a header line.
+  // Same document with a leading "manifest" key, so metric exports are
+  // provenance-stamped (see obs/manifest.h).
+  std::string to_json(const RunManifest& manifest) const;
+  // CSV rows "type,name,field,value" with a header line. The manifest
+  // overload prepends one "manifest,<key>,,<value>" row per field.
   std::string to_csv() const;
+  std::string to_csv(const RunManifest& manifest) const;
+  // Prometheus text exposition (version 0.0.4): counters and gauges map
+  // directly (a gauge additionally exports `<name>_max`), histograms map to
+  // prometheus histograms with cumulative `_bucket{le="..."}` counts, a
+  // `+Inf` bucket, `_sum`, and `_count`. Metric names are sanitized to
+  // [a-zA-Z_:][a-zA-Z0-9_:]* with the original name kept in a `dcl_name`
+  // label when sanitization changed it.
+  std::string to_prometheus() const;
 
   // Zeroes every metric (handles stay valid).
   void reset();
@@ -154,7 +168,10 @@ class Registry {
 // RAII stage timer: records the scope's wall duration (monotonic clock,
 // seconds) into histogram `span.<name>` of the target registry on
 // destruction. Inactive (no clock read) when observability is disabled
-// and no explicit registry is given.
+// and no explicit registry is given. When the flight recorder is running
+// (obs/trace.h), the span additionally emits a begin/end pair onto the
+// calling thread's trace track — so every DCL_SPAN site shows up in
+// Perfetto without a second macro.
 class Span {
  public:
   // Records into Registry::global() iff obs::enabled().
@@ -174,6 +191,7 @@ class Span {
   const char* name_;
   Registry* reg_;  // nullptr -> inactive
   std::uint64_t start_ns_ = 0;
+  bool traced_ = false;
 };
 
 // Escapes `s` for inclusion in a JSON string literal (quotes not added).

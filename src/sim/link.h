@@ -79,6 +79,9 @@ class Link {
 
  private:
   void start_service_if_idle();
+  // Interns this link's flight-recorder track names on first use (names
+  // follow Network::export_metrics: "link<id>.<from>-><to>.<metric>").
+  void trace_tracks();
 
   int id_;
   Simulator& sim_;
@@ -94,6 +97,14 @@ class Link {
   std::uint64_t delivered_ = 0;
   std::uint64_t enqueued_ = 0;
   std::uint64_t dropped_ = 0;
+
+  // Interned trace track names, set by trace_tracks() when a flight
+  // recorder is active (nullptr otherwise).
+  const char* tr_queue_ = nullptr;
+  const char* tr_drop_ = nullptr;
+  const char* tr_probe_send_ = nullptr;
+  const char* tr_probe_recv_ = nullptr;
+  const char* tr_probe_loss_ = nullptr;
 };
 
 }  // namespace dcl::sim

@@ -2,9 +2,16 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace dcl::sim {
+
+namespace {
+// Events between "sim.events_processed" counter samples: frequent enough
+// to show event-loop progress, sparse enough not to dominate the ring.
+constexpr std::uint64_t kTraceSampleEvery = 1024;
+}  // namespace
 
 void Simulator::schedule_at(Time t, std::function<void()> fn) {
   DCL_ENSURE_MSG(t >= now_, "cannot schedule in the past: t=" << t
@@ -18,6 +25,7 @@ void Simulator::schedule_in(Time delay, std::function<void()> fn) {
 }
 
 void Simulator::run_until(Time t_end) {
+  DCL_TRACE_SCOPE_V("sim.run_until", t_end);
   while (!heap_.empty() && heap_.top().t <= t_end) {
     // Moving out of a priority_queue top requires a const_cast dance; copy
     // the small header and move only the callable.
@@ -25,17 +33,24 @@ void Simulator::run_until(Time t_end) {
     heap_.pop();
     now_ = ev.t;
     ++processed_;
+    if (processed_ % kTraceSampleEvery == 0)
+      obs::trace::counter("sim.events_processed",
+                          static_cast<double>(processed_));
     ev.fn();
   }
   now_ = t_end;
 }
 
 void Simulator::run() {
+  DCL_TRACE_SCOPE("sim.run");
   while (!heap_.empty()) {
     Event ev = std::move(const_cast<Event&>(heap_.top()));
     heap_.pop();
     now_ = ev.t;
     ++processed_;
+    if (processed_ % kTraceSampleEvery == 0)
+      obs::trace::counter("sim.events_processed",
+                          static_cast<double>(processed_));
     ev.fn();
   }
 }

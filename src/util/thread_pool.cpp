@@ -1,12 +1,20 @@
 #include "util/thread_pool.h"
 
+#include <string>
+
+#include "obs/trace.h"
+
 namespace dcl::util {
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) workers = 1;
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
-    threads_.emplace_back([this]() { worker_loop(); });
+    threads_.emplace_back([this, i]() {
+      obs::trace::set_thread_name(
+          obs::trace::intern("pool.worker." + std::to_string(i)));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -28,6 +36,7 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    DCL_TRACE_SCOPE("pool.task");
     job();
   }
 }

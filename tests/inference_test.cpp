@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
 
 #include "inference/discretizer.h"
 #include "inference/em_telemetry.h"
@@ -347,9 +348,10 @@ TEST(EmTelemetry, ObserverSeesWinningRestartTrajectory) {
   // reports, and it is non-decreasing.
   EXPECT_EQ(watch.winner_history(), fit.log_likelihood_history);
   ASSERT_FALSE(watch.winner_history().empty());
-  for (std::size_t i = 1; i < watch.winner_history().size(); ++i)
-    EXPECT_GE(watch.winner_history()[i], watch.winner_history()[i - 1] - 1e-6)
-        << "winning restart decreased the likelihood at iteration " << i;
+  std::size_t violation = 0;
+  EXPECT_TRUE(is_monotone_non_decreasing(watch.winner_history(), 1e-6,
+                                         &violation))
+      << "winning restart decreased the likelihood at iteration " << violation;
 
   // Registry accounting is consistent with the fit.
   EXPECT_EQ(reg.counter("em.test.fits").value(), 1u);
@@ -360,6 +362,15 @@ TEST(EmTelemetry, ObserverSeesWinningRestartTrajectory) {
   EXPECT_LE(reg.counter("em.test.converged_restarts").value(), 3u);
   EXPECT_DOUBLE_EQ(reg.gauge("em.test.final_log_likelihood").value(),
                    fit.log_likelihood);
+  // Every iteration recorded a parameter move, and the log-likelihood
+  // gauge's running max is the best value any restart ever reached — at
+  // least as good as the winner's final (and exactly it under plain ML,
+  // where the last iteration of the best restart is the maximum).
+  EXPECT_EQ(reg.histogram("em.test.param_delta").count(),
+            reg.counter("em.test.iterations").value());
+  EXPECT_GE(reg.histogram("em.test.param_delta").min(), 0.0);
+  EXPECT_GE(reg.gauge("em.test.log_likelihood").max(),
+            fit.log_likelihood - 1e-9);
   EXPECT_DOUBLE_EQ(reg.gauge("em.test.winning_restart").value(),
                    static_cast<double>(fit.winning_restart));
   EXPECT_GE(fit.winning_restart, 0);
@@ -380,9 +391,23 @@ TEST(EmTelemetry, HmmObserverCountsIterations) {
   EXPECT_EQ(reg.counter("em.restarts").value(), 2u);
   EXPECT_GE(reg.counter("em.iterations").value(),
             static_cast<std::uint64_t>(fit.iterations));
+  EXPECT_EQ(reg.histogram("em.param_delta").count(),
+            reg.counter("em.iterations").value());
+  EXPECT_GE(reg.gauge("em.log_likelihood").max(), fit.log_likelihood - 1e-9);
   EXPECT_EQ(watch.winner_history(), fit.log_likelihood_history);
-  for (std::size_t i = 1; i < watch.winner_history().size(); ++i)
-    EXPECT_GE(watch.winner_history()[i], watch.winner_history()[i - 1] - 1e-6);
+  EXPECT_TRUE(is_monotone_non_decreasing(watch.winner_history(), 1e-6));
+}
+
+TEST(EmTelemetry, MonotoneHelperFlagsFirstViolation) {
+  EXPECT_TRUE(is_monotone_non_decreasing({}));
+  EXPECT_TRUE(is_monotone_non_decreasing({-5.0}));
+  EXPECT_TRUE(is_monotone_non_decreasing({-5.0, -5.0, -4.0}));
+  // A dip within tolerance is still monotone; beyond it is flagged.
+  EXPECT_TRUE(is_monotone_non_decreasing({-5.0, -5.0 - 1e-12, -4.0}));
+  std::size_t violation = 0;
+  EXPECT_FALSE(
+      is_monotone_non_decreasing({-4.0, -3.0, -3.5, -2.0}, 1e-9, &violation));
+  EXPECT_EQ(violation, 2u);
 }
 
 TEST_P(EmProperties, VirtualPmfIsAProbabilityDistribution) {

@@ -11,6 +11,7 @@
 #include <variant>
 #include <vector>
 
+#include "obs/manifest.h"
 #include "obs/obs.h"
 
 namespace dcl::obs {
@@ -316,6 +317,145 @@ TEST(JsonExport, EmptyRegistryIsValid) {
   EXPECT_TRUE(doc.obj().at("counters").obj().empty());
   EXPECT_TRUE(doc.obj().at("gauges").obj().empty());
   EXPECT_TRUE(doc.obj().at("histograms").obj().empty());
+}
+
+// Splits Prometheus exposition text into {"name{labels}" -> value} plus
+// the set of `# TYPE <name> <kind>` declarations seen.
+struct PromText {
+  std::map<std::string, std::string> samples;
+  std::map<std::string, std::string> types;
+};
+
+PromText parse_prometheus(const std::string& text) {
+  PromText out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t sp = line.rfind(' ');
+      out.types[line.substr(7, sp - 7)] = line.substr(sp + 1);
+      continue;
+    }
+    EXPECT_NE(line[0], '#') << "unexpected comment: " << line;
+    const std::size_t sp = line.rfind(' ');
+    EXPECT_NE(sp, std::string::npos) << "sample without value: " << line;
+    if (sp == std::string::npos) continue;
+    out.samples[line.substr(0, sp)] = line.substr(sp + 1);
+  }
+  return out;
+}
+
+TEST(PrometheusExport, SanitizesNamesAndLabelsOriginals) {
+  Registry reg;
+  reg.counter("em.iterations").add(123);
+  reg.counter("plain_total").add(1);
+  reg.gauge("queue.hwm").set(2.0);
+  reg.gauge("queue.hwm").set(1.0);  // value drops, max stays
+
+  const PromText prom = parse_prometheus(reg.to_prometheus());
+  // Dots become underscores and the original survives as a label; names
+  // that were already legal carry no label.
+  EXPECT_EQ(prom.samples.at("em_iterations{dcl_name=\"em.iterations\"}"),
+            "123");
+  EXPECT_EQ(prom.samples.at("plain_total"), "1");
+  EXPECT_EQ(prom.types.at("em_iterations"), "counter");
+  EXPECT_EQ(prom.types.at("plain_total"), "counter");
+  EXPECT_EQ(prom.samples.at("queue_hwm{dcl_name=\"queue.hwm\"}"), "1");
+  EXPECT_EQ(prom.samples.at("queue_hwm_max{dcl_name=\"queue.hwm\"}"), "2");
+  EXPECT_EQ(prom.types.at("queue_hwm"), "gauge");
+  EXPECT_EQ(prom.types.at("queue_hwm_max"), "gauge");
+}
+
+TEST(PrometheusExport, LeadingDigitGetsUnderscorePrefix) {
+  Registry reg;
+  reg.counter("9p99 latency").add(7);
+  const PromText prom = parse_prometheus(reg.to_prometheus());
+  EXPECT_EQ(prom.samples.at("_9p99_latency{dcl_name=\"9p99 latency\"}"), "7");
+}
+
+TEST(PrometheusExport, HistogramBucketsAreCumulative) {
+  Registry reg;
+  Histogram& h = reg.histogram("span.fit");
+  h.record(0.001);
+  h.record(0.002);
+  h.record(0.5);
+
+  const std::string text = reg.to_prometheus();
+  const PromText prom = parse_prometheus(text);
+  EXPECT_EQ(prom.types.at("span_fit"), "histogram");
+  // Buckets appear in the emitted order with non-decreasing cumulative
+  // counts, ending at an +Inf bucket equal to the total count.
+  double prev = 0.0;
+  std::size_t buckets = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("span_fit_bucket{", pos)) != std::string::npos) {
+    const std::size_t sp = text.rfind(' ', text.find('\n', pos));
+    const double cum = std::stod(text.substr(sp + 1));
+    EXPECT_GE(cum, prev) << "cumulative bucket counts must not decrease";
+    prev = cum;
+    ++buckets;
+    ++pos;
+  }
+  EXPECT_GT(buckets, 1u);
+  EXPECT_EQ(
+      prom.samples.at("span_fit_bucket{dcl_name=\"span.fit\",le=\"+Inf\"}"),
+      "3");
+  EXPECT_DOUBLE_EQ(prev, 3.0);  // the +Inf bucket is emitted last
+  EXPECT_NEAR(
+      std::stod(prom.samples.at("span_fit_sum{dcl_name=\"span.fit\"}")), 0.503,
+      1e-9);
+  EXPECT_EQ(prom.samples.at("span_fit_count{dcl_name=\"span.fit\"}"), "3");
+}
+
+TEST(ManifestExport, JsonEmbedsManifestAsFirstKey) {
+  Registry reg;
+  reg.counter("c").add(2);
+  RunManifest m = manifest("obs_test");
+  m.seed = 5;
+  m.config_digest = digest_hex("config text");
+  m.add("scenario", "unit");
+
+  const std::string json = reg.to_json(m);
+  JsonParser parser(json);
+  const JsonValue doc = parser.parse();
+  const auto& root = doc.obj();
+  const auto& man = root.at("manifest").obj();
+  EXPECT_EQ(std::get<std::string>(man.at("tool").v), "obs_test");
+  EXPECT_DOUBLE_EQ(man.at("seed").num(), 5.0);
+  EXPECT_FALSE(std::get<std::string>(man.at("hostname").v).empty());
+  EXPECT_FALSE(std::get<std::string>(man.at("wall_time_utc").v).empty());
+  EXPECT_EQ(std::get<std::string>(man.at("config").obj().at("scenario").v),
+            "unit");
+  EXPECT_EQ(std::get<std::string>(man.at("config_digest").v).size(), 16u);
+  // The metric body is still intact around the spliced manifest.
+  EXPECT_DOUBLE_EQ(root.at("counters").obj().at("c").num(), 2.0);
+}
+
+TEST(ManifestExport, CsvQuotesManifestValues) {
+  Registry reg;
+  reg.counter("c").add(1);
+  RunManifest m = manifest("obs_test");
+  m.add("note", "a, \"quoted\" value");
+  const std::string csv = reg.to_csv(m);
+  EXPECT_EQ(csv.rfind("type,name,field,value\n", 0), 0u);
+  // One header only: the manifest rows replace the body's, not precede it.
+  EXPECT_EQ(csv.find("type,name,field,value", 1), std::string::npos);
+  EXPECT_NE(csv.find("manifest,tool,,\"obs_test\""), std::string::npos);
+  // Embedded quotes are doubled per RFC 4180.
+  EXPECT_NE(csv.find("manifest,note,,\"a, \"\"quoted\"\" value\""),
+            std::string::npos);
+  EXPECT_NE(csv.find("counter,c,value,1"), std::string::npos);
+}
+
+TEST(ManifestExport, DigestIsDeterministic) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(digest_hex("abc"), digest_hex("abc"));
+  EXPECT_NE(digest_hex("abc"), digest_hex("abd"));
+  EXPECT_EQ(digest_hex("abc").size(), 16u);
 }
 
 TEST(CsvExport, EmitsHeaderAndRows) {
