@@ -45,8 +45,21 @@
 //   --metrics-json FILE    write an observability snapshot (stage timings,
 //                          EM telemetry, run manifest) as JSON to FILE
 //                          ("-" = stdout)
+//   --deadline SECONDS     wall-clock budget; optional stages are skipped
+//                          (with a warning) once exceeded (0 = none)
+//   --em-retries K         re-seeded retries of a degenerate EM fit (2)
+//   --no-sanitize          strict mode: fail fast on pathological records
+//                          instead of repairing/dropping them
 //   --verbose              progress, stage timings, and the run manifest
 //                          to stderr
+//
+// Exit codes (see README "Exit codes" and DESIGN.md §5.7):
+//   0  clean answer
+//   1  degraded but completed: sanitization repaired records, a stage was
+//      skipped or retried, or no verdict could be produced — warnings on
+//      stderr say why
+//   2  invalid input: unusable flags, malformed trace file, missing file
+//   3  internal error (a bug in dclid)
 #include <cerrno>
 #include <climits>
 #include <cstdio>
@@ -95,8 +108,16 @@ namespace {
       "  --trace-out FILE       flight-record the run; write Chrome trace\n"
       "                         JSON (Perfetto / chrome://tracing)\n"
       "  --metrics-json FILE    write metrics/span snapshot as JSON\n"
+      "  --deadline SECONDS     wall-clock budget; optional stages skipped\n"
+      "                         once exceeded (default 0 = none)\n"
+      "  --em-retries K         re-seeded retries of a degenerate EM fit\n"
+      "                         (default 2)\n"
+      "  --no-sanitize          strict mode: fail fast on pathological\n"
+      "                         records instead of repairing them\n"
       "  --verbose              progress, stage timings, and the run\n"
-      "                         manifest to stderr\n",
+      "                         manifest to stderr\n"
+      "exit codes: 0 ok, 1 degraded-but-completed, 2 invalid input,\n"
+      "            3 internal error\n",
       argv0);
   std::exit(code);
 }
@@ -166,6 +187,8 @@ void validate(const dcl::core::PipelineConfig& cfg) {
   if (id.auto_hidden_max < 0) config_error("--select-N must be >= 0");
   if (id.propagation_delay && *id.propagation_delay < 0.0)
     config_error("--dprop must be >= 0");
+  if (id.em_retries < 0) config_error("--em-retries must be >= 0");
+  if (cfg.deadline_s < 0.0) config_error("--deadline must be >= 0");
 }
 
 // EM telemetry into the global registry, plus optional per-restart
@@ -248,7 +271,10 @@ dcl::obs::RunManifest make_manifest(const dcl::core::PipelineConfig& cfg,
   key += "prune_warmup=" + std::to_string(id.em.prune_warmup) + ';';
   key += "select_N=" + std::to_string(id.auto_hidden_max) + ';';
   key += "skew=" + std::to_string(cfg.correct_clock_skew ? 1 : 0) + ';';
-  key += "window=" + std::to_string(cfg.stationary_window);
+  key += "window=" + std::to_string(cfg.stationary_window) + ';';
+  key += "sanitize=" + std::to_string(cfg.sanitize ? 1 : 0) + ';';
+  key += "deadline=" + std::to_string(cfg.deadline_s) + ';';
+  key += "em_retries=" + std::to_string(id.em_retries);
   man.config_digest = dcl::obs::digest_hex(key);
   return man;
 }
@@ -327,6 +353,13 @@ int main(int argc, char** argv) {
       trace_out_path = need("--trace-out");
     else if (a == "--metrics-json")
       metrics_json_path = need("--metrics-json");
+    else if (a == "--deadline")
+      cfg.deadline_s = parse_double(need("--deadline"), "--deadline");
+    else if (a == "--em-retries")
+      cfg.identifier.em_retries =
+          parse_int(need("--em-retries"), "--em-retries");
+    else if (a == "--no-sanitize")
+      cfg.sanitize = false;
     else if (a == "--verbose" || a == "-v")
       verbose = true;
     else if (!a.empty() && a[0] == '-')
@@ -423,9 +456,26 @@ int main(int argc, char** argv) {
     const auto r = dcl::core::analyze_trace(trace, cfg);
     const auto& id = r.identification;
 
+    // Degradation surface: every warning to stderr, exit code 1 when any
+    // stage fell back (see the exit-code table in the usage text).
+    for (const auto& w : r.warnings)
+      std::fprintf(stderr, "dclid: warning: %s\n", w.c_str());
+    auto finish_degraded = [&]() -> int {
+      const int rc = finish();
+      return r.degraded ? 1 : rc;
+    };
+    if (!r.answered) {
+      std::printf("analysis degraded: no verdict (%zu warnings, see "
+                  "stderr).\n", r.warnings.size());
+      finish();
+      return 1;
+    }
+
     std::printf("trace: %zu probes (%zu gaps), window [%zu, %zu)\n",
                 trace.records.size(), r.trace_gaps, r.window_begin,
                 r.window_end);
+    if (!r.sanitization.clean())
+      std::printf("sanitized: %s\n", r.sanitization.summary().c_str());
     if (cfg.correct_clock_skew && r.skew.valid)
       std::printf("clock skew removed: %.1f ppm\n", r.skew.skew * 1e6);
     std::printf("loss rate: %.3f%% (%zu losses)\n", 100.0 * id.loss_rate,
@@ -433,7 +483,7 @@ int main(int argc, char** argv) {
     if (!id.has_losses) {
       std::printf("no losses: a dominant congested link cannot be "
                   "asserted (and none is evidently needed).\n");
-      return finish();
+      return finish_degraded();
     }
 
     std::printf("\nvirtual queuing delay PMF (M = %d, bin %.1f ms):\n  ",
@@ -474,9 +524,24 @@ int main(int argc, char** argv) {
                   "multiple links.\n");
     }
 
-    return finish();
+    return finish_degraded();
   } catch (const dcl::util::Error& e) {
-    std::fprintf(stderr, "dclid: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "dclid: %s error: %s\n",
+                 dcl::util::to_string(e.code()), e.what());
+    finish();
+    switch (e.code()) {
+      case dcl::util::ErrorCode::kInvalidInput:
+      case dcl::util::ErrorCode::kIo:
+        return 2;
+      case dcl::util::ErrorCode::kDegenerateModel:
+      case dcl::util::ErrorCode::kResourceLimit:
+        return 1;  // degraded: the input was fine, the analysis fell short
+      case dcl::util::ErrorCode::kInternal:
+        break;
+    }
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dclid: internal error: %s\n", e.what());
+    return 3;
   }
 }

@@ -5,10 +5,11 @@
 # (unless DCL_CHECK_SKIP_TSAN=1) with TSan over the suites that exercise
 # the threaded EM engine and the observability layer.
 #
-#   scripts/check.sh            # plain + ASan/UBSan + TSan + trace + perf
+#   scripts/check.sh            # plain + ASan/UBSan + TSan + trace + soak + perf
 #   DCL_CHECK_SKIP_SANITIZED=1 scripts/check.sh
 #   DCL_CHECK_SKIP_TSAN=1      scripts/check.sh
 #   DCL_CHECK_SKIP_TRACE=1     scripts/check.sh
+#   DCL_CHECK_SKIP_SOAK=1      scripts/check.sh
 #   DCL_CHECK_SKIP_PERF=1      scripts/check.sh
 #
 # The final stage (unless DCL_CHECK_SKIP_PERF=1) builds bench_em_scaling
@@ -95,6 +96,25 @@ print(f"trace ok: {len(events)} events, {len(wall_tids)} thread tracks, "
 PY
   else
     echo "==> python3 missing; trace validation skipped"
+  fi
+fi
+
+# Robustness soak: seed-pinned randomized fault schedules over the three
+# scenario presets. dclsoak itself asserts the graceful-degradation
+# contract (no escapes, degraded => warned, obs counters == reality) and
+# replays the checked-in fuzz corpus through the parser-contract harness.
+if [[ "${DCL_CHECK_SKIP_SOAK:-0}" != "1" ]]; then
+  echo "==> robustness soak (dclsoak, seed-pinned)"
+  cmake --build build -j "${JOBS}" --target dclsoak
+  ./build/tools/dclsoak --schedules 50 --seed 1 --duration 60
+  echo "==> fuzz corpus replay (parser contract)"
+  cmake -B build-fuzz -S . -DDCL_FUZZ=ON > /dev/null
+  cmake --build build-fuzz -j "${JOBS}" --target trace_parser_fuzz
+  if ./build-fuzz/fuzz/trace_parser_fuzz -help=1 > /dev/null 2>&1; then
+    # libFuzzer build (Clang): one bounded exploration run over the corpus.
+    ./build-fuzz/fuzz/trace_parser_fuzz -runs=20000 -max_len=4096 tests/corpus
+  else
+    ./build-fuzz/fuzz/trace_parser_fuzz tests/corpus/*
   fi
 fi
 

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/bootstrap.h"
 #include "core/bounds.h"
@@ -18,6 +20,7 @@
 #include "inference/discretizer.h"
 #include "inference/em_options.h"
 #include "inference/observation.h"
+#include "util/deadline.h"
 #include "util/stats.h"
 
 namespace dcl::core {
@@ -62,6 +65,16 @@ struct IdentifierConfig {
   int bound_symbols = 50;
   int bound_hidden_states = 1;
   ComponentBoundConfig component;
+
+  // Robustness (DESIGN.md §5.7). A fit whose log likelihood comes back
+  // NaN/Inf or whose posterior PMF is unusable is retried with re-seeded
+  // restarts up to `em_retries` times before the stage gives up and the
+  // result degrades. The deadline gates the *optional* stages (model
+  // selection, bootstrap, fine bound): an expired deadline skips them with
+  // a warning instead of starting work that cannot finish (partial-result
+  // return). Default: unarmed, never expires.
+  int em_retries = 2;
+  util::Deadline deadline;
 };
 
 struct IdentificationResult {
@@ -94,6 +107,18 @@ struct IdentificationResult {
   util::Pmf fine_pmf;
   double fine_bin_width_s = 0.0;
   ComponentBound fine_bound;
+
+  // Degradation ladder (DESIGN.md §5.7). `degraded` is true whenever any
+  // stage fell back, was retried, or was skipped; every such event also
+  // appends a human-readable entry to `warnings`. `fit_failed` marks the
+  // worst rung: the coarse fit never produced a usable posterior even
+  // after em_retries re-seeded attempts, so the test fields above are
+  // defaulted (no verdict). Consumers must treat fit_failed results as
+  // "no answer", not as a rejection.
+  bool degraded = false;
+  bool fit_failed = false;
+  int em_retries_used = 0;
+  std::vector<std::string> warnings;
 };
 
 class Identifier {

@@ -1,41 +1,118 @@
 #include "core/pipeline.h"
 
 #include "obs/obs.h"
+#include "obs/trace.h"
+#include "util/deadline.h"
 #include "util/error.h"
 
 namespace dcl::core {
 
-PipelineResult analyze_trace(const trace::Trace& trace,
-                             const PipelineConfig& cfg) {
-  DCL_SPAN("analyze_trace");
-  DCL_ENSURE_MSG(trace.records.size() >= 2, "trace too short to analyze");
-  PipelineResult out;
-  out.trace_gaps = trace.gaps();
+namespace {
 
-  auto obs = trace.observations();
-  const auto send_times = trace.send_times();
+void finalize(PipelineResult* out) {
+  if (!out->warnings.empty()) out->degraded = true;
+  if (out->degraded) {
+    obs::Registry::global().counter("pipeline.degraded").add(1);
+    obs::trace::instant("pipeline.degraded",
+                        static_cast<double>(out->warnings.size()));
+  }
+}
+
+PipelineResult run_pipeline(const trace::Trace& input,
+                            const PipelineConfig& cfg) {
+  PipelineResult out;
+
+  const trace::Trace* active = &input;
+  trace::Trace sanitized;
+  if (cfg.sanitize) {
+    sanitized = sanitize_trace(input, &out.sanitization, cfg.sanitize_config);
+    out.warnings.insert(out.warnings.end(),
+                        out.sanitization.warnings.begin(),
+                        out.sanitization.warnings.end());
+    active = &sanitized;
+    if (active->records.size() < 2) {
+      out.warnings.push_back(
+          "trace unusable: fewer than 2 records after sanitization");
+      finalize(&out);
+      return out;
+    }
+  } else {
+    DCL_REQUIRE_INPUT(input.records.size() >= 2,
+                      "trace too short to analyze");
+  }
+  out.trace_gaps = active->gaps();
+
+  IdentifierConfig idcfg = cfg.identifier;
+  util::Deadline deadline;
+  if (cfg.deadline_s > 0.0) {
+    deadline = util::Deadline::after(cfg.deadline_s);
+    idcfg.deadline = deadline;
+  }
+
+  auto obs_seq = active->observations();
+  const auto send_times = active->send_times();
   if (cfg.correct_clock_skew) {
     DCL_SPAN("skew_removal");
-    obs = timesync::correct_observations(obs, send_times, &out.skew);
+    obs_seq = timesync::correct_observations(obs_seq, send_times, &out.skew);
+    if (!out.skew.valid) {
+      out.warnings.push_back(
+          std::string("clock-skew correction skipped: ") +
+          timesync::to_string(out.skew.skip_reason));
+    }
   }
 
   out.window_begin = 0;
-  out.window_end = obs.size();
-  if (cfg.stationary_window > 0 && cfg.stationary_window < obs.size()) {
-    DCL_SPAN("window_selection");
-    const auto [lo, hi] = most_stationary_window(
-        obs, cfg.stationary_window, cfg.window_stride, cfg.min_losses);
-    out.window_begin = lo;
-    out.window_end = hi;
-    obs.assign(obs.begin() + static_cast<long>(lo),
-               obs.begin() + static_cast<long>(hi));
+  out.window_end = obs_seq.size();
+  if (cfg.stationary_window > 0 && cfg.stationary_window < obs_seq.size()) {
+    if (deadline.expired()) {
+      out.warnings.push_back(
+          "window selection skipped: deadline exceeded (partial result)");
+      obs::Registry::global().counter("pipeline.deadline_skips").add(1);
+    } else {
+      DCL_SPAN("window_selection");
+      const auto [lo, hi] = most_stationary_window(
+          obs_seq, cfg.stationary_window, cfg.window_stride, cfg.min_losses);
+      out.window_begin = lo;
+      out.window_end = hi;
+      obs_seq.assign(obs_seq.begin() + static_cast<long>(lo),
+                     obs_seq.begin() + static_cast<long>(hi));
+    }
   }
   {
     DCL_SPAN("stationarity");
-    out.stationarity = stationarity(obs);
+    out.stationarity = stationarity(obs_seq);
   }
-  out.identification = Identifier(cfg.identifier).identify(obs);
+  out.identification = Identifier(idcfg).identify(obs_seq);
+  out.answered = !out.identification.fit_failed;
+  out.warnings.insert(out.warnings.end(),
+                      out.identification.warnings.begin(),
+                      out.identification.warnings.end());
+  out.degraded = out.degraded || out.identification.degraded;
+  finalize(&out);
   return out;
+}
+
+}  // namespace
+
+PipelineResult analyze_trace(const trace::Trace& trace,
+                             const PipelineConfig& cfg) {
+  DCL_SPAN("analyze_trace");
+  if (!cfg.sanitize) return run_pipeline(trace, cfg);
+  // Graceful boundary: with sanitization on, data-dependent failures —
+  // including invariant throws that slipped past sanitization, which are
+  // bugs and are counted as such — come back as a degraded no-answer
+  // result, never as an exception.
+  try {
+    return run_pipeline(trace, cfg);
+  } catch (const util::Error& e) {
+    PipelineResult out;
+    if (e.code() == util::ErrorCode::kInternal)
+      obs::Registry::global().counter("pipeline.internal_errors").add(1);
+    out.warnings.push_back(std::string("analysis aborted (") +
+                           util::to_string(e.code()) + "): " + e.what());
+    finalize(&out);
+    return out;
+  }
 }
 
 }  // namespace dcl::core

@@ -1,0 +1,61 @@
+// Trace sanitization: the pipeline's first line of defence against real
+// measurement pathologies (see dcl::faults for the catalogue). Repairs
+// what is unambiguous (out-of-order records are re-sorted by sequence
+// number, exact duplicates collapsed), drops what is unusable (NaN /
+// infinite / negative delays, non-finite send times, robust-outlier
+// delays), and reports every action in a SanitizationReport so callers —
+// and the dclid exit code — can distinguish a pristine run from a
+// degraded one. Never throws on data content; the input merely shrinks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/trace_io.h"
+
+namespace dcl::core {
+
+struct SanitizeConfig {
+  // A received delay farther above the median than `outlier_factor` times
+  // the 90th-percentile-to-median spread (with an absolute slack floor) is
+  // dropped as a measurement outlier. 0 disables outlier dropping.
+  double outlier_factor = 50.0;
+  double outlier_min_slack_s = 1.0;
+};
+
+struct SanitizationReport {
+  std::size_t input_records = 0;
+  std::size_t output_records = 0;
+
+  // Repairs (records kept, order/multiplicity fixed).
+  std::size_t reordered = 0;          // records moved by the seq re-sort
+  std::size_t duplicates_dropped = 0; // same seq seen again
+
+  // Drops (records removed).
+  std::size_t nonfinite_dropped = 0;  // NaN/Inf delay or send time
+  std::size_t negative_dropped = 0;   // delay < 0
+  std::size_t outliers_dropped = 0;   // robust-outlier delays
+
+  // Observations that needed no repair pass through untouched.
+  std::vector<std::string> warnings;
+
+  bool clean() const {
+    return reordered == 0 && duplicates_dropped == 0 &&
+           nonfinite_dropped == 0 && negative_dropped == 0 &&
+           outliers_dropped == 0 && warnings.empty();
+  }
+  std::size_t dropped() const {
+    return duplicates_dropped + nonfinite_dropped + negative_dropped +
+           outliers_dropped;
+  }
+  std::string summary() const;
+};
+
+// Returns the sanitized copy and fills `report` (required). Deterministic
+// and idempotent: sanitizing a sanitized trace is a no-op.
+trace::Trace sanitize_trace(const trace::Trace& input,
+                            SanitizationReport* report,
+                            const SanitizeConfig& cfg = {});
+
+}  // namespace dcl::core

@@ -1,0 +1,284 @@
+#include "faults/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dcl::faults {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kClockStep: return "clock_step";
+    case FaultKind::kDriftFlip: return "drift_flip";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kLossBurst: return "loss_burst";
+    case FaultKind::kGap: return "gap";
+    case FaultKind::kNanDelay: return "nan_delay";
+    case FaultKind::kNegativeDelay: return "negative_delay";
+    case FaultKind::kOutlierDelay: return "outlier_delay";
+    case FaultKind::kTruncateRecords: return "truncate_records";
+    case FaultKind::kTruncateBytes: return "truncate_bytes";
+    case FaultKind::kCorruptBytes: return "corrupt_bytes";
+  }
+  return "unknown";
+}
+
+std::size_t InjectionReport::total_affected() const {
+  std::size_t n = 0;
+  for (const auto& e : entries) n += e.affected;
+  return n;
+}
+
+std::string InjectionReport::summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << to_string(entries[i].kind) << ':' << entries[i].affected;
+  }
+  return os.str();
+}
+
+namespace {
+
+bool is_byte_fault(FaultKind k) {
+  return k == FaultKind::kTruncateBytes || k == FaultKind::kCorruptBytes;
+}
+
+// Number of records targeted by a rate over n records — at least one when
+// the trace is non-empty, so a scheduled fault always does something.
+std::size_t targeted(std::size_t n, double rate) {
+  if (n == 0) return 0;
+  const double want = rate * static_cast<double>(n);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(want));
+}
+
+std::size_t clamp_index(std::size_t i, std::size_t n) {
+  return n == 0 ? 0 : std::min(i, n - 1);
+}
+
+std::size_t apply_record_fault(const FaultSpec& spec, util::Rng& rng,
+                               trace::Trace* t) {
+  auto& rec = t->records;
+  const std::size_t n = rec.size();
+  if (n == 0) return 0;
+  switch (spec.kind) {
+    case FaultKind::kClockStep: {
+      // Receiver clock jumps by `magnitude` seconds at a point chosen by
+      // `rate` (fraction into the trace): every later measured delay
+      // shifts by the step.
+      const std::size_t pos =
+          clamp_index(static_cast<std::size_t>(spec.rate * n), n);
+      std::size_t hit = 0;
+      for (std::size_t i = pos; i < n; ++i) {
+        if (rec[i].obs.lost) continue;
+        rec[i].obs.delay += spec.magnitude;
+        ++hit;
+      }
+      return hit;
+    }
+    case FaultKind::kDriftFlip: {
+      // Drift of `magnitude` ppm switches on at a point chosen by `rate`:
+      // delays grow linearly with send time from there on (the pathology
+      // estimate_skew exists to clean, arriving mid-trace).
+      const std::size_t pos =
+          clamp_index(static_cast<std::size_t>(spec.rate * n), n);
+      const double t0 = rec[pos].send_time;
+      std::size_t hit = 0;
+      for (std::size_t i = pos; i < n; ++i) {
+        if (rec[i].obs.lost) continue;
+        rec[i].obs.delay += spec.magnitude * 1e-6 * (rec[i].send_time - t0);
+        ++hit;
+      }
+      return hit;
+    }
+    case FaultKind::kReorder: {
+      // Swap `targeted` random adjacent pairs: records arrive out of
+      // capture order while keeping their own (seq, time, delay) intact.
+      const std::size_t swaps = targeted(n, spec.rate);
+      std::size_t hit = 0;
+      for (std::size_t s = 0; s < swaps && n >= 2; ++s) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+        std::swap(rec[i], rec[i + 1]);
+        hit += 2;
+      }
+      return hit;
+    }
+    case FaultKind::kDuplicate: {
+      const std::size_t dups = targeted(n, spec.rate);
+      for (std::size_t d = 0; d < dups; ++d) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(rec.size()) - 1));
+        rec.insert(rec.begin() + static_cast<long>(i), rec[i]);
+      }
+      return dups;
+    }
+    case FaultKind::kLossBurst: {
+      const std::size_t len = targeted(n, spec.rate);
+      const std::size_t start = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(n > len ? n - len : 0)));
+      std::size_t hit = 0;
+      for (std::size_t i = start; i < std::min(n, start + len); ++i) {
+        rec[i].obs = inference::Observation::loss();
+        ++hit;
+      }
+      return hit;
+    }
+    case FaultKind::kGap: {
+      const std::size_t len = std::min(targeted(n, spec.rate), n);
+      const std::size_t start = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(n - len)));
+      rec.erase(rec.begin() + static_cast<long>(start),
+                rec.begin() + static_cast<long>(start + len));
+      return len;
+    }
+    case FaultKind::kNanDelay:
+    case FaultKind::kNegativeDelay:
+    case FaultKind::kOutlierDelay: {
+      const std::size_t want = targeted(n, spec.rate);
+      std::size_t hit = 0;
+      for (std::size_t k = 0; k < want; ++k) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        if (rec[i].obs.lost) continue;
+        if (spec.kind == FaultKind::kNanDelay)
+          rec[i].obs.delay = std::numeric_limits<double>::quiet_NaN();
+        else if (spec.kind == FaultKind::kNegativeDelay)
+          rec[i].obs.delay = -std::abs(rec[i].obs.delay) - 1e-6;
+        else
+          rec[i].obs.delay *= spec.magnitude;
+        ++hit;
+      }
+      return hit;
+    }
+    case FaultKind::kTruncateRecords: {
+      const std::size_t cut = std::min(targeted(n, spec.rate), n);
+      rec.erase(rec.end() - static_cast<long>(cut), rec.end());
+      return cut;
+    }
+    case FaultKind::kTruncateBytes:
+    case FaultKind::kCorruptBytes:
+      return 0;  // byte-level; skipped here
+  }
+  return 0;
+}
+
+std::size_t apply_byte_fault(const FaultSpec& spec, util::Rng& rng,
+                             std::string* bytes) {
+  const std::size_t n = bytes->size();
+  if (n == 0) return 0;
+  switch (spec.kind) {
+    case FaultKind::kTruncateBytes: {
+      // Keep a prefix: cut off the trailing `rate` fraction, typically
+      // landing mid-line like a capture that died.
+      const std::size_t cut = std::min(targeted(n, spec.rate), n);
+      bytes->resize(n - cut);
+      return cut;
+    }
+    case FaultKind::kCorruptBytes: {
+      const std::size_t flips = targeted(n, spec.rate);
+      for (std::size_t k = 0; k < flips; ++k) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        (*bytes)[i] = static_cast<char>(rng.uniform_int(0, 255));
+      }
+      return flips;
+    }
+    default:
+      return 0;  // record-level; skipped here
+  }
+}
+
+}  // namespace
+
+Injector::Injector(const FaultSchedule& schedule) : schedule_(schedule) {
+  for (const auto& s : schedule_.specs) {
+    DCL_ENSURE_MSG(s.rate >= 0.0 && s.rate <= 1.0,
+                   "fault rate out of [0,1]: " << s.rate);
+  }
+}
+
+trace::Trace Injector::apply(const trace::Trace& clean,
+                             InjectionReport* report) const {
+  trace::Trace out = clean;
+  util::Rng root(schedule_.seed);
+  for (const auto& spec : schedule_.specs) {
+    // One forked stream per spec: adding a fault to the end of a schedule
+    // never perturbs the draws of the faults before it.
+    util::Rng stream = root.fork();
+    if (is_byte_fault(spec.kind)) continue;
+    const std::size_t hit = apply_record_fault(spec, stream, &out);
+    if (report != nullptr) report->entries.push_back({spec.kind, hit});
+  }
+  return out;
+}
+
+std::string Injector::apply_bytes(const std::string& bytes,
+                                  InjectionReport* report) const {
+  std::string out = bytes;
+  util::Rng root(schedule_.seed);
+  for (const auto& spec : schedule_.specs) {
+    util::Rng stream = root.fork();
+    if (!is_byte_fault(spec.kind)) continue;
+    const std::size_t hit = apply_byte_fault(spec, stream, &out);
+    if (report != nullptr) report->entries.push_back({spec.kind, hit});
+  }
+  return out;
+}
+
+FaultSchedule random_schedule(std::uint64_t seed, int max_faults,
+                              bool include_byte_faults) {
+  DCL_ENSURE(max_faults >= 1);
+  FaultSchedule sched;
+  sched.seed = seed ^ 0x8f1bbcdcbbe59d6dull;
+  util::Rng rng(seed);
+  const int kinds =
+      include_byte_faults ? kAllFaultKinds : kRecordFaultKinds;
+  const int count = static_cast<int>(rng.uniform_int(1, max_faults));
+  for (int i = 0; i < count; ++i) {
+    FaultSpec spec;
+    spec.kind = static_cast<FaultKind>(rng.uniform_int(0, kinds - 1));
+    switch (spec.kind) {
+      case FaultKind::kClockStep:
+        spec.rate = rng.uniform(0.1, 0.9);       // step position
+        spec.magnitude = rng.uniform(0.05, 2.0); // seconds
+        if (rng.bernoulli(0.5)) spec.magnitude = -spec.magnitude;
+        break;
+      case FaultKind::kDriftFlip:
+        spec.rate = rng.uniform(0.1, 0.9);        // flip position
+        spec.magnitude = rng.uniform(50.0, 2000.0);  // ppm
+        if (rng.bernoulli(0.5)) spec.magnitude = -spec.magnitude;
+        break;
+      case FaultKind::kOutlierDelay:
+        spec.rate = rng.uniform(0.001, 0.02);
+        spec.magnitude = rng.uniform(10.0, 1e4);  // multiplier
+        break;
+      case FaultKind::kLossBurst:
+      case FaultKind::kGap:
+        spec.rate = rng.uniform(0.005, 0.08);
+        break;
+      case FaultKind::kTruncateRecords:
+      case FaultKind::kTruncateBytes:
+        spec.rate = rng.uniform(0.01, 0.3);
+        break;
+      case FaultKind::kCorruptBytes:
+        spec.rate = rng.uniform(0.0001, 0.005);
+        break;
+      case FaultKind::kReorder:
+      case FaultKind::kDuplicate:
+      case FaultKind::kNanDelay:
+      case FaultKind::kNegativeDelay:
+        spec.rate = rng.uniform(0.001, 0.05);
+        break;
+    }
+    sched.specs.push_back(spec);
+  }
+  return sched;
+}
+
+}  // namespace dcl::faults

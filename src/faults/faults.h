@@ -1,0 +1,104 @@
+// dcl::faults — seeded, composable measurement-pathology injection.
+//
+// Real one-way-delay datasets (the paper's PlanetLab captures, anything
+// collected with tcpdump on unsynchronized hosts) arrive riddled with
+// pathologies the clean simulator never produces: receiver clock steps and
+// drift changes, reordered and duplicated records, loss bursts, capture
+// gaps, NaN/negative/outlier delays, truncated files, flipped bytes. This
+// module synthesizes exactly those corruptions — deterministically, from a
+// seed — on top of any trace::Trace or serialized trace file, so the
+// identification pipeline's graceful-degradation machinery (sanitization,
+// typed errors, EM retry, deadlines; see core/sanitize.h and DESIGN.md
+// §5.7) can be exercised continuously by tests and by tools/dclsoak.
+//
+// Faults compose: an Injector applies every FaultSpec of a schedule in
+// order, each drawing from an independently forked RNG stream, and reports
+// per-fault affected-record counts. Record-level faults operate on a
+// Trace; kTruncateBytes/kCorruptBytes operate on serialized bytes (use
+// apply_bytes on the output of write_trace).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_io.h"
+
+namespace dcl::faults {
+
+enum class FaultKind {
+  // Record-level (apply to a trace::Trace).
+  kClockStep = 0,   // receiver clock jumps: +magnitude s on delays after a point
+  kDriftFlip,       // clock drift of magnitude ppm starting mid-trace
+  kReorder,         // records swapped out of sequence order
+  kDuplicate,       // records duplicated in place
+  kLossBurst,       // a contiguous run of probes turned into losses
+  kGap,             // a contiguous run of records removed (capture gap)
+  kNanDelay,        // received delays replaced by NaN
+  kNegativeDelay,   // received delays negated
+  kOutlierDelay,    // received delays multiplied by magnitude
+  kTruncateRecords, // trailing fraction of the records dropped
+  // Byte-level (apply to serialized trace bytes).
+  kTruncateBytes,   // file cut off mid-line
+  kCorruptBytes,    // random bytes overwritten
+};
+
+const char* to_string(FaultKind k);
+constexpr int kRecordFaultKinds = 10;  // kClockStep .. kTruncateRecords
+constexpr int kAllFaultKinds = 12;
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLossBurst;
+  // Fraction of records (or bytes) affected, in [0, 1]. For kClockStep and
+  // kDriftFlip this selects where the step/flip lands instead.
+  double rate = 0.01;
+  // Kind-specific scale: seconds for kClockStep, ppm for kDriftFlip,
+  // multiplier for kOutlierDelay; ignored elsewhere.
+  double magnitude = 1.0;
+};
+
+struct FaultSchedule {
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> specs;
+};
+
+// What an Injector actually did: one entry per applied spec, in order.
+struct InjectionReport {
+  struct Entry {
+    FaultKind kind;
+    std::size_t affected = 0;  // records (or bytes) touched
+  };
+  std::vector<Entry> entries;
+  std::size_t total_affected() const;
+  std::string summary() const;  // "clock_step:12 loss_burst:40 ..."
+};
+
+class Injector {
+ public:
+  explicit Injector(const FaultSchedule& schedule);
+
+  // Applies every record-level spec of the schedule to a copy of `clean`
+  // (byte-level specs are skipped here). Deterministic in the schedule
+  // seed: the same schedule corrupts the same trace identically.
+  trace::Trace apply(const trace::Trace& clean,
+                     InjectionReport* report = nullptr) const;
+
+  // Applies every byte-level spec to a copy of `bytes` (record-level specs
+  // are skipped here).
+  std::string apply_bytes(const std::string& bytes,
+                          InjectionReport* report = nullptr) const;
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  FaultSchedule schedule_;
+};
+
+// A randomized schedule of 1..max_faults record-level faults (plus, when
+// include_byte_faults, possibly byte-level ones) with plausible rates and
+// magnitudes — the generator behind dclsoak and the robustness property
+// tests. Deterministic in `seed`.
+FaultSchedule random_schedule(std::uint64_t seed, int max_faults = 4,
+                              bool include_byte_faults = false);
+
+}  // namespace dcl::faults

@@ -1,6 +1,7 @@
 #include "timesync/skew.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/error.h"
@@ -17,14 +18,35 @@ double cross(const Pt& o, const Pt& a, const Pt& b) {
 }
 }  // namespace
 
+const char* to_string(SkewSkipReason r) {
+  switch (r) {
+    case SkewSkipReason::kNone: return "none";
+    case SkewSkipReason::kNoProbes: return "no_received_probes";
+    case SkewSkipReason::kTooFewDistinctTimes:
+      return "fewer_than_2_distinct_send_times";
+    case SkewSkipReason::kDegenerateHull: return "degenerate_hull";
+  }
+  return "unknown";
+}
+
 SkewEstimate estimate_skew(const std::vector<double>& times,
                            const std::vector<double>& owds) {
   DCL_ENSURE(times.size() == owds.size());
   SkewEstimate est;
-  if (times.size() < 2) return est;
 
-  std::vector<Pt> pts(times.size());
-  for (std::size_t i = 0; i < times.size(); ++i) pts[i] = {times[i], owds[i]};
+  std::vector<Pt> pts;
+  pts.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (!std::isfinite(times[i]) || !std::isfinite(owds[i])) {
+      ++est.nonfinite_dropped;
+      continue;
+    }
+    pts.push_back({times[i], owds[i]});
+  }
+  if (pts.empty()) {
+    est.skip_reason = SkewSkipReason::kNoProbes;
+    return est;
+  }
   std::sort(pts.begin(), pts.end(), [](const Pt& a, const Pt& b) {
     return a.t != b.t ? a.t < b.t : a.m < b.m;
   });
@@ -32,13 +54,11 @@ SkewEstimate estimate_skew(const std::vector<double>& times,
   std::vector<Pt> uniq;
   for (const auto& p : pts)
     if (uniq.empty() || p.t != uniq.back().t) uniq.push_back(p);
-  if (uniq.size() == 1) {
-    // All probes share one send time: no drift is observable; report a
-    // flat envelope through the smallest delay.
-    est.valid = true;
-    est.skew = 0.0;
-    est.offset = uniq.front().m;
-    est.hull_points = 1;
+  if (uniq.size() < 2) {
+    // All probes share one send time: no drift is observable. The caller
+    // must not trust a fabricated flat envelope, so this is invalid.
+    est.skip_reason = SkewSkipReason::kTooFewDistinctTimes;
+    est.hull_points = uniq.size();
     return est;
   }
 
@@ -52,11 +72,11 @@ SkewEstimate estimate_skew(const std::vector<double>& times,
   }
   est.hull_points = hull.size();
 
-  const double n = static_cast<double>(times.size());
+  const double n = static_cast<double>(pts.size());
   double sum_t = 0.0, sum_m = 0.0;
-  for (std::size_t i = 0; i < times.size(); ++i) {
-    sum_t += times[i];
-    sum_m += owds[i];
+  for (const auto& p : pts) {
+    sum_t += p.t;
+    sum_m += p.m;
   }
 
   // Objective sum(m_i - a t_i - b) = sum_m - a sum_t - n b, evaluated for
@@ -68,6 +88,7 @@ SkewEstimate estimate_skew(const std::vector<double>& times,
     if (dt <= 0.0) continue;
     const double a = (hull[i + 1].m - hull[i].m) / dt;
     const double b = hull[i].m - a * hull[i].t;
+    if (!std::isfinite(a) || !std::isfinite(b)) continue;
     const double obj = sum_m - a * sum_t - n * b;
     if (obj < best_obj) {
       best_obj = obj;
@@ -76,13 +97,12 @@ SkewEstimate estimate_skew(const std::vector<double>& times,
       est.valid = true;
     }
   }
-  if (!est.valid && !hull.empty()) {
-    // Single hull point (all times equal was excluded; this means a
-    // strictly convex cloud with one minimal point): fall back to a flat
-    // envelope through it.
+  if (!est.valid) {
+    // No hull edge with positive time extent (a vertical/collapsed hull,
+    // possible with pathological times): no slope can be estimated.
+    est.skip_reason = SkewSkipReason::kDegenerateHull;
     est.skew = 0.0;
-    est.offset = hull.front().m;
-    est.valid = true;
+    est.offset = 0.0;
   }
   return est;
 }

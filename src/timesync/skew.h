@@ -11,6 +11,11 @@
 //   subject to m_i >= a t_i + b  for all i
 // attains its optimum on an edge of the lower convex hull of the points;
 // we build the hull (Andrew's monotone chain) and take the best edge.
+//
+// Degenerate inputs (no received probes, fewer than two distinct send
+// times, non-finite measurements, vertical hulls) yield valid = false
+// with a machine-readable skip reason — never a throw, never a NaN — so
+// the surrounding pipeline can proceed uncorrected and report why.
 #pragma once
 
 #include <cstddef>
@@ -20,15 +25,31 @@
 
 namespace dcl::timesync {
 
+// Why an estimate came back invalid (kNone on a valid estimate).
+enum class SkewSkipReason {
+  kNone = 0,
+  kNoProbes,            // no (finite) received probes at all
+  kTooFewDistinctTimes, // < 2 distinct send times: drift unobservable
+  kDegenerateHull,      // no hull edge with positive time extent
+};
+
+const char* to_string(SkewSkipReason r);
+
 struct SkewEstimate {
   bool valid = false;
   double skew = 0.0;    // seconds of clock drift per second
   double offset = 0.0;  // intercept of the envelope at t = 0
   std::size_t hull_points = 0;
+  // Why the estimate is invalid (kNone when valid). correct_observations
+  // propagates this so consumers can report why correction was skipped.
+  SkewSkipReason skip_reason = SkewSkipReason::kNone;
+  // Input points ignored because the time or delay was NaN/Inf.
+  std::size_t nonfinite_dropped = 0;
 };
 
 // `times` are probe send times, `owds` the measured one-way delays (same
-// length, >= 2 distinct send times required).
+// length). Degenerate inputs give valid = false (see SkewSkipReason);
+// non-finite points are dropped and counted, never propagated.
 SkewEstimate estimate_skew(const std::vector<double>& times,
                            const std::vector<double>& owds);
 
@@ -41,7 +62,7 @@ std::vector<double> remove_skew(const std::vector<double>& times,
 // Convenience: estimates the skew from the received probes of `obs` (sent
 // at `send_times`, one entry per observation) and returns a corrected
 // observation sequence. Returns `obs` unchanged when the estimate is
-// degenerate.
+// degenerate; `estimate->skip_reason` records why correction was skipped.
 inference::ObservationSequence correct_observations(
     const inference::ObservationSequence& obs,
     const std::vector<double>& send_times, SkewEstimate* estimate = nullptr);

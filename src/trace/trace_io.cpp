@@ -1,5 +1,6 @@
 #include "trace/trace_io.h"
 
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -49,18 +50,49 @@ void write_trace(std::ostream& out, const Trace& trace) {
 
 void write_trace_file(const std::string& path, const Trace& trace) {
   std::ofstream out(path);
-  DCL_ENSURE_MSG(out.is_open(), "cannot open " << path << " for writing");
+  if (!out.is_open())
+    util::raise(util::ErrorCode::kIo, "cannot open " + path + " for writing");
   write_trace(out, trace);
 }
 
 namespace {
+
 [[noreturn]] void parse_fail(std::size_t line_no, const std::string& line,
-                             const char* why) {
+                             const std::string& why) {
   std::ostringstream os;
   os << "trace parse error at line " << line_no << " (" << why
      << "): " << line;
-  throw util::Error(os.str());
+  throw util::Error(util::ErrorCode::kInvalidInput, os.str(),
+                    util::Severity::kRecoverable);
 }
+
+// Locale-independent float parse over the exact field (no leading
+// whitespace, no trailing garbage). std::from_chars never consults the C
+// locale, unlike std::stod, which reads "0,5" as 0 under a comma-decimal
+// locale and silently mangles every delay in the file.
+bool parse_field_double(std::string_view field, double* out) {
+  const char* first = field.data();
+  const char* last = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+bool parse_field_u64(std::string_view field, std::uint64_t* out) {
+  const char* first = field.data();
+  const char* last = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+// Strips trailing CR (CRLF files) and trailing spaces/tabs in place.
+void strip_trailing_whitespace(std::string* s) {
+  while (!s->empty()) {
+    const char c = s->back();
+    if (c == '\r' || c == ' ' || c == '\t') s->pop_back();
+    else break;
+  }
+}
+
 }  // namespace
 
 Trace read_trace(std::istream& in) {
@@ -69,48 +101,62 @@ Trace read_trace(std::istream& in) {
   std::size_t line_no = 0;
   bool have_prev = false;
   std::uint64_t prev_seq = 0;
+  std::size_t prev_line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    strip_trailing_whitespace(&line);
     if (line.empty() || line[0] == '#') continue;
     if (line.rfind("seq,", 0) == 0) continue;  // header row
 
     TraceRecord rec;
-    std::istringstream ls(line);
-    std::string field;
-
-    if (!std::getline(ls, field, ',')) parse_fail(line_no, line, "no seq");
-    try {
-      rec.seq = std::stoull(field);
-    } catch (const std::exception&) {
-      parse_fail(line_no, line, "bad seq");
-    }
-
-    if (!std::getline(ls, field, ','))
+    const std::string_view lv(line);
+    const std::size_t c1 = lv.find(',');
+    if (c1 == std::string_view::npos) parse_fail(line_no, line, "no seq");
+    const std::size_t c2 = lv.find(',', c1 + 1);
+    if (c2 == std::string_view::npos)
       parse_fail(line_no, line, "no send_time");
-    try {
-      rec.send_time = std::stod(field);
-    } catch (const std::exception&) {
-      parse_fail(line_no, line, "bad send_time");
-    }
+    const std::string_view seq_f = lv.substr(0, c1);
+    const std::string_view time_f = lv.substr(c1 + 1, c2 - c1 - 1);
+    std::string_view delay_f = lv.substr(c2 + 1);
+    // Tolerate padding inside fields (hand-edited files) but nothing else.
+    auto trim = [](std::string_view v) {
+      while (!v.empty() && (v.front() == ' ' || v.front() == '\t'))
+        v.remove_prefix(1);
+      while (!v.empty() && (v.back() == ' ' || v.back() == '\t'))
+        v.remove_suffix(1);
+      return v;
+    };
+    delay_f = trim(delay_f);
 
-    if (!std::getline(ls, field)) parse_fail(line_no, line, "no delay");
-    if (field == "LOST") {
+    if (!parse_field_u64(trim(seq_f), &rec.seq))
+      parse_fail(line_no, line, "bad seq");
+    if (!parse_field_double(trim(time_f), &rec.send_time))
+      parse_fail(line_no, line, "bad send_time");
+    if (!std::isfinite(rec.send_time))
+      parse_fail(line_no, line, "send_time not finite");
+
+    if (delay_f.empty()) parse_fail(line_no, line, "no delay");
+    if (delay_f == "LOST") {
       rec.obs = inference::Observation::loss();
     } else {
       double d;
-      try {
-        d = std::stod(field);
-      } catch (const std::exception&) {
+      if (!parse_field_double(delay_f, &d))
         parse_fail(line_no, line, "bad delay");
-      }
       if (!std::isfinite(d) || d < 0.0)
         parse_fail(line_no, line, "delay not a finite non-negative number");
       rec.obs = inference::Observation::received(d);
     }
 
-    if (have_prev && rec.seq <= prev_seq)
+    if (have_prev && rec.seq == prev_seq) {
+      std::ostringstream why;
+      why << "duplicate sequence number " << rec.seq << " (first at line "
+          << prev_line_no << ")";
+      parse_fail(line_no, line, why.str());
+    }
+    if (have_prev && rec.seq < prev_seq)
       parse_fail(line_no, line, "sequence numbers not increasing");
     prev_seq = rec.seq;
+    prev_line_no = line_no;
     have_prev = true;
     trace.records.push_back(rec);
   }
@@ -119,7 +165,8 @@ Trace read_trace(std::istream& in) {
 
 Trace read_trace_file(const std::string& path) {
   std::ifstream in(path);
-  DCL_ENSURE_MSG(in.is_open(), "cannot open " << path << " for reading");
+  if (!in.is_open())
+    util::raise(util::ErrorCode::kIo, "cannot open " + path + " for reading");
   return read_trace(in);
 }
 

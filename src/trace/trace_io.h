@@ -16,6 +16,13 @@
 // LOST. Sequence numbers must be strictly increasing; gaps are allowed
 // (probes missing from the capture entirely) and are reported, not
 // silently filled.
+//
+// The reader tolerates CRLF line endings, trailing whitespace, and
+// padding inside fields; numbers parse locale-independently
+// (std::from_chars). Malformed lines — including duplicate sequence
+// numbers, which are reported with both offending line numbers — raise
+// util::Error with ErrorCode::kInvalidInput; unopenable files raise
+// ErrorCode::kIo.
 #pragma once
 
 #include <cstdint>

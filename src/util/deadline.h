@@ -1,0 +1,45 @@
+// Wall-clock budget for the identification pipeline's optional stages.
+//
+// A Deadline is a copyable value: construct one from a budget in seconds
+// and thread it through the stages; each stage checks expired() at its
+// boundary and skips (returning a partial result plus a warning) instead
+// of starting work it cannot finish. An unset deadline never expires, so
+// callers can pass one unconditionally.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace dcl::util {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Never expires.
+  Deadline() = default;
+  // Expires `budget_s` seconds after construction; budget_s <= 0 means an
+  // already-expired deadline (useful in tests).
+  static Deadline after(double budget_s) {
+    Deadline d;
+    d.armed_ = true;
+    d.at_ = Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(budget_s));
+    return d;
+  }
+
+  bool armed() const { return armed_; }
+  bool expired() const { return armed_ && Clock::now() >= at_; }
+  // Seconds until expiry (negative when past); +inf when unarmed.
+  double remaining_s() const {
+    if (!armed_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ - Clock::now()).count();
+  }
+
+ private:
+  bool armed_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace dcl::util

@@ -1,4 +1,11 @@
 // Error-handling helpers shared across the dclid libraries.
+//
+// Every throw in library code carries a typed ErrorCode and a Severity so
+// that callers (the pipeline, the CLI, the soak driver) can react by
+// *class* instead of string-matching: invalid input maps to a user error
+// exit, degenerate-model errors are retried or degraded around, resource
+// limits trigger partial-result return, and internal errors are bugs that
+// must surface loudly. See DESIGN.md §5.7 for the full degradation ladder.
 #pragma once
 
 #include <sstream>
@@ -7,10 +14,61 @@
 
 namespace dcl::util {
 
+// What went wrong, by class. Keep the list short: a code exists so a
+// caller can branch on it, not to mirror every message.
+enum class ErrorCode {
+  kInternal = 0,     // violated invariant / bug — never expected in the field
+  kInvalidInput,     // malformed trace, out-of-range config, bad file
+  kDegenerateModel,  // EM divergence, NaN likelihood, unusable fit
+  kResourceLimit,    // deadline exceeded, budget exhausted
+  kIo,               // file open/read/write failure
+};
+
+// How bad it is for the surrounding computation.
+enum class Severity {
+  kWarning = 0,  // noted and survivable; the stage still produced output
+  kRecoverable,  // the stage failed but the pipeline can degrade around it
+  kFatal,        // no meaningful result can be produced
+};
+
+inline const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kInvalidInput: return "invalid_input";
+    case ErrorCode::kDegenerateModel: return "degenerate_model";
+    case ErrorCode::kResourceLimit: return "resource_limit";
+    case ErrorCode::kIo: return "io";
+  }
+  return "unknown";
+}
+
+inline const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kWarning: return "warning";
+    case Severity::kRecoverable: return "recoverable";
+    case Severity::kFatal: return "fatal";
+  }
+  return "unknown";
+}
+
 // Thrown for violated preconditions and invariants in library code.
+// Default-constructed from a bare message it reports an internal fatal
+// error (the historical behaviour of every DCL_ENSURE site); throw sites
+// that know better attach a specific code and severity.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what)
+      : std::runtime_error(what) {}
+  Error(ErrorCode code, const std::string& what,
+        Severity severity = Severity::kFatal)
+      : std::runtime_error(what), code_(code), severity_(severity) {}
+
+  ErrorCode code() const { return code_; }
+  Severity severity() const { return severity_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kInternal;
+  Severity severity_ = Severity::kFatal;
 };
 
 namespace detail {
@@ -22,6 +80,12 @@ namespace detail {
   throw Error(os.str());
 }
 }  // namespace detail
+
+// Throws a typed error; the streaming overload mirrors DCL_ENSURE_MSG.
+[[noreturn]] inline void raise(ErrorCode code, const std::string& msg,
+                               Severity severity = Severity::kFatal) {
+  throw Error(code, msg, severity);
+}
 
 }  // namespace dcl::util
 
@@ -41,5 +105,19 @@ namespace detail {
       dcl_ensure_os << msg;                                            \
       ::dcl::util::detail::fail(#expr, __FILE__, __LINE__,             \
                                 dcl_ensure_os.str());                  \
+    }                                                                  \
+  } while (0)
+
+// Typed-input check: like DCL_ENSURE_MSG but classifies the failure as
+// invalid input (recoverable), so the pipeline boundary can distinguish
+// "your data is bad" from "we have a bug".
+#define DCL_REQUIRE_INPUT(expr, msg)                                   \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream dcl_require_os;                               \
+      dcl_require_os << msg;                                           \
+      throw ::dcl::util::Error(::dcl::util::ErrorCode::kInvalidInput,  \
+                               dcl_require_os.str(),                   \
+                               ::dcl::util::Severity::kRecoverable);   \
     }                                                                  \
   } while (0)

@@ -2,6 +2,7 @@
 // decoding, stationarity screening, and trace I/O.
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <sstream>
 
 #include "core/hypothesis.h"
@@ -274,6 +275,80 @@ TEST(TraceIo, RejectsMalformedInput) {
   expect_throw("0,0.0,0.05\n0,0.02,0.05\n");  // non-increasing seq
   expect_throw("5,0.1,0.05\n3,0.2,0.05\n");   // decreasing seq
   expect_throw("0,0.0\n");                 // missing field
+}
+
+TEST(TraceIo, AcceptsCrlfAndTrailingWhitespace) {
+  // Traces exported from Windows hosts or hand-edited in editors arrive
+  // with CRLF endings and stray trailing blanks; both must parse as if
+  // the lines were clean.
+  std::stringstream ss;
+  ss << "# dclid-trace v1\r\n"
+     << "seq,send_time,delay\r\n"
+     << "0,0.0,0.050\r\n"
+     << "1, 0.02 ,\tLOST\t\r\n"   // inner padding around fields
+     << "2,0.04,0.060   \n"        // trailing spaces, bare LF
+     << "3,0.06,0.070\t\r\n";      // trailing tab before CR
+  const auto trace = trace::read_trace(ss);
+  ASSERT_EQ(trace.records.size(), 4u);
+  EXPECT_TRUE(trace.records[1].obs.lost);
+  EXPECT_NEAR(trace.records[1].send_time, 0.02, 1e-12);
+  EXPECT_NEAR(trace.records[3].obs.delay, 0.070, 1e-12);
+}
+
+TEST(TraceIo, DuplicateSeqRejectedWithLineNumbers) {
+  std::stringstream ss;
+  ss << "# dclid-trace v1\n"
+     << "0,0.0,0.050\n"
+     << "1,0.02,0.055\n"
+     << "1,0.04,0.060\n";
+  try {
+    trace::read_trace(ss);
+    FAIL() << "duplicate sequence number accepted";
+  } catch (const util::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("duplicate sequence number 1"), std::string::npos)
+        << msg;
+    // Both the offending line and the first occurrence are named.
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_EQ(e.code(), util::ErrorCode::kInvalidInput);
+  }
+}
+
+TEST(TraceIo, ParsesFloatsLocaleIndependently) {
+  // A comma-decimal locale must not change how fields parse: the reader
+  // uses std::from_chars, which is locale-free. If no such locale is
+  // installed the test still verifies the "C"-locale behaviour.
+  const char* old = std::setlocale(LC_ALL, nullptr);
+  const std::string saved = old != nullptr ? old : "C";
+  std::setlocale(LC_ALL, "de_DE.UTF-8");  // may fail; harmless
+  std::stringstream ss;
+  ss << "0,0.5,5e-2\n"
+     << "1,1.25,LOST\n";
+  const auto trace = trace::read_trace(ss);
+  std::setlocale(LC_ALL, saved.c_str());
+  ASSERT_EQ(trace.records.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.records[0].send_time, 0.5);
+  EXPECT_DOUBLE_EQ(trace.records[0].obs.delay, 0.05);
+  EXPECT_DOUBLE_EQ(trace.records[1].send_time, 1.25);
+}
+
+TEST(TraceIo, RejectsPartiallyNumericFields) {
+  auto expect_invalid = [](const std::string& body) {
+    std::stringstream ss;
+    ss << body;
+    try {
+      trace::read_trace(ss);
+      FAIL() << "accepted: " << body;
+    } catch (const util::Error& e) {
+      EXPECT_EQ(e.code(), util::ErrorCode::kInvalidInput) << body;
+    }
+  };
+  expect_invalid("0,0.05x,0.05\n");   // trailing garbage in a number
+  expect_invalid("0,0.0,0.05abc\n");  // trailing garbage in delay
+  expect_invalid("0,0.0,0,05\n");     // comma decimal = extra field
+  expect_invalid("0,inf,0.05\n");     // non-finite send time
+  expect_invalid("0,nan,0.05\n");
 }
 
 TEST(TraceIo, FileRoundTrip) {

@@ -1,0 +1,68 @@
+// libFuzzer harness for the dclid-trace parser (satellite of the
+// robustness PR). The contract under fuzzing mirrors the pipeline's
+// graceful-degradation boundary: read_trace on arbitrary bytes either
+// returns a Trace or throws util::Error typed kInvalidInput/kIo — any
+// other escape (crash, UB, foreign exception, wrong error code) is a
+// finding.
+//
+// Built by -DDCL_FUZZ=ON. Under Clang this links against libFuzzer
+// (-fsanitize=fuzzer,address,undefined); run it as
+//   build/fuzz/trace_parser_fuzz tests/corpus/
+// Under compilers without libFuzzer the same file compiles with
+// DCL_FUZZ_STANDALONE into a corpus replayer:
+//   build/fuzz/trace_parser_fuzz tests/corpus/*
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "trace/trace_io.h"
+#include "util/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const auto trace = dcl::trace::read_trace(in);
+    // Parsed traces honor the format invariants.
+    for (std::size_t i = 1; i < trace.records.size(); ++i)
+      if (trace.records[i].seq <= trace.records[i - 1].seq) std::abort();
+  } catch (const dcl::util::Error& e) {
+    if (e.code() != dcl::util::ErrorCode::kInvalidInput &&
+        e.code() != dcl::util::ErrorCode::kIo)
+      std::abort();  // typed-error contract violated
+  } catch (...) {
+    std::abort();  // foreign exception escaped the parser
+  }
+  return 0;
+}
+
+#ifdef DCL_FUZZ_STANDALONE
+// Corpus replayer for toolchains without libFuzzer: exercises every file
+// named on the command line through the exact harness above.
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s corpus-file...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* f = std::fopen(argv[i], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::string bytes;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::printf("replayed %d corpus files, 0 contract violations\n", argc - 1);
+  return 0;
+}
+#endif

@@ -86,11 +86,33 @@ TEST(Pipeline, UncorrectedLargeSkewSmearsTheDistribution) {
             2.0 * r_clean.identification.bin_width_s);
 }
 
-TEST(Pipeline, RejectsDegenerateTraces) {
+TEST(Pipeline, RejectsDegenerateTracesInStrictMode) {
+  PipelineConfig strict;
+  strict.sanitize = false;
   trace::Trace t;
-  EXPECT_THROW(analyze_trace(t, {}), util::Error);
+  EXPECT_THROW(analyze_trace(t, strict), util::Error);
   t.records.push_back({0, 0.0, inference::Observation::received(0.05)});
-  EXPECT_THROW(analyze_trace(t, {}), util::Error);
+  EXPECT_THROW(analyze_trace(t, strict), util::Error);
+  try {
+    analyze_trace(t, strict);
+    FAIL() << "expected a typed throw";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kInvalidInput);
+  }
+}
+
+TEST(Pipeline, DegradesOnDegenerateTracesByDefault) {
+  // Same degenerate traces, default (graceful) mode: no throw, a degraded
+  // unanswered result that explains itself.
+  trace::Trace t;
+  const auto r0 = analyze_trace(t, {});
+  EXPECT_FALSE(r0.answered);
+  EXPECT_TRUE(r0.degraded);
+  ASSERT_FALSE(r0.warnings.empty());
+  t.records.push_back({0, 0.0, inference::Observation::received(0.05)});
+  const auto r1 = analyze_trace(t, {});
+  EXPECT_FALSE(r1.answered);
+  EXPECT_TRUE(r1.degraded);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "timesync/skew.h"
 #include "util/rng.h"
@@ -73,12 +74,61 @@ TEST(Skew, RemoveSkewFlattensTheTrend) {
 }
 
 TEST(Skew, DegenerateInputsHandled) {
-  EXPECT_FALSE(estimate_skew({}, {}).valid);
-  EXPECT_FALSE(estimate_skew({1.0}, {0.5}).valid);
-  // Identical times collapse to one point -> flat envelope.
+  const auto empty = estimate_skew({}, {});
+  EXPECT_FALSE(empty.valid);
+  EXPECT_EQ(empty.skip_reason, SkewSkipReason::kNoProbes);
+
+  const auto single = estimate_skew({1.0}, {0.5});
+  EXPECT_FALSE(single.valid);
+  EXPECT_EQ(single.skip_reason, SkewSkipReason::kTooFewDistinctTimes);
+
+  // Identical times collapse to one point: drift is unobservable, so the
+  // estimate is invalid (not a fabricated flat envelope).
   const auto est = estimate_skew({1.0, 1.0, 1.0}, {0.5, 0.6, 0.7});
-  EXPECT_TRUE(est.valid);
+  EXPECT_FALSE(est.valid);
+  EXPECT_EQ(est.skip_reason, SkewSkipReason::kTooFewDistinctTimes);
   EXPECT_DOUBLE_EQ(est.skew, 0.0);
+}
+
+TEST(Skew, NonFiniteInputsDroppedNeverPropagated) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // A clean drift plus NaN/Inf pollution: the estimate must stay finite
+  // and close to the clean slope.
+  std::vector<double> t, m;
+  for (int i = 0; i < 2000; ++i) {
+    t.push_back(0.1 * i);
+    m.push_back(0.05 + 100e-6 * 0.1 * i);
+  }
+  t.push_back(12.0); m.push_back(nan);
+  t.push_back(nan);  m.push_back(0.07);
+  t.push_back(13.0); m.push_back(inf);
+  const auto est = estimate_skew(t, m);
+  ASSERT_TRUE(est.valid);
+  EXPECT_EQ(est.nonfinite_dropped, 3u);
+  EXPECT_TRUE(std::isfinite(est.skew));
+  EXPECT_TRUE(std::isfinite(est.offset));
+  EXPECT_NEAR(est.skew, 100e-6, 1e-5);
+
+  // All points non-finite: no probes usable.
+  const auto bad = estimate_skew({nan, 1.0}, {0.5, inf});
+  EXPECT_FALSE(bad.valid);
+  EXPECT_EQ(bad.skip_reason, SkewSkipReason::kNoProbes);
+  EXPECT_EQ(bad.nonfinite_dropped, 2u);
+}
+
+TEST(Skew, CorrectObservationsRecordsSkipReason) {
+  // All probes lost: correction must be skipped with the reason recorded
+  // and the sequence returned unchanged.
+  inference::ObservationSequence obs(5, inference::Observation::loss());
+  std::vector<double> times = {0.0, 0.02, 0.04, 0.06, 0.08};
+  SkewEstimate est;
+  const auto out = correct_observations(obs, times, &est);
+  EXPECT_FALSE(est.valid);
+  EXPECT_EQ(est.skip_reason, SkewSkipReason::kNoProbes);
+  ASSERT_EQ(out.size(), obs.size());
+  for (const auto& o : out) EXPECT_TRUE(o.lost);
+  EXPECT_STREQ(to_string(est.skip_reason), "no_received_probes");
 }
 
 TEST(Skew, CorrectObservationsSkipsLosses) {

@@ -1,0 +1,289 @@
+// dclsoak — continuous robustness gate: randomized measurement-pathology
+// schedules over the scenario presets, asserting the identification
+// pipeline never crashes and degrades honestly.
+//
+// For every (schedule, preset) pair the driver corrupts the preset's clean
+// probe trace with dcl::faults, runs core::analyze_trace (sanitization on),
+// and checks the graceful-degradation contract:
+//
+//   * no exception escapes the pipeline boundary (any escape is a failed
+//     soak, and pipeline.internal_errors must stay 0);
+//   * every degraded result carries a non-empty warning set, and every
+//     non-clean sanitization is reflected in the dcl::obs counters;
+//   * the WDCL verdict flips relative to the clean baseline on at most
+//     --max-flip-frac of the answered runs (faults should degrade the
+//     answer's confidence, not routinely invert it);
+//   * a serialize → corrupt-bytes → parse round trip either parses or
+//     raises a typed invalid-input/io error (never anything else).
+//
+// Usage:
+//   dclsoak [--schedules N] [--seed S] [--duration SEC]
+//           [--presets sdcl,wdcl,nodcl] [--max-flip-frac X]
+//           [--metrics-json FILE] [--verbose]
+//
+// Exit code 0 when every assertion holds, 1 otherwise.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "faults/faults.h"
+#include "obs/manifest.h"
+#include "obs/obs.h"
+#include "scenarios/presets.h"
+#include "trace/trace_io.h"
+#include "util/error.h"
+
+namespace {
+
+struct Options {
+  int schedules = 50;
+  std::uint64_t seed = 1;
+  double duration_s = 60.0;
+  double max_flip_frac = 0.5;
+  std::vector<std::string> presets = {"sdcl", "wdcl", "nodcl"};
+  std::string metrics_json;
+  bool verbose = false;
+};
+
+dcl::trace::Trace make_preset_trace(const std::string& name,
+                                    std::uint64_t seed, double duration_s) {
+  const double warmup_s = duration_s >= 300.0 ? 60.0 : 0.2 * duration_s;
+  dcl::scenarios::ChainConfig cfg =
+      name == "sdcl"
+          ? dcl::scenarios::presets::sdcl_chain(1e6, seed, duration_s,
+                                                warmup_s)
+      : name == "wdcl"
+          ? dcl::scenarios::presets::wdcl_chain(0.8e6, 16e6, seed,
+                                                duration_s, warmup_s)
+          : dcl::scenarios::presets::nodcl_chain(0.5e6, 8e6, seed,
+                                                 duration_s, warmup_s);
+  dcl::scenarios::ChainScenario sc(cfg);
+  sc.run();
+  return dcl::trace::make_trace(sc.observations(), sc.window_start(),
+                                cfg.probe_interval_s);
+}
+
+int fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "dclsoak: FAIL: %s: %s\n", what, detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dclsoak: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--schedules") opt.schedules = std::atoi(need("--schedules"));
+    else if (a == "--seed") opt.seed = std::strtoull(need("--seed"), nullptr, 10);
+    else if (a == "--duration") opt.duration_s = std::atof(need("--duration"));
+    else if (a == "--max-flip-frac")
+      opt.max_flip_frac = std::atof(need("--max-flip-frac"));
+    else if (a == "--metrics-json") opt.metrics_json = need("--metrics-json");
+    else if (a == "--presets") {
+      opt.presets.clear();
+      std::stringstream ss(need("--presets"));
+      std::string p;
+      while (std::getline(ss, p, ',')) opt.presets.push_back(p);
+    } else if (a == "--verbose" || a == "-v") opt.verbose = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: dclsoak [--schedules N] [--seed S] "
+                   "[--duration SEC] [--presets a,b,c] [--max-flip-frac X] "
+                   "[--metrics-json FILE] [--verbose]\n");
+      return 2;
+    }
+  }
+  if (opt.schedules < 1 || opt.duration_s <= 0.0 || opt.presets.empty()) {
+    std::fprintf(stderr, "dclsoak: bad options\n");
+    return 2;
+  }
+
+  auto& reg = dcl::obs::Registry::global();
+  reg.reset();
+
+  // Baselines: one clean simulation + analysis per preset.
+  dcl::core::PipelineConfig pcfg;
+  pcfg.identifier.em.max_iterations = 120;  // soak favors volume over polish
+  struct Baseline {
+    std::string name;
+    dcl::trace::Trace trace;
+    bool wdcl_accepted = false;
+  };
+  std::vector<Baseline> baselines;
+  for (const auto& name : opt.presets) {
+    if (name != "sdcl" && name != "wdcl" && name != "nodcl") {
+      std::fprintf(stderr, "dclsoak: unknown preset %s\n", name.c_str());
+      return 2;
+    }
+    Baseline b;
+    b.name = name;
+    b.trace = make_preset_trace(name, opt.seed, opt.duration_s);
+    const auto r = dcl::core::analyze_trace(b.trace, pcfg);
+    if (!r.answered)
+      return fail("baseline did not answer", name);
+    if (r.degraded)
+      return fail("clean baseline degraded", name + ": " +
+                  (r.warnings.empty() ? "?" : r.warnings.front()));
+    b.wdcl_accepted = r.identification.wdcl.accepted;
+    if (opt.verbose)
+      std::fprintf(stderr, "dclsoak: baseline %s: %zu records, wdcl=%s\n",
+                   name.c_str(), b.trace.records.size(),
+                   b.wdcl_accepted ? "accept" : "reject");
+    baselines.push_back(std::move(b));
+  }
+
+  std::size_t runs = 0, degraded_runs = 0, unanswered = 0;
+  std::size_t answered_runs = 0, verdict_flips = 0;
+  std::size_t byte_runs = 0, byte_parse_ok = 0, byte_typed_rejects = 0;
+  for (int s = 0; s < opt.schedules; ++s) {
+    for (std::size_t p = 0; p < baselines.size(); ++p) {
+      const std::uint64_t run_seed =
+          opt.seed + 0x1000u * static_cast<std::uint64_t>(s) + p;
+      const auto sched = dcl::faults::random_schedule(run_seed, 4,
+                                                     /*byte faults*/ false);
+      const dcl::faults::Injector injector(sched);
+      dcl::faults::InjectionReport inj;
+      const auto corrupted = injector.apply(baselines[p].trace, &inj);
+      ++runs;
+      reg.counter("faults.schedules").add(1);
+      reg.counter("faults.injected_records").add(inj.total_affected());
+
+      dcl::core::PipelineResult r;
+      try {
+        r = dcl::core::analyze_trace(corrupted, pcfg);
+      } catch (const std::exception& e) {
+        return fail("exception escaped analyze_trace",
+                    baselines[p].name + " schedule " + std::to_string(s) +
+                        " [" + inj.summary() + "]: " + e.what());
+      }
+      if (r.degraded) {
+        ++degraded_runs;
+        if (r.warnings.empty())
+          return fail("degraded run with empty warning set",
+                      baselines[p].name + " schedule " + std::to_string(s));
+      }
+      if (!r.answered) {
+        ++unanswered;
+      } else {
+        ++answered_runs;
+        if (r.identification.has_losses &&
+            r.identification.wdcl.accepted != baselines[p].wdcl_accepted)
+          ++verdict_flips;
+      }
+      if (opt.verbose && r.degraded)
+        std::fprintf(stderr,
+                     "dclsoak: %s schedule %d degraded [%s]: %s\n",
+                     baselines[p].name.c_str(), s, inj.summary().c_str(),
+                     r.warnings.empty() ? "" : r.warnings.front().c_str());
+    }
+
+    // Byte-level path: serialize the first preset, corrupt the bytes, and
+    // require the parser to either succeed or reject with a typed error.
+    {
+      const auto sched =
+          dcl::faults::random_schedule(opt.seed + 0xb17e5u + s, 2,
+                                       /*byte faults*/ true);
+      const dcl::faults::Injector injector(sched);
+      std::ostringstream ss;
+      dcl::trace::write_trace(ss, baselines[0].trace);
+      const std::string corrupted_bytes = injector.apply_bytes(ss.str());
+      ++byte_runs;
+      try {
+        std::istringstream in(corrupted_bytes);
+        (void)dcl::trace::read_trace(in);
+        ++byte_parse_ok;
+      } catch (const dcl::util::Error& e) {
+        if (e.code() != dcl::util::ErrorCode::kInvalidInput &&
+            e.code() != dcl::util::ErrorCode::kIo)
+          return fail("parser raised a non-input-typed error",
+                      std::string(dcl::util::to_string(e.code())) + ": " +
+                          e.what());
+        ++byte_typed_rejects;
+      } catch (const std::exception& e) {
+        return fail("parser raised a non-dcl exception", e.what());
+      }
+    }
+  }
+
+  // Registry cross-checks: the obs counters must tell the same story the
+  // driver observed (metrics-vs-reality drift is itself a bug).
+  const auto snap = reg.snapshot();
+  auto counter_value = [&](const char* name) -> std::uint64_t {
+    for (const auto& [n, v] : snap.counters)
+      if (n == name) return v;
+    return 0;
+  };
+  if (counter_value("pipeline.internal_errors") != 0)
+    return fail("internal errors surfaced through the graceful boundary",
+                std::to_string(counter_value("pipeline.internal_errors")));
+  if (counter_value("pipeline.degraded") != degraded_runs)
+    return fail("pipeline.degraded counter disagrees with observed runs",
+                std::to_string(counter_value("pipeline.degraded")) + " vs " +
+                    std::to_string(degraded_runs));
+  if (degraded_runs > 0 && counter_value("sanitize.reordered") +
+                                   counter_value("sanitize.duplicates_dropped") +
+                                   counter_value("sanitize.nonfinite_dropped") +
+                                   counter_value("sanitize.negative_dropped") +
+                                   counter_value("sanitize.outliers_dropped") +
+                                   counter_value("em.retries") +
+                                   counter_value("pipeline.deadline_skips") ==
+                               0) {
+    // Degradation without any recorded cause would mean a stage degraded
+    // silently. (Skew-skip warnings alone can't happen here: the presets
+    // always yield >= 2 distinct send times.)
+    if (counter_value("em.fit_failures") == 0)
+      return fail("degraded runs but no fault counters recorded", "");
+  }
+  const double flip_frac =
+      answered_runs == 0
+          ? 0.0
+          : static_cast<double>(verdict_flips) /
+                static_cast<double>(answered_runs);
+  if (flip_frac > opt.max_flip_frac) {
+    std::ostringstream os;
+    os << verdict_flips << "/" << answered_runs << " = " << flip_frac
+       << " > " << opt.max_flip_frac;
+    return fail("verdict flip fraction above bound", os.str());
+  }
+
+  if (!opt.metrics_json.empty()) {
+    auto man = dcl::obs::manifest("dclsoak");
+    man.seed = opt.seed;
+    man.add("schedules", std::to_string(opt.schedules));
+    man.add("duration_s", std::to_string(opt.duration_s));
+    const std::string json = reg.to_json(man);
+    std::FILE* f = opt.metrics_json == "-"
+                       ? stdout
+                       : std::fopen(opt.metrics_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "dclsoak: cannot write %s\n",
+                   opt.metrics_json.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    if (f != stdout) std::fclose(f);
+  }
+
+  std::printf(
+      "dclsoak: %zu runs over %zu presets x %d schedules: "
+      "%zu degraded (%zu no-verdict), %zu/%zu verdict flips (%.2f), "
+      "%zu byte runs (%zu parsed, %zu typed rejects), 0 crashes\n",
+      runs, baselines.size(), opt.schedules, degraded_runs, unanswered,
+      verdict_flips, answered_runs, flip_frac, byte_runs, byte_parse_ok,
+      byte_typed_rejects);
+  return 0;
+}
