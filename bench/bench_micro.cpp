@@ -10,7 +10,9 @@
 #include "inference/discretizer.h"
 #include "inference/hmm.h"
 #include "inference/mmhd.h"
+#include "obs/obs.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "scenarios/presets.h"
 #include "sim/droptail.h"
 #include "sim/network.h"
@@ -196,6 +198,36 @@ void BM_TraceEventEnabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceEventEnabled);
+
+// Windowed-metrics overhead, the obs/window.h contract: a windowed record
+// is the cumulative histogram record plus one epoch-slot find (relaxed
+// load, usually hit) and one bucket store — budgeted at <= ~2x the plain
+// record. The pair below is the guard: scripts/check.sh compares them.
+void BM_HistogramRecordCumulative(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("bench.lat");
+  double x = 1e-6;
+  for (auto _ : state) {
+    h.record(x);
+    x = x < 1.0 ? x * 1.0000001 : 1e-6;  // vary the bucket a little
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecordCumulative);
+
+void BM_HistogramRecordWindowed(benchmark::State& state) {
+  obs::Registry reg;
+  obs::window::WindowedHistogram& h = reg.windowed_histogram("bench.lat");
+  double x = 1e-6;
+  for (auto _ : state) {
+    h.record(x);
+    x = x < 1.0 ? x * 1.0000001 : 1e-6;
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecordWindowed);
 
 }  // namespace
 }  // namespace dcl

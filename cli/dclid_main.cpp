@@ -50,6 +50,16 @@
 //   --em-retries K         re-seeded retries of a degenerate EM fit (2)
 //   --no-sanitize          strict mode: fail fast on pathological records
 //                          instead of repairing/dropping them
+//   --serve ADDR           embedded ops HTTP server on host:port / :port /
+//                          port (see obs/serve.h): /metrics, /healthz,
+//                          /statusz, /tracez; port 0 picks an ephemeral
+//                          port (announced as "dclid: serving on ...")
+//   --serve-linger SEC     keep serving SEC seconds after the run finishes
+//                          (inf = until SIGINT/SIGTERM; default 0)
+//   --log-level LVL        debug|info|warn|error|off (default warn;
+//                          --verbose implies debug)
+//   --log-json             structured JSON log lines instead of the
+//                          human-readable form
 //   --verbose              progress, stage timings, and the run manifest
 //                          to stderr
 //
@@ -61,16 +71,23 @@
 //   2  invalid input: unusable flags, malformed trace file, missing file
 //   3  internal error (a bug in dclid)
 #include <cerrno>
+#include <chrono>
 #include <climits>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "core/pipeline.h"
 #include "inference/em_telemetry.h"
+#include "obs/log.h"
 #include "obs/manifest.h"
 #include "obs/obs.h"
+#include "obs/serve.h"
 #include "obs/trace.h"
 #include "scenarios/presets.h"
 #include "trace/trace_io.h"
@@ -114,6 +131,12 @@ namespace {
       "                         (default 2)\n"
       "  --no-sanitize          strict mode: fail fast on pathological\n"
       "                         records instead of repairing them\n"
+      "  --serve ADDR           ops HTTP server (host:port, :port, port):\n"
+      "                         /metrics /healthz /statusz /tracez\n"
+      "  --serve-linger SEC     keep serving SEC seconds after the run\n"
+      "                         (inf = until SIGINT/SIGTERM; default 0)\n"
+      "  --log-level LVL        debug|info|warn|error|off (default warn)\n"
+      "  --log-json             JSON log lines instead of human-readable\n"
       "  --verbose              progress, stage timings, and the run\n"
       "                         manifest to stderr\n"
       "exit codes: 0 ok, 1 degraded-but-completed, 2 invalid input,\n"
@@ -121,6 +144,11 @@ namespace {
       argv0);
   std::exit(code);
 }
+
+// SIGINT/SIGTERM flag for --serve runs: the handler only sets a flag; the
+// linger loop polls it and shuts the server down cleanly.
+volatile std::sig_atomic_t g_signal = 0;
+extern "C" void on_signal(int) { g_signal = 1; }
 
 [[noreturn]] void bad_value(const char* v, const char* flag) {
   std::fprintf(stderr, "dclid: bad value '%s' for %s\n", v, flag);
@@ -201,13 +229,13 @@ class CliEmObserver : public dcl::inference::RegistryEmObserver {
   void on_restart(int restart, const dcl::inference::FitResult& result,
                   bool new_best) override {
     RegistryEmObserver::on_restart(restart, result, new_best);
-    if (verbose_)
-      std::fprintf(stderr,
-                   "dclid: em restart %d: %d iteration%s, ll %.4f%s%s\n",
-                   restart, result.iterations,
-                   result.iterations == 1 ? "" : "s", result.log_likelihood,
-                   result.converged ? "" : " (max iterations)",
-                   new_best ? " *" : "");
+    if (verbose_ && dcl::obs::log::enabled(dcl::obs::log::Level::kDebug))
+      dcl::obs::log::writef(
+          dcl::obs::log::Level::kDebug, "em.restart",
+          "restart %d: %d iteration%s, ll %.4f%s%s", restart,
+          result.iterations, result.iterations == 1 ? "" : "s",
+          result.log_likelihood,
+          result.converged ? "" : " (max iterations)", new_best ? " *" : "");
   }
 
  private:
@@ -287,6 +315,10 @@ int main(int argc, char** argv) {
   std::string metrics_json_path;
   std::string trace_out_path;
   std::string scenario;
+  std::string serve_addr;
+  double serve_linger_s = 0.0;
+  std::string log_level_flag;
+  bool log_json = false;
   double duration_s = 700.0;
   bool verbose = false;
 
@@ -360,6 +392,14 @@ int main(int argc, char** argv) {
           parse_int(need("--em-retries"), "--em-retries");
     else if (a == "--no-sanitize")
       cfg.sanitize = false;
+    else if (a == "--serve")
+      serve_addr = need("--serve");
+    else if (a == "--serve-linger")
+      serve_linger_s = parse_double(need("--serve-linger"), "--serve-linger");
+    else if (a == "--log-level")
+      log_level_flag = need("--log-level");
+    else if (a == "--log-json")
+      log_json = true;
     else if (a == "--verbose" || a == "-v")
       verbose = true;
     else if (!a.empty() && a[0] == '-')
@@ -377,17 +417,47 @@ int main(int argc, char** argv) {
   }
   validate(cfg);
   if (cfg.identifier.em.restarts < 1) config_error("--restarts must be >= 1");
+  if (serve_linger_s < 0.0 && !std::isinf(serve_linger_s))
+    config_error("--serve-linger must be >= 0 (or inf)");
+
+  namespace log = dcl::obs::log;
+  log::Level level = verbose ? log::Level::kDebug : log::Level::kWarn;
+  if (!log_level_flag.empty() && !log::parse_level(log_level_flag, level))
+    config_error("--log-level must be debug|info|warn|error|off");
+  log::set_level(level);
+  log::set_json(log_json);
+  log::install_error_listener();
 
   auto& registry = dcl::obs::Registry::global();
-  const bool observing = verbose || !metrics_json_path.empty();
+  const bool observing =
+      verbose || !metrics_json_path.empty() || !serve_addr.empty();
   CliEmObserver em_observer(registry, verbose);
   if (observing) {
     dcl::obs::set_enabled(true);
     cfg.identifier.em.observer = &em_observer;
   }
   const auto man = make_manifest(cfg, path, scenario, duration_s);
-  if (verbose)
-    std::fprintf(stderr, "dclid: manifest: %s\n", man.to_json().c_str());
+  if (verbose) log::infof("manifest", "%s", man.to_json().c_str());
+
+  std::unique_ptr<dcl::obs::serve::Server> server;
+  if (!serve_addr.empty()) {
+    dcl::obs::serve::Options sopts;
+    if (!dcl::obs::serve::parse_address(serve_addr, sopts))
+      config_error("--serve must be host:port, :port, or port");
+    sopts.manifest = man;
+    try {
+      server = dcl::obs::serve::Server::start(std::move(sopts));
+    } catch (const dcl::util::Error& e) {
+      std::fprintf(stderr, "dclid: %s\n", e.what());
+      return 2;
+    }
+    // Announced unconditionally (not via the logger): scripts parse this
+    // line to discover an ephemeral port.
+    std::fprintf(stderr, "dclid: serving on %s\n",
+                 server->address().c_str());
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+  }
 
   auto& recorder = dcl::obs::trace::TraceSession::instance();
   if (!trace_out_path.empty()) {
@@ -398,27 +468,39 @@ int main(int argc, char** argv) {
     dcl::obs::trace::set_thread_name("main");
   }
   // Exports shared by every exit path; returns the process exit code.
+  // With --serve, also lingers (scrape window) and shuts the server down.
   auto finish = [&]() -> int {
     if (verbose) print_stage_timings(registry);
     int rc = 0;
     if (!metrics_json_path.empty() &&
         !write_metrics_json(metrics_json_path, registry, man)) {
-      std::fprintf(stderr, "dclid: cannot write %s\n",
-                   metrics_json_path.c_str());
+      log::errorf("io", "cannot write %s", metrics_json_path.c_str());
       rc = 1;
     }
     if (!trace_out_path.empty()) {
       recorder.stop();
       if (!recorder.write_chrome_json(trace_out_path, &man)) {
-        std::fprintf(stderr, "dclid: cannot write %s\n",
-                     trace_out_path.c_str());
+        log::errorf("io", "cannot write %s", trace_out_path.c_str());
         rc = 1;
       } else if (verbose) {
-        std::fprintf(stderr,
-                     "dclid: wrote %s (%zu thread tracks, %llu dropped)\n",
-                     trace_out_path.c_str(), recorder.thread_count(),
-                     static_cast<unsigned long long>(recorder.dropped()));
+        log::infof("trace.export", "wrote %s (%zu thread tracks, %llu dropped)",
+                   trace_out_path.c_str(), recorder.thread_count(),
+                   static_cast<unsigned long long>(recorder.dropped()));
       }
+    }
+    if (server != nullptr) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto elapsed_s = [&] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+            .count();
+      };
+      while (g_signal == 0 &&
+             (std::isinf(serve_linger_s) || elapsed_s() < serve_linger_s))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      server->stop();
+      log::info("serve.stop", {{"reason", g_signal != 0 ? "signal"
+                                                        : "linger elapsed"}});
     }
     return rc;
   };
@@ -427,8 +509,8 @@ int main(int argc, char** argv) {
     dcl::trace::Trace trace;
     if (!scenario.empty()) {
       if (verbose)
-        std::fprintf(stderr, "dclid: simulating %s chain (%g s)\n",
-                     scenario.c_str(), duration_s);
+        log::infof("scenario", "simulating %s chain (%g s)",
+                   scenario.c_str(), duration_s);
       // Warmup before the probed window, scaled down for short runs.
       const double warmup_s =
           duration_s >= 300.0 ? 60.0 : 0.2 * duration_s;
@@ -447,19 +529,19 @@ int main(int argc, char** argv) {
       trace = dcl::trace::make_trace(sc.observations(), sc.window_start(),
                                      scfg.probe_interval_s);
     } else {
-      if (verbose) std::fprintf(stderr, "dclid: reading %s\n", path.c_str());
+      if (verbose) log::infof("input", "reading %s", path.c_str());
       trace = dcl::trace::read_trace_file(path);
     }
     if (verbose)
-      std::fprintf(stderr, "dclid: analyzing %zu probes\n",
-                   trace.records.size());
+      log::infof("input", "analyzing %zu probes", trace.records.size());
     const auto r = dcl::core::analyze_trace(trace, cfg);
     const auto& id = r.identification;
 
-    // Degradation surface: every warning to stderr, exit code 1 when any
-    // stage fell back (see the exit-code table in the usage text).
+    // Degradation surface: every warning through the logger (warn-level
+    // lines also land in the /statusz recent-errors ring), exit code 1
+    // when any stage fell back (see the exit-code table in the usage).
     for (const auto& w : r.warnings)
-      std::fprintf(stderr, "dclid: warning: %s\n", w.c_str());
+      log::warnf("pipeline.warning", "%s", w.c_str());
     auto finish_degraded = [&]() -> int {
       const int rc = finish();
       return r.degraded ? 1 : rc;
@@ -526,8 +608,8 @@ int main(int argc, char** argv) {
 
     return finish_degraded();
   } catch (const dcl::util::Error& e) {
-    std::fprintf(stderr, "dclid: %s error: %s\n",
-                 dcl::util::to_string(e.code()), e.what());
+    log::errorf("run.failed", "%s error: %s", dcl::util::to_string(e.code()),
+                e.what());
     finish();
     switch (e.code()) {
       case dcl::util::ErrorCode::kInvalidInput:
@@ -541,7 +623,7 @@ int main(int argc, char** argv) {
     }
     return 3;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "dclid: internal error: %s\n", e.what());
+    log::errorf("run.failed", "internal error: %s", e.what());
     return 3;
   }
 }

@@ -22,9 +22,9 @@ echo "==> bench_em_scaling"
 ./build-release/bench/bench_em_scaling BENCH_em_scaling.json
 scaling="$(cat BENCH_em_scaling.json)"
 
-echo "==> bench_micro (EM fit + trace overhead filters)"
+echo "==> bench_micro (EM fit + trace/metrics overhead filters)"
 micro="$(./build-release/bench/bench_micro \
-  --benchmark_filter='BM_(HmmFit|MmhdFit|TraceEvent)' \
+  --benchmark_filter='BM_(HmmFit|MmhdFit|TraceEvent|HistogramRecord)' \
   --benchmark_format=json 2>/dev/null | tr -d '\n')"
 
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"

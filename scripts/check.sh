@@ -5,10 +5,11 @@
 # (unless DCL_CHECK_SKIP_TSAN=1) with TSan over the suites that exercise
 # the threaded EM engine and the observability layer.
 #
-#   scripts/check.sh            # plain + ASan/UBSan + TSan + trace + soak + perf
+#   scripts/check.sh   # plain + ASan/UBSan + TSan + trace + serve + soak + perf
 #   DCL_CHECK_SKIP_SANITIZED=1 scripts/check.sh
 #   DCL_CHECK_SKIP_TSAN=1      scripts/check.sh
 #   DCL_CHECK_SKIP_TRACE=1     scripts/check.sh
+#   DCL_CHECK_SKIP_SERVE=1     scripts/check.sh
 #   DCL_CHECK_SKIP_SOAK=1      scripts/check.sh
 #   DCL_CHECK_SKIP_PERF=1      scripts/check.sh
 #
@@ -52,7 +53,7 @@ fi
 # bootstrap/selection layer on top of them.
 if [[ "${DCL_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
   run_suite build-tsan \
-    "parallel_em_test|inference_test|obs_test|trace_test|selection_bootstrap_test|util_test" \
+    "parallel_em_test|inference_test|obs_test|http_test|trace_test|selection_bootstrap_test|util_test" \
     -DDCL_SANITIZE="thread" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
 
@@ -99,6 +100,50 @@ PY
   fi
 fi
 
+# Serve smoke: a live dclid run with the embedded ops server on an
+# ephemeral loopback port; every endpoint must answer 200 (curl) and honor
+# its content contract (tests/serve_scrape.py), and SIGTERM must shut the
+# lingering process down cleanly.
+if [[ "${DCL_CHECK_SKIP_SERVE:-0}" != "1" ]]; then
+  echo "==> serve smoke (dclid --serve, live scrape)"
+  cmake --build build -j "${JOBS}" --target dclid_cli
+  serve_log="$(mktemp)"
+  trap 'rm -f "${trace_json:-}" "${serve_log:-}"' EXIT
+  ./build/cli/dclid --scenario wdcl --duration 60 \
+    --serve 127.0.0.1:0 --serve-linger 60 > /dev/null 2> "${serve_log}" &
+  serve_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^dclid: serving on //p' "${serve_log}" | head -n 1)"
+    [[ -n "${addr}" ]] && break
+    kill -0 "${serve_pid}" 2>/dev/null || break
+    sleep 0.1
+  done
+  if [[ -z "${addr}" ]]; then
+    cat "${serve_log}" >&2
+    echo "serve smoke: dclid never announced its address" >&2
+    exit 1
+  fi
+  echo "==> scraping http://${addr}"
+  if command -v curl >/dev/null 2>&1; then
+    for ep in /metrics /healthz /statusz /tracez; do
+      curl -fsS "http://${addr}${ep}" > /dev/null \
+        || { echo "serve smoke: GET ${ep} failed" >&2; exit 1; }
+    done
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 tests/serve_scrape.py "http://${addr}"
+  else
+    echo "==> python3 missing; serve content validation skipped"
+  fi
+  kill -TERM "${serve_pid}"
+  if ! wait "${serve_pid}"; then
+    cat "${serve_log}" >&2
+    echo "serve smoke: dclid exited nonzero after SIGTERM" >&2
+    exit 1
+  fi
+fi
+
 # Robustness soak: seed-pinned randomized fault schedules over the three
 # scenario presets. dclsoak itself asserts the graceful-degradation
 # contract (no escapes, degraded => warned, obs counters == reality) and
@@ -107,14 +152,19 @@ if [[ "${DCL_CHECK_SKIP_SOAK:-0}" != "1" ]]; then
   echo "==> robustness soak (dclsoak, seed-pinned)"
   cmake --build build -j "${JOBS}" --target dclsoak
   ./build/tools/dclsoak --schedules 50 --seed 1 --duration 60
-  echo "==> fuzz corpus replay (parser contract)"
+  echo "==> fuzz corpus replay (parser contracts)"
   cmake -B build-fuzz -S . -DDCL_FUZZ=ON > /dev/null
-  cmake --build build-fuzz -j "${JOBS}" --target trace_parser_fuzz
+  cmake --build build-fuzz -j "${JOBS}" --target trace_parser_fuzz \
+    http_request_fuzz
   if ./build-fuzz/fuzz/trace_parser_fuzz -help=1 > /dev/null 2>&1; then
-    # libFuzzer build (Clang): one bounded exploration run over the corpus.
-    ./build-fuzz/fuzz/trace_parser_fuzz -runs=20000 -max_len=4096 tests/corpus
+    # libFuzzer build (Clang): one bounded exploration run over each corpus.
+    ./build-fuzz/fuzz/trace_parser_fuzz -runs=20000 -max_len=4096 \
+      tests/corpus/trace
+    ./build-fuzz/fuzz/http_request_fuzz -runs=20000 -max_len=4096 \
+      tests/corpus/http
   else
-    ./build-fuzz/fuzz/trace_parser_fuzz tests/corpus/*
+    ./build-fuzz/fuzz/trace_parser_fuzz tests/corpus/trace/*
+    ./build-fuzz/fuzz/http_request_fuzz tests/corpus/http/*
   fi
 fi
 
@@ -123,7 +173,7 @@ if [[ "${DCL_CHECK_SKIP_PERF:-0}" != "1" ]]; then
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-release -j "${JOBS}" --target bench_em_scaling bench_micro
   fresh="$(mktemp)"
-  trap 'rm -f "${trace_json:-}" "${fresh:-}"' EXIT
+  trap 'rm -f "${trace_json:-}" "${serve_log:-}" "${fresh:-}"' EXIT
   echo "==> bench_em_scaling perf smoke"
   # The bench's own floor catches an outright broken kernel path even when
   # the baseline predates the kernel JSON schema.
@@ -152,11 +202,11 @@ PY
   else
     echo "==> python3 or BENCH_baseline.jsonl missing; baseline ratio check skipped"
   fi
-  echo "==> trace overhead smoke (disabled emit must stay near-free)"
+  echo "==> obs overhead smoke (disabled emit + windowed record cost)"
   micro_json="$(mktemp)"
-  trap 'rm -f "${trace_json:-}" "${fresh:-}" "${micro_json:-}"' EXIT
+  trap 'rm -f "${trace_json:-}" "${serve_log:-}" "${fresh:-}" "${micro_json:-}"' EXIT
   ./build-release/bench/bench_micro \
-    --benchmark_filter='BM_TraceEventDisabled' \
+    --benchmark_filter='BM_(TraceEventDisabled|HistogramRecord)' \
     --benchmark_out="${micro_json}" --benchmark_out_format=json > /dev/null
   if command -v python3 >/dev/null 2>&1 && [[ -s BENCH_baseline.jsonl ]]; then
     python3 - "${micro_json}" BENCH_baseline.jsonl <<'PY'
@@ -189,6 +239,34 @@ sys.exit(0 if fresh <= ceiling else 1)
 PY
   else
     echo "==> python3 or BENCH_baseline.jsonl missing; trace overhead check skipped"
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${micro_json}" <<'PY'
+import json, sys
+
+def record_ns(doc, prefix):
+    rows = [b for b in doc.get("benchmarks", [])
+            if b["name"].startswith(prefix)]
+    med = [b for b in rows if b["name"].endswith("_median")]
+    pick = med or rows
+    return min(b["cpu_time"] for b in pick) if pick else None
+
+doc = json.load(open(sys.argv[1]))
+cum = record_ns(doc, "BM_HistogramRecordCumulative")
+win = record_ns(doc, "BM_HistogramRecordWindowed")
+if cum is None or win is None:
+    sys.exit("bench_micro produced no BM_HistogramRecord rows")
+# The windowed-instrument contract (obs/window.h): a windowed record is
+# the cumulative record plus one epoch-slot lookup — budgeted at <= 2x.
+# A small absolute floor absorbs timer jitter on the few-ns scale.
+ceiling = max(2.0 * cum, cum + 4.0)
+verdict = "ok" if win <= ceiling else "REGRESSION"
+print(f"windowed record: {win:.2f} ns vs cumulative {cum:.2f} ns "
+      f"(ceiling {ceiling:.2f}) {verdict}")
+sys.exit(0 if win <= ceiling else 1)
+PY
+  else
+    echo "==> python3 missing; windowed record cost check skipped"
   fi
 fi
 

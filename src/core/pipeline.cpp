@@ -1,7 +1,9 @@
 #include "core/pipeline.h"
 
+#include "obs/log.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "util/deadline.h"
 #include "util/error.h"
 
@@ -11,10 +13,16 @@ namespace {
 
 void finalize(PipelineResult* out) {
   if (!out->warnings.empty()) out->degraded = true;
+  obs::Registry::global().windowed_counter("pipeline.runs").add(1);
   if (out->degraded) {
-    obs::Registry::global().counter("pipeline.degraded").add(1);
+    obs::Registry::global().windowed_counter("pipeline.degraded").add(1);
     obs::trace::instant("pipeline.degraded",
                         static_cast<double>(out->warnings.size()));
+    obs::log::warn("pipeline.degraded",
+                   {{"warnings", std::to_string(out->warnings.size())},
+                    {"first", out->warnings.empty() ? std::string_view{}
+                                                    : std::string_view(
+                                                          out->warnings[0])}});
   }
 }
 
@@ -67,7 +75,8 @@ PipelineResult run_pipeline(const trace::Trace& input,
     if (deadline.expired()) {
       out.warnings.push_back(
           "window selection skipped: deadline exceeded (partial result)");
-      obs::Registry::global().counter("pipeline.deadline_skips").add(1);
+      obs::Registry::global().windowed_counter("pipeline.deadline_skips")
+          .add(1);
     } else {
       DCL_SPAN("window_selection");
       const auto [lo, hi] = most_stationary_window(
@@ -107,7 +116,10 @@ PipelineResult analyze_trace(const trace::Trace& trace,
   } catch (const util::Error& e) {
     PipelineResult out;
     if (e.code() == util::ErrorCode::kInternal)
-      obs::Registry::global().counter("pipeline.internal_errors").add(1);
+      obs::Registry::global().windowed_counter("pipeline.internal_errors")
+          .add(1);
+    obs::log::error("pipeline.aborted", {{"code", util::to_string(e.code())},
+                                         {"msg", e.what()}});
     out.warnings.push_back(std::string("analysis aborted (") +
                            util::to_string(e.code()) + "): " + e.what());
     finalize(&out);

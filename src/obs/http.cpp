@@ -1,0 +1,237 @@
+#include "obs/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dcl::obs::http {
+
+namespace {
+
+bool is_tchar(char c) {
+  // RFC 7230 token characters.
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_token(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), is_tchar);
+}
+
+// Target bytes: visible ASCII only (no spaces, no controls, no DEL).
+bool is_valid_target(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u == 0x7f) return false;
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+// Case-insensitive ASCII comparison for header values.
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+}  // namespace
+
+int status_of(ParseResult r) {
+  switch (r) {
+    case ParseResult::kNeedMore:
+    case ParseResult::kComplete: return 0;
+    case ParseResult::kBadRequest: return 400;
+    case ParseResult::kPayloadTooLarge: return 413;
+    case ParseResult::kUriTooLong: return 414;
+    case ParseResult::kHeadersTooLarge: return 431;
+    case ParseResult::kNotImplemented: return 501;
+  }
+  return 500;
+}
+
+std::string_view Request::path() const {
+  const std::string_view t = target;
+  const std::size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+std::string_view Request::header(std::string_view lower_name) const {
+  for (const auto& [name, value] : headers)
+    if (name == lower_name) return value;
+  return {};
+}
+
+ParseResult RequestParser::feed(std::string_view data) {
+  buf_.append(data.data(), data.size());
+  if (done_) return ParseResult::kComplete;
+  return parse();
+}
+
+ParseResult RequestParser::reset() {
+  req_ = Request{};
+  done_ = false;
+  return buf_.empty() ? ParseResult::kNeedMore : parse();
+}
+
+ParseResult RequestParser::parse() {
+  // Locate the end of the head: CRLFCRLF, with bare-LF tolerance (LFLF).
+  std::size_t head_end = std::string::npos;  // index one past the blank line
+  std::size_t first_eol = buf_.find('\n');
+  {
+    const std::size_t crlf2 = buf_.find("\r\n\r\n");
+    const std::size_t lf2 = buf_.find("\n\n");
+    if (crlf2 != std::string::npos &&
+        (lf2 == std::string::npos || crlf2 < lf2))
+      head_end = crlf2 + 4;
+    else if (lf2 != std::string::npos)
+      head_end = lf2 + 2;
+  }
+  if (head_end == std::string::npos) {
+    // Enforce limits on the unfinished head so a byte-dribbling client
+    // cannot grow the buffer without bound.
+    if (first_eol == std::string::npos && buf_.size() > kMaxRequestLine)
+      return ParseResult::kUriTooLong;
+    if (buf_.size() > kMaxRequestLine + kMaxHeaderBytes)
+      return ParseResult::kHeadersTooLarge;
+    return ParseResult::kNeedMore;
+  }
+
+  const std::string_view head(buf_.data(), head_end);
+
+  // Request line.
+  std::size_t line_end = head.find('\n');
+  std::string_view line = head.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.size() > kMaxRequestLine) return ParseResult::kUriTooLong;
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos)
+    return ParseResult::kBadRequest;
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!is_token(method) || !is_valid_target(target))
+    return ParseResult::kBadRequest;
+  if (version != "HTTP/1.1" && version != "HTTP/1.0")
+    return ParseResult::kBadRequest;
+
+  // Header block.
+  req_.headers.clear();
+  std::size_t header_bytes = 0;
+  std::size_t pos = line_end + 1;
+  while (pos < head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) break;
+    std::string_view h = head.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!h.empty() && h.back() == '\r') h.remove_suffix(1);
+    if (h.empty()) break;  // blank line: end of head
+    header_bytes += h.size();
+    if (header_bytes > kMaxHeaderBytes) return ParseResult::kHeadersTooLarge;
+    if (h.front() == ' ' || h.front() == '\t')
+      return ParseResult::kBadRequest;  // obs-fold: obsolete, reject
+    const std::size_t colon = h.find(':');
+    if (colon == std::string_view::npos) return ParseResult::kBadRequest;
+    const std::string_view name = h.substr(0, colon);
+    if (!is_token(name)) return ParseResult::kBadRequest;
+    if (req_.headers.size() >= kMaxHeaders)
+      return ParseResult::kHeadersTooLarge;
+    req_.headers.emplace_back(to_lower(name),
+                              std::string(trim_ows(h.substr(colon + 1))));
+  }
+
+  req_.method = std::string(method);
+  req_.target = std::string(target);
+  req_.version = std::string(version);
+
+  // Bodies are out of scope for the ops endpoints.
+  const std::string_view te = req_.header("transfer-encoding");
+  if (!te.empty()) return ParseResult::kPayloadTooLarge;
+  const std::string_view cl = req_.header("content-length");
+  if (!cl.empty() && trim_ows(cl) != "0") {
+    // Non-numeric Content-Length is malformed rather than oversized.
+    const std::string_view v = trim_ows(cl);
+    const bool numeric =
+        !v.empty() && std::all_of(v.begin(), v.end(), [](char c) {
+          return c >= '0' && c <= '9';
+        });
+    return numeric ? ParseResult::kPayloadTooLarge
+                   : ParseResult::kBadRequest;
+  }
+
+  // Keep-alive: 1.1 defaults on, 1.0 defaults off.
+  const std::string_view conn = req_.header("connection");
+  if (req_.version == "HTTP/1.1")
+    req_.keep_alive = !iequals(conn, "close");
+  else
+    req_.keep_alive = iequals(conn, "keep-alive");
+
+  buf_.erase(0, head_end);
+  done_ = true;
+
+  if (req_.method != "GET" && req_.method != "HEAD")
+    return ParseResult::kNotImplemented;
+  return ParseResult::kComplete;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    default: return "Unknown";
+  }
+}
+
+std::string format_response(int status, std::string_view content_type,
+                            std::string_view body, bool keep_alive,
+                            bool head_only) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason_phrase(status);
+  out += "\r\nContent-Type: ";
+  out.append(content_type.data(), content_type.size());
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  if (!head_only) out.append(body.data(), body.size());
+  return out;
+}
+
+}  // namespace dcl::obs::http

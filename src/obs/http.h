@@ -1,0 +1,96 @@
+// dcl::obs::http — a minimal HTTP/1.1 request parser and response
+// formatter for the embedded ops server (obs/serve.h).
+//
+// The parser is deliberately separated from any socket code so it can be
+// unit-tested and fuzzed byte-by-byte (tests/http_test.cpp,
+// tests/fuzz/http_request_fuzz.cpp). It is incremental: feed() consumes
+// arbitrary chunks, returns kNeedMore until a full request head has
+// arrived, and leaves any bytes after the request (pipelined requests) in
+// its buffer for the next parse round. Hard limits bound memory: the
+// request line, total header bytes, and header count each have a fixed
+// ceiling, and any violation maps to a specific 4xx status.
+//
+// Scope: request head only (method, target, version, headers). Bodies are
+// not supported — the ops endpoints are all read-only GETs — so a request
+// advertising a body (Content-Length > 0 or Transfer-Encoding) is
+// rejected with 413. This is not a general HTTP implementation; it parses
+// the subset a metrics scraper or curl sends and rejects the rest loudly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dcl::obs::http {
+
+// Parse outcome; values != kNeedMore/kComplete carry the HTTP status the
+// server should answer with before closing the connection.
+enum class ParseResult {
+  kNeedMore = 0,      // incomplete head buffered; feed more bytes
+  kComplete,          // request() is valid; leftover() may hold pipelined bytes
+  kBadRequest,        // 400: malformed request line / header syntax
+  kPayloadTooLarge,   // 413: request advertises a body
+  kUriTooLong,        // 414: request line beyond kMaxRequestLine
+  kHeadersTooLarge,   // 431: header block beyond kMaxHeaderBytes/kMaxHeaders
+  kNotImplemented,    // 501: method other than GET/HEAD
+};
+
+// HTTP status of a terminal parse error (0 for kNeedMore/kComplete).
+int status_of(ParseResult r);
+
+struct Request {
+  std::string method;   // uppercase token, e.g. "GET"
+  std::string target;   // origin-form target, e.g. "/metrics?x=1"
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;  // name lowercased
+  bool keep_alive = false;  // after Connection / version defaults
+
+  // Target with any "?query" stripped — what the router matches on.
+  std::string_view path() const;
+  // First header value by lowercase name ("" when absent).
+  std::string_view header(std::string_view lower_name) const;
+};
+
+class RequestParser {
+ public:
+  static constexpr std::size_t kMaxRequestLine = 4096;
+  static constexpr std::size_t kMaxHeaderBytes = 16384;
+  static constexpr std::size_t kMaxHeaders = 64;
+
+  // Appends `data` to the internal buffer and attempts to parse one
+  // request head. On kComplete the parsed request is in request() and the
+  // unconsumed tail (start of a pipelined request) stays buffered; call
+  // reset() to start parsing it. On a terminal error the parser must be
+  // discarded or reset(); the connection should be answered and closed.
+  ParseResult feed(std::string_view data);
+
+  const Request& request() const { return req_; }
+
+  // Begins parsing the next pipelined request from the buffered leftover.
+  // Returns the parse state of the leftover bytes (kNeedMore when the
+  // buffer is empty).
+  ParseResult reset();
+
+  // Buffered-but-unparsed byte count (diagnostics/tests).
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  ParseResult parse();
+
+  std::string buf_;
+  Request req_;
+  bool done_ = false;
+};
+
+// Formats a complete response with Content-Length, Content-Type,
+// Connection, and the body ("" for HEAD — pass body_len explicitly).
+std::string format_response(int status, std::string_view content_type,
+                            std::string_view body, bool keep_alive,
+                            bool head_only = false);
+
+// Reason phrase for the handful of statuses the ops server emits.
+const char* reason_phrase(int status);
+
+}  // namespace dcl::obs::http

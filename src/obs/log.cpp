@@ -1,0 +1,350 @@
+#include "obs/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+
+#include "obs/obs.h"
+#include "obs/window.h"
+
+namespace dcl::obs::log {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kError)};
+std::atomic<bool> g_json{true};
+std::atomic<Sink> g_sink{nullptr};
+
+void stderr_sink(const char* line, std::size_t len) {
+  std::fwrite(line, 1, len, stderr);
+}
+
+Sink sink() {
+  Sink s = g_sink.load(std::memory_order_acquire);
+  return s != nullptr ? s : stderr_sink;
+}
+
+// Small dense thread ids for log lines (first-use order, like the trace
+// rings) — readable and stable within a run, unlike pthread handles.
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// "2026-08-08T12:34:56.789Z" into buf; returns length.
+std::size_t format_wall_time(char* buf, std::size_t cap) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int ms = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  const int n = std::snprintf(buf, cap, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                              tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                              tm.tm_hour, tm.tm_min, tm.tm_sec, ms);
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+// ---- Recent-errors ring -------------------------------------------------
+// Same publish protocol as the trace rings (trace.cpp): a writer claims a
+// global sequence number, invalidates the slot (seq := 0), stores the
+// payload with relaxed byte-wise atomics, then publishes with a release
+// store of the sequence. A reader validates the sequence before and after
+// copying and skips slots overwritten mid-read. Byte-wise atomic arrays
+// keep TSan clean; errors are rare, so the extra per-byte cost is noise.
+
+constexpr std::size_t kCodeBytes = 32;
+
+struct ErrSlot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> ts_ns{0};
+  std::atomic<int> level{0};
+  std::atomic<std::uint16_t> code_len{0};
+  std::atomic<std::uint16_t> msg_len{0};
+  std::array<std::atomic<char>, kCodeBytes> code{};
+  std::array<std::atomic<char>, kRecentErrorMsgBytes> msg{};
+};
+
+struct ErrRing {
+  std::atomic<std::uint64_t> head{0};
+  std::array<ErrSlot, kRecentErrorSlots> slots{};
+};
+
+ErrRing& ring() {
+  static ErrRing* r = new ErrRing();  // never destroyed: exit-safe
+  return *r;
+}
+
+void store_chars(std::atomic<char>* dst, std::size_t cap, std::string_view s,
+                 std::atomic<std::uint16_t>& len_out) {
+  const std::size_t n = s.size() < cap ? s.size() : cap;
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i].store(s[i], std::memory_order_relaxed);
+  len_out.store(static_cast<std::uint16_t>(n), std::memory_order_relaxed);
+}
+
+void record_recent(Level lv, std::string_view code, std::string_view msg) {
+  ErrRing& r = ring();
+  const std::uint64_t seq =
+      r.head.fetch_add(1, std::memory_order_relaxed) + 1;
+  ErrSlot& s = r.slots[(seq - 1) % kRecentErrorSlots];
+  s.seq.store(0, std::memory_order_release);
+  s.ts_ns.store(steady_ns(), std::memory_order_relaxed);
+  s.level.store(static_cast<int>(lv), std::memory_order_relaxed);
+  store_chars(s.code.data(), kCodeBytes, code, s.code_len);
+  store_chars(s.msg.data(), kRecentErrorMsgBytes, msg, s.msg_len);
+  s.seq.store(seq, std::memory_order_release);
+}
+
+// ---- Line formatting ----------------------------------------------------
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  out += obs::json_escape(s);
+}
+
+thread_local std::string t_line;
+
+void emit(Level lv, std::string_view event, const Field* fields,
+          std::size_t n_fields) {
+  std::string& line = t_line;
+  line.clear();
+  char ts[40];
+  const std::size_t ts_len = format_wall_time(ts, sizeof ts);
+  if (g_json.load(std::memory_order_relaxed)) {
+    line += "{\"ts\":\"";
+    line.append(ts, ts_len);
+    line += "\",\"level\":\"";
+    line += to_string(lv);
+    line += "\",\"tid\":";
+    line += std::to_string(thread_id());
+    line += ",\"event\":\"";
+    append_json_escaped(line, event);
+    line += '"';
+    for (std::size_t i = 0; i < n_fields; ++i) {
+      line += ",\"";
+      append_json_escaped(line, fields[i].first);
+      line += "\":\"";
+      append_json_escaped(line, fields[i].second);
+      line += '"';
+    }
+    line += "}\n";
+  } else {
+    line.append(ts, ts_len);
+    line += ' ';
+    line += to_string(lv);
+    line += ' ';
+    line.append(event.data(), event.size());
+    for (std::size_t i = 0; i < n_fields; ++i) {
+      line += ' ';
+      line.append(fields[i].first.data(), fields[i].first.size());
+      line += '=';
+      line.append(fields[i].second.data(), fields[i].second.size());
+    }
+    line += '\n';
+  }
+  sink()(line.c_str(), line.size());
+}
+
+// Human-form "k=v k=v" message for the recent-errors ring.
+std::string fields_message(const Field* fields, std::size_t n) {
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out += ' ';
+    out.append(fields[i].first.data(), fields[i].first.size());
+    out += '=';
+    out.append(fields[i].second.data(), fields[i].second.size());
+  }
+  return out;
+}
+
+void write_impl(Level lv, std::string_view event, const Field* fields,
+                std::size_t n_fields) {
+  if (lv >= Level::kWarn && lv < Level::kOff)
+    record_recent(lv, event, fields_message(fields, n_fields));
+  if (!enabled(lv)) return;
+  emit(lv, event, fields, n_fields);
+}
+
+void vwritef(Level lv, std::string_view event, const char* fmt,
+             std::va_list ap) {
+  char buf[512];
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  const Field f{"msg", buf};
+  write_impl(lv, event, &f, 1);
+}
+
+}  // namespace
+
+const char* to_string(Level lv) {
+  switch (lv) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "unknown";
+}
+
+bool parse_level(std::string_view s, Level& out) {
+  if (s == "debug") out = Level::kDebug;
+  else if (s == "info") out = Level::kInfo;
+  else if (s == "warn") out = Level::kWarn;
+  else if (s == "error") out = Level::kError;
+  else if (s == "off") out = Level::kOff;
+  else return false;
+  return true;
+}
+
+Level level() {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_level(Level lv) {
+  g_level.store(static_cast<int>(lv), std::memory_order_relaxed);
+}
+
+void set_json(bool on) { g_json.store(on, std::memory_order_relaxed); }
+bool json() { return g_json.load(std::memory_order_relaxed); }
+
+void set_sink(Sink s) { g_sink.store(s, std::memory_order_release); }
+
+void write(Level lv, std::string_view event,
+           std::initializer_list<Field> fields) {
+  write_impl(lv, event, fields.begin(), fields.size());
+}
+
+void write(Level lv, std::string_view event,
+           const std::vector<Field>& fields) {
+  write_impl(lv, event, fields.data(), fields.size());
+}
+
+void writef(Level lv, std::string_view event, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  vwritef(lv, event, fmt, ap);
+  va_end(ap);
+}
+
+void infof(std::string_view event, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  vwritef(Level::kInfo, event, fmt, ap);
+  va_end(ap);
+}
+
+void warnf(std::string_view event, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  vwritef(Level::kWarn, event, fmt, ap);
+  va_end(ap);
+}
+
+void errorf(std::string_view event, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  vwritef(Level::kError, event, fmt, ap);
+  va_end(ap);
+}
+
+std::uint64_t recent_errors_total() {
+  return ring().head.load(std::memory_order_relaxed);
+}
+
+std::vector<RecentError> recent_errors() {
+  ErrRing& r = ring();
+  const std::uint64_t head = r.head.load(std::memory_order_acquire);
+  const std::uint64_t first =
+      head > kRecentErrorSlots ? head - kRecentErrorSlots + 1 : 1;
+  std::vector<RecentError> out;
+  out.reserve(head >= first ? static_cast<std::size_t>(head - first + 1) : 0);
+  for (std::uint64_t seq = first; seq <= head; ++seq) {
+    const ErrSlot& s = r.slots[(seq - 1) % kRecentErrorSlots];
+    if (s.seq.load(std::memory_order_acquire) != seq) continue;
+    RecentError e;
+    e.seq = seq;
+    e.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+    e.level = static_cast<Level>(s.level.load(std::memory_order_relaxed));
+    const std::size_t code_len =
+        s.code_len.load(std::memory_order_relaxed);
+    const std::size_t msg_len = s.msg_len.load(std::memory_order_relaxed);
+    e.code.resize(code_len < kCodeBytes ? code_len : kCodeBytes);
+    for (std::size_t i = 0; i < e.code.size(); ++i)
+      e.code[i] = s.code[i].load(std::memory_order_relaxed);
+    e.message.resize(msg_len < kRecentErrorMsgBytes ? msg_len
+                                                    : kRecentErrorMsgBytes);
+    for (std::size_t i = 0; i < e.message.size(); ++i)
+      e.message[i] = s.msg[i].load(std::memory_order_relaxed);
+    if (s.seq.load(std::memory_order_acquire) != seq) continue;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string recent_errors_json() {
+  const std::vector<RecentError> errs = recent_errors();
+  std::string out = "[";
+  for (std::size_t i = 0; i < errs.size(); ++i) {
+    const RecentError& e = errs[i];
+    if (i != 0) out += ", ";
+    out += "{\"seq\": ";
+    out += std::to_string(e.seq);
+    out += ", \"ts_ns\": ";
+    out += std::to_string(e.ts_ns);
+    out += ", \"level\": \"";
+    out += to_string(e.level);
+    out += "\", \"code\": \"";
+    out += obs::json_escape(e.code);
+    out += "\", \"message\": \"";
+    out += obs::json_escape(e.message);
+    out += "\"}";
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+
+void error_listener(util::ErrorCode code, util::Severity severity,
+                    const char* what) {
+  const Level lv =
+      severity == util::Severity::kWarning ? Level::kWarn : Level::kError;
+  record_recent(lv, util::to_string(code), what != nullptr ? what : "");
+  Registry::global()
+      .windowed_counter(std::string("log.errors.") + util::to_string(code))
+      .add();
+  // Thrown errors are routinely caught and degraded around (EM restarts,
+  // sanitizer repair); surface them on the sink only under --verbose. The
+  // catch sites log the ones that matter at their real level.
+  if (enabled(Level::kDebug))
+    write(Level::kDebug, "error.raised",
+          {{"code", util::to_string(code)},
+           {"severity", util::to_string(severity)},
+           {"msg", what != nullptr ? what : ""}});
+}
+
+}  // namespace
+
+void install_error_listener() { util::set_error_listener(&error_listener); }
+
+}  // namespace dcl::obs::log

@@ -1,0 +1,144 @@
+// dcl::obs::log — leveled structured logging and a recent-errors ring.
+//
+// Log lines are JSON objects written atomically to the sink (stderr by
+// default): each emitting thread formats into its own thread_local buffer
+// and hands the finished line to the sink in a single write, so lines
+// from concurrent threads never interleave and no lock is held while
+// formatting. A human-readable format is available for interactive runs
+// (set_json(false)).
+//
+//   log::warn("em.retry", {{"restart", "3"}, {"reason", "nan_ll"}});
+//   log::errorf("io", "cannot open %s", path.c_str());
+//
+// Severity filtering is a single relaxed atomic load; lines below the
+// threshold cost the load, the compare, and nothing else (arguments are
+// still evaluated — keep call sites cheap or guard with log::enabled()).
+// The library default is kError so embedding tests stay quiet; the CLIs
+// raise it to kInfo (or kDebug under --verbose).
+//
+// Independently of the sink filter, every warn-or-worse line is also
+// recorded into a fixed-size lock-free ring of recent errors (seq-guarded
+// slots, same protocol as the trace rings) that /statusz drains without
+// stopping writers — so a degraded run's last errors are visible live
+// even when stderr is discarded. install_error_listener() additionally
+// wires util::set_error_listener so every typed util::Error construction
+// (i.e. every library throw) lands in the ring and in the
+// `log.errors.<code>` windowed counters, whether or not it is caught and
+// handled upstream.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dcl::obs::log {
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+const char* to_string(Level lv);
+// Parses "debug"/"info"/"warn"/"error"/"off" (case-sensitive); returns
+// false and leaves `out` untouched on anything else.
+bool parse_level(std::string_view s, Level& out);
+
+Level level();
+void set_level(Level lv);
+inline bool enabled(Level lv) { return lv >= level(); }
+
+// Output format: structured JSON lines (default) or a human-readable
+// "HH:MM:SS LEVEL event key=value ..." form.
+void set_json(bool on);
+bool json();
+
+// Sink: a function receiving one complete, newline-terminated line.
+// Default writes to stderr. Pass nullptr to restore the default.
+using Sink = void (*)(const char* line, std::size_t len);
+void set_sink(Sink sink);
+
+// One structured field; values are written as JSON strings (escaped).
+using Field = std::pair<std::string_view, std::string_view>;
+
+// Emits one line at `lv` with an `event` tag and optional fields. The
+// line always carries ts (ISO 8601 UTC, ms), level, tid, and event.
+void write(Level lv, std::string_view event,
+           std::initializer_list<Field> fields = {});
+void write(Level lv, std::string_view event, const std::vector<Field>& fields);
+
+inline void debug(std::string_view event,
+                  std::initializer_list<Field> fields = {}) {
+  write(Level::kDebug, event, fields);
+}
+inline void info(std::string_view event,
+                 std::initializer_list<Field> fields = {}) {
+  write(Level::kInfo, event, fields);
+}
+inline void warn(std::string_view event,
+                 std::initializer_list<Field> fields = {}) {
+  write(Level::kWarn, event, fields);
+}
+inline void error(std::string_view event,
+                  std::initializer_list<Field> fields = {}) {
+  write(Level::kError, event, fields);
+}
+
+// printf-style convenience: the formatted message becomes a "msg" field.
+void writef(Level lv, std::string_view event, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+void infof(std::string_view event, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+void warnf(std::string_view event, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+void errorf(std::string_view event, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+// ---- Recent-errors ring -------------------------------------------------
+
+// A drained recent error. `seq` increases with each recorded error (1 =
+// oldest ever); `ts_ns` is steady-clock nanoseconds at record time.
+struct RecentError {
+  std::uint64_t seq = 0;
+  std::uint64_t ts_ns = 0;
+  Level level = Level::kError;
+  std::string code;     // util::ErrorCode name or the log event tag
+  std::string message;  // truncated to the slot's fixed capacity
+};
+
+inline constexpr std::size_t kRecentErrorSlots = 64;
+inline constexpr std::size_t kRecentErrorMsgBytes = 240;
+
+// Total warn-or-worse records since process start (monotonic; the ring
+// keeps the last kRecentErrorSlots of them).
+std::uint64_t recent_errors_total();
+// Snapshot, oldest first. Entries overwritten mid-read are skipped.
+std::vector<RecentError> recent_errors();
+// JSON array of the snapshot (used by /statusz).
+std::string recent_errors_json();
+
+// Routes every typed util::Error construction into the ring and into
+// windowed `log.errors.<code>` counters via util::set_error_listener.
+// Idempotent; the CLIs call it at startup.
+void install_error_listener();
+
+}  // namespace dcl::obs::log

@@ -8,6 +8,7 @@
 
 #include "obs/manifest.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 
 namespace dcl::obs {
 
@@ -64,13 +65,19 @@ void Gauge::reset() {
              std::memory_order_relaxed);
 }
 
-void Histogram::record(double x) {
+std::size_t Histogram::bucket_index(double x) {
   std::size_t idx = 0;
   if (x > kBase) {
     const double octaves = std::log2(x / kBase);
     idx = std::min(kBuckets - 1,
                    static_cast<std::size_t>(std::max(0.0, octaves)) + 1);
   }
+  return idx;
+}
+
+void Histogram::record(double x) { record(x, bucket_index(x)); }
+
+void Histogram::record(double x, std::size_t idx) {
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add(sum_, x);
@@ -124,13 +131,28 @@ double Histogram::quantile(double q) const {
   return max();
 }
 
-Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+Counter& Registry::counter_locked(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
              .first;
   return *it->second;
+}
+
+Histogram& Registry::histogram_locked(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counter_locked(name);
 }
 
 Gauge& Registry::gauge(std::string_view name) {
@@ -143,14 +165,35 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = histograms_.find(name);
-  if (it == histograms_.end())
-    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+  return histogram_locked(name);
+}
+
+window::WindowedCounter& Registry::windowed_counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windowed_counters_.find(name);
+  if (it == windowed_counters_.end())
+    it = windowed_counters_
+             .emplace(std::string(name), std::make_unique<window::WindowedCounter>(
+                                             counter_locked(name)))
+             .first;
+  return *it->second;
+}
+
+window::WindowedHistogram& Registry::windowed_histogram(
+    std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windowed_histograms_.find(name);
+  if (it == windowed_histograms_.end())
+    it = windowed_histograms_
+             .emplace(std::string(name),
+                      std::make_unique<window::WindowedHistogram>(
+                          histogram_locked(name)))
              .first;
   return *it->second;
 }
 
 Snapshot Registry::snapshot() const {
+  window::refresh();  // rotation is reader-driven; see obs/window.h
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot s;
   for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
@@ -174,6 +217,22 @@ Snapshot Registry::snapshot() const {
     }
     s.histograms.push_back(std::move(d));
   }
+  auto window_data = [](const std::string& name, bool is_histogram,
+                        const window::WindowView& w) {
+    Snapshot::WindowData d;
+    d.name = name;
+    d.is_histogram = is_histogram;
+    d.count = w.count;
+    d.rate = w.rate;
+    d.p50 = w.p50;
+    d.p95 = w.p95;
+    d.p99 = w.p99;
+    return d;
+  };
+  for (const auto& [name, wc] : windowed_counters_)
+    s.windows.push_back(window_data(name, false, wc->window()));
+  for (const auto& [name, wh] : windowed_histograms_)
+    s.windows.push_back(window_data(name, true, wh->window()));
   return s;
 }
 
@@ -182,6 +241,8 @@ void Registry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, wc] : windowed_counters_) wc->reset_window();
+  for (auto& [name, wh] : windowed_histograms_) wh->reset_window();
 }
 
 Registry& Registry::global() {
@@ -252,7 +313,18 @@ std::string Registry::to_json() const {
     }
     os << "]}";
   }
-  os << (s.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  os << (s.histograms.empty() ? "" : "\n  ") << "},\n  \"windows\": {";
+  for (std::size_t i = 0; i < s.windows.size(); ++i) {
+    const auto& w = s.windows[i];
+    os << (i ? ",\n    " : "\n    ") << '"' << json_escape(w.name) << "\": {"
+       << "\"count\": " << w.count << ", \"rate\": " << json_number(w.rate);
+    if (w.is_histogram)
+      os << ", \"p50\": " << json_number(w.p50)
+         << ", \"p95\": " << json_number(w.p95)
+         << ", \"p99\": " << json_number(w.p99);
+    os << '}';
+  }
+  os << (s.windows.empty() ? "" : "\n  ") << "}\n}\n";
   return os.str();
 }
 
@@ -284,6 +356,15 @@ std::string Registry::to_csv() const {
     os << "histogram," << h.name << ",mean," << json_number(h.mean) << '\n';
     os << "histogram," << h.name << ",p50," << json_number(h.p50) << '\n';
     os << "histogram," << h.name << ",p99," << json_number(h.p99) << '\n';
+  }
+  for (const auto& w : s.windows) {
+    os << "window," << w.name << ",count," << w.count << '\n';
+    os << "window," << w.name << ",rate," << json_number(w.rate) << '\n';
+    if (w.is_histogram) {
+      os << "window," << w.name << ",p50," << json_number(w.p50) << '\n';
+      os << "window," << w.name << ",p95," << json_number(w.p95) << '\n';
+      os << "window," << w.name << ",p99," << json_number(w.p99) << '\n';
+    }
   }
   return os.str();
 }
@@ -361,6 +442,47 @@ std::string prometheus_number(double x) {
   return json_number(x);
 }
 
+// HELP text escaping per the exposition format: backslash and newline.
+std::string prometheus_help_value(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+// One-line HELP per metric family, keyed on the dotted-name prefix the
+// subsystems use; the fallback names the original metric so every family
+// still gets a HELP line (required by strict exposition parsers).
+std::string prometheus_help(std::string_view name) {
+  struct PrefixHelp {
+    std::string_view prefix;
+    const char* help;
+  };
+  static constexpr PrefixHelp kHelp[] = {
+      {"span.", "Wall-clock seconds spent in this pipeline stage."},
+      {"sanitize.", "Trace records repaired or dropped by sanitization."},
+      {"em.", "EM engine telemetry."},
+      {"pipeline.", "Identification pipeline outcome accounting."},
+      {"trace.", "Flight-recorder ring accounting."},
+      {"serve.", "Embedded ops HTTP server accounting."},
+      {"faults.", "Fault-injection driver accounting."},
+      {"log.", "Structured logger accounting."},
+  };
+  for (const auto& h : kHelp)
+    if (name.substr(0, h.prefix.size()) == h.prefix) return h.help;
+  return "dclid metric '" + prometheus_help_value(name) + "'.";
+}
+
+void prometheus_family(std::ostream& os, const std::string& p,
+                       std::string_view original, const char* type) {
+  os << "# HELP " << p << ' ' << prometheus_help(original) << '\n';
+  os << "# TYPE " << p << ' ' << type << '\n';
+}
+
 }  // namespace
 
 std::string Registry::to_prometheus() const {
@@ -369,23 +491,23 @@ std::string Registry::to_prometheus() const {
   for (const auto& [name, v] : s.counters) {
     const std::string p = prometheus_name(name);
     const std::string labels = prometheus_labels(p, name);
-    os << "# TYPE " << p << " counter\n";
+    prometheus_family(os, p, name, "counter");
     os << p << labels << ' ' << v << '\n';
   }
   for (std::size_t i = 0; i < s.gauges.size(); ++i) {
     const std::string& name = s.gauges[i].first;
     const std::string p = prometheus_name(name);
-    os << "# TYPE " << p << " gauge\n";
+    prometheus_family(os, p, name, "gauge");
     os << p << prometheus_labels(p, name) << ' '
        << prometheus_number(s.gauges[i].second) << '\n';
     const std::string pmax = p + "_max";
-    os << "# TYPE " << pmax << " gauge\n";
+    prometheus_family(os, pmax, name, "gauge");
     os << pmax << prometheus_labels(p, name) << ' '
        << prometheus_number(s.gauge_maxima[i].second) << '\n';
   }
   for (const auto& h : s.histograms) {
     const std::string p = prometheus_name(h.name);
-    os << "# TYPE " << p << " histogram\n";
+    prometheus_family(os, p, h.name, "histogram");
     // Prometheus buckets are cumulative; ours are disjoint octaves.
     std::uint64_t cum = 0;
     for (const auto& [le, n] : h.buckets) {
@@ -404,7 +526,55 @@ std::string Registry::to_prometheus() const {
     os << p << "_count" << prometheus_labels(p, h.name) << ' '
        << h.count << '\n';
   }
+  // Windowed views export as gauges: they describe the last
+  // kWindowEpochs × kEpochSeconds only, so counter semantics don't apply.
+  const std::string window_note =
+      " over the last " +
+      std::to_string(static_cast<int>(window::kWindowEpochs *
+                                      window::kEpochSeconds)) +
+      "s window.";
+  for (const auto& w : s.windows) {
+    const std::string p = prometheus_name(w.name);
+    const std::string labels = prometheus_labels(p, w.name);
+    auto gauge_line = [&](const char* suffix, const std::string& what,
+                          const std::string& value) {
+      const std::string pw = p + suffix;
+      os << "# HELP " << pw << ' ' << what << window_note << '\n';
+      os << "# TYPE " << pw << " gauge\n";
+      os << pw << labels << ' ' << value << '\n';
+    };
+    gauge_line("_w_count", w.is_histogram ? "Samples" : "Increments",
+               std::to_string(w.count));
+    gauge_line("_w_rate",
+               w.is_histogram ? "Samples per second" : "Increments per second",
+               prometheus_number(w.rate));
+    if (w.is_histogram) {
+      gauge_line("_w_p50", "p50 (octave upper bound)",
+                 prometheus_number(w.p50));
+      gauge_line("_w_p95", "p95 (octave upper bound)",
+                 prometheus_number(w.p95));
+      gauge_line("_w_p99", "p99 (octave upper bound)",
+                 prometheus_number(w.p99));
+    }
+  }
   return os.str();
+}
+
+std::string Registry::to_prometheus(const RunManifest& manifest) const {
+  std::ostringstream os;
+  os << "# HELP dcl_build_info Build and run provenance; value is always"
+        " 1.\n";
+  os << "# TYPE dcl_build_info gauge\n";
+  os << "dcl_build_info{"
+     << "tool=\"" << prometheus_label_value(manifest.tool) << "\","
+     << "version=\"" << prometheus_label_value(manifest.version) << "\","
+     << "git=\"" << prometheus_label_value(manifest.git) << "\","
+     << "compiler=\"" << prometheus_label_value(manifest.compiler) << "\","
+     << "build_type=\"" << prometheus_label_value(manifest.build_type)
+     << "\","
+     << "config_digest=\"" << prometheus_label_value(manifest.config_digest)
+     << "\"} 1\n";
+  return os.str() + to_prometheus();
 }
 
 Span::Span(const char* name) : name_(name), reg_(nullptr) {
@@ -434,7 +604,7 @@ Span::~Span() {
   if (traced_) trace::end(name_);
   if (reg_ == nullptr) return;
   const double secs = static_cast<double>(now_ns() - start_ns_) * 1e-9;
-  reg_->histogram(std::string("span.") + name_).record(secs);
+  reg_->windowed_histogram(std::string("span.") + name_).record(secs);
 }
 
 }  // namespace dcl::obs

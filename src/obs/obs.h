@@ -29,6 +29,11 @@ namespace dcl::obs {
 
 struct RunManifest;
 
+namespace window {
+class WindowedCounter;
+class WindowedHistogram;
+}  // namespace window
+
 // Global on/off switch for the scoped timers (counters and gauges are
 // plain atomics and always live). Disabled by default.
 bool enabled();
@@ -75,6 +80,11 @@ class Histogram {
   static constexpr double kBase = 1e-9;
 
   void record(double x);
+  // Same, with the bucket precomputed via bucket_index(x) — lets wrappers
+  // that also bin `x` elsewhere (obs/window.h) pay for log2 once.
+  void record(double x, std::size_t bucket);
+  // Bucket that record(x) increments.
+  static std::size_t bucket_index(double x);
   void reset();
 
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -103,6 +113,19 @@ class Histogram {
 
 // Point-in-time copy of a registry, used by the exporters and tests.
 struct Snapshot {
+  // Last-window view of a windowed instrument (obs/window.h): counts and
+  // rates over the most recent kWindowEpochs epochs; quantiles only for
+  // histograms. The cumulative twin appears under the same name in
+  // `counters` / `histograms`.
+  struct WindowData {
+    std::string name;
+    bool is_histogram = false;
+    std::uint64_t count = 0;
+    double rate = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
   struct HistogramData {
     std::string name;
     std::uint64_t count = 0;
@@ -119,11 +142,15 @@ struct Snapshot {
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, double>> gauge_maxima;
   std::vector<HistogramData> histograms;
+  std::vector<WindowData> windows;
 };
 
 class Registry {
  public:
-  Registry() = default;
+  // Out-of-line (obs.cpp): the windowed-instrument maps hold unique_ptrs
+  // of types this header only forward-declares.
+  Registry();
+  ~Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
@@ -132,6 +159,11 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  // Windowed twins (obs/window.h): wrap the cumulative counter/histogram
+  // of the same name (created on demand), adding last-minute rates and
+  // quantiles to the snapshot's `windows` and the Prometheus exposition.
+  window::WindowedCounter& windowed_counter(std::string_view name);
+  window::WindowedHistogram& windowed_histogram(std::string_view name);
 
   Snapshot snapshot() const;
   // Pretty-printed JSON object {"counters": {...}, "gauges": {...},
@@ -149,8 +181,15 @@ class Registry {
   // prometheus histograms with cumulative `_bucket{le="..."}` counts, a
   // `+Inf` bucket, `_sum`, and `_count`. Metric names are sanitized to
   // [a-zA-Z_:][a-zA-Z0-9_:]* with the original name kept in a `dcl_name`
-  // label when sanitization changed it.
+  // label when sanitization changed it. Every family carries `# HELP` and
+  // `# TYPE` lines; windowed instruments additionally export last-window
+  // gauges (`<name>_w_count`, `_w_rate`, and `_w_p50/_w_p95/_w_p99` for
+  // histograms).
   std::string to_prometheus() const;
+  // Same exposition preceded by a `dcl_build_info` gauge carrying the run
+  // provenance (git, version, compiler, build type, config digest, tool)
+  // as escaped labels with value 1 — the canonical join key for dashboards.
+  std::string to_prometheus(const RunManifest& manifest) const;
 
   // Zeroes every metric (handles stay valid).
   void reset();
@@ -159,15 +198,24 @@ class Registry {
   static Registry& global();
 
  private:
+  Counter& counter_locked(std::string_view name);
+  Histogram& histogram_locked(std::string_view name);
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<window::WindowedCounter>, std::less<>>
+      windowed_counters_;
+  std::map<std::string, std::unique_ptr<window::WindowedHistogram>,
+           std::less<>>
+      windowed_histograms_;
 };
 
 // RAII stage timer: records the scope's wall duration (monotonic clock,
-// seconds) into histogram `span.<name>` of the target registry on
-// destruction. Inactive (no clock read) when observability is disabled
+// seconds) into the windowed histogram `span.<name>` of the target
+// registry on destruction — cumulative totals plus a last-minute window,
+// so a long-lived process's /metrics shows recent stage latency. Inactive (no clock read) when observability is disabled
 // and no explicit registry is given. When the flight recorder is running
 // (obs/trace.h), the span additionally emits a begin/end pair onto the
 // calling thread's trace track — so every DCL_SPAN site shows up in

@@ -1,0 +1,359 @@
+#include "obs/serve.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "obs/http.h"
+#include "obs/log.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "obs/window.h"
+#include "util/error.h"
+
+namespace dcl::obs::serve {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// write() the whole buffer; MSG_NOSIGNAL so a scraper that hung up does
+// not SIGPIPE the process. Returns false on any error.
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_address(std::string_view s, Options& opts) {
+  if (s.empty()) return false;
+  std::string_view host, port_sv;
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string_view::npos) {
+    port_sv = s;  // "9100"
+  } else {
+    host = s.substr(0, colon);  // may be empty: ":9100"
+    port_sv = s.substr(colon + 1);
+  }
+  if (port_sv.empty() || port_sv.size() > 5) return false;
+  unsigned long port = 0;
+  for (char c : port_sv) {
+    if (c < '0' || c > '9') return false;
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+  }
+  if (port > 65535) return false;
+  if (!host.empty()) opts.host = std::string(host);
+  opts.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+struct Server::Impl {
+  Options opts;
+  Registry* reg = nullptr;
+  int listen_fd = -1;
+  int wake_r = -1;  // self-pipe: stop() writes, the loop polls
+  int wake_w = -1;
+  std::atomic<bool> stopping{false};
+  std::thread thread;
+  std::uint64_t start_ns = 0;
+  std::string host;
+  std::uint16_t port = 0;
+
+  void run();
+  void serve_connection(int fd);
+  int handle(std::string_view path, std::string& content_type,
+             std::string& body);
+  void close_fds() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_r >= 0) ::close(wake_r);
+    if (wake_w >= 0) ::close(wake_w);
+    listen_fd = wake_r = wake_w = -1;
+  }
+};
+
+std::unique_ptr<Server> Server::start(Options opts) {
+  auto impl = std::make_unique<Impl>();
+  impl->opts = std::move(opts);
+  impl->reg = impl->opts.registry != nullptr ? impl->opts.registry
+                                             : &Registry::global();
+  impl->start_ns = steady_ns();
+  impl->host = impl->opts.host;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0)
+    util::raise(util::ErrorCode::kIo,
+                std::string("serve: socket(): ") + std::strerror(errno));
+  impl->listen_fd = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(impl->opts.port);
+  if (::inet_pton(AF_INET, impl->host.c_str(), &addr.sin_addr) != 1) {
+    impl->close_fds();
+    util::raise(util::ErrorCode::kInvalidInput,
+                "serve: not an IPv4 address: " + impl->host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 16) < 0) {
+    const std::string why = std::strerror(errno);
+    impl->close_fds();
+    util::raise(util::ErrorCode::kIo,
+                "serve: cannot listen on " + impl->host + ':' +
+                    std::to_string(impl->opts.port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0)
+    impl->port = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC) != 0) {
+    impl->close_fds();
+    util::raise(util::ErrorCode::kIo,
+                std::string("serve: pipe2(): ") + std::strerror(errno));
+  }
+  impl->wake_r = pipe_fds[0];
+  impl->wake_w = pipe_fds[1];
+
+  auto server = std::unique_ptr<Server>(new Server());
+  server->impl_ = std::move(impl);
+  Impl* raw = server->impl_.get();
+  raw->thread = std::thread([raw] { raw->run(); });
+  log::info("serve.start", {{"address", server->address()}});
+  return server;
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (impl_ == nullptr) return;
+  bool expected = false;
+  if (impl_->stopping.compare_exchange_strong(expected, true)) {
+    const char b = 1;
+    if (impl_->wake_w >= 0)
+      (void)!::write(impl_->wake_w, &b, 1);
+  }
+  if (impl_->thread.joinable()) impl_->thread.join();
+  impl_->close_fds();
+}
+
+const std::string& Server::host() const { return impl_->host; }
+std::uint16_t Server::port() const { return impl_->port; }
+
+std::string Server::address() const {
+  return impl_->host + ':' + std::to_string(impl_->port);
+}
+
+void Server::Impl::run() {
+  while (!stopping.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {wake_r, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    reg->windowed_counter("serve.connections").add();
+    serve_connection(conn);
+    ::close(conn);
+  }
+}
+
+void Server::Impl::serve_connection(int fd) {
+  http::RequestParser parser;
+  http::ParseResult pr = http::ParseResult::kNeedMore;
+  std::size_t served = 0;
+  char buf[4096];
+  while (true) {
+    while (pr == http::ParseResult::kNeedMore) {
+      pollfd fds[2] = {{fd, POLLIN, 0}, {wake_r, POLLIN, 0}};
+      const int rc = ::poll(fds, 2, opts.io_timeout_ms);
+      if (rc <= 0 || fds[1].revents != 0) return;  // timeout / stop
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n <= 0) return;  // abrupt close or error
+      pr = parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+    if (pr != http::ParseResult::kComplete) {
+      const int status = http::status_of(pr);
+      reg->windowed_counter("serve.errors").add();
+      send_all(fd, http::format_response(status, "text/plain",
+                                         std::string(http::reason_phrase(
+                                             status)) +
+                                             "\n",
+                                         /*keep_alive=*/false));
+      return;
+    }
+
+    const http::Request& req = parser.request();
+    const bool head_only = req.method == "HEAD";
+    const std::uint64_t t0 = steady_ns();
+    std::string content_type, body;
+    int status;
+    try {
+      status = handle(req.path(), content_type, body);
+    } catch (const std::exception& e) {
+      status = 500;
+      content_type = "text/plain";
+      body = std::string("internal error: ") + e.what() + "\n";
+    }
+    reg->windowed_counter("serve.requests").add();
+    if (status >= 400) reg->windowed_counter("serve.errors").add();
+    reg->windowed_histogram("serve.handler")
+        .record(static_cast<double>(steady_ns() - t0) * 1e-9);
+    log::debug("serve.request", {{"path", req.path()},
+                                 {"status", std::to_string(status)}});
+
+    ++served;
+    const bool keep_alive = req.keep_alive &&
+                            served < opts.max_requests_per_conn &&
+                            !stopping.load(std::memory_order_acquire);
+    if (!send_all(fd, http::format_response(status, content_type, body,
+                                            keep_alive, head_only)))
+      return;
+    if (!keep_alive) return;
+    pr = parser.reset();
+  }
+}
+
+int Server::handle(std::string_view path, std::string& content_type,
+                   std::string& body) const {
+  return impl_->handle(path, content_type, body);
+}
+
+int Server::Impl::handle(std::string_view path, std::string& content_type,
+                         std::string& body) {
+  Impl& im = *this;
+  // Scrapes drive the windowed-metric epoch clock (obs/window.h).
+  window::refresh();
+  const double uptime_s =
+      static_cast<double>(steady_ns() - im.start_ns) * 1e-9;
+
+  if (path == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = im.reg->to_prometheus(im.opts.manifest);
+    return 200;
+  }
+
+  if (path == "/healthz") {
+    const std::uint64_t degraded =
+        im.reg->counter("pipeline.degraded").value();
+    content_type = "application/json";
+    std::ostringstream os;
+    os << "{\"status\": \"" << (degraded > 0 ? "degraded" : "ok")
+       << "\", \"uptime_s\": " << json_number(uptime_s)
+       << ", \"degraded_runs\": " << degraded
+       << ", \"errors_total\": " << log::recent_errors_total() << "}\n";
+    body = os.str();
+    return 200;
+  }
+
+  if (path == "/statusz") {
+    const Snapshot s = im.reg->snapshot();
+    const trace::TraceSession& ts = trace::TraceSession::instance();
+    const trace::TraceSession::DropStats drops = ts.drop_stats();
+    std::ostringstream os;
+    os << "{\n  \"manifest\": " << im.opts.manifest.to_json();
+    os << ",\n  \"uptime_s\": " << json_number(uptime_s);
+    // Per-stage latency: cumulative span.* histograms joined with their
+    // last-minute windows.
+    os << ",\n  \"stages\": [";
+    bool first = true;
+    for (const auto& h : s.histograms) {
+      if (h.name.rfind("span.", 0) != 0) continue;
+      os << (first ? "" : ",") << "\n    {\"name\": \""
+         << json_escape(h.name.substr(5)) << "\", \"count\": " << h.count
+         << ", \"mean_s\": " << json_number(h.mean)
+         << ", \"p50_s\": " << json_number(h.p50)
+         << ", \"p99_s\": " << json_number(h.p99);
+      for (const auto& w : s.windows) {
+        if (w.name != h.name || !w.is_histogram) continue;
+        os << ", \"window\": {\"count\": " << w.count
+           << ", \"rate\": " << json_number(w.rate)
+           << ", \"p50_s\": " << json_number(w.p50)
+           << ", \"p95_s\": " << json_number(w.p95)
+           << ", \"p99_s\": " << json_number(w.p99) << '}';
+        break;
+      }
+      os << '}';
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "]";
+    // Degradation-relevant counters, verbatim — sanitize.* / em.* /
+    // pipeline.* / trace.* / serve.* / log.* are all small families.
+    os << ",\n  \"counters\": {";
+    first = true;
+    for (const auto& [name, v] : s.counters) {
+      os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+         << "\": " << v;
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "}";
+    os << ",\n  \"trace\": {\"enabled\": "
+       << (trace::enabled() ? "true" : "false")
+       << ", \"threads\": " << ts.thread_count()
+       << ", \"dropped\": " << ts.dropped()
+       << ", \"overwritten\": " << drops.overwritten
+       << ", \"race_dropped\": " << drops.race_dropped << "}";
+    os << ",\n  \"errors\": {\"total\": " << log::recent_errors_total()
+       << ", \"recent\": " << log::recent_errors_json() << "}";
+    os << "\n}\n";
+    content_type = "application/json";
+    body = os.str();
+    return 200;
+  }
+
+  if (path == "/tracez") {
+    content_type = "application/json";
+    body = trace::TraceSession::instance().to_chrome_json(&im.opts.manifest);
+    return 200;
+  }
+
+  if (path == "/") {
+    content_type = "text/plain";
+    body =
+        "dclid ops server\n"
+        "  /metrics  Prometheus exposition (cumulative + windowed)\n"
+        "  /healthz  liveness + degradation state\n"
+        "  /statusz  full JSON status (manifest, stages, errors)\n"
+        "  /tracez   Chrome trace JSON (flight recorder drain)\n";
+    return 200;
+  }
+
+  content_type = "text/plain";
+  body = "not found\n";
+  return 404;
+}
+
+}  // namespace dcl::obs::serve

@@ -1,0 +1,94 @@
+// dcl::obs::serve — the embedded ops HTTP server.
+//
+// A dependency-free HTTP/1.1 server on a single dedicated thread: a
+// blocking accept loop (poll on the listen socket plus a self-pipe for
+// prompt shutdown) that serves connections sequentially — one scraper at
+// a time, bounded keep-alive requests per connection, short poll
+// timeouts. That is deliberate: the consumers are a Prometheus scraper
+// and an operator's curl, not the public internet, and a sequential
+// server cannot be wedged into unbounded thread or memory growth by a
+// misbehaving client.
+//
+// Endpoints (all GET/HEAD, read-only):
+//   /metrics  Prometheus text exposition (cumulative families, windowed
+//             gauges, dcl_build_info) — Registry::to_prometheus(manifest).
+//   /healthz  Small JSON liveness doc: {"status": "ok"|"degraded", ...}.
+//             Status is "degraded" when the pipeline has recorded
+//             degraded runs or a fatal error was raised. Always 200 while
+//             the process serves (liveness, not readiness).
+//   /statusz  Full JSON status: run manifest, uptime, per-stage latency
+//             (cumulative + last-minute windows), sanitize./em./pipeline.
+//             counters, flight-recorder drop accounting, recent errors.
+//   /tracez   Drains the flight recorder into Chrome trace-event JSON
+//             (Perfetto-loadable); empty trace when tracing is off.
+//   /         Plain-text index of the endpoints.
+//
+// Every request bumps windowed serve.* instruments and refreshes the
+// epoch clock (scrapes are the rotation driver for windowed metrics —
+// see obs/window.h). The server never blocks pipeline threads: handlers
+// only read registry snapshots and lock-free rings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/manifest.h"
+
+namespace dcl::obs {
+class Registry;
+}
+
+namespace dcl::obs::serve {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 → kernel-assigned ephemeral port
+  Registry* registry = nullptr;  // nullptr → Registry::global()
+  RunManifest manifest;  // embedded in /metrics, /statusz, /tracez
+  // Keep-alive requests served per connection before a forced close.
+  std::size_t max_requests_per_conn = 32;
+  // Per-read poll timeout; an idle keep-alive connection is closed after
+  // this long so one stuck client cannot block other scrapers for more
+  // than a bounded time.
+  int io_timeout_ms = 2000;
+};
+
+// Parses "host:port", ":port", or "port" into opts.host/opts.port
+// ("0.0.0.0:9100", ":9100", "9100"). Returns false on malformed input.
+bool parse_address(std::string_view s, Options& opts);
+
+class Server {
+ public:
+  // Binds, listens, and starts the serving thread. Throws
+  // util::Error(kIo) when the address cannot be bound.
+  static std::unique_ptr<Server> start(Options opts);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Idempotent; wakes the serving thread, closes the listen socket, and
+  // joins. In-flight responses finish (bounded by io_timeout_ms).
+  void stop();
+
+  // Actual bound address (port resolved when Options::port was 0).
+  const std::string& host() const;
+  std::uint16_t port() const;
+  // "host:port" convenience for log lines.
+  std::string address() const;
+
+  // Routes one already-parsed request path to its response body. Exposed
+  // for tests so endpoint contracts are testable without sockets.
+  // Returns the HTTP status; fills content_type and body.
+  int handle(std::string_view path, std::string& content_type,
+             std::string& body) const;
+
+ private:
+  Server() = default;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dcl::obs::serve

@@ -116,6 +116,14 @@ class ThreadBuffer {
            race_dropped_.load(std::memory_order_relaxed);
   }
 
+  std::uint64_t overwritten() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t race_dropped() const {
+    return race_dropped_.load(std::memory_order_relaxed);
+  }
+
   void set_name(const char* n) {
     name_.store(n, std::memory_order_relaxed);
   }
@@ -261,15 +269,23 @@ std::vector<Event> TraceSession::drain() const {
 }
 
 std::uint64_t TraceSession::dropped() const {
+  const DropStats d = drop_stats();
+  return d.overwritten + d.race_dropped;
+}
+
+TraceSession::DropStats TraceSession::drop_stats() const {
   std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
   {
     SessionState& st = state();
     std::lock_guard<std::mutex> lock(st.mu);
     buffers = st.buffers;
   }
-  std::uint64_t total = 0;
-  for (const auto& b : buffers) total += b->dropped();
-  return total;
+  DropStats d;
+  for (const auto& b : buffers) {
+    d.overwritten += b->overwritten();
+    d.race_dropped += b->race_dropped();
+  }
+  return d;
 }
 
 std::size_t TraceSession::thread_count() const {

@@ -133,6 +133,16 @@ class TraceSession {
   // by drain()/exports.
   std::uint64_t dropped() const;
 
+  // Same loss, split by cause — overwritten (ring wrapped before a drain)
+  // vs race_dropped (slot invalidated mid-read by a writer). The split is
+  // what /statusz reports: overwrites mean the ring is undersized,
+  // race-drops mean a drain raced hot writers.
+  struct DropStats {
+    std::uint64_t overwritten = 0;
+    std::uint64_t race_dropped = 0;
+  };
+  DropStats drop_stats() const;
+
   // Number of thread buffers registered since the last start().
   std::size_t thread_count() const;
 

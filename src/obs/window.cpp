@@ -1,0 +1,183 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dcl::obs::window {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr std::uint64_t kEpochNs =
+    static_cast<std::uint64_t>(kEpochSeconds * 1e9);
+
+struct EpochClock {
+  const std::uint64_t origin_ns = now_ns();
+  std::atomic<std::uint64_t> epoch{0};
+  // Rotations forced by advance(); added on top of the clock-derived id
+  // so a forced rotation is never undone by the next refresh().
+  std::atomic<std::uint64_t> forced{0};
+};
+
+EpochClock& clock() {
+  static EpochClock* c = new EpochClock();  // never destroyed: exit-safe
+  return *c;
+}
+
+// CAS-max: the epoch id only moves forward.
+void raise_epoch(std::uint64_t eid) {
+  EpochClock& c = clock();
+  std::uint64_t cur = c.epoch.load(std::memory_order_relaxed);
+  while (eid > cur &&
+         !c.epoch.compare_exchange_weak(cur, eid, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::uint64_t current_epoch() {
+  return clock().epoch.load(std::memory_order_relaxed);
+}
+
+void refresh() {
+  EpochClock& c = clock();
+  raise_epoch(c.forced.load(std::memory_order_relaxed) +
+              (now_ns() - c.origin_ns) / kEpochNs);
+}
+
+void advance(std::uint64_t n) {
+  EpochClock& c = clock();
+  c.forced.fetch_add(n, std::memory_order_relaxed);
+  refresh();
+}
+
+double seconds_into_epoch() {
+  const EpochClock& c = clock();
+  const std::uint64_t clocked = (now_ns() - c.origin_ns) / kEpochNs +
+                                c.forced.load(std::memory_order_relaxed);
+  // A forced advance opens a fresh epoch "now"; fall back to the clock
+  // phase only when the current epoch is the clock-derived one.
+  if (clocked != current_epoch()) return 0.0;
+  return static_cast<double>((now_ns() - c.origin_ns) % kEpochNs) * 1e-9;
+}
+
+namespace {
+
+// Shared claim protocol: tag the slot for `eid`, zeroing it when this
+// writer wins the rotation race. Returns after the slot is usable for
+// relaxed fetch_adds (a racing zero may drop a few concurrent samples —
+// see the accuracy contract in the header).
+template <typename Slot, typename ZeroFn>
+void claim_slot(Slot& s, std::uint64_t eid, ZeroFn&& zero) {
+  std::uint64_t tag = s.epoch.load(std::memory_order_relaxed);
+  if (tag == eid) return;
+  if (s.epoch.compare_exchange_strong(tag, eid, std::memory_order_relaxed))
+    zero();
+}
+
+// The window covers epochs (eid - kWindowEpochs, eid]; the span is the
+// completed epochs plus however long the current one has been open,
+// floored at one millisecond so early-process rates stay finite.
+double window_span_s() {
+  const std::uint64_t eid = current_epoch();
+  const std::size_t completed =
+      std::min<std::uint64_t>(eid, kWindowEpochs - 1);
+  return std::max(1e-3, static_cast<double>(completed) * kEpochSeconds +
+                            seconds_into_epoch());
+}
+
+}  // namespace
+
+void WindowedCounter::add(std::uint64_t n) {
+  total_->add(n);
+  const std::uint64_t eid = current_epoch();
+  Slot& s = slots_[eid % kRingSlots];
+  claim_slot(s, eid,
+             [&s] { s.count.store(0, std::memory_order_relaxed); });
+  s.count.fetch_add(n, std::memory_order_relaxed);
+}
+
+WindowView WindowedCounter::window() const {
+  const std::uint64_t eid = current_epoch();
+  WindowView v;
+  for (std::size_t k = 0; k < kWindowEpochs; ++k) {
+    if (eid < k) break;
+    const std::uint64_t target = eid - k;
+    const Slot& s = slots_[target % kRingSlots];
+    if (s.epoch.load(std::memory_order_relaxed) != target) continue;
+    v.count += s.count.load(std::memory_order_relaxed);
+  }
+  v.rate = static_cast<double>(v.count) / window_span_s();
+  return v;
+}
+
+void WindowedCounter::reset_window() {
+  for (Slot& s : slots_) {
+    s.epoch.store(kNoEpoch, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+void WindowedHistogram::record(double x) {
+  const std::size_t idx = Histogram::bucket_index(x);
+  cum_->record(x, idx);
+  const std::uint64_t eid = current_epoch();
+  Slot& s = slots_[eid % kRingSlots];
+  claim_slot(s, eid, [&s] {
+    s.count.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  });
+  s.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+WindowView WindowedHistogram::window() const {
+  const std::uint64_t eid = current_epoch();
+  std::array<std::uint64_t, Histogram::kBuckets> sum{};
+  WindowView v;
+  for (std::size_t k = 0; k < kWindowEpochs; ++k) {
+    if (eid < k) break;
+    const std::uint64_t target = eid - k;
+    const Slot& s = slots_[target % kRingSlots];
+    if (s.epoch.load(std::memory_order_relaxed) != target) continue;
+    v.count += s.count.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+      sum[i] += s.buckets[i].load(std::memory_order_relaxed);
+  }
+  v.rate = static_cast<double>(v.count) / window_span_s();
+  // Bucket totals can momentarily exceed `count` under racing writers;
+  // quantiles walk the buckets against their own mass to stay consistent.
+  std::uint64_t mass = 0;
+  for (std::uint64_t n : sum) mass += n;
+  if (mass == 0) return v;
+  auto quantile = [&](double q) {
+    const double target = q * static_cast<double>(mass);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      seen += sum[i];
+      if (static_cast<double>(seen) >= target && seen > 0)
+        return Histogram::bucket_upper(i);
+    }
+    return Histogram::bucket_upper(Histogram::kBuckets - 1);
+  };
+  v.p50 = quantile(0.5);
+  v.p95 = quantile(0.95);
+  v.p99 = quantile(0.99);
+  return v;
+}
+
+void WindowedHistogram::reset_window() {
+  for (Slot& s : slots_) {
+    s.epoch.store(kNoEpoch, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dcl::obs::window

@@ -1,0 +1,119 @@
+// dcl::obs — windowed instruments for always-on processes.
+//
+// A cumulative Counter or Histogram answers "since process start"; a
+// long-lived daemon scraped every few seconds needs "over the last
+// minute". WindowedCounter and WindowedHistogram wrap their cumulative
+// twins with a ring of rotating epochs (kWindowEpochs × kEpochSeconds,
+// default 6 × 10 s): every record lands in the cumulative instrument AND
+// in the current epoch's slot, and a window view aggregates the most
+// recent epochs into last-minute rates and p50/p95/p99.
+//
+// Fast-path contract: record() must stay within ~2× of the cumulative
+// instrument alone (gated by BM_HistogramRecord* in scripts/check.sh).
+// To keep that, writers never read the clock: the current epoch id is a
+// process-wide relaxed atomic that *readers* advance (refresh() — called
+// by Registry::snapshot()/to_prometheus() and the ops server on every
+// scrape). A writer's extra cost is one relaxed load, one compare, and
+// two relaxed fetch_adds; claiming a freshly-rotated slot (once per epoch
+// per instrument) additionally zeroes the slot's buckets.
+//
+// Accuracy contract (monitoring-grade, by design): epoch rotation is
+// driven by reads, so with no scrape for longer than an epoch, samples
+// pool in a stale epoch and are re-binned as "recent" at the next
+// refresh; a writer racing a slot claim can lose a handful of samples to
+// the concurrent zeroing. Cumulative values are exact; windowed views are
+// approximate. Quantiles carry the same one-octave bucket resolution as
+// Histogram::quantile.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "obs/obs.h"
+
+namespace dcl::obs::window {
+
+inline constexpr double kEpochSeconds = 10.0;
+inline constexpr std::size_t kWindowEpochs = 6;
+// Ring slots per instrument; power of two, > kWindowEpochs so an epoch
+// that just left the window is not immediately overwritten under a
+// racing reader.
+inline constexpr std::size_t kRingSlots = 8;
+inline constexpr std::uint64_t kNoEpoch = ~std::uint64_t{0};
+
+// Current process-wide epoch id (relaxed load; writers use this).
+std::uint64_t current_epoch();
+// Advances the epoch id to match the monotonic clock (never backward).
+// Cheap; called by every registry snapshot/export and per ops request.
+void refresh();
+// Forces `n` immediate rotations (deterministic epoch control for tests
+// and for hosts that want sub-clock-resolution rotation).
+void advance(std::uint64_t n = 1);
+// Seconds the current epoch has been open (for rate denominators).
+double seconds_into_epoch();
+
+// Aggregated view over the last kWindowEpochs epochs (including the
+// current, partially-filled one).
+struct WindowView {
+  std::uint64_t count = 0;  // samples (histogram) or increments (counter)
+  double rate = 0.0;        // count per second over the window span
+  double p50 = 0.0;         // histogram only; octave-accurate upper bounds
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Sliding-window rate counter. Shares the cumulative Counter it wraps:
+// add() forwards to the cumulative total and tags the current epoch.
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(Counter& total) : total_(&total) {}
+  WindowedCounter(const WindowedCounter&) = delete;
+  WindowedCounter& operator=(const WindowedCounter&) = delete;
+
+  void add(std::uint64_t n = 1);
+  Counter& total() { return *total_; }
+  const Counter& total() const { return *total_; }
+
+  WindowView window() const;
+  // Zeroes every epoch slot (the wrapped cumulative counter is reset by
+  // its own owner, normally Registry::reset()).
+  void reset_window();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{kNoEpoch};
+    std::atomic<std::uint64_t> count{0};
+  };
+  Counter* total_;
+  std::array<Slot, kRingSlots> slots_;
+};
+
+// Rotating-epoch histogram. Shares the cumulative Histogram it wraps;
+// each epoch slot keeps only bucket counts (quantiles and rates need
+// nothing else), so the record fast path is the cumulative record plus
+// two relaxed fetch_adds.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(Histogram& cumulative) : cum_(&cumulative) {}
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void record(double x);
+  Histogram& cumulative() { return *cum_; }
+  const Histogram& cumulative() const { return *cum_; }
+
+  WindowView window() const;
+  void reset_window();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{kNoEpoch};
+    std::atomic<std::uint64_t> count{0};
+    std::array<std::atomic<std::uint64_t>, Histogram::kBuckets> buckets{};
+  };
+  Histogram* cum_;
+  std::array<Slot, kRingSlots> slots_;
+};
+
+}  // namespace dcl::obs::window

@@ -8,6 +8,7 @@
 // must surface loudly. See DESIGN.md §5.7 for the full degradation ladder.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -51,6 +52,29 @@ inline const char* to_string(Severity s) {
   return "unknown";
 }
 
+// Observation hook: called for every typed Error constructed in library
+// code (at throw time, before unwinding), so an ops layer can count and
+// retain recent errors without sitting on every catch site. The listener
+// must be async-signal-ish careful: no throwing, no locking against the
+// thrower. Installed once at startup (obs::log wires itself in);
+// default is none.
+using ErrorListener = void (*)(ErrorCode, Severity, const char* what);
+
+inline std::atomic<ErrorListener>& error_listener() {
+  static std::atomic<ErrorListener> listener{nullptr};
+  return listener;
+}
+
+inline void set_error_listener(ErrorListener fn) {
+  error_listener().store(fn, std::memory_order_release);
+}
+
+inline void notify_error(ErrorCode code, Severity severity,
+                         const char* what) noexcept {
+  if (ErrorListener fn = error_listener().load(std::memory_order_acquire))
+    fn(code, severity, what);
+}
+
 // Thrown for violated preconditions and invariants in library code.
 // Default-constructed from a bare message it reports an internal fatal
 // error (the historical behaviour of every DCL_ENSURE site); throw sites
@@ -58,10 +82,14 @@ inline const char* to_string(Severity s) {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what)
-      : std::runtime_error(what) {}
+      : std::runtime_error(what) {
+    notify_error(code_, severity_, what.c_str());
+  }
   Error(ErrorCode code, const std::string& what,
         Severity severity = Severity::kFatal)
-      : std::runtime_error(what), code_(code), severity_(severity) {}
+      : std::runtime_error(what), code_(code), severity_(severity) {
+    notify_error(code_, severity_, what.c_str());
+  }
 
   ErrorCode code() const { return code_; }
   Severity severity() const { return severity_; }

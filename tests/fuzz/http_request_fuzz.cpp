@@ -1,0 +1,133 @@
+// libFuzzer harness for the embedded ops server's HTTP request parser
+// (obs/http.h). The contract under fuzzing: RequestParser::feed on
+// arbitrary bytes, delivered in arbitrary chunkings, never crashes,
+// never throws, never buffers beyond its documented limits, and — when
+// it reports kComplete — yields a request honoring the parsed-head
+// invariants (GET/HEAD method, supported version, lowercase header
+// names). The first input byte seeds the chunk size so one corpus file
+// exercises many incremental-delivery schedules.
+//
+// Built by -DDCL_FUZZ=ON. Under Clang this links against libFuzzer
+// (-fsanitize=fuzzer,address,undefined); run it as
+//   build/fuzz/http_request_fuzz tests/corpus/http/
+// Under compilers without libFuzzer the same file compiles with
+// DCL_FUZZ_STANDALONE into a corpus replayer:
+//   build/fuzz/http_request_fuzz tests/corpus/http/*
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "obs/http.h"
+
+namespace http = dcl::obs::http;
+
+namespace {
+
+void check_complete_request(const http::Request& req) {
+  // Only GET/HEAD survive to kComplete (anything else is 501).
+  if (req.method != "GET" && req.method != "HEAD") std::abort();
+  if (req.version != "HTTP/1.0" && req.version != "HTTP/1.1") std::abort();
+  if (req.target.empty()) std::abort();
+  for (const auto& [name, value] : req.headers) {
+    if (name.empty()) std::abort();
+    for (char c : name)
+      if (std::isupper(static_cast<unsigned char>(c))) std::abort();
+    (void)value;
+  }
+  // path() must be a prefix of target and never include a query.
+  const std::string_view path = req.path();
+  if (req.target.compare(0, path.size(), path) != 0) std::abort();
+  if (path.find('?') != std::string_view::npos) std::abort();
+  (void)req.header("host");  // lookup on arbitrary headers must be safe
+}
+
+void drive(const std::uint8_t* data, std::size_t size, std::size_t chunk) {
+  http::RequestParser parser;
+  std::size_t off = 0;
+  // Parse every pipelined request the bytes contain, feeding `chunk`
+  // bytes at a time; cap the rounds so a pathological input can't spin.
+  for (int rounds = 0; rounds < 256; ++rounds) {
+    http::ParseResult r = http::ParseResult::kNeedMore;
+    while (off < size) {
+      const std::size_t n = size - off < chunk ? size - off : chunk;
+      r = parser.feed(
+          std::string_view(reinterpret_cast<const char*>(data) + off, n));
+      off += n;
+      if (r != http::ParseResult::kNeedMore) break;
+    }
+    // Buffering stays bounded no matter what arrived.
+    if (parser.buffered() > http::RequestParser::kMaxRequestLine +
+                                http::RequestParser::kMaxHeaderBytes +
+                                chunk)
+      std::abort();
+    if (r == http::ParseResult::kComplete) {
+      check_complete_request(parser.request());
+      if (http::status_of(r) != 0) std::abort();
+      r = parser.reset();  // move on to any pipelined tail
+      if (r == http::ParseResult::kComplete) continue;
+      if (r == http::ParseResult::kNeedMore && off < size) continue;
+      if (r == http::ParseResult::kNeedMore) break;
+      // Terminal error in the pipelined tail: statuses must map.
+      if (http::status_of(r) < 400) std::abort();
+      break;
+    }
+    if (r == http::ParseResult::kNeedMore) break;  // input exhausted
+    if (http::status_of(r) < 400 || http::status_of(r) > 501) std::abort();
+    break;  // terminal parse error closes the connection
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  // Byte 0 selects the delivery chunking: 1 byte (max incremental
+  // coverage), a small odd stride, or everything at once.
+  const std::size_t sel = data[0] % 4;
+  const std::size_t chunk =
+      sel == 0 ? 1 : sel == 1 ? 7 : sel == 2 ? 113 : size;
+  drive(data + 1, size - 1, chunk == 0 ? 1 : chunk);
+
+  // The response formatter must accept any status the parser can emit.
+  for (int status : {200, 400, 404, 413, 414, 431, 500, 501}) {
+    const std::string resp = http::format_response(
+        status, "text/plain",
+        std::string_view(reinterpret_cast<const char*>(data),
+                         size < 64 ? size : 64),
+        (size & 1) != 0, (size & 2) != 0);
+    if (resp.find("\r\n\r\n") == std::string::npos) std::abort();
+  }
+  return 0;
+}
+
+#ifdef DCL_FUZZ_STANDALONE
+// Corpus replayer for toolchains without libFuzzer: exercises every file
+// named on the command line through the exact harness above.
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s corpus-file...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* f = std::fopen(argv[i], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::string bytes;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::printf("replayed %d corpus files, 0 contract violations\n", argc - 1);
+  return 0;
+}
+#endif

@@ -7,10 +7,10 @@
 //
 // Built by -DDCL_FUZZ=ON. Under Clang this links against libFuzzer
 // (-fsanitize=fuzzer,address,undefined); run it as
-//   build/fuzz/trace_parser_fuzz tests/corpus/
+//   build/fuzz/trace_parser_fuzz tests/corpus/trace/
 // Under compilers without libFuzzer the same file compiles with
 // DCL_FUZZ_STANDALONE into a corpus replayer:
-//   build/fuzz/trace_parser_fuzz tests/corpus/*
+//   build/fuzz/trace_parser_fuzz tests/corpus/trace/*
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>

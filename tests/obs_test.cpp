@@ -4,15 +4,21 @@
 // parser).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <variant>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/manifest.h"
 #include "obs/obs.h"
+#include "obs/window.h"
+#include "util/error.h"
 
 namespace dcl::obs {
 namespace {
@@ -320,10 +326,11 @@ TEST(JsonExport, EmptyRegistryIsValid) {
 }
 
 // Splits Prometheus exposition text into {"name{labels}" -> value} plus
-// the set of `# TYPE <name> <kind>` declarations seen.
+// the `# TYPE <name> <kind>` and `# HELP <name> <text>` declarations seen.
 struct PromText {
   std::map<std::string, std::string> samples;
   std::map<std::string, std::string> types;
+  std::map<std::string, std::string> helps;
 };
 
 PromText parse_prometheus(const std::string& text) {
@@ -338,6 +345,13 @@ PromText parse_prometheus(const std::string& text) {
     if (line.rfind("# TYPE ", 0) == 0) {
       const std::size_t sp = line.rfind(' ');
       out.types[line.substr(7, sp - 7)] = line.substr(sp + 1);
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      EXPECT_NE(sp, std::string::npos) << "HELP without text: " << line;
+      if (sp != std::string::npos)
+        out.helps[line.substr(7, sp - 7)] = line.substr(sp + 1);
       continue;
     }
     EXPECT_NE(line[0], '#') << "unexpected comment: " << line;
@@ -468,6 +482,325 @@ TEST(CsvExport, EmitsHeaderAndRows) {
   EXPECT_NE(csv.find("counter,c,value,5"), std::string::npos);
   EXPECT_NE(csv.find("gauge,g,value,2"), std::string::npos);
   EXPECT_NE(csv.find("histogram,h,count,1"), std::string::npos);
+}
+
+// ---- windowed instruments (obs/window.h) -------------------------------
+
+TEST(WindowedCounter, SharesCumulativeAndWindows) {
+  Registry reg;
+  auto& wc = reg.windowed_counter("req");
+  wc.add(3);
+  wc.add(2);
+  // The cumulative twin is the registry counter of the same name.
+  EXPECT_EQ(reg.counter("req").value(), 5u);
+  const auto v = wc.window();
+  EXPECT_EQ(v.count, 5u);
+  EXPECT_GT(v.rate, 0.0);
+}
+
+TEST(WindowedCounter, OldEpochsLeaveTheWindow) {
+  Registry reg;
+  auto& wc = reg.windowed_counter("req");
+  wc.add(7);
+  // Force the full window past the epoch the samples landed in.
+  window::advance(window::kWindowEpochs);
+  EXPECT_EQ(wc.window().count, 0u);
+  EXPECT_EQ(reg.counter("req").value(), 7u);  // cumulative unaffected
+  wc.add(1);
+  EXPECT_EQ(wc.window().count, 1u);
+}
+
+TEST(WindowedCounter, PartialRotationKeepsRecentEpochs) {
+  Registry reg;
+  auto& wc = reg.windowed_counter("req");
+  wc.add(4);
+  window::advance(1);
+  wc.add(6);
+  const auto v = wc.window();
+  EXPECT_EQ(v.count, 10u);  // both epochs inside the window
+}
+
+TEST(WindowedHistogram, QuantilesTrackTheWindowOnly) {
+  Registry reg;
+  auto& wh = reg.windowed_histogram("lat");
+  for (int i = 0; i < 100; ++i) wh.record(1e-3);
+  {
+    const auto v = wh.window();
+    EXPECT_EQ(v.count, 100u);
+    // Octave-accurate upper bound: within [x, 2x].
+    EXPECT_GE(v.p50, 1e-3);
+    EXPECT_LE(v.p50, 2.1e-3);
+    EXPECT_GE(v.p99, 1e-3);
+  }
+  window::advance(window::kWindowEpochs);
+  for (int i = 0; i < 10; ++i) wh.record(1.0);  // much slower now
+  const auto v = wh.window();
+  EXPECT_EQ(v.count, 10u);
+  EXPECT_GE(v.p50, 1.0);  // the old fast samples aged out
+  // Cumulative twin still holds everything.
+  EXPECT_EQ(reg.histogram("lat").count(), 110u);
+}
+
+TEST(WindowedHistogram, ResetWindowClearsEpochsOnly) {
+  Registry reg;
+  auto& wh = reg.windowed_histogram("lat");
+  wh.record(0.5);
+  wh.reset_window();
+  EXPECT_EQ(wh.window().count, 0u);
+  EXPECT_EQ(reg.histogram("lat").count(), 1u);
+}
+
+TEST(WindowedInstruments, AppearInSnapshotAndJson) {
+  Registry reg;
+  reg.windowed_counter("req").add(2);
+  reg.windowed_histogram("lat").record(0.01);
+  const Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.windows.size(), 2u);
+  bool saw_counter = false, saw_histogram = false;
+  for (const auto& w : s.windows) {
+    if (w.name == "req" && !w.is_histogram && w.count == 2) saw_counter = true;
+    if (w.name == "lat" && w.is_histogram && w.count == 1)
+      saw_histogram = true;
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_histogram);
+
+  JsonParser parser(reg.to_json());
+  const JsonValue doc = parser.parse();
+  const auto& windows = doc.obj().at("windows").obj();
+  EXPECT_DOUBLE_EQ(windows.at("req").obj().at("count").num(), 2.0);
+  EXPECT_DOUBLE_EQ(windows.at("lat").obj().at("count").num(), 1.0);
+  EXPECT_GT(windows.at("lat").obj().at("p50").num(), 0.0);
+  // Counter windows carry no quantiles.
+  EXPECT_EQ(windows.at("req").obj().count("p50"), 0u);
+}
+
+TEST(WindowedInstruments, ConcurrentRecordAndSnapshot) {
+  Registry reg;
+  auto& wh = reg.windowed_histogram("lat");
+  auto& wc = reg.windowed_counter("req");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      wh.record(1e-4);
+      wc.add(1);
+    }
+  });
+  std::thread rotator([&] {
+    for (int i = 0; i < 50; ++i) window::advance(1);
+  });
+  for (int i = 0; i < 50; ++i) {
+    const Snapshot s = reg.snapshot();
+    for (const auto& w : s.windows) EXPECT_GE(w.rate, 0.0);
+    (void)reg.to_prometheus();
+  }
+  rotator.join();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  // Cumulative twins keep every sample even under racing epoch rotation
+  // (only *window* attribution is lossy by contract).
+  EXPECT_GT(reg.counter("req").value(), 0u);
+  EXPECT_GT(reg.histogram("lat").count(), 0u);
+}
+
+// ---- Prometheus exposition: HELP/TYPE, windows, build_info -------------
+
+TEST(PrometheusExport, EveryFamilyCarriesHelpAndType) {
+  Registry reg;
+  reg.counter("em.iterations").add(1);
+  reg.gauge("queue.hwm").set(1.0);
+  reg.histogram("span.fit").record(0.01);
+  reg.windowed_counter("req").add(1);
+  const PromText prom = parse_prometheus(reg.to_prometheus());
+  for (const auto& [name, type] : prom.types)
+    EXPECT_EQ(prom.helps.count(name), 1u) << "family without HELP: " << name;
+  for (const auto& [name, help] : prom.helps)
+    EXPECT_FALSE(help.empty()) << "empty HELP for " << name;
+}
+
+TEST(PrometheusExport, WindowedGaugesAccompanyCumulative) {
+  Registry reg;
+  reg.windowed_counter("req").add(4);
+  reg.windowed_histogram("span.fit").record(0.01);
+  const PromText prom = parse_prometheus(reg.to_prometheus());
+  EXPECT_EQ(prom.samples.at("req_w_count"), "4");
+  EXPECT_EQ(prom.types.at("req_w_count"), "gauge");
+  EXPECT_EQ(prom.types.at("req_w_rate"), "gauge");
+  EXPECT_EQ(prom.samples.at("span_fit_w_count{dcl_name=\"span.fit\"}"), "1");
+  EXPECT_EQ(prom.types.at("span_fit_w_p50"), "gauge");
+  EXPECT_EQ(prom.types.at("span_fit_w_p95"), "gauge");
+  EXPECT_EQ(prom.types.at("span_fit_w_p99"), "gauge");
+  // Cumulative families still present.
+  EXPECT_EQ(prom.samples.at("req"), "4");
+  EXPECT_EQ(prom.types.at("span_fit"), "histogram");
+}
+
+TEST(PrometheusExport, BuildInfoCarriesEscapedManifestLabels) {
+  Registry reg;
+  reg.counter("c").add(1);
+  RunManifest m = manifest("obs_test");
+  m.config_digest = "abc123";
+  m.version = "1.0\"x\\y";  // exercises label escaping
+  const std::string text = reg.to_prometheus(m);
+  const PromText prom = parse_prometheus(text);
+  EXPECT_EQ(prom.types.at("dcl_build_info"), "gauge");
+  EXPECT_EQ(prom.helps.count("dcl_build_info"), 1u);
+  bool found = false;
+  for (const auto& [key, value] : prom.samples) {
+    if (key.rfind("dcl_build_info{", 0) != 0) continue;
+    found = true;
+    EXPECT_EQ(value, "1");
+    EXPECT_NE(key.find("tool=\"obs_test\""), std::string::npos);
+    EXPECT_NE(key.find("config_digest=\"abc123\""), std::string::npos);
+    EXPECT_NE(key.find("version=\"1.0\\\"x\\\\y\""), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+  // The regular exposition follows the build_info preamble.
+  EXPECT_EQ(prom.samples.count("c"), 1u);
+}
+
+// ---- structured logger (obs/log.h) -------------------------------------
+
+std::string& log_capture() {
+  static std::string s;
+  return s;
+}
+void log_capture_sink(const char* line, std::size_t len) {
+  log_capture().append(line, len);
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    log_capture().clear();
+    log::set_sink(&log_capture_sink);
+    log::set_level(log::Level::kDebug);
+    log::set_json(true);
+  }
+  void TearDown() override {
+    log::set_sink(nullptr);
+    log::set_level(log::Level::kError);
+    log::set_json(true);
+  }
+};
+
+TEST_F(LogTest, JsonLinesParseAndCarryFields) {
+  log::info("em.start", {{"restarts", "4"}, {"model", "mmhd"}});
+  ASSERT_FALSE(log_capture().empty());
+  EXPECT_EQ(log_capture().back(), '\n');
+  JsonParser parser(log_capture());
+  const JsonValue doc = parser.parse();
+  const auto& obj = doc.obj();
+  EXPECT_EQ(std::get<std::string>(obj.at("level").v), "info");
+  EXPECT_EQ(std::get<std::string>(obj.at("event").v), "em.start");
+  EXPECT_EQ(std::get<std::string>(obj.at("restarts").v), "4");
+  EXPECT_EQ(std::get<std::string>(obj.at("model").v), "mmhd");
+  const std::string ts = std::get<std::string>(obj.at("ts").v);
+  EXPECT_EQ(ts.size(), 24u);  // 2026-01-02T03:04:05.678Z
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST_F(LogTest, SeverityFilterSuppressesBelowThreshold) {
+  log::set_level(log::Level::kWarn);
+  log::debug("quiet");
+  log::info("quiet");
+  EXPECT_TRUE(log_capture().empty());
+  log::warn("loud");
+  EXPECT_NE(log_capture().find("loud"), std::string::npos);
+}
+
+TEST_F(LogTest, EscapesFieldValues) {
+  log::info("ev", {{"msg", "a \"quoted\"\nvalue"}});
+  JsonParser parser(log_capture());
+  const JsonValue doc = parser.parse();
+  EXPECT_EQ(std::get<std::string>(doc.obj().at("msg").v),
+            "a \"quoted\"\nvalue");
+}
+
+TEST_F(LogTest, HumanFormatIsOneLine) {
+  log::set_json(false);
+  log::warnf("sanitize", "dropped %d records", 3);
+  const std::string& line = log_capture();
+  EXPECT_NE(line.find(" warn sanitize msg=dropped 3 records"),
+            std::string::npos);
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+}
+
+TEST_F(LogTest, WarnAndErrorFeedTheRecentErrorsRing) {
+  const std::uint64_t before = log::recent_errors_total();
+  log::set_level(log::Level::kOff);  // ring capture is sink-independent
+  log::warn("sanitize.drop", {{"records", "3"}});
+  log::error("em.diverged", {{"ll", "nan"}});
+  EXPECT_EQ(log::recent_errors_total(), before + 2);
+  const auto errs = log::recent_errors();
+  ASSERT_GE(errs.size(), 2u);
+  const auto& last = errs.back();
+  EXPECT_EQ(last.code, "em.diverged");
+  EXPECT_EQ(last.level, log::Level::kError);
+  EXPECT_EQ(last.message, "ll=nan");
+  EXPECT_GT(last.seq, errs[errs.size() - 2].seq);
+}
+
+TEST_F(LogTest, RingKeepsOnlyTheMostRecentSlots) {
+  log::set_level(log::Level::kOff);
+  for (int i = 0; i < static_cast<int>(log::kRecentErrorSlots) + 10; ++i)
+    log::warnf("flood", "%d", i);
+  const auto errs = log::recent_errors();
+  EXPECT_LE(errs.size(), log::kRecentErrorSlots);
+  ASSERT_FALSE(errs.empty());
+  // Oldest-first and contiguous at the tail of the sequence space.
+  for (std::size_t i = 1; i < errs.size(); ++i)
+    EXPECT_EQ(errs[i].seq, errs[i - 1].seq + 1);
+}
+
+TEST_F(LogTest, RecentErrorsJsonIsParseable) {
+  log::set_level(log::Level::kOff);
+  log::warn("w1", {{"k", "v\"x"}});
+  JsonParser parser(log::recent_errors_json());
+  const JsonValue doc = parser.parse();
+  const auto& arr = doc.arr();
+  ASSERT_FALSE(arr.empty());
+  EXPECT_EQ(std::get<std::string>(arr.back().obj().at("code").v), "w1");
+}
+
+TEST_F(LogTest, ErrorListenerCapturesTypedThrows) {
+  log::install_error_listener();
+  const std::uint64_t before = log::recent_errors_total();
+  try {
+    util::raise(util::ErrorCode::kInvalidInput, "bad probe record",
+                util::Severity::kRecoverable);
+  } catch (const util::Error&) {
+  }
+  EXPECT_EQ(log::recent_errors_total(), before + 1);
+  const auto errs = log::recent_errors();
+  ASSERT_FALSE(errs.empty());
+  EXPECT_EQ(errs.back().code, "invalid_input");
+  EXPECT_EQ(errs.back().message, "bad probe record");
+  // The windowed error counter in the global registry ticked too.
+  EXPECT_GE(
+      Registry::global().counter("log.errors.invalid_input").value(), 1u);
+  util::set_error_listener(nullptr);
+}
+
+TEST_F(LogTest, ConcurrentWritersDoNotInterleaveLines) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([t] {
+      for (int i = 0; i < 50; ++i)
+        log::infof("thread", "t=%d i=%d 0123456789abcdef", t, i);
+    });
+  for (auto& th : threads) th.join();
+  // Every line is complete: starts with '{' and ends with '}'.
+  std::stringstream ss(log_capture());
+  std::string line;
+  int lines = 0;
+  while (std::getline(ss, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 200);
 }
 
 }  // namespace

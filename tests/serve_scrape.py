@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validates a live dclid ops server (scripts/check.sh serve smoke).
+
+Usage: serve_scrape.py http://127.0.0.1:PORT
+
+Fetches every endpoint and asserts the exported contracts:
+  /metrics  parses as Prometheus text exposition 0.0.4 — every sample
+            belongs to a family with `# HELP` and `# TYPE` lines, the
+            dcl_build_info gauge is present with manifest labels, and the
+            windowed `_w_count` gauges accompany the cumulatives.
+  /healthz  parses as JSON with status/uptime_s/degraded_runs keys.
+  /statusz  parses as JSON carrying the run manifest, stages, counters,
+            trace drop accounting, and the recent-errors array.
+  /tracez   parses as Chrome trace JSON (traceEvents list).
+
+Exits nonzero (with a message) on the first violated contract.
+"""
+import json
+import re
+import sys
+import urllib.request
+
+
+def fetch(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as resp:
+        assert resp.status == 200, f"{path}: HTTP {resp.status}"
+        return resp.read().decode("utf-8")
+
+
+def check_metrics(text):
+    helps, types, samples = set(), {}, []
+    sample_re = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S+)$")
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helps.add(line.split(" ", 3)[2])
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), line
+            types[name] = kind
+        else:
+            assert not line.startswith("#"), f"unknown comment: {line}"
+            m = sample_re.match(line)
+            assert m, f"unparseable sample line: {line}"
+            samples.append(m.group(1))
+    assert samples, "no samples in /metrics"
+    for name in samples:
+        family = name
+        for suffix in ("_bucket", "_sum", "_count", "_max"):
+            if family.endswith(suffix) and family[: -len(suffix)] in types:
+                family = family[: -len(suffix)]
+                break
+        assert family in types, f"sample {name} has no # TYPE"
+        assert family in helps, f"sample {name} has no # HELP"
+    assert "dcl_build_info" in types, "dcl_build_info missing"
+    assert any(n.endswith("_w_count") for n in samples), (
+        "no windowed _w_count gauges in /metrics"
+    )
+    return len(samples)
+
+
+def main():
+    base = sys.argv[1].rstrip("/")
+
+    n = check_metrics(fetch(base, "/metrics"))
+
+    health = json.loads(fetch(base, "/healthz"))
+    assert health["status"] in ("ok", "degraded"), health
+    assert health["uptime_s"] >= 0
+    assert "degraded_runs" in health and "errors_total" in health
+
+    status = json.loads(fetch(base, "/statusz"))
+    man = status["manifest"]
+    for field in ("tool", "git", "compiler", "hostname", "config_digest"):
+        assert man.get(field, "") != "", f"manifest missing {field}"
+    assert status["uptime_s"] >= 0
+    assert isinstance(status["stages"], list)
+    assert isinstance(status["counters"], dict)
+    for key in ("enabled", "threads", "dropped", "overwritten",
+                "race_dropped"):
+        assert key in status["trace"], f"trace accounting missing {key}"
+    assert "total" in status["errors"]
+    assert isinstance(status["errors"]["recent"], list)
+
+    trace = json.loads(fetch(base, "/tracez"))
+    assert isinstance(trace["traceEvents"], list)
+
+    print(f"serve scrape ok: {n} metric samples, "
+          f"{len(status['stages'])} stages, status={health['status']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,11 @@
 // Usage:
 //   dclsoak [--schedules N] [--seed S] [--duration SEC]
 //           [--presets sdcl,wdcl,nodcl] [--max-flip-frac X]
-//           [--metrics-json FILE] [--verbose]
+//           [--metrics-json FILE] [--serve ADDR] [--verbose]
+//
+// With --serve the embedded ops server (obs/serve.h) runs for the whole
+// soak — scraping /metrics mid-soak shows live windowed rates of
+// pipeline.runs / pipeline.degraded and the recent-errors ring filling.
 //
 // Exit code 0 when every assertion holds, 1 otherwise.
 #include <cmath>
@@ -27,14 +31,18 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "faults/faults.h"
+#include "obs/log.h"
 #include "obs/manifest.h"
 #include "obs/obs.h"
+#include "obs/serve.h"
+#include "obs/window.h"
 #include "scenarios/presets.h"
 #include "trace/trace_io.h"
 #include "util/error.h"
@@ -48,6 +56,7 @@ struct Options {
   double max_flip_frac = 0.5;
   std::vector<std::string> presets = {"sdcl", "wdcl", "nodcl"};
   std::string metrics_json;
+  std::string serve_addr;
   bool verbose = false;
 };
 
@@ -93,6 +102,7 @@ int main(int argc, char** argv) {
     else if (a == "--max-flip-frac")
       opt.max_flip_frac = std::atof(need("--max-flip-frac"));
     else if (a == "--metrics-json") opt.metrics_json = need("--metrics-json");
+    else if (a == "--serve") opt.serve_addr = need("--serve");
     else if (a == "--presets") {
       opt.presets.clear();
       std::stringstream ss(need("--presets"));
@@ -103,7 +113,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: dclsoak [--schedules N] [--seed S] "
                    "[--duration SEC] [--presets a,b,c] [--max-flip-frac X] "
-                   "[--metrics-json FILE] [--verbose]\n");
+                   "[--metrics-json FILE] [--serve ADDR] [--verbose]\n");
       return 2;
     }
   }
@@ -114,6 +124,28 @@ int main(int argc, char** argv) {
 
   auto& reg = dcl::obs::Registry::global();
   reg.reset();
+  dcl::obs::log::install_error_listener();
+
+  std::unique_ptr<dcl::obs::serve::Server> server;
+  if (!opt.serve_addr.empty()) {
+    dcl::obs::serve::Options sopts;
+    if (!dcl::obs::serve::parse_address(opt.serve_addr, sopts)) {
+      std::fprintf(stderr, "dclsoak: --serve must be host:port\n");
+      return 2;
+    }
+    auto man = dcl::obs::manifest("dclsoak");
+    man.seed = opt.seed;
+    man.add("schedules", std::to_string(opt.schedules));
+    sopts.manifest = std::move(man);
+    try {
+      server = dcl::obs::serve::Server::start(std::move(sopts));
+    } catch (const dcl::util::Error& e) {
+      std::fprintf(stderr, "dclsoak: %s\n", e.what());
+      return 2;
+    }
+    std::fprintf(stderr, "dclsoak: serving on %s\n",
+                 server->address().c_str());
+  }
 
   // Baselines: one clean simulation + analysis per preset.
   dcl::core::PipelineConfig pcfg;
@@ -159,8 +191,9 @@ int main(int argc, char** argv) {
       dcl::faults::InjectionReport inj;
       const auto corrupted = injector.apply(baselines[p].trace, &inj);
       ++runs;
-      reg.counter("faults.schedules").add(1);
-      reg.counter("faults.injected_records").add(inj.total_affected());
+      reg.windowed_counter("faults.schedules").add(1);
+      reg.windowed_counter("faults.injected_records")
+          .add(inj.total_affected());
 
       dcl::core::PipelineResult r;
       try {
