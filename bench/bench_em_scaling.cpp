@@ -219,16 +219,22 @@ int main(int argc, char** argv) {
   bench::BenchTraceGuard trace_guard("bench_em_scaling");
   std::string out_path = "BENCH_em_scaling.json";
   double min_kernel_speedup = 0.0;
+  // Flags override the environment knobs so callers that must produce
+  // comparable series (scripts/bench_baseline.sh) can pin the sample
+  // count explicitly instead of inheriting whatever the shell exports.
+  int samples = bench::env_int("DCL_EM_SCALING_SAMPLES", 3, 1);
+  int warmup = bench::env_int("DCL_EM_SCALING_WARMUP", 1, 0);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--min-kernel-speedup") == 0 && i + 1 < argc) {
       min_kernel_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+      samples = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
+      warmup = std::max(0, std::atoi(argv[++i]));
     } else {
       out_path = argv[i];
     }
   }
-
-  const int samples = bench::env_int("DCL_EM_SCALING_SAMPLES", 3, 1);
-  const int warmup = bench::env_int("DCL_EM_SCALING_WARMUP", 1, 0);
   const auto seq =
       synth_sequence(static_cast<std::size_t>(kTLen), kSymbols, 42);
 

@@ -1,0 +1,464 @@
+// dclfleet — fleet-scale batch analysis: N traces, one process.
+//
+// Usage:
+//   dclfleet [options] <dir | manifest | trace.csv>
+//   dclfleet [options] --synth N
+//
+// Discovers a fleet of probe traces (every *.csv in a directory, a
+// manifest file listing one trace path per line, or a single CSV — see
+// src/fleet/manifest.h), runs the full dclid analysis pipeline on each
+// across a two-level thread split (concurrent traces x EM threads per
+// fit, picked automatically from fleet size vs core count), and emits one
+// JSON verdict line per trace in trace-index order. The output is bitwise
+// identical for every --outer-threads/--inner-threads combination: each
+// trace analyzes under its own RNG stream forked from --seed by index,
+// and lines are flushed in index order as their prefix completes.
+//
+// A failed trace (unreadable file, corrupt CSV) never sinks the fleet: it
+// becomes a {"status":"failed","error":"<code>: ..."} line and the run
+// continues (DESIGN.md §5.7 taxonomy at fleet granularity).
+//
+// Options:
+//   --outer-threads N      concurrent traces (0 = auto from fleet size)
+//   --inner-threads N      EM worker threads per fit (0 = auto)
+//   --print-plan           print the resolved threading plan and exit 0
+//   --timings              add per-trace "wall_ms" to each verdict line
+//                          (opt-in: timing is nondeterministic, so the
+//                          default output stays byte-identical across
+//                          thread splits)
+//   --out FILE             JSON-lines output file (default stdout)
+//   --synth N              analyze an in-process N-path synthetic mesh
+//                          instead of files (bench/smoke workload)
+//   --synth-probes T       probes per synthetic path (default 1200)
+//   -M/--symbols, -N/--hidden, --model, --restarts, --seed, --eps-l,
+//   --eps-d, --deadline, --no-sanitize, --no-skew-correction
+//                          per-trace pipeline knobs, as in dclid
+//   --serve ADDR           live ops HTTP server for mid-run scraping:
+//                          fleet.* progress counters on /metrics and
+//                          /statusz (see obs/serve.h)
+//   --serve-linger SEC     keep serving after the run (inf = SIGINT)
+//   --metrics-json FILE    observability snapshot on exit
+//   --log-level/--log-json/--verbose   as in dclid
+//
+// Exit codes: 0 every trace ok; 1 any trace degraded or failed; 2 invalid
+// invocation or empty fleet; 3 internal error.
+#include <chrono>
+#include <climits>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <errno.h>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "fleet/manifest.h"
+#include "fleet/synth.h"
+#include "obs/log.h"
+#include "obs/manifest.h"
+#include "obs/obs.h"
+#include "obs/serve.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <dir | manifest | trace.csv>\n"
+      "       %s [options] --synth N\n"
+      "  --outer-threads N      concurrent traces (default 0 = auto)\n"
+      "  --inner-threads N      EM threads per fit (default 0 = auto)\n"
+      "  --print-plan           print the threading plan and exit\n"
+      "  --timings              add nondeterministic wall_ms per line\n"
+      "  --out FILE             JSON-lines verdicts (default stdout)\n"
+      "  --synth N              in-process N-path synthetic mesh\n"
+      "  --synth-probes T       probes per synthetic path (default 1200)\n"
+      "  -M, --symbols N        delay symbols (default 10)\n"
+      "  -N, --hidden N         MMHD hidden states (default 2)\n"
+      "  --model mmhd|hmm       inference model (default mmhd)\n"
+      "  --restarts R           EM restarts per fit (default 1)\n"
+      "  --seed N               fleet base seed (default 1)\n"
+      "  --eps-l X / --eps-d X  WDCL test parameters (0.06 / 0)\n"
+      "  --deadline SECONDS     per-trace wall budget (default 0 = none)\n"
+      "  --no-sanitize          fail fast per trace on pathological input\n"
+      "  --no-skew-correction   skip clock-skew removal\n"
+      "  --serve ADDR           ops HTTP server (host:port, :port, port)\n"
+      "  --serve-linger SEC     keep serving after the run (inf = signal)\n"
+      "  --metrics-json FILE    metrics snapshot as JSON\n"
+      "  --log-level LVL        debug|info|warn|error|off (default warn)\n"
+      "  --log-json             JSON log lines\n"
+      "  --verbose              progress + manifest to stderr\n"
+      "exit codes: 0 all ok, 1 any degraded/failed, 2 invalid input,\n"
+      "            3 internal error\n",
+      argv0, argv0);
+  std::exit(code);
+}
+
+volatile std::sig_atomic_t g_signal = 0;
+extern "C" void on_signal(int) { g_signal = 1; }
+
+[[noreturn]] void bad_value(const char* v, const char* flag) {
+  std::fprintf(stderr, "dclfleet: bad value '%s' for %s\n", v, flag);
+  std::exit(2);
+}
+
+[[noreturn]] void config_error(const char* msg) {
+  std::fprintf(stderr, "dclfleet: %s\n", msg);
+  std::exit(2);
+}
+
+double parse_double(const char* v, const char* flag) {
+  char* end = nullptr;
+  errno = 0;
+  const double x = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE) bad_value(v, flag);
+  return x;
+}
+
+long parse_long(const char* v, const char* flag) {
+  char* end = nullptr;
+  errno = 0;
+  const long x = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) bad_value(v, flag);
+  return x;
+}
+
+int parse_int(const char* v, const char* flag) {
+  const long x = parse_long(v, flag);
+  if (x < INT_MIN || x > INT_MAX) bad_value(v, flag);
+  return static_cast<int>(x);
+}
+
+std::uint64_t parse_u64(const char* v, const char* flag) {
+  const char* p = v;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p == '-') bad_value(v, flag);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long x = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) bad_value(v, flag);
+  return static_cast<std::uint64_t>(x);
+}
+
+// One verdict line. Formatting is locale-free printf with fixed precision,
+// so identical outcomes serialize to identical bytes — the property the
+// check.sh smoke compares across thread splits.
+std::string outcome_json(const dcl::fleet::TraceOutcome& o,
+                         bool with_timings) {
+  char buf[512];
+  std::string line = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"index\":%zu,\"id\":\"%s\",\"status\":\"%s\",\"seed\":%llu",
+                o.index, dcl::obs::json_escape(o.id).c_str(),
+                dcl::fleet::to_string(o.status),
+                static_cast<unsigned long long>(o.seed));
+  line += buf;
+  if (o.status == dcl::fleet::TraceStatus::kFailed) {
+    line += ",\"error\":\"" + dcl::obs::json_escape(o.error) + "\"";
+  } else {
+    const auto& id = o.result.identification;
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"probes\":%zu,\"answered\":%s,\"losses\":%zu,"
+        "\"loss_rate\":%.6f,\"sdcl\":%s,\"wdcl\":%s,\"i_star\":%d,"
+        "\"f2istar\":%.6f,\"bound_ms\":%.3f,\"degraded\":%s,\"warnings\":%zu",
+        o.probes, o.result.answered ? "true" : "false", id.losses,
+        id.loss_rate, id.sdcl.accepted ? "true" : "false",
+        id.wdcl.accepted ? "true" : "false", id.wdcl.i_star,
+        id.wdcl.f_at_2istar,
+        id.wdcl.accepted ? id.coarse_bound.seconds * 1e3 : 0.0,
+        o.result.degraded ? "true" : "false", o.result.warnings.size());
+    line += buf;
+  }
+  // Timing is opt-in: the default line carries only deterministic fields,
+  // so the output is byte-identical for every outer x inner split.
+  if (with_timings) {
+    std::snprintf(buf, sizeof(buf), ",\"wall_ms\":%.3f", o.wall_s * 1e3);
+    line += buf;
+  }
+  line += "}";
+  return line;
+}
+
+// Flushes verdict lines in trace-index order as their prefix completes:
+// line i is written once every line < i has been. run_fleet serializes
+// calls to push(), so no locking here.
+class OrderedEmitter {
+ public:
+  OrderedEmitter(std::FILE* out, std::size_t n, bool with_timings)
+      : out_(out), with_timings_(with_timings), lines_(n), ready_(n, false) {}
+
+  void push(const dcl::fleet::TraceOutcome& o) {
+    lines_[o.index] = outcome_json(o, with_timings_);
+    ready_[o.index] = true;
+    while (next_ < lines_.size() && ready_[next_]) {
+      std::fputs(lines_[next_].c_str(), out_);
+      std::fputc('\n', out_);
+      std::string().swap(lines_[next_]);  // emitted lines don't linger
+      ++next_;
+    }
+    std::fflush(out_);
+  }
+
+ private:
+  std::FILE* out_;
+  bool with_timings_;
+  std::vector<std::string> lines_;
+  std::vector<bool> ready_;
+  std::size_t next_ = 0;
+};
+
+bool write_metrics_json(const std::string& path,
+                        const dcl::obs::Registry& reg,
+                        const dcl::obs::RunManifest& manifest) {
+  const std::string json = reg.to_json(manifest);
+  if (path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dcl::fleet::FleetConfig cfg;
+  cfg.pipeline.identifier.em.restarts = 1;
+  std::string input;
+  std::string out_path;
+  std::string metrics_json_path;
+  std::string serve_addr;
+  std::string log_level_flag;
+  double serve_linger_s = 0.0;
+  long synth_paths = 0;
+  long synth_probes = 1200;
+  bool print_plan = false;
+  bool with_timings = false;
+  bool log_json = false;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dclfleet: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "-h" || a == "--help") usage(argv[0], 0);
+    else if (a == "--outer-threads")
+      cfg.outer_threads = parse_int(need("--outer-threads"), "--outer-threads");
+    else if (a == "--inner-threads")
+      cfg.inner_threads = parse_int(need("--inner-threads"), "--inner-threads");
+    else if (a == "--print-plan")
+      print_plan = true;
+    else if (a == "--timings")
+      with_timings = true;
+    else if (a == "--out")
+      out_path = need("--out");
+    else if (a == "--synth")
+      synth_paths = parse_long(need("--synth"), "--synth");
+    else if (a == "--synth-probes")
+      synth_probes = parse_long(need("--synth-probes"), "--synth-probes");
+    else if (a == "-M" || a == "--symbols")
+      cfg.pipeline.identifier.symbols = parse_int(need(a.c_str()), a.c_str());
+    else if (a == "-N" || a == "--hidden")
+      cfg.pipeline.identifier.hidden_states =
+          parse_int(need(a.c_str()), a.c_str());
+    else if (a == "--model") {
+      const std::string m = need("--model");
+      if (m == "mmhd") cfg.pipeline.identifier.model = dcl::core::ModelKind::kMmhd;
+      else if (m == "hmm") cfg.pipeline.identifier.model = dcl::core::ModelKind::kHmm;
+      else usage(argv[0], 2);
+    } else if (a == "--restarts")
+      cfg.pipeline.identifier.em.restarts =
+          parse_int(need("--restarts"), "--restarts");
+    else if (a == "--seed")
+      cfg.pipeline.identifier.em.seed = parse_u64(need("--seed"), "--seed");
+    else if (a == "--eps-l")
+      cfg.pipeline.identifier.eps_l = parse_double(need("--eps-l"), "--eps-l");
+    else if (a == "--eps-d")
+      cfg.pipeline.identifier.eps_d = parse_double(need("--eps-d"), "--eps-d");
+    else if (a == "--deadline")
+      cfg.pipeline.deadline_s = parse_double(need("--deadline"), "--deadline");
+    else if (a == "--no-sanitize")
+      cfg.pipeline.sanitize = false;
+    else if (a == "--no-skew-correction")
+      cfg.pipeline.correct_clock_skew = false;
+    else if (a == "--serve")
+      serve_addr = need("--serve");
+    else if (a == "--serve-linger")
+      serve_linger_s = parse_double(need("--serve-linger"), "--serve-linger");
+    else if (a == "--metrics-json")
+      metrics_json_path = need("--metrics-json");
+    else if (a == "--log-level")
+      log_level_flag = need("--log-level");
+    else if (a == "--log-json")
+      log_json = true;
+    else if (a == "--verbose" || a == "-v")
+      verbose = true;
+    else if (!a.empty() && a[0] == '-')
+      usage(argv[0], 2);
+    else if (input.empty())
+      input = a;
+    else
+      usage(argv[0], 2);
+  }
+
+  if (input.empty() == (synth_paths == 0)) usage(argv[0], 2);
+  if (synth_paths < 0) config_error("--synth must be >= 1");
+  if (synth_probes < 100) config_error("--synth-probes must be >= 100");
+  if (cfg.outer_threads < 0) config_error("--outer-threads must be >= 0");
+  if (cfg.inner_threads < 0) config_error("--inner-threads must be >= 0");
+  if (cfg.pipeline.identifier.em.restarts < 1)
+    config_error("--restarts must be >= 1");
+  if (cfg.pipeline.identifier.symbols < 2)
+    config_error("--symbols must be >= 2");
+  if (cfg.pipeline.identifier.hidden_states < 1)
+    config_error("--hidden must be >= 1");
+  if (cfg.pipeline.deadline_s < 0.0) config_error("--deadline must be >= 0");
+  if (serve_linger_s < 0.0 && !std::isinf(serve_linger_s))
+    config_error("--serve-linger must be >= 0 (or inf)");
+
+  namespace log = dcl::obs::log;
+  log::Level level = verbose ? log::Level::kDebug : log::Level::kWarn;
+  if (!log_level_flag.empty() && !log::parse_level(log_level_flag, level))
+    config_error("--log-level must be debug|info|warn|error|off");
+  log::set_level(level);
+  log::set_json(log_json);
+  log::install_error_listener();
+
+  auto& registry = dcl::obs::Registry::global();
+  if (verbose || !metrics_json_path.empty() || !serve_addr.empty())
+    dcl::obs::set_enabled(true);
+
+  try {
+    // Assemble the fleet before starting the clock: discovery names the
+    // work, it never opens a trace (missing files fail per-trace later).
+    std::vector<dcl::fleet::TraceJob> jobs;
+    if (synth_paths > 0) {
+      dcl::fleet::MeshConfig mesh;
+      mesh.paths = static_cast<std::size_t>(synth_paths);
+      mesh.probes_per_path = static_cast<std::size_t>(synth_probes);
+      mesh.seed = cfg.pipeline.identifier.em.seed;
+      jobs = dcl::fleet::synth_mesh(mesh);
+    } else {
+      jobs = dcl::fleet::discover_jobs(input);
+    }
+
+    const auto plan = dcl::fleet::plan_threads(
+        jobs.size(), dcl::util::ThreadPool::hardware_threads(),
+        cfg.outer_threads, cfg.inner_threads);
+    if (print_plan) {
+      std::printf(
+          "{\"traces\":%zu,\"hardware_threads\":%zu,\"outer\":%d,"
+          "\"inner\":%d,\"mode\":\"%s\",\"auto\":%s}\n",
+          jobs.size(), dcl::util::ThreadPool::hardware_threads(), plan.outer,
+          plan.inner, dcl::fleet::to_string(plan.mode),
+          plan.auto_selected ? "true" : "false");
+      return 0;
+    }
+
+    auto man = dcl::obs::manifest("dclfleet");
+    man.seed = cfg.pipeline.identifier.em.seed;
+    man.add("input", synth_paths > 0
+                         ? "synth:" + std::to_string(synth_paths)
+                         : input);
+    man.add("traces", std::to_string(jobs.size()));
+    man.add("outer_threads", std::to_string(plan.outer));
+    man.add("inner_threads", std::to_string(plan.inner));
+    man.add("mode", dcl::fleet::to_string(plan.mode));
+    man.config_digest = dcl::obs::digest_hex(
+        "traces=" + std::to_string(jobs.size()) +
+        ";seed=" + std::to_string(man.seed) +
+        ";restarts=" + std::to_string(cfg.pipeline.identifier.em.restarts) +
+        ";symbols=" + std::to_string(cfg.pipeline.identifier.symbols) +
+        ";hidden=" + std::to_string(cfg.pipeline.identifier.hidden_states));
+    if (verbose) log::infof("manifest", "%s", man.to_json().c_str());
+
+    std::unique_ptr<dcl::obs::serve::Server> server;
+    if (!serve_addr.empty()) {
+      dcl::obs::serve::Options sopts;
+      if (!dcl::obs::serve::parse_address(serve_addr, sopts))
+        config_error("--serve must be host:port, :port, or port");
+      sopts.manifest = man;
+      server = dcl::obs::serve::Server::start(std::move(sopts));
+      std::fprintf(stderr, "dclfleet: serving on %s\n",
+                   server->address().c_str());
+      std::signal(SIGINT, on_signal);
+      std::signal(SIGTERM, on_signal);
+    }
+
+    std::FILE* out = stdout;
+    if (!out_path.empty()) {
+      out = std::fopen(out_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "dclfleet: cannot open %s\n", out_path.c_str());
+        return 2;
+      }
+    }
+
+    OrderedEmitter emitter(out, jobs.size(), with_timings);
+    const auto report = dcl::fleet::run_fleet(
+        jobs, cfg,
+        [&](const dcl::fleet::TraceOutcome& o) { emitter.push(o); });
+    if (out != stdout) std::fclose(out);
+
+    std::fprintf(stderr,
+                 "dclfleet: %zu traces: %zu ok, %zu degraded, %zu failed; "
+                 "outer=%d inner=%d (%s%s); %.1f paths/s in %.2f s\n",
+                 report.traces.size(), report.ok, report.degraded,
+                 report.failed, report.plan.outer, report.plan.inner,
+                 report.plan.auto_selected ? "auto " : "",
+                 dcl::fleet::to_string(report.plan.mode),
+                 report.paths_per_sec, report.wall_s);
+
+    int rc = report.degraded + report.failed > 0 ? 1 : 0;
+    if (!metrics_json_path.empty() &&
+        !write_metrics_json(metrics_json_path, registry, man)) {
+      log::errorf("io", "cannot write %s", metrics_json_path.c_str());
+      if (rc == 0) rc = 1;
+    }
+    if (server != nullptr) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto elapsed_s = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+      };
+      while (g_signal == 0 &&
+             (std::isinf(serve_linger_s) || elapsed_s() < serve_linger_s))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      server->stop();
+    }
+    return rc;
+  } catch (const dcl::util::Error& e) {
+    log::errorf("run.failed", "%s error: %s", dcl::util::to_string(e.code()),
+                e.what());
+    switch (e.code()) {
+      case dcl::util::ErrorCode::kInvalidInput:
+      case dcl::util::ErrorCode::kIo:
+        return 2;
+      case dcl::util::ErrorCode::kDegenerateModel:
+      case dcl::util::ErrorCode::kResourceLimit:
+        return 1;
+      case dcl::util::ErrorCode::kInternal:
+        break;
+    }
+    return 3;
+  } catch (const std::exception& e) {
+    log::errorf("run.failed", "internal error: %s", e.what());
+    return 3;
+  }
+}

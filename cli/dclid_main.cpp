@@ -60,6 +60,9 @@
 //                          --verbose implies debug)
 //   --log-json             structured JSON log lines instead of the
 //                          human-readable form
+//   --print-manifest       print the RunManifest JSON this invocation
+//                          would stamp on its exports and exit 0 (no
+//                          trace required) — ops parity with /statusz
 //   --verbose              progress, stage timings, and the run manifest
 //                          to stderr
 //
@@ -137,6 +140,8 @@ namespace {
       "                         (inf = until SIGINT/SIGTERM; default 0)\n"
       "  --log-level LVL        debug|info|warn|error|off (default warn)\n"
       "  --log-json             JSON log lines instead of human-readable\n"
+      "  --print-manifest       print the RunManifest JSON for this\n"
+      "                         invocation and exit (no trace required)\n"
       "  --verbose              progress, stage timings, and the run\n"
       "                         manifest to stderr\n"
       "exit codes: 0 ok, 1 degraded-but-completed, 2 invalid input,\n"
@@ -319,6 +324,7 @@ int main(int argc, char** argv) {
   double serve_linger_s = 0.0;
   std::string log_level_flag;
   bool log_json = false;
+  bool print_manifest = false;
   double duration_s = 700.0;
   bool verbose = false;
 
@@ -400,6 +406,8 @@ int main(int argc, char** argv) {
       log_level_flag = need("--log-level");
     else if (a == "--log-json")
       log_json = true;
+    else if (a == "--print-manifest")
+      print_manifest = true;
     else if (a == "--verbose" || a == "-v")
       verbose = true;
     else if (!a.empty() && a[0] == '-')
@@ -408,6 +416,16 @@ int main(int argc, char** argv) {
       path = a;
     else
       usage(argv[0], 2);
+  }
+  if (print_manifest) {
+    // Ops/debugging parity with /statusz: emit the exact RunManifest JSON
+    // this invocation would stamp on its exports — build facts, host,
+    // flags, config digest — with no trace or scenario required.
+    validate(cfg);
+    const auto man = make_manifest(cfg, path.empty() ? "none" : path,
+                                   scenario, duration_s);
+    std::printf("%s\n", man.to_json().c_str());
+    return 0;
   }
   if (path.empty() == scenario.empty()) usage(argv[0], 2);
   if (!scenario.empty()) {

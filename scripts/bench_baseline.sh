@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Performance baseline snapshot: Release build, then the EM scaling
-# benchmark plus the EM-fit microbenchmarks, appended as one JSON line per
-# run to BENCH_baseline.jsonl (repo root) so perf regressions show up as a
+# benchmark, the fleet throughput benchmark, and the EM-fit
+# microbenchmarks, appended as one JSON line per run to
+# BENCH_baseline.jsonl (repo root) so perf regressions show up as a
 # diffable series across commits.
 #
 #   scripts/bench_baseline.sh           # build + run + append
@@ -16,11 +17,18 @@ echo "==> configure build-release (Release)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 echo "==> build benchmarks"
 cmake --build build-release -j "${JOBS}" \
-  --target bench_em_scaling bench_micro
+  --target bench_em_scaling bench_fleet bench_micro
 
 echo "==> bench_em_scaling"
-./build-release/bench/bench_em_scaling BENCH_em_scaling.json
+# --samples is pinned so every baseline line is the median of the same
+# number of runs; the DCL_EM_SCALING_SAMPLES env default has drifted
+# before (7 -> 3), which silently changed the series' noise floor.
+./build-release/bench/bench_em_scaling BENCH_em_scaling.json --samples 7
 scaling="$(cat BENCH_em_scaling.json)"
+
+echo "==> bench_fleet (1000-path synthetic mesh, outer 1/2/4/8)"
+./build-release/bench/bench_fleet BENCH_fleet.json
+fleet="$(cat BENCH_fleet.json)"
 
 echo "==> bench_micro (EM fit + trace/metrics overhead filters)"
 micro="$(./build-release/bench/bench_micro \
@@ -29,6 +37,6 @@ micro="$(./build-release/bench/bench_micro \
 
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-printf '{"timestamp":"%s","commit":"%s","em_scaling":%s,"micro":%s}\n' \
-  "${stamp}" "${commit}" "${scaling}" "${micro}" >> "${OUT}"
+printf '{"timestamp":"%s","commit":"%s","em_scaling":%s,"fleet":%s,"micro":%s}\n' \
+  "${stamp}" "${commit}" "${scaling}" "${fleet}" "${micro}" >> "${OUT}"
 echo "==> appended baseline to ${OUT}"

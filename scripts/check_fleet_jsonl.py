@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validate dclfleet JSON-lines output against its schema contract.
+
+Usage: check_fleet_jsonl.py <verdicts.jsonl> [expected_count]
+
+Checks, per line: valid JSON, index == line number (dclfleet flushes in
+trace-index order), a known status, and the field set that status
+promises — failed lines carry a typed "error" string and no verdict
+fields; ok/degraded lines carry the full verdict (probes, losses,
+loss_rate, sdcl/wdcl, i_star, f2istar, bound_ms, degraded, warnings).
+Exits nonzero with a per-line diagnostic on the first violation.
+"""
+import json
+import sys
+
+VERDICT_FIELDS = {
+    "probes": int,
+    "answered": bool,
+    "losses": int,
+    "loss_rate": float,
+    "sdcl": bool,
+    "wdcl": bool,
+    "i_star": int,
+    "f2istar": float,
+    "bound_ms": float,
+    "degraded": bool,
+    "warnings": int,
+}
+
+
+def fail(line_no, msg):
+    sys.exit(f"check_fleet_jsonl: line {line_no}: {msg}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__.strip())
+    path = sys.argv[1]
+    expected = int(sys.argv[2]) if len(sys.argv) > 2 else None
+
+    counts = {"ok": 0, "degraded": 0, "failed": 0}
+    n = 0
+    with open(path) as f:
+        for line_no, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                fail(line_no, "blank line")
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(line_no, f"not JSON: {e}")
+            for field, kind in (("index", int), ("id", str), ("status", str),
+                                ("seed", int)):
+                if not isinstance(rec.get(field), kind):
+                    fail(line_no, f"missing or mistyped {field!r}: {rec}")
+            if rec["index"] != line_no:
+                fail(line_no, f"out-of-order index {rec['index']}")
+            status = rec["status"]
+            if status not in counts:
+                fail(line_no, f"unknown status {status!r}")
+            counts[status] += 1
+            if status == "failed":
+                err = rec.get("error")
+                if not isinstance(err, str) or ":" not in err:
+                    fail(line_no, f"failed line needs a typed error: {rec}")
+                stray = VERDICT_FIELDS.keys() & rec.keys()
+                if stray:
+                    fail(line_no, f"failed line carries verdict fields {stray}")
+            else:
+                for field, kind in VERDICT_FIELDS.items():
+                    value = rec.get(field)
+                    # bool is an int subclass: check it first so an int
+                    # where a bool belongs (and vice versa) is caught.
+                    ok = (isinstance(value, bool) if kind is bool
+                          else isinstance(value, kind) and
+                          not isinstance(value, bool))
+                    if kind is float and isinstance(value, int) \
+                            and not isinstance(value, bool):
+                        ok = True
+                    if not ok:
+                        fail(line_no, f"missing or mistyped {field!r}: {rec}")
+                if rec["degraded"] != (status == "degraded"):
+                    fail(line_no, "status/degraded flag mismatch")
+            n += 1
+
+    if expected is not None and n != expected:
+        sys.exit(f"check_fleet_jsonl: expected {expected} lines, got {n}")
+    print(f"fleet jsonl ok: {n} lines "
+          f"({counts['ok']} ok, {counts['degraded']} degraded, "
+          f"{counts['failed']} failed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,14 @@
 // deadline expires, and every fallback lands in PipelineResult::warnings
 // with `degraded` set. Only internal invariant violations (bugs) and calls
 // with sanitize = false keep the historical fail-fast throw behaviour.
+//
+// Re-entrancy: analyze_trace holds no mutable global state — it reads
+// only its arguments and writes only its result, and the singletons it
+// touches (obs registry, logger, flight recorder) are thread-safe by
+// design. Concurrent calls with distinct configs are therefore
+// independent; the fleet batch engine (src/fleet/, DESIGN.md §5.9)
+// relies on this to run many traces in parallel with bitwise-identical
+// per-trace results.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,195 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "obs/window.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dcl::fleet {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(ThreadingMode m) {
+  switch (m) {
+    case ThreadingMode::kManySingle: return "many-single";
+    case ThreadingMode::kFewMulti: return "few-multi";
+  }
+  return "unknown";
+}
+
+const char* to_string(TraceStatus s) {
+  switch (s) {
+    case TraceStatus::kOk: return "ok";
+    case TraceStatus::kDegraded: return "degraded";
+    case TraceStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+ThreadPlan plan_threads(std::size_t traces, unsigned hardware_threads,
+                        int outer_requested, int inner_requested) {
+  const int hw = static_cast<int>(std::max(1u, hardware_threads));
+  const int max_outer =
+      static_cast<int>(std::max<std::size_t>(1, std::min<std::size_t>(
+                                                    traces, 1u << 20)));
+  ThreadPlan plan;
+  plan.auto_selected = outer_requested <= 0 && inner_requested <= 0;
+
+  if (outer_requested > 0 && inner_requested > 0) {
+    plan.outer = std::min(outer_requested, max_outer);
+    plan.inner = inner_requested;
+  } else if (outer_requested > 0) {
+    // Outer pinned: give each fit the leftover share of the machine.
+    plan.outer = std::min(outer_requested, max_outer);
+    plan.inner = std::max(1, hw / std::max(1, outer_requested));
+  } else if (inner_requested > 0) {
+    // Inner pinned: as many concurrent traces as the machine still fits.
+    plan.inner = inner_requested;
+    plan.outer = std::min(std::max(1, hw / inner_requested), max_outer);
+  } else if (traces >= static_cast<std::size_t>(hw)) {
+    // N >> cores: the throughput shape — every core runs its own
+    // single-threaded fit, zero intra-fit coordination.
+    plan.outer = std::min(hw, max_outer);
+    plan.inner = 1;
+  } else {
+    // N < cores: the latency shape — all traces at once, each fit taking
+    // an equal share of the spare cores.
+    plan.outer = max_outer;
+    plan.inner = std::max(1, hw / plan.outer);
+  }
+  plan.mode = plan.inner > 1 ? ThreadingMode::kFewMulti
+                             : ThreadingMode::kManySingle;
+  return plan;
+}
+
+FleetReport run_fleet(const std::vector<TraceJob>& jobs,
+                      const FleetConfig& cfg, const ProgressFn& on_done) {
+  DCL_REQUIRE_INPUT(!jobs.empty(), "fleet: empty job list");
+
+  FleetReport report;
+  report.plan = plan_threads(jobs.size(), util::ThreadPool::hardware_threads(),
+                             cfg.outer_threads, cfg.inner_threads);
+  report.traces.resize(jobs.size());
+
+  // Per-trace forked seeds, precomputed in index order before dispatch so
+  // the stream a trace sees depends only on (base seed, index) — never on
+  // scheduling. With fork_seeds off every trace runs the base seed.
+  const std::uint64_t base_seed = cfg.pipeline.identifier.em.seed;
+  std::vector<std::uint64_t> seeds(jobs.size(), base_seed);
+  if (cfg.fork_seeds) {
+    util::Rng chain(base_seed);
+    for (auto& s : seeds) s = chain.engine()();
+  }
+
+  auto& reg = obs::Registry::global();
+  reg.counter("fleet.traces_total").set(jobs.size());
+  reg.gauge("fleet.progress").set(0.0);
+  auto& done_ctr = reg.windowed_counter("fleet.traces_done");
+  auto& ok_ctr = reg.windowed_counter("fleet.traces_ok");
+  auto& degraded_ctr = reg.windowed_counter("fleet.traces_degraded");
+  auto& failed_ctr = reg.windowed_counter("fleet.traces_failed");
+  auto& trace_span = reg.windowed_histogram("span.fleet.trace");
+
+  std::mutex done_mu;  // serializes on_done and the progress gauge
+  std::atomic<std::size_t> done{0};
+
+  auto process = [&](std::size_t i) {
+    obs::trace::Scope scope("fleet.trace", static_cast<double>(i));
+    const double t0 = now_s();
+    TraceOutcome& out = report.traces[i];
+    out.index = i;
+    out.id = jobs[i].id;
+    out.seed = seeds[i];
+
+    core::PipelineConfig pcfg = cfg.pipeline;
+    pcfg.identifier.em.seed = seeds[i];
+    pcfg.identifier.em.threads = report.plan.inner;
+    // The observer hook buffers per-restart events and replays them on
+    // the fit's calling thread — here an outer worker, concurrent with
+    // its siblings. A caller-supplied observer would need locking it was
+    // never promised to need, so the fleet runs fits unobserved.
+    pcfg.identifier.em.observer = nullptr;
+
+    try {
+      const trace::Trace* active = jobs[i].preloaded.get();
+      trace::Trace loaded;
+      if (active == nullptr) {
+        loaded = trace::read_trace_file(jobs[i].path);
+        active = &loaded;
+      }
+      out.probes = active->records.size();
+      out.result = core::analyze_trace(*active, pcfg);
+      out.status = out.result.degraded ? TraceStatus::kDegraded
+                                       : TraceStatus::kOk;
+    } catch (const util::Error& e) {
+      // Unreadable file, or a strict-mode (sanitize=false) analysis
+      // throw: typed, isolated, the fleet moves on.
+      out.status = TraceStatus::kFailed;
+      out.error = std::string(util::to_string(e.code())) + ": " + e.what();
+      obs::trace::instant("fleet.trace_failed", static_cast<double>(i));
+    } catch (const std::exception& e) {
+      out.status = TraceStatus::kFailed;
+      out.error = std::string("internal: ") + e.what();
+      obs::trace::instant("fleet.trace_failed", static_cast<double>(i));
+    }
+    out.wall_s = now_s() - t0;
+
+    trace_span.record(out.wall_s);
+    done_ctr.add(1);
+    switch (out.status) {
+      case TraceStatus::kOk: ok_ctr.add(1); break;
+      case TraceStatus::kDegraded: degraded_ctr.add(1); break;
+      case TraceStatus::kFailed: failed_ctr.add(1); break;
+    }
+    const std::size_t n_done = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      reg.gauge("fleet.progress")
+          .set(static_cast<double>(n_done) /
+               static_cast<double>(jobs.size()));
+      if (on_done) on_done(out);
+    }
+  };
+
+  const double fleet_t0 = now_s();
+  {
+    DCL_SPAN("fleet.run");
+    if (report.plan.outer <= 1) {
+      for (std::size_t i = 0; i < jobs.size(); ++i) process(i);
+    } else {
+      util::ThreadPool pool(static_cast<std::size_t>(report.plan.outer));
+      util::parallel_dynamic(&pool, jobs.size(), process);
+    }
+  }
+  report.wall_s = now_s() - fleet_t0;
+  report.paths_per_sec =
+      report.wall_s > 0.0
+          ? static_cast<double>(jobs.size()) / report.wall_s
+          : 0.0;
+
+  for (const auto& t : report.traces) {
+    switch (t.status) {
+      case TraceStatus::kOk: ++report.ok; break;
+      case TraceStatus::kDegraded: ++report.degraded; break;
+      case TraceStatus::kFailed: ++report.failed; break;
+    }
+  }
+  return report;
+}
+
+}  // namespace dcl::fleet

@@ -1,0 +1,91 @@
+#include "fleet/manifest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace dcl::fleet {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_csv_suffix(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".csv" || ext == ".CSV";
+}
+
+std::vector<TraceJob> jobs_from_directory(const fs::path& dir) {
+  std::vector<TraceJob> jobs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file() || !has_csv_suffix(entry.path())) continue;
+    TraceJob job;
+    job.path = entry.path().string();
+    job.id = entry.path().filename().string();
+    jobs.push_back(std::move(job));
+  }
+  if (ec)
+    util::raise(util::ErrorCode::kIo,
+                "fleet: cannot list directory " + dir.string() + ": " +
+                    ec.message(),
+                util::Severity::kRecoverable);
+  // directory_iterator order is unspecified; sort for stable indices.
+  std::sort(jobs.begin(), jobs.end(),
+            [](const TraceJob& a, const TraceJob& b) { return a.path < b.path; });
+  DCL_REQUIRE_INPUT(!jobs.empty(),
+                    "fleet: no *.csv traces in directory " << dir.string());
+  return jobs;
+}
+
+std::vector<TraceJob> jobs_from_manifest(const fs::path& manifest) {
+  std::ifstream in(manifest);
+  if (!in)
+    util::raise(util::ErrorCode::kIo,
+                "fleet: cannot open manifest " + manifest.string(),
+                util::Severity::kRecoverable);
+  const fs::path base = manifest.parent_path();
+  std::vector<TraceJob> jobs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t");
+    line = line.substr(first, last - first + 1);
+    if (line.empty() || line[0] == '#') continue;
+    fs::path p(line);
+    if (p.is_relative() && !base.empty()) p = base / p;
+    TraceJob job;
+    job.path = p.string();
+    job.id = line;  // the manifest's own spelling labels the outcome
+    jobs.push_back(std::move(job));
+  }
+  DCL_REQUIRE_INPUT(!jobs.empty(),
+                    "fleet: manifest " << manifest.string()
+                                       << " lists no traces");
+  return jobs;
+}
+
+}  // namespace
+
+std::vector<TraceJob> discover_jobs(const std::string& arg) {
+  const fs::path p(arg);
+  std::error_code ec;
+  const auto status = fs::status(p, ec);
+  if (ec || status.type() == fs::file_type::not_found)
+    util::raise(util::ErrorCode::kIo, "fleet: no such file or directory: " + arg,
+                util::Severity::kRecoverable);
+  if (fs::is_directory(status)) return jobs_from_directory(p);
+  if (has_csv_suffix(p)) {
+    TraceJob job;
+    job.path = arg;
+    job.id = p.filename().string();
+    return {std::move(job)};
+  }
+  return jobs_from_manifest(p);
+}
+
+}  // namespace dcl::fleet

@@ -1,0 +1,31 @@
+// Fleet job discovery: turning "what the operator pointed at" into an
+// ordered list of TraceJobs.
+//
+// Three input shapes share one entry point:
+//   * a directory        -> every regular *.csv file in it, sorted by
+//                           path (stable order = stable trace indices =
+//                           stable per-trace forked seeds);
+//   * a file ending .csv -> a single-trace fleet;
+//   * any other file     -> a manifest: one trace path per line, blank
+//                           lines and '#' comments skipped, relative
+//                           paths resolved against the manifest's own
+//                           directory (so a manifest can ship next to
+//                           its traces).
+//
+// Discovery only names the work — it never opens a trace. A manifest may
+// list files that turn out to be missing or corrupt; those become typed
+// kFailed outcomes at run time (failure isolation), not discovery errors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+
+namespace dcl::fleet {
+
+// Throws util::Error kIo when `arg` names nothing on disk, and
+// kInvalidInput when a directory or manifest yields zero jobs.
+std::vector<TraceJob> discover_jobs(const std::string& arg);
+
+}  // namespace dcl::fleet

@@ -1,0 +1,78 @@
+#include "fleet/synth.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "inference/observation.h"
+#include "util/rng.h"
+
+namespace dcl::fleet {
+
+namespace {
+
+// O(1) per-path stream derivation: mixing the index with a golden-ratio
+// odd constant decorrelates adjacent paths without an O(paths) fork chain.
+std::uint64_t path_seed(std::uint64_t base, std::size_t index) {
+  return base ^ (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(index) +
+                                          0x632BE59BD9B4E019ull));
+}
+
+}  // namespace
+
+trace::Trace synth_path_trace(const MeshConfig& cfg, std::size_t path_index) {
+  util::Rng rng(path_seed(cfg.seed, path_index));
+  const int regime = static_cast<int>(path_index % 3);
+
+  // Per-path physics, jittered so the mesh is not 1000 copies of one path.
+  const double floor_s = 0.030 + 0.020 * rng.uniform();   // propagation
+  const double qmax_s = 0.060 + 0.040 * rng.uniform();    // full-queue delay
+  const double jitter_s = 0.002;
+
+  // Sticky congestion level in [0, 1]: a bounded random walk with
+  // occasional regime jumps, so delays cluster and losses arrive in the
+  // bursts the paper's queues produce rather than i.i.d.
+  double level = 0.2 + 0.3 * rng.uniform();
+  inference::ObservationSequence obs;
+  obs.reserve(cfg.probes_per_path);
+  for (std::size_t t = 0; t < cfg.probes_per_path; ++t) {
+    if (rng.uniform() < 0.03) level = rng.uniform();
+    level = std::clamp(level + rng.normal(0.0, 0.08), 0.0, 1.0);
+
+    bool lost = false;
+    switch (regime) {
+      case 0:  // sdcl-like: every loss at the (single) full queue
+        lost = level > 0.88 && rng.bernoulli(0.5);
+        break;
+      case 1:  // wdcl-like: dominant full-queue losses + rare secondary
+        lost = (level > 0.88 && rng.bernoulli(0.5)) || rng.bernoulli(0.0015);
+        break;
+      default:  // nodcl-like: comparable loss shares at two delay modes
+        lost = (level > 0.88 && rng.bernoulli(0.35)) ||
+               (level > 0.35 && level < 0.55 && rng.bernoulli(0.045));
+        break;
+    }
+    if (lost) {
+      obs.push_back(inference::Observation::loss());
+    } else {
+      obs.push_back(inference::Observation::received(
+          floor_s + level * qmax_s + jitter_s * rng.uniform()));
+    }
+  }
+  return trace::make_trace(obs, 0.0, cfg.probe_interval_s);
+}
+
+std::vector<TraceJob> synth_mesh(const MeshConfig& cfg) {
+  std::vector<TraceJob> jobs;
+  jobs.reserve(cfg.paths);
+  for (std::size_t i = 0; i < cfg.paths; ++i) {
+    TraceJob job;
+    job.id = "mesh/" + std::to_string(i);
+    job.preloaded =
+        std::make_shared<trace::Trace>(synth_path_trace(cfg, i));
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace dcl::fleet

@@ -1,0 +1,36 @@
+// Synthetic emulated-mesh workload for the fleet engine: N independent
+// paths whose delay/loss processes mimic the three chain regimes (sdcl /
+// wdcl / nodcl shapes round-robin across paths) without paying for a
+// packet-level simulation per path. This is what bench_fleet's 1000-path
+// mesh, the check.sh 50-trace smoke, and the determinism tests all run,
+// so the numbers and the verdicts compare across all three.
+//
+// Every path draws from its own RNG stream forked deterministically from
+// (seed, path index): generating path 7 of a 1000-path mesh is identical
+// to generating path 7 of an 8-path mesh with the same seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "trace/trace_io.h"
+
+namespace dcl::fleet {
+
+struct MeshConfig {
+  std::size_t paths = 1000;
+  std::size_t probes_per_path = 1200;
+  std::uint64_t seed = 42;
+  double probe_interval_s = 0.020;
+};
+
+// One path's probe trace. `path_index` selects the regime (index % 3:
+// sdcl-like, wdcl-like, nodcl-like) and the RNG stream.
+trace::Trace synth_path_trace(const MeshConfig& cfg, std::size_t path_index);
+
+// All paths as preloaded in-memory jobs with ids "mesh/<index>".
+std::vector<TraceJob> synth_mesh(const MeshConfig& cfg);
+
+}  // namespace dcl::fleet

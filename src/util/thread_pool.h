@@ -13,8 +13,11 @@
 //     behavior also does not depend on scheduling.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <deque>
 #include <functional>
 #include <future>
@@ -93,6 +96,57 @@ void parallel_indexed(ThreadPool* pool, int n, Fn&& fn) {
     futures.push_back(pool->submit([&fn, i]() { fn(i); }));
   for (auto& f : futures) f.wait();
   for (auto& f : futures) f.get();  // rethrows lowest index first
+}
+
+// Dynamic-schedule variant of parallel_indexed for irregular work items
+// (whole pipeline runs over traces of different lengths): instead of
+// enqueueing one task per index, min(workers, n) runner tasks pull the
+// next unclaimed index from a shared atomic until the range is exhausted.
+// A slow item therefore never serializes the items queued behind it in a
+// static partition, and in-flight work is bounded by the worker count —
+// an n-item fleet never materializes n closures. fn(i) runs exactly once
+// per i in [0, n); determinism is owned by the caller exactly as with
+// parallel_indexed (index-addressed output slots, post-join reduction in
+// index order). With a null pool or n <= 1 the calls run serially in
+// index order on the calling thread.
+//
+// Exceptions: every runner keeps claiming indices even after a failure
+// (so fn(i) still runs exactly once per index), and the exception of the
+// lowest failing index is rethrown after the join — scheduling-
+// independent, like parallel_indexed. Callers that must not lose work to
+// a throwing sibling (the fleet engine) catch inside fn instead.
+template <typename Fn>
+void parallel_dynamic(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::size_t err_index = n;
+  std::exception_ptr err;
+  auto runner = [&]() {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (i < err_index) {
+          err_index = i;
+          err = std::current_exception();
+        }
+      }
+    }
+  };
+  const std::size_t runners = std::min(pool->workers(), n);
+  std::vector<std::future<void>> futures;
+  futures.reserve(runners);
+  for (std::size_t r = 0; r < runners; ++r)
+    futures.push_back(pool->submit(runner));
+  for (auto& f : futures) f.wait();
+  for (auto& f : futures) f.get();  // surfaces submit/packaged_task failures
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace dcl::util
