@@ -9,6 +9,12 @@
 // counts (bitwise by construction), making the benchmark double as a
 // smoke test.
 //
+// Kernel rows whose thread count exceeds the machine's hardware
+// concurrency are flagged "oversubscribed" in both the stdout summary and
+// the JSON (and speedup_4t carries the same flag): on a small container a
+// 4- or 8-thread row measures scheduler contention, not parallel scaling,
+// so no gate should ever key off an oversubscribed row.
+//
 // Writes a single-line JSON record to the first non-flag argument
 // (default "BENCH_em_scaling.json") and mirrors a human-readable summary
 // to stdout. `--min-kernel-speedup X` exits nonzero when either model's
@@ -22,7 +28,6 @@
 #include <cstring>
 #include <fstream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench/common.h"
@@ -114,10 +119,12 @@ struct ModelScaling {
 
 void print_row(const char* name, int n, const char* engine, int threads,
                const FitTiming& t) {
+  const bool over =
+      static_cast<std::size_t>(threads) > util::ThreadPool::hardware_threads();
   std::printf(
-      "%-5s N=%d  %-6s %dt  %8.1f ms  (spread %5.1f, %d iters, ll %.6f)\n",
+      "%-5s N=%d  %-6s %dt  %8.1f ms  (spread %5.1f, %d iters, ll %.6f)%s\n",
       name, n, engine, threads, t.wall.median_ms, t.wall.spread_ms,
-      t.iterations, t.log_likelihood);
+      t.iterations, t.log_likelihood, over ? "  [oversubscribed]" : "");
 }
 
 template <typename Model>
@@ -186,13 +193,22 @@ std::string json_timing(const FitTiming& t) {
 }
 
 std::string json_block(const char* name, const ModelScaling& s) {
+  const std::size_t hw = util::ThreadPool::hardware_threads();
   char buf[256];
   std::string kernel = "{";
   for (std::size_t i = 0; i < s.threads.size(); ++i) {
     std::snprintf(buf, sizeof(buf), "%s\"%d\":", i > 0 ? "," : "",
                   s.threads[i]);
     kernel += buf;
-    kernel += json_timing(s.kernel[i]);
+    std::string row = json_timing(s.kernel[i]);
+    // Per-row oversubscription flag so downstream gates can (and must)
+    // skip rows where threads exceed the machine's real core count.
+    row.pop_back();  // drop the closing brace, re-added after the flag
+    std::snprintf(buf, sizeof(buf), ",\"oversubscribed\":%s}",
+                  static_cast<std::size_t>(s.threads[i]) > hw ? "true"
+                                                              : "false");
+    kernel += row;
+    kernel += buf;
   }
   kernel += "}";
   std::string out = "\"";
@@ -205,8 +221,9 @@ std::string json_block(const char* name, const ModelScaling& s) {
   out += "\"kernel\":" + kernel + ",";
   std::snprintf(buf, sizeof(buf),
                 "\"emission_cache_speedup\":%.3f,\"kernel_speedup_1t\":%.3f,"
-                "\"speedup_4t\":%.3f}",
-                s.emission_cache_speedup, s.kernel_speedup_1t, s.speedup_4t);
+                "\"speedup_4t\":%.3f,\"speedup_4t_oversubscribed\":%s}",
+                s.emission_cache_speedup, s.kernel_speedup_1t, s.speedup_4t,
+                hw < 4 ? "true" : "false");
   out += buf;
   return out;
 }
@@ -238,11 +255,14 @@ int main(int argc, char** argv) {
   const auto seq =
       synth_sequence(static_cast<std::size_t>(kTLen), kSymbols, 42);
 
+  // ThreadPool::hardware_threads() never reports 0 (hardware_concurrency()
+  // may), so the recorded count is the one the restart engine actually
+  // resolves against when deciding thread splits.
+  const std::size_t hw = util::ThreadPool::hardware_threads();
   std::printf(
       "EM scaling: T=%d M=%d restarts=%d iterations=%d "
-      "(%u hw threads, median of %d after %d warmup)\n",
-      kTLen, kSymbols, kRestarts, kIterations,
-      std::thread::hardware_concurrency(), samples, warmup);
+      "(%zu hw threads, median of %d after %d warmup)\n",
+      kTLen, kSymbols, kRestarts, kIterations, hw, samples, warmup);
   const auto hmm = run_model<inference::Hmm>("hmm", seq, 3, samples, warmup);
   const auto mmhd =
       run_model<inference::Mmhd>("mmhd", seq, 2, samples, warmup);
@@ -250,10 +270,9 @@ int main(int argc, char** argv) {
   char head[320];
   std::snprintf(head, sizeof(head),
                 "{\"bench\":\"em_scaling\",\"t_len\":%d,\"symbols\":%d,"
-                "\"restarts\":%d,\"iterations\":%d,\"hardware_threads\":%u,"
+                "\"restarts\":%d,\"iterations\":%d,\"hardware_threads\":%zu,"
                 "\"samples\":%d,\"warmup\":%d,",
-                kTLen, kSymbols, kRestarts, kIterations,
-                std::thread::hardware_concurrency(), samples, warmup);
+                kTLen, kSymbols, kRestarts, kIterations, hw, samples, warmup);
   const std::string line = std::string(head) + "\"manifest\":" +
                            obs::manifest("em_scaling").to_json() + "," +
                            json_block("hmm", hmm) + "," +

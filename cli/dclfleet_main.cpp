@@ -30,9 +30,10 @@
 //   --synth N              analyze an in-process N-path synthetic mesh
 //                          instead of files (bench/smoke workload)
 //   --synth-probes T       probes per synthetic path (default 1200)
-//   -M/--symbols, -N/--hidden, --model, --restarts, --seed, --eps-l,
-//   --eps-d, --deadline, --no-sanitize, --no-skew-correction
-//                          per-trace pipeline knobs, as in dclid
+//   -M/--symbols, -N/--hidden, --model, --restarts, --seed, --prune-*,
+//   --race-*, --eps-l, --eps-d, --deadline, --no-sanitize,
+//   --no-skew-correction   per-trace pipeline knobs, as in dclid (the
+//                          restart-budget set is shared via cli/em_flags.h)
 //   --serve ADDR           live ops HTTP server for mid-run scraping:
 //                          fleet.* progress counters on /metrics and
 //                          /statusz (see obs/serve.h)
@@ -55,6 +56,7 @@
 #include <thread>
 #include <vector>
 
+#include "em_flags.h"
 #include "fleet/fleet.h"
 #include "fleet/manifest.h"
 #include "fleet/synth.h"
@@ -81,9 +83,9 @@ namespace {
       "  --synth-probes T       probes per synthetic path (default 1200)\n"
       "  -M, --symbols N        delay symbols (default 10)\n"
       "  -N, --hidden N         MMHD hidden states (default 2)\n"
-      "  --model mmhd|hmm       inference model (default mmhd)\n"
-      "  --restarts R           EM restarts per fit (default 1)\n"
-      "  --seed N               fleet base seed (default 1)\n"
+      "  --model mmhd|hmm|auto  inference model (default mmhd; auto races\n"
+      "                         the structures and fits the BIC winner)\n"
+      "%s"
       "  --eps-l X / --eps-d X  WDCL test parameters (0.06 / 0)\n"
       "  --deadline SECONDS     per-trace wall budget (default 0 = none)\n"
       "  --no-sanitize          fail fast per trace on pathological input\n"
@@ -96,54 +98,29 @@ namespace {
       "  --verbose              progress + manifest to stderr\n"
       "exit codes: 0 all ok, 1 any degraded/failed, 2 invalid input,\n"
       "            3 internal error\n",
-      argv0, argv0);
+      argv0, argv0, dcl::cli::kEmFlagsUsage);
   std::exit(code);
 }
 
 volatile std::sig_atomic_t g_signal = 0;
 extern "C" void on_signal(int) { g_signal = 1; }
 
-[[noreturn]] void bad_value(const char* v, const char* flag) {
-  std::fprintf(stderr, "dclfleet: bad value '%s' for %s\n", v, flag);
-  std::exit(2);
-}
-
+// Value parsers and error reporting live in cli/em_flags.h, shared with
+// dclid; these wrappers pin the program name for local call sites.
 [[noreturn]] void config_error(const char* msg) {
-  std::fprintf(stderr, "dclfleet: %s\n", msg);
-  std::exit(2);
+  dcl::cli::config_error("dclfleet", msg);
 }
 
 double parse_double(const char* v, const char* flag) {
-  char* end = nullptr;
-  errno = 0;
-  const double x = std::strtod(v, &end);
-  if (end == v || *end != '\0' || errno == ERANGE) bad_value(v, flag);
-  return x;
+  return dcl::cli::parse_double("dclfleet", v, flag);
 }
 
 long parse_long(const char* v, const char* flag) {
-  char* end = nullptr;
-  errno = 0;
-  const long x = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || errno == ERANGE) bad_value(v, flag);
-  return x;
+  return dcl::cli::parse_long("dclfleet", v, flag);
 }
 
 int parse_int(const char* v, const char* flag) {
-  const long x = parse_long(v, flag);
-  if (x < INT_MIN || x > INT_MAX) bad_value(v, flag);
-  return static_cast<int>(x);
-}
-
-std::uint64_t parse_u64(const char* v, const char* flag) {
-  const char* p = v;
-  while (*p == ' ' || *p == '\t') ++p;
-  if (*p == '-') bad_value(v, flag);
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long x = std::strtoull(v, &end, 10);
-  if (end == v || *end != '\0' || errno == ERANGE) bad_value(v, flag);
-  return static_cast<std::uint64_t>(x);
+  return dcl::cli::parse_int("dclfleet", v, flag);
 }
 
 // One verdict line. Formatting is locale-free printf with fixed precision,
@@ -280,12 +257,11 @@ int main(int argc, char** argv) {
       const std::string m = need("--model");
       if (m == "mmhd") cfg.pipeline.identifier.model = dcl::core::ModelKind::kMmhd;
       else if (m == "hmm") cfg.pipeline.identifier.model = dcl::core::ModelKind::kHmm;
+      else if (m == "auto") cfg.pipeline.identifier.model = dcl::core::ModelKind::kAuto;
       else usage(argv[0], 2);
-    } else if (a == "--restarts")
-      cfg.pipeline.identifier.em.restarts =
-          parse_int(need("--restarts"), "--restarts");
-    else if (a == "--seed")
-      cfg.pipeline.identifier.em.seed = parse_u64(need("--seed"), "--seed");
+    } else if (dcl::cli::parse_em_flag("dclfleet", a, need,
+                                       cfg.pipeline.identifier.em))
+      ;  // --restarts/--seed/--prune-*/--race-*, shared with dclid
     else if (a == "--eps-l")
       cfg.pipeline.identifier.eps_l = parse_double(need("--eps-l"), "--eps-l");
     else if (a == "--eps-d")
@@ -321,8 +297,7 @@ int main(int argc, char** argv) {
   if (synth_probes < 100) config_error("--synth-probes must be >= 100");
   if (cfg.outer_threads < 0) config_error("--outer-threads must be >= 0");
   if (cfg.inner_threads < 0) config_error("--inner-threads must be >= 0");
-  if (cfg.pipeline.identifier.em.restarts < 1)
-    config_error("--restarts must be >= 1");
+  dcl::cli::validate_em("dclfleet", cfg.pipeline.identifier.em);
   if (cfg.pipeline.identifier.symbols < 2)
     config_error("--symbols must be >= 2");
   if (cfg.pipeline.identifier.hidden_states < 1)
@@ -383,7 +358,10 @@ int main(int argc, char** argv) {
         "traces=" + std::to_string(jobs.size()) +
         ";seed=" + std::to_string(man.seed) +
         ";restarts=" + std::to_string(cfg.pipeline.identifier.em.restarts) +
-        ";symbols=" + std::to_string(cfg.pipeline.identifier.symbols) +
+        ";prune_warmup=" +
+        std::to_string(cfg.pipeline.identifier.em.prune_warmup) + ';' +
+        dcl::cli::em_digest_fields(cfg.pipeline.identifier.em) +
+        "symbols=" + std::to_string(cfg.pipeline.identifier.symbols) +
         ";hidden=" + std::to_string(cfg.pipeline.identifier.hidden_states));
     if (verbose) log::infof("manifest", "%s", man.to_json().c_str());
 

@@ -20,7 +20,8 @@
 // Options:
 //   -M, --symbols N        delay symbols for the hypothesis tests (10)
 //   -N, --hidden N         hidden states of the MMHD (2)
-//   --model mmhd|hmm       inference model (mmhd)
+//   --model mmhd|hmm|auto  inference model (mmhd); auto races the two
+//                          structures on shared rungs, fits the BIC winner
 //   --eps-l X / --eps-d X  WDCL test parameters (0.06 / 0)
 //   --dprop SECONDS        known propagation delay (default: min delay)
 //   --no-skew-correction   skip clock-skew removal
@@ -33,6 +34,13 @@
 //   --prune-warmup K       abandon trailing EM restarts after K iterations
 //                          (0 = off)
 //   --prune-margin X       log-likelihood margin for restart pruning (25)
+//   --race-warmup K        successive-halving restart racing: first rung
+//                          after K iterations (0 = off; supersedes
+//                          --prune-*)
+//   --race-keep F          fraction of restarts kept per rung (0.5)
+//   --race-grow X          per-rung budget growth factor (1.0)
+//   --race-overtake X      overtake-bound optimism retaining trailing
+//                          restarts (1.0; 0 = pure rank cut)
 //   --restarts R           independent EM restarts (1)
 //   --seed N               EM (and scenario) seed (1)
 //   --threads N            worker threads for EM restarts, BIC candidates,
@@ -85,6 +93,7 @@
 #include <string>
 #include <thread>
 
+#include "em_flags.h"
 #include "core/pipeline.h"
 #include "inference/em_telemetry.h"
 #include "obs/log.h"
@@ -104,7 +113,8 @@ namespace {
       "usage: %s [options] <trace.csv>\n"
       "  -M, --symbols N        delay symbols (default 10)\n"
       "  -N, --hidden N         MMHD hidden states (default 2)\n"
-      "  --model mmhd|hmm       inference model (default mmhd)\n"
+      "  --model mmhd|hmm|auto  inference model (default mmhd; auto races\n"
+      "                         the structures and fits the BIC winner)\n"
       "  --eps-l X              WDCL loss tolerance (default 0.06)\n"
       "  --eps-d X              WDCL delay tolerance (default 0)\n"
       "  --dprop SECONDS        known propagation delay\n"
@@ -115,11 +125,7 @@ namespace {
       "  --bootstrap-refit      sequence bootstrap with warm-started EM\n"
       "                         refits instead of posterior resampling\n"
       "  --select-N MAX         choose hidden states by BIC in 1..MAX\n"
-      "  --prune-warmup K       abandon trailing EM restarts after K\n"
-      "                         iterations (default 0 = off)\n"
-      "  --prune-margin X       log-likelihood margin for pruning (25)\n"
-      "  --restarts R           independent EM restarts (default 1)\n"
-      "  --seed N               EM (and scenario) seed (default 1)\n"
+      "%s"
       "  --threads N            worker threads for the parallel stages\n"
       "                         (default 0 = all cores; results identical)\n"
       "  --scenario NAME        simulate a built-in chain scenario instead\n"
@@ -146,7 +152,7 @@ namespace {
       "                         manifest to stderr\n"
       "exit codes: 0 ok, 1 degraded-but-completed, 2 invalid input,\n"
       "            3 internal error\n",
-      argv0);
+      argv0, dcl::cli::kEmFlagsUsage);
   std::exit(code);
 }
 
@@ -155,50 +161,22 @@ namespace {
 volatile std::sig_atomic_t g_signal = 0;
 extern "C" void on_signal(int) { g_signal = 1; }
 
-[[noreturn]] void bad_value(const char* v, const char* flag) {
-  std::fprintf(stderr, "dclid: bad value '%s' for %s\n", v, flag);
-  std::exit(2);
-}
-
+// Value parsers and error reporting live in cli/em_flags.h, shared with
+// dclfleet; these wrappers pin the program name for local call sites.
 double parse_double(const char* v, const char* flag) {
-  char* end = nullptr;
-  errno = 0;
-  const double x = std::strtod(v, &end);
-  if (end == v || *end != '\0' || errno == ERANGE) bad_value(v, flag);
-  return x;
+  return dcl::cli::parse_double("dclid", v, flag);
 }
 
-// Strict integer parse: no fractional part silently truncated, no trailing
-// garbage, range-checked.
 long parse_long(const char* v, const char* flag) {
-  char* end = nullptr;
-  errno = 0;
-  const long x = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || errno == ERANGE) bad_value(v, flag);
-  return x;
+  return dcl::cli::parse_long("dclid", v, flag);
 }
 
 int parse_int(const char* v, const char* flag) {
-  const long x = parse_long(v, flag);
-  if (x < INT_MIN || x > INT_MAX) bad_value(v, flag);
-  return static_cast<int>(x);
-}
-
-std::uint64_t parse_u64(const char* v, const char* flag) {
-  // strtoull accepts a leading '-' (wrapping modulo 2^64); reject it.
-  const char* p = v;
-  while (*p == ' ' || *p == '\t') ++p;
-  if (*p == '-') bad_value(v, flag);
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long x = std::strtoull(v, &end, 10);
-  if (end == v || *end != '\0' || errno == ERANGE) bad_value(v, flag);
-  return static_cast<std::uint64_t>(x);
+  return dcl::cli::parse_int("dclid", v, flag);
 }
 
 [[noreturn]] void config_error(const char* msg) {
-  std::fprintf(stderr, "dclid: %s\n", msg);
-  std::exit(2);
+  dcl::cli::config_error("dclid", msg);
 }
 
 // Reject invalid combinations up front with a one-line message instead of
@@ -214,8 +192,7 @@ void validate(const dcl::core::PipelineConfig& cfg) {
   if (id.eps_d < 0.0 || id.eps_d >= 1.0)
     config_error("--eps-d must be in [0, 1)");
   if (id.bootstrap_replicates < 0) config_error("--bootstrap must be >= 0");
-  if (id.em.prune_warmup < 0) config_error("--prune-warmup must be >= 0");
-  if (id.em.prune_margin < 0.0) config_error("--prune-margin must be >= 0");
+  dcl::cli::validate_em("dclid", id.em);
   if (id.em.threads < 0) config_error("--threads must be >= 0");
   if (id.auto_hidden_max < 0) config_error("--select-N must be >= 0");
   if (id.propagation_delay && *id.propagation_delay < 0.0)
@@ -286,8 +263,9 @@ dcl::obs::RunManifest make_manifest(const dcl::core::PipelineConfig& cfg,
   auto man = dcl::obs::manifest("dclid");
   man.seed = id.em.seed;
   man.add("input", scenario.empty() ? input : "scenario:" + scenario);
-  man.add("model",
-          id.model == dcl::core::ModelKind::kMmhd ? "mmhd" : "hmm");
+  man.add("model", id.model == dcl::core::ModelKind::kMmhd   ? "mmhd"
+                   : id.model == dcl::core::ModelKind::kHmm ? "hmm"
+                                                            : "auto");
   man.add("symbols", std::to_string(id.symbols));
   man.add("hidden", std::to_string(id.hidden_states));
   man.add("restarts", std::to_string(id.em.restarts));
@@ -302,6 +280,7 @@ dcl::obs::RunManifest make_manifest(const dcl::core::PipelineConfig& cfg,
   key += "bound_symbols=" + std::to_string(id.bound_symbols) + ';';
   key += "bootstrap=" + std::to_string(id.bootstrap_replicates) + ';';
   key += "prune_warmup=" + std::to_string(id.em.prune_warmup) + ';';
+  key += dcl::cli::em_digest_fields(id.em);
   key += "select_N=" + std::to_string(id.auto_hidden_max) + ';';
   key += "skew=" + std::to_string(cfg.correct_clock_skew ? 1 : 0) + ';';
   key += "window=" + std::to_string(cfg.stationary_window) + ';';
@@ -346,6 +325,7 @@ int main(int argc, char** argv) {
       const std::string m = need("--model");
       if (m == "mmhd") cfg.identifier.model = dcl::core::ModelKind::kMmhd;
       else if (m == "hmm") cfg.identifier.model = dcl::core::ModelKind::kHmm;
+      else if (m == "auto") cfg.identifier.model = dcl::core::ModelKind::kAuto;
       else usage(argv[0], 2);
     } else if (a == "--eps-l")
       cfg.identifier.eps_l = parse_double(need("--eps-l"), "--eps-l");
@@ -371,16 +351,8 @@ int main(int argc, char** argv) {
     else if (a == "--select-N")
       cfg.identifier.auto_hidden_max =
           parse_int(need("--select-N"), "--select-N");
-    else if (a == "--prune-warmup")
-      cfg.identifier.em.prune_warmup =
-          parse_int(need("--prune-warmup"), "--prune-warmup");
-    else if (a == "--prune-margin")
-      cfg.identifier.em.prune_margin =
-          parse_double(need("--prune-margin"), "--prune-margin");
-    else if (a == "--restarts")
-      cfg.identifier.em.restarts = parse_int(need("--restarts"), "--restarts");
-    else if (a == "--seed")
-      cfg.identifier.em.seed = parse_u64(need("--seed"), "--seed");
+    else if (dcl::cli::parse_em_flag("dclid", a, need, cfg.identifier.em))
+      ;  // --restarts/--seed/--prune-*/--race-*, shared with dclfleet
     else if (a == "--threads")
       cfg.identifier.em.threads = parse_int(need("--threads"), "--threads");
     else if (a == "--scenario")
@@ -434,7 +406,6 @@ int main(int argc, char** argv) {
     if (duration_s <= 0.0) config_error("--duration must be > 0");
   }
   validate(cfg);
-  if (cfg.identifier.em.restarts < 1) config_error("--restarts must be >= 1");
   if (serve_linger_s < 0.0 && !std::isinf(serve_linger_s))
     config_error("--serve-linger must be >= 0 (or inf)");
 

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Performance baseline snapshot: Release build, then the EM scaling
-# benchmark, the fleet throughput benchmark, and the EM-fit
-# microbenchmarks, appended as one JSON line per run to
-# BENCH_baseline.jsonl (repo root) so perf regressions show up as a
-# diffable series across commits.
+# benchmark, the fleet throughput benchmark, the restart-racing
+# benchmark, and the EM-fit microbenchmarks, appended as one JSON line
+# per run to BENCH_baseline.jsonl (repo root) so perf regressions show
+# up as a diffable series across commits.
 #
 #   scripts/bench_baseline.sh           # build + run + append
 #   BENCH_OUT=custom.jsonl scripts/bench_baseline.sh
@@ -17,7 +17,7 @@ echo "==> configure build-release (Release)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 echo "==> build benchmarks"
 cmake --build build-release -j "${JOBS}" \
-  --target bench_em_scaling bench_fleet bench_micro
+  --target bench_em_scaling bench_fleet bench_racing bench_micro
 
 echo "==> bench_em_scaling"
 # --samples is pinned so every baseline line is the median of the same
@@ -30,6 +30,13 @@ echo "==> bench_fleet (1000-path synthetic mesh, outer 1/2/4/8)"
 ./build-release/bench/bench_fleet BENCH_fleet.json
 fleet="$(cat BENCH_fleet.json)"
 
+echo "==> bench_racing (restart racing vs prune vs full, 1t)"
+# --samples pinned for the same reason as bench_em_scaling: the series'
+# noise floor must not drift with the shell environment. The benchmark
+# asserts SDCL/WDCL verdict parity across policies before reporting.
+./build-release/bench/bench_racing BENCH_racing.json --samples 5
+racing="$(cat BENCH_racing.json)"
+
 echo "==> bench_micro (EM fit + trace/metrics overhead filters)"
 micro="$(./build-release/bench/bench_micro \
   --benchmark_filter='BM_(HmmFit|MmhdFit|TraceEvent|HistogramRecord)' \
@@ -37,6 +44,6 @@ micro="$(./build-release/bench/bench_micro \
 
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-printf '{"timestamp":"%s","commit":"%s","em_scaling":%s,"fleet":%s,"micro":%s}\n' \
-  "${stamp}" "${commit}" "${scaling}" "${fleet}" "${micro}" >> "${OUT}"
+printf '{"timestamp":"%s","commit":"%s","em_scaling":%s,"fleet":%s,"racing":%s,"micro":%s}\n' \
+  "${stamp}" "${commit}" "${scaling}" "${fleet}" "${racing}" "${micro}" >> "${OUT}"
 echo "==> appended baseline to ${OUT}"

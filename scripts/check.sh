@@ -14,12 +14,18 @@
 #   DCL_CHECK_SKIP_SOAK=1      scripts/check.sh
 #   DCL_CHECK_SKIP_FLEET=1     scripts/check.sh
 #   DCL_CHECK_SKIP_PERF=1      scripts/check.sh
+#   DCL_CHECK_SKIP_RACING=1    scripts/check.sh   # racing gate only
 #   DCL_CHECK_TSAN_SKIP='...'  # labels excluded from the TSan run (regex)
 #
 # The final stage (unless DCL_CHECK_SKIP_PERF=1) builds bench_em_scaling
 # in Release and fails when the kernel engine's single-thread speedup over
 # the cached path drops below 90% of the last committed BENCH_baseline.jsonl
 # entry — a ratio, so the gate holds on machines of any absolute speed.
+# The same stage gates the restart-racing speedup (bench_racing,
+# racing_speedup_vs_pruned >= 1.5x absolute and >= 90% of baseline) unless
+# DCL_CHECK_SKIP_RACING=1; the racing determinism suites themselves run
+# under TSan via the parallel_em_test/selection_bootstrap_test labels
+# already in the TSan stage.
 #
 # Runs from the repo root regardless of the invocation directory.
 set -euo pipefail
@@ -222,7 +228,7 @@ if [[ "${DCL_CHECK_SKIP_PERF:-0}" != "1" ]]; then
   echo "==> configure build-release (Release, perf smoke)"
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-release -j "${JOBS}" \
-    --target bench_em_scaling bench_fleet bench_micro
+    --target bench_em_scaling bench_fleet bench_racing bench_micro
   fresh="$(mktemp)"
   trap 'rm -f "${trace_json:-}" "${serve_log:-}" "${fresh:-}"' EXIT
   echo "==> bench_em_scaling perf smoke"
@@ -288,6 +294,41 @@ sys.exit(0 if got >= floor else 1)
 PY
     else
       echo "==> python3 or BENCH_baseline.jsonl missing; fleet ratio check skipped"
+    fi
+  fi
+  # Restart-racing gate: successive halving must keep beating the single
+  # prune point. The benchmark itself enforces the 1.5x absolute floor and
+  # SDCL/WDCL verdict parity across the three policies; the python step
+  # then ratio-gates against the committed baseline so a gradual schedule
+  # regression is caught even on machines where 1.5x clears easily.
+  if [[ "${DCL_CHECK_SKIP_RACING:-0}" != "1" ]]; then
+    echo "==> bench_racing perf smoke (restart-racing gate)"
+    racing_fresh="$(mktemp)"
+    trap 'rm -f "${trace_json:-}" "${serve_log:-}" "${fleet_a:-}" "${fleet_b:-}" "${fresh:-}" "${fleet_fresh:-}" "${racing_fresh:-}"' EXIT
+    ./build-release/bench/bench_racing "${racing_fresh}" --samples 5 \
+      --min-racing-speedup 1.5
+    if command -v python3 >/dev/null 2>&1 && [[ -s BENCH_baseline.jsonl ]]; then
+      python3 - "${racing_fresh}" BENCH_baseline.jsonl <<'PY'
+import json, sys
+
+fresh = json.load(open(sys.argv[1]))
+lines = [l for l in open(sys.argv[2]) if l.strip()]
+base = json.loads(lines[-1]).get("racing", {})
+ref = base.get("racing_speedup_vs_pruned")
+got = fresh["racing_speedup_vs_pruned"]
+if ref is None:
+    print(f"racing: speedup_vs_pruned {got:.2f}x; "
+          "baseline predates the racing bench; ratio check skipped")
+    sys.exit(0)
+floor = 0.9 * ref
+verdict = "ok" if got >= floor else "REGRESSION"
+print(f"racing: speedup_vs_pruned {got:.2f}x vs baseline {ref:.2f}x "
+      f"(floor {floor:.2f}x, vs full {fresh['racing_speedup_vs_full']:.2f}x) "
+      f"{verdict}")
+sys.exit(0 if got >= floor else 1)
+PY
+    else
+      echo "==> python3 or BENCH_baseline.jsonl missing; racing ratio check skipped"
     fi
   fi
   echo "==> obs overhead smoke (disabled emit + windowed record cost)"

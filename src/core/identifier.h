@@ -28,6 +28,12 @@ namespace dcl::core {
 enum class ModelKind {
   kMmhd,  // paper default: accurate in every evaluated setting
   kHmm,   // kept for the paper's HMM-vs-MMHD comparison (Fig. 8)
+  // Decide per trace: both structures race on shared successive-halving
+  // rungs (Hmm::StagedFit vs Mmhd::StagedFit) and the one whose BIC wins
+  // is fitted for the pipeline. Ties and an expired deadline fall back to
+  // the paper default kMmhd. IdentificationResult::model_used records the
+  // outcome.
+  kAuto,
 };
 
 struct IdentifierConfig {
@@ -99,6 +105,9 @@ struct IdentificationResult {
   // Hidden-state count actually used (differs from the config when
   // auto_hidden_max selected one).
   int hidden_states_used = 0;
+  // Model structure actually fitted (differs from the config only when
+  // ModelKind::kAuto raced the structures).
+  ModelKind model_used = ModelKind::kMmhd;
   // i*-based bound on the WDCL grid (valid when a test accepted).
   DelayBound coarse_bound;
 

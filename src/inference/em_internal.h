@@ -5,7 +5,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <functional>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -73,29 +75,201 @@ FitResult reduce_restarts(std::vector<Outcome>& outcomes, EmObserver* observer,
   return best;
 }
 
-// Two-phase restart driver with deterministic likelihood pruning. Runner is
-// the per-restart state owned by the model (local model copy, workspace,
+// Successive-halving rung bookkeeping shared by the racing restart driver
+// below and the models' StagedFit drivers (model-structure racing advances
+// restarts on externally supplied shared-rung boundaries). Tracks the
+// per-restart likelihood and iteration count at the previous rung boundary
+// so a trailer's mean per-iteration gain — the slope of the overtake
+// bound — is available at the next reduction. Every method runs on the
+// calling thread and scans restarts in index order, so each decision is a
+// deterministic function of per-restart values: the surviving set, and
+// therefore the winner, is bitwise identical for any thread count. In
+// addition to the Runner interface used by drive_restarts the Runner must
+// expose `int iterations() const` and `bool pruned() const`.
+struct RaceState {
+  std::vector<double> prev_ll;
+  std::vector<int> prev_iters;
+  int rungs = 0;
+
+  explicit RaceState(std::size_t n)
+      : prev_ll(n, -std::numeric_limits<double>::infinity()),
+        prev_iters(n, 0) {}
+
+  template <typename Runner>
+  void snapshot(const std::vector<Runner>& runs) {
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      prev_ll[r] = runs[r].last_ll();
+      prev_iters[r] = runs[r].iterations();
+    }
+  }
+
+  // Live = neither eliminated nor converged/exhausted: the contenders that
+  // would consume budget in another rung.
+  template <typename Runner>
+  static int live_count(const std::vector<Runner>& runs) {
+    int live = 0;
+    for (const Runner& run : runs)
+      if (!run.pruned() && !run.finished()) ++live;
+    return live;
+  }
+
+  // Upper bound on the final log likelihood restart r can still reach: its
+  // current value plus `overtake` times its last-rung mean per-iteration
+  // gain, projected over the remaining iteration budget. EM iteration
+  // gains are non-increasing in practice, so overtake = 1 keeps this an
+  // honest reachable-likelihood bound. Infinite until a gain estimate
+  // exists (see the one-iteration probe in drive_race).
+  template <typename Runner>
+  double ll_bound(const Runner& run, std::size_t r, int max_iterations,
+                  double overtake) const {
+    if (run.finished()) return run.last_ll();
+    const int di = run.iterations() - prev_iters[r];
+    if (di <= 0 || !(prev_ll[r] > -std::numeric_limits<double>::infinity()))
+      return std::numeric_limits<double>::infinity();
+    const double gain =
+        std::max(0.0, (run.last_ll() - prev_ll[r]) / static_cast<double>(di));
+    const double remaining =
+        static_cast<double>(max_iterations - run.iterations());
+    return run.last_ll() + overtake * gain * remaining;
+  }
+
+  // One rung reduction at cumulative iteration `target`: rank-cut the
+  // contenders to the top race_keep fraction of the likelihood ranking
+  // (finished contenders hold their final likelihood and still occupy
+  // ranking slots — they can win), retain trailers whose projection can
+  // still overtake the *leader's* projection, and mark the rest pruned.
+  // The retention races projections against each other — a trailer is kept
+  // only when its (overtake-scaled) per-iteration gain closes the gap to
+  // the leader within the remaining budget — because every early-EM run
+  // is still climbing steeply; comparing a trailer's projection against
+  // the leader's current value would retain the whole field and the race
+  // would never shrink. The leader is never eliminated (it is >= the
+  // cut), so at least one contender survives. Returns the eliminated
+  // count.
+  template <typename Runner>
+  int reduce(const EmOptions& opts, std::vector<Runner>& runs, int target) {
+    std::vector<double> lls;
+    lls.reserve(runs.size());
+    double leader = -std::numeric_limits<double>::infinity();
+    std::size_t leader_idx = 0;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      const Runner& run = runs[r];
+      if (run.pruned()) continue;
+      lls.push_back(run.last_ll());
+      if (run.last_ll() > leader) {
+        leader = run.last_ll();
+        leader_idx = r;
+      }
+    }
+    const std::size_t alive = lls.size();
+    std::sort(lls.begin(), lls.end(), std::greater<double>());
+    std::size_t keep = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(alive) * opts.race_keep));
+    keep = std::min(std::max<std::size_t>(keep, 1), alive);
+    const double cut = lls[keep - 1];
+    const double leader_proj =
+        ll_bound(runs[leader_idx], leader_idx, opts.max_iterations, 1.0);
+    int eliminated = 0;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      Runner& run = runs[r];
+      if (run.pruned() || run.finished()) continue;
+      if (run.last_ll() >= cut) continue;  // within the kept rank band
+      if (opts.race_overtake > 0.0 &&
+          ll_bound(run, r, opts.max_iterations, opts.race_overtake) >=
+              leader_proj)
+        continue;  // outpacing the leader: could still overtake it
+      run.mark_pruned();
+      ++eliminated;
+      // Flight-recorder marker; value = abandoned restart's index.
+      obs::trace::instant("em.race.eliminate", static_cast<double>(r));
+    }
+    obs::trace::instant("em.race.rung", static_cast<double>(rungs));
+    if (opts.observer != nullptr)
+      opts.observer->on_rung(rungs, target,
+                             static_cast<int>(alive) - eliminated, eliminated);
+    ++rungs;
+    return eliminated;
+  }
+
+  // Next cumulative iteration target after a reduction left `live`
+  // contenders: the eliminated contenders' rung budget is reallocated, so
+  // each survivor's increment is about race_grow * race_warmup * n / live —
+  // rung depth doubles as the field halves. A single survivor runs
+  // straight to max_iterations.
+  static int next_target(const EmOptions& opts, int target, std::size_t n,
+                         int live) {
+    if (live <= 1) return opts.max_iterations;
+    const double budget = opts.race_grow *
+                          static_cast<double>(opts.race_warmup) *
+                          static_cast<double>(n);
+    const int step =
+        std::max(1, static_cast<int>(budget / static_cast<double>(live)));
+    if (target > opts.max_iterations - step) return opts.max_iterations;
+    return target + step;
+  }
+};
+
+// Racing restart driver: all restarts run one probe iteration (so the
+// first rung has finite gain estimates), then rungs of parallel advances
+// with an index-ordered RaceState::reduce between them, until one
+// contender remains or max_iterations is exhausted. Returns the number of
+// rung reductions executed. Chunked advances produce the same per-restart
+// numbers as one straight run — the Runner is resumable — so racing with
+// no eliminations (race_keep = 1) reproduces the unpruned fit bitwise.
+template <typename Runner>
+int drive_race(util::ThreadPool* pool, const EmOptions& opts,
+               std::vector<Runner>& runs) {
+  const std::size_t n = runs.size();
+  RaceState race(n);
+  util::parallel_indexed(pool, n, [&](std::size_t r) { runs[r].advance(1); });
+  race.snapshot(runs);
+  int target = std::min(opts.race_warmup, opts.max_iterations);
+  while (true) {
+    util::parallel_indexed(pool, n,
+                           [&](std::size_t r) { runs[r].advance(target); });
+    if (target >= opts.max_iterations) break;
+    if (RaceState::live_count(runs) == 0) break;  // everyone converged
+    race.reduce(opts, runs, target);
+    const int live = RaceState::live_count(runs);
+    if (live == 0) break;
+    race.snapshot(runs);
+    target = RaceState::next_target(opts, target, n, live);
+  }
+  util::parallel_indexed(pool, n, [&](std::size_t r) { runs[r].finalize(); });
+  return race.rungs;
+}
+
+// Restart driver with deterministic budget control. Runner is the
+// per-restart state owned by the model (local model copy, workspace,
 // buffered events) and must expose:
 //   void advance(int upto)   run EM until `upto` iterations are done (or
 //                            convergence); resumable
 //   void finalize()          install winning-convention parameters/posterior
 //   double last_ll() const   log likelihood after the latest iteration
+//   int iterations() const   EM iterations completed so far
 //   bool finished() const    converged or exhausted max_iterations
+//   bool pruned() const      abandoned by pruning/racing
 //   void mark_pruned()       abandon this restart
 //
-// With pruning disabled (prune_warmup == 0, margin <= 0, or a single
-// restart) every runner advances straight to max_iterations — the same
-// per-restart computation as the single-phase driver, bitwise. With pruning
-// on, all restarts run `prune_warmup` iterations, the warmup-best log
-// likelihood is found by an index-ordered scan on the calling thread, and
-// restarts trailing it by more than `prune_margin` are abandoned. The
-// surviving set is a deterministic function of per-restart values, so the
-// fit stays bitwise identical across thread counts. The best restart is
-// never pruned (it trails itself by zero), so at least one survives.
+// Three regimes, in precedence order. Racing (race_warmup > 0, more than
+// one restart): the successive-halving schedule of drive_race above; the
+// single prune point is superseded (prune_warmup/prune_margin are
+// ignored). Pruning (prune_warmup > 0, margin > 0): all restarts run
+// `prune_warmup` iterations, the warmup-best log likelihood is found by an
+// index-ordered scan on the calling thread, and restarts trailing it by
+// more than `prune_margin` are abandoned. Otherwise every runner advances
+// straight to max_iterations — the same per-restart computation as the
+// single-phase driver, bitwise. In every regime the surviving set is a
+// deterministic function of per-restart values, so the fit stays bitwise
+// identical across thread counts, and the best restart is never abandoned
+// so at least one survives. Returns the racing rung-reduction count (0
+// outside the racing regime).
 template <typename Runner>
-void drive_restarts(util::ThreadPool* pool, const EmOptions& opts,
-                    std::vector<Runner>& runs) {
+int drive_restarts(util::ThreadPool* pool, const EmOptions& opts,
+                   std::vector<Runner>& runs) {
   const int restarts = static_cast<int>(runs.size());
+  if (opts.race_warmup > 0 && restarts > 1)
+    return drive_race(pool, opts, runs);
   const bool prune =
       opts.prune_warmup > 0 && opts.prune_margin > 0.0 && restarts > 1;
   if (!prune) {
@@ -104,7 +278,7 @@ void drive_restarts(util::ThreadPool* pool, const EmOptions& opts,
                              runs[r].advance(opts.max_iterations);
                              runs[r].finalize();
                            });
-    return;
+    return 0;
   }
   const int warmup = std::min(opts.prune_warmup, opts.max_iterations);
   util::parallel_indexed(pool, static_cast<std::size_t>(restarts),
@@ -125,6 +299,7 @@ void drive_restarts(util::ThreadPool* pool, const EmOptions& opts,
                            runs[r].advance(opts.max_iterations);
                            runs[r].finalize();
                          });
+  return 0;
 }
 
 }  // namespace dcl::inference::detail

@@ -37,6 +37,15 @@ class EmObserver {
   virtual void on_winner(int restart, const FitResult& result) {
     (void)restart; (void)result;
   }
+  // After each racing rung reduction (EmOptions::race_warmup > 0): the rung
+  // index, the cumulative iteration target the rung ran to, how many
+  // contenders remain eligible to win, and how many this rung eliminated.
+  // Invoked live from the fit's calling thread between rungs (the workers
+  // are quiesced at the reduction), so no synchronization is needed.
+  virtual void on_rung(int rung, int target_iterations, int survivors,
+                       int eliminated) {
+    (void)rung; (void)target_iterations; (void)survivors; (void)eliminated;
+  }
 };
 
 struct EmOptions {
@@ -91,6 +100,32 @@ struct EmOptions {
   // pruning and reproduces the unpruned results bitwise.
   int prune_warmup = 0;
   double prune_margin = 25.0;
+  // Successive-halving restart racing (supersedes the single prune point
+  // above when enabled): every restart runs `race_warmup` iterations, a
+  // rung reduction keeps the top `race_keep` fraction of the likelihood
+  // ranking — plus any trailer whose likelihood upper bound (see
+  // race_overtake) can still overtake the leader — and the eliminated
+  // contenders' per-rung iteration budget is reallocated to the survivors,
+  // so rung depth grows as the field shrinks. Rungs repeat until one
+  // contender remains or max_iterations is exhausted. Every reduction is
+  // an index-ordered scan on the calling thread over per-restart values,
+  // so the surviving set — and the winner — is bitwise identical for any
+  // thread count. race_warmup = 0 (the default) disables racing and leaves
+  // the pruned/unpruned drivers byte-for-byte untouched.
+  int race_warmup = 0;
+  // Fraction of the contenders kept by each rung's rank cut (ties at the
+  // cut survive). 0.5 is classic successive halving.
+  double race_keep = 0.5;
+  // Scales the reallocated per-rung budget: each survivor's next rung runs
+  // about race_grow * race_warmup * restarts / survivors more iterations.
+  double race_grow = 1.0;
+  // Overtake retention: a contender below the rank cut still survives
+  // while  ll + race_overtake * gain * remaining_iterations >= leader_ll,
+  // with `gain` its mean per-iteration likelihood gain over the last rung.
+  // EM iteration gains are non-increasing in practice, so race_overtake =
+  // 1 makes this a faithful reachable-likelihood bound; smaller values
+  // race more aggressively, 0 disables retention (pure rank racing).
+  double race_overtake = 1.0;
   // Telemetry hook (not owned; may be null). See EmObserver above. Under a
   // multi-threaded fit the per-iteration events are buffered inside each
   // worker and replayed in restart order at the join, so the observer is
@@ -114,8 +149,12 @@ struct FitResult {
   // True when this restart was abandoned by likelihood pruning (only ever
   // seen through EmObserver::on_restart — a pruned restart cannot win).
   bool pruned = false;
-  // On the winning fit result: how many restarts of this fit were pruned.
+  // On the winning fit result: how many restarts of this fit were pruned
+  // (by the single prune point or by racing rung reductions).
   int pruned_restarts = 0;
+  // On the winning fit result: racing rung reductions executed (0 when
+  // racing was off or never reached a reduction).
+  int race_rungs = 0;
 };
 
 }  // namespace dcl::inference

@@ -17,6 +17,9 @@
 //   <p>.log_likelihood          gauge (last iteration seen; max = best ever)
 //   <p>.final_log_likelihood    gauge (of the most recent winner)
 //   <p>.winning_restart         gauge
+//   <p>.race_rungs         counter   successive-halving rung reductions
+//   <p>.race_eliminations  counter   restarts eliminated by racing
+//   <p>.race_survivors          gauge (after the most recent rung)
 //
 // The observer additionally keeps the winning restart's per-iteration log
 // likelihoods of the most recent fit (winner_history()) for monotonicity
@@ -72,6 +75,18 @@ class RegistryEmObserver : public EmObserver {
     reg_.histogram(prefix_ + ".iterations_per_restart")
         .record(static_cast<double>(result.iterations));
     if (new_best) winner_history_ = result.log_likelihood_history;
+  }
+
+  void on_rung(int rung, int target_iterations, int survivors,
+               int eliminated) override {
+    (void)rung;
+    (void)target_iterations;
+    reg_.counter(prefix_ + ".race_rungs").add();
+    if (eliminated > 0)
+      reg_.counter(prefix_ + ".race_eliminations")
+          .add(static_cast<std::uint64_t>(eliminated));
+    reg_.gauge(prefix_ + ".race_survivors")
+        .set(static_cast<double>(survivors));
   }
 
   void on_winner(int restart, const FitResult& result) override {

@@ -722,7 +722,9 @@ struct Mmhd::Runner {
   }
 
   double last_ll() const { return ll_last; }
+  int iterations() const { return res.iterations; }
   bool finished() const { return done; }
+  bool pruned() const { return pruned_flag; }
   void mark_pruned() {
     pruned_flag = true;
     done = true;
@@ -812,7 +814,7 @@ FitResult Mmhd::fit(const std::vector<int>& seq, const EmOptions& opts) {
                static_cast<std::size_t>(opts.restarts));
   std::unique_ptr<util::ThreadPool> pool;
   if (workers > 1) pool = std::make_unique<util::ThreadPool>(workers);
-  detail::drive_restarts(pool.get(), opts, runs);
+  const int race_rungs = detail::drive_restarts(pool.get(), opts, runs);
 
   int pruned_count = 0;
   for (const Runner& run : runs) pruned_count += run.pruned_flag ? 1 : 0;
@@ -825,8 +827,134 @@ FitResult Mmhd::fit(const std::vector<int>& seq, const EmOptions& opts) {
       });
   best.losses = losses;
   best.pruned_restarts = pruned_count;
+  best.race_rungs = race_rungs;
   if (opts.observer != nullptr)
     opts.observer->on_winner(best.winning_restart, best);
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// StagedFit: the fit() setup (context, forked RNGs, runners, pool) held
+// open so the restarts advance in externally driven increments — the
+// substrate of the model-structure races in model_selection.cpp and
+// core::Identifier. Reductions reuse detail::RaceState, so restart-level
+// racing behaves exactly as in drive_race, just at the caller's rung
+// boundaries.
+
+struct Mmhd::StagedFit::Impl {
+  Mmhd* target;
+  const std::vector<int>* seq;
+  EmOptions opts;  // stable copy: every Runner points into it
+  std::size_t losses = 0;
+  FitContext ctx;
+  std::vector<Runner> runs;
+  std::unique_ptr<util::ThreadPool> pool;
+  detail::RaceState race;
+  bool probed = false;
+
+  Impl(Mmhd& model, const std::vector<int>& s, const EmOptions& o)
+      : target(&model),
+        seq(&s),
+        opts(o),
+        ctx(model.make_context(s, opts)),
+        race(static_cast<std::size_t>(opts.restarts)) {
+    for (int o : s) losses += (o == kLoss) ? 1 : 0;
+    const double loss_rate =
+        static_cast<double>(losses) / static_cast<double>(s.size());
+    auto rngs = detail::fork_restart_rngs(opts.seed, opts.restarts);
+    runs.reserve(static_cast<std::size_t>(opts.restarts));
+    for (int r = 0; r < opts.restarts; ++r)
+      runs.emplace_back(model, *seq, ctx, opts,
+                        rngs[static_cast<std::size_t>(r)], r, loss_rate,
+                        losses);
+    const std::size_t workers =
+        std::min(util::ThreadPool::resolve(opts.threads),
+                 static_cast<std::size_t>(opts.restarts));
+    if (workers > 1) pool = std::make_unique<util::ThreadPool>(workers);
+  }
+};
+
+Mmhd::StagedFit::StagedFit(Mmhd& model, const std::vector<int>& seq,
+                           const EmOptions& opts)
+    : impl_(std::make_unique<Impl>(model, seq, opts)) {
+  DCL_ENSURE_MSG(seq.size() >= 2, "need at least two observations to fit");
+  DCL_ENSURE(opts.restarts >= 1 && opts.max_iterations >= 1);
+}
+
+Mmhd::StagedFit::~StagedFit() = default;
+Mmhd::StagedFit::StagedFit(StagedFit&&) noexcept = default;
+Mmhd::StagedFit& Mmhd::StagedFit::operator=(StagedFit&&) noexcept = default;
+
+void Mmhd::StagedFit::advance(int upto) {
+  Impl& im = *impl_;
+  const std::size_t n = im.runs.size();
+  const int cap = std::min(upto, im.opts.max_iterations);
+  if (!im.probed) {
+    // One probe iteration so gain estimates — and therefore
+    // ll_upper_bound — are finite from the first shared rung on.
+    util::parallel_indexed(im.pool.get(), n,
+                           [&](std::size_t r) { im.runs[r].advance(1); });
+    im.race.snapshot(im.runs);
+    im.probed = true;
+  }
+  util::parallel_indexed(im.pool.get(), n,
+                         [&](std::size_t r) { im.runs[r].advance(cap); });
+  if (im.opts.race_warmup > 0 && n > 1 && cap < im.opts.max_iterations &&
+      detail::RaceState::live_count(im.runs) > 0)
+    im.race.reduce(im.opts, im.runs, cap);
+  im.race.snapshot(im.runs);
+}
+
+bool Mmhd::StagedFit::finished() const {
+  for (const Runner& run : impl_->runs)
+    if (!run.pruned() && !run.finished()) return false;
+  return true;
+}
+
+int Mmhd::StagedFit::iterations() const {
+  int most = 0;
+  for (const Runner& run : impl_->runs)
+    if (!run.pruned()) most = std::max(most, run.iterations());
+  return most;
+}
+
+double Mmhd::StagedFit::best_ll() const {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const Runner& run : impl_->runs)
+    if (!run.pruned() && run.last_ll() > best) best = run.last_ll();
+  return best;
+}
+
+double Mmhd::StagedFit::ll_upper_bound(double overtake) const {
+  const Impl& im = *impl_;
+  double bound = -std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < im.runs.size(); ++r) {
+    const Runner& run = im.runs[r];
+    if (run.pruned()) continue;
+    bound = std::max(bound, im.race.ll_bound(run, r, im.opts.max_iterations,
+                                             overtake));
+  }
+  return bound;
+}
+
+FitResult Mmhd::StagedFit::finish() {
+  Impl& im = *impl_;
+  util::parallel_indexed(im.pool.get(), im.runs.size(),
+                         [&](std::size_t r) { im.runs[r].finalize(); });
+  int pruned_count = 0;
+  for (const Runner& run : im.runs) pruned_count += run.pruned() ? 1 : 0;
+  Mmhd& model = *im.target;
+  FitResult best =
+      detail::reduce_restarts(im.runs, im.opts.observer, [&](Runner& o) {
+        model.pi_ = std::move(o.model.pi_);
+        model.a_ = std::move(o.model.a_);
+        model.c_ = std::move(o.model.c_);
+      });
+  best.losses = im.losses;
+  best.pruned_restarts = pruned_count;
+  best.race_rungs = im.race.rungs;
+  if (im.opts.observer != nullptr)
+    im.opts.observer->on_winner(best.winning_restart, best);
   return best;
 }
 
@@ -988,11 +1116,12 @@ MmhdRefitter::MmhdRefitter(const Mmhd& fitted, const EmOptions& opts)
       ws_(std::make_unique<Mmhd::Workspace>()) {
   DCL_ENSURE(opts_.max_iterations >= 1);
   // A refit is one warm EM run inside a replicate loop: no restarts to
-  // prune or parallelize, and per-iteration telemetry would swamp any
-  // observer attached for the point fit.
+  // prune, race, or parallelize, and per-iteration telemetry would swamp
+  // any observer attached for the point fit.
   opts_.restarts = 1;
   opts_.threads = 1;
   opts_.prune_warmup = 0;
+  opts_.race_warmup = 0;
   opts_.observer = nullptr;
   ws_->prepare(static_cast<std::size_t>(model_.states()));
 }

@@ -43,6 +43,9 @@ class Mmhd {
   // restarts; returns diagnostics and the virtual-delay PMF (eq. (5)).
   FitResult fit(const std::vector<int>& seq, const EmOptions& opts);
 
+  // Resumable multi-restart fit for model-structure racing (see below).
+  class StagedFit;
+
   int hidden_states() const { return n_; }
   int symbols() const { return m_; }
   int states() const { return n_ * m_; }
@@ -133,6 +136,44 @@ class Mmhd {
   std::vector<double> pi_;  // N*M
   util::Matrix a_;          // (N*M) x (N*M)
   std::vector<double> c_;   // M
+};
+
+// Resumable multi-restart fit: the same restart set, forked RNG streams,
+// and racing/winner reductions as Mmhd::fit, but advanced in externally
+// driven increments so candidate model *structures* can race each other on
+// shared rungs (model_selection.cpp, core::Identifier). Between advances
+// the restart-level successive-halving reduction of EmOptions::race_*
+// applies at each caller-supplied boundary; all reductions stay
+// index-ordered on the calling thread, so results are bitwise identical
+// for any opts.threads. `model` and `seq` must outlive the StagedFit;
+// finish() installs the winning restart's parameters into `model` and must
+// be called exactly once, after which the StagedFit is spent.
+class Mmhd::StagedFit {
+ public:
+  StagedFit(Mmhd& model, const std::vector<int>& seq, const EmOptions& opts);
+  ~StagedFit();
+  StagedFit(StagedFit&&) noexcept;
+  StagedFit& operator=(StagedFit&&) noexcept;
+
+  // Advances every surviving restart to `upto` cumulative EM iterations
+  // (capped at opts.max_iterations) and applies the restart-level racing
+  // reduction at this boundary. The first call runs a one-iteration probe
+  // first so per-iteration gain estimates are finite from the start.
+  void advance(int upto);
+  bool finished() const;   // every surviving restart converged or exhausted
+  int iterations() const;  // most iterations any surviving restart has run
+  double best_ll() const;  // current leader's log likelihood (index-ordered)
+  // Upper bound on the final log likelihood any surviving restart can
+  // still reach: ll + overtake * last-rung per-iteration gain * remaining
+  // budget (see detail::RaceState::ll_bound).
+  double ll_upper_bound(double overtake) const;
+  // Finalize + deterministic winner reduction: installs the winner into
+  // the model, replays buffered observer events, fires on_winner.
+  FitResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 // Warm-started EM refits for the sequence bootstrap: snapshots a fitted

@@ -32,6 +32,12 @@ struct ModelScore {
   // (likelihood still climbing), worth knowing before trusting the choice.
   int iterations = 0;
   bool converged = false;
+  // True when the candidate was eliminated mid-fit by structure racing
+  // (base.race_warmup > 0): its best reachable BIC was provably behind the
+  // leader's already-realized BIC, so the fit stopped early. Its
+  // log_likelihood/bic/aic describe the partial fit — understated
+  // likelihood, overstated criteria — and it never wins the selection.
+  bool raced_out = false;
 };
 
 struct ModelSelectionResult {
@@ -45,6 +51,19 @@ struct ModelSelectionResult {
 // a pool worker); the result is identical for any thread count. With an
 // observer attached the candidates run serially — each fit then
 // parallelizes its own restarts — so observer callbacks never interleave.
+//
+// With base.race_warmup > 0 the candidates *race* instead of each fitting
+// to convergence: every candidate advances on shared successive-halving
+// rungs (Mmhd::StagedFit), and after each rung a candidate whose best
+// reachable BIC — from its likelihood upper bound — is already behind the
+// leader's realized BIC is eliminated (ModelScore::raced_out). EM
+// likelihood is non-decreasing, so a leader's current BIC only improves;
+// the elimination is exact up to the non-increasing-gain assumption behind
+// the bound. Surviving candidates run to convergence and the winner is
+// the same deterministic ascending-N BIC argmin. Rung reductions are
+// candidate-ordered scans on the calling thread, so the raced selection is
+// also bitwise identical for any thread count; observer callbacks are
+// replayed per candidate in ascending N once the race settles.
 ModelSelectionResult select_mmhd_hidden_states(const std::vector<int>& seq,
                                                int symbols,
                                                int max_hidden_states,

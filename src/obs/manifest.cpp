@@ -9,7 +9,16 @@
 #include "obs/obs.h"
 
 // Build facts injected by src/obs/CMakeLists.txt; the fallbacks keep
-// non-CMake builds (e.g. IDE single-file checks) compiling.
+// non-CMake builds (e.g. IDE single-file checks) compiling. The git
+// describe string comes from a header regenerated on every build
+// (scripts/git_describe.cmake), so the -dirty bit reflects the tree at
+// build time; without the header, record unknown rather than a stale
+// guess.
+#if defined(__has_include)
+#if __has_include("dcl_git_describe.h")
+#include "dcl_git_describe.h"
+#endif
+#endif
 #ifndef DCL_GIT_DESCRIBE
 #define DCL_GIT_DESCRIBE "unknown"
 #endif

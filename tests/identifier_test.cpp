@@ -167,5 +167,50 @@ TEST(Identifier, AutoHiddenStatesSelectsAndRecordsN) {
   EXPECT_EQ(r.wdcl.accepted, r2.wdcl.accepted);
 }
 
+TEST(Identifier, ExplicitModelKindIsRecorded) {
+  const auto obs = synth_obs(8000, 12);
+  IdentifierConfig cfg;
+  cfg.compute_fine_bound = false;
+  const auto r = Identifier(cfg).identify(obs);
+  EXPECT_EQ(r.model_used, ModelKind::kMmhd);
+  cfg.model = ModelKind::kHmm;
+  const auto rh = Identifier(cfg).identify(obs);
+  EXPECT_EQ(rh.model_used, ModelKind::kHmm);
+}
+
+TEST(Identifier, AutoModelRacesAndMatchesTheChosenBackend) {
+  const auto obs = synth_obs(8000, 13);
+  IdentifierConfig cfg;
+  cfg.compute_fine_bound = false;
+  cfg.model = ModelKind::kAuto;
+  const auto r = Identifier(cfg).identify(obs);
+  ASSERT_TRUE(r.has_losses);
+  // The race resolves to a concrete backend and the pipeline runs it.
+  EXPECT_NE(r.model_used, ModelKind::kAuto);
+  double sum = 0.0;
+  for (double p : r.virtual_pmf) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // The auto run's verdict equals a fixed run of the backend it chose:
+  // the race only picks the model, it never perturbs the real fit.
+  IdentifierConfig fixed = cfg;
+  fixed.model = r.model_used;
+  const auto r2 = Identifier(fixed).identify(obs);
+  EXPECT_EQ(r2.model_used, r.model_used);
+  EXPECT_EQ(r.wdcl.accepted, r2.wdcl.accepted);
+  EXPECT_EQ(r.fit.log_likelihood, r2.fit.log_likelihood);
+}
+
+TEST(Identifier, AutoModelIsDeterministicAcrossRuns) {
+  const auto obs = synth_obs(8000, 14);
+  IdentifierConfig cfg;
+  cfg.compute_fine_bound = false;
+  cfg.model = ModelKind::kAuto;
+  const auto a = Identifier(cfg).identify(obs);
+  const auto b = Identifier(cfg).identify(obs);
+  EXPECT_EQ(a.model_used, b.model_used);
+  EXPECT_EQ(a.fit.log_likelihood, b.fit.log_likelihood);
+  EXPECT_EQ(a.wdcl.accepted, b.wdcl.accepted);
+}
+
 }  // namespace
 }  // namespace dcl::core
