@@ -234,6 +234,7 @@ std::string json_block(const char* name, const ModelScaling& s) {
 int main(int argc, char** argv) {
   using namespace dcl;
   bench::BenchTraceGuard trace_guard("bench_em_scaling");
+  bench::BenchProfileGuard profile_guard("bench_em_scaling");
   std::string out_path = "BENCH_em_scaling.json";
   double min_kernel_speedup = 0.0;
   // Flags override the environment knobs so callers that must produce

@@ -131,6 +131,7 @@ RunStats run_fleet_at(const std::vector<fleet::TraceJob>& jobs,
 int main(int argc, char** argv) {
   using namespace dcl;
   bench::BenchTraceGuard trace_guard("bench_fleet");
+  bench::BenchProfileGuard profile_guard("bench_fleet");
   std::string out_path = "BENCH_fleet.json";
   long paths = 1000;
   long probes = 300;

@@ -188,6 +188,20 @@ void BM_TraceEventDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceEventDisabled);
 
+// Profiler tag-stack overhead, the obs/prof.h contract: with the sampler
+// off (the permanent state of every production run that never profiles),
+// a DCL_SPAN still pushes/pops its stage tag — one TLS pointer store, an
+// int bump, and two compile-time signal fences. check.sh gates this
+// against BM_TraceEventDisabled's order of magnitude.
+void BM_ProfTagDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::prof::StageTag tag("bench.stage");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfTagDisabled);
+
 void BM_TraceEventEnabled(benchmark::State& state) {
   // Reuse an active session (DCL_BENCH_TRACE) or run a private one.
   const bool was_active = obs::trace::enabled();
@@ -233,8 +247,10 @@ BENCHMARK(BM_HistogramRecordWindowed);
 }  // namespace dcl
 
 int main(int argc, char** argv) {
-  // DCL_BENCH_TRACE=FILE flight-records the whole benchmark run.
+  // DCL_BENCH_TRACE=FILE flight-records the whole benchmark run;
+  // DCL_BENCH_PROFILE=FILE samples it with the CPU profiler.
   dcl::bench::BenchTraceGuard trace_guard("bench_micro");
+  dcl::bench::BenchProfileGuard profile_guard("bench_micro");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

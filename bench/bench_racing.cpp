@@ -145,6 +145,7 @@ std::string json_policy(const PolicyRun& r) {
 int main(int argc, char** argv) {
   using namespace dcl;
   bench::BenchTraceGuard trace_guard("bench_racing");
+  bench::BenchProfileGuard profile_guard("bench_racing");
   std::string out_path = "BENCH_racing.json";
   double min_racing_speedup = 0.0;
   int samples = bench::env_int("DCL_RACING_SAMPLES", 3, 1);

@@ -20,6 +20,7 @@
 #include "inference/discretizer.h"
 #include "obs/manifest.h"
 #include "obs/obs.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "scenarios/chain.h"
 #include "util/stats.h"
@@ -269,6 +270,42 @@ class BenchTraceGuard {
   }
   BenchTraceGuard(const BenchTraceGuard&) = delete;
   BenchTraceGuard& operator=(const BenchTraceGuard&) = delete;
+
+ private:
+  std::string bench_;
+  std::string path_;
+};
+
+// Opt-in CPU profiling for any bench binary, symmetric with
+// BenchTraceGuard: DCL_BENCH_PROFILE=FILE samples the whole process run
+// (DCL_BENCH_PROFILE_HZ overrides the 99 Hz default) and writes the
+// profile — flamegraph.pl collapsed stacks for .collapsed/.folded/.txt,
+// speedscope JSON otherwise — when the guard goes out of scope. Unset,
+// the guard is inert.
+class BenchProfileGuard {
+ public:
+  explicit BenchProfileGuard(std::string bench) : bench_(std::move(bench)) {
+    const char* p = std::getenv("DCL_BENCH_PROFILE");
+    if (p == nullptr || *p == '\0') return;
+    path_ = p;
+    obs::prof::Options opts;
+    opts.hz = env_int("DCL_BENCH_PROFILE_HZ", opts.hz, 1);
+    if (!obs::prof::start(opts)) {
+      std::fprintf(stderr, "%s: profiler unavailable; DCL_BENCH_PROFILE "
+                   "ignored\n", bench_.c_str());
+      path_.clear();
+    }
+  }
+  ~BenchProfileGuard() {
+    if (path_.empty()) return;
+    obs::prof::stop();
+    const auto man = obs::manifest(bench_);
+    if (!obs::prof::write_profile(path_, &man))
+      std::fprintf(stderr, "%s: cannot write profile %s\n", bench_.c_str(),
+                   path_.c_str());
+  }
+  BenchProfileGuard(const BenchProfileGuard&) = delete;
+  BenchProfileGuard& operator=(const BenchProfileGuard&) = delete;
 
  private:
   std::string bench_;

@@ -39,6 +39,14 @@
 //                          /statusz (see obs/serve.h)
 //   --serve-linger SEC     keep serving after the run (inf = SIGINT)
 //   --metrics-json FILE    observability snapshot on exit
+//   --profile-out FILE     sample the whole fleet run with the CPU
+//                          profiler (obs/prof.h): .collapsed/.folded/.txt
+//                          → flamegraph.pl stacks, else speedscope JSON
+//   --profile-hz N         profiler sampling rate (default 99)
+//   --print-manifest       print the RunManifest JSON this invocation
+//                          would stamp on its exports and exit 0 — no
+//                          job discovery, so it works without an input
+//                          (ops parity with dclid --print-manifest)
 //   --log-level/--log-json/--verbose   as in dclid
 //
 // Exit codes: 0 every trace ok; 1 any trace degraded or failed; 2 invalid
@@ -63,6 +71,7 @@
 #include "obs/log.h"
 #include "obs/manifest.h"
 #include "obs/obs.h"
+#include "obs/prof.h"
 #include "obs/serve.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -93,6 +102,12 @@ namespace {
       "  --serve ADDR           ops HTTP server (host:port, :port, port)\n"
       "  --serve-linger SEC     keep serving after the run (inf = signal)\n"
       "  --metrics-json FILE    metrics snapshot as JSON\n"
+      "  --profile-out FILE     sample the fleet run with the CPU profiler;\n"
+      "                         .collapsed/.folded/.txt = flamegraph.pl\n"
+      "                         stacks, else speedscope JSON\n"
+      "  --profile-hz N         profiler sampling rate (default 99)\n"
+      "  --print-manifest       print the RunManifest JSON for this\n"
+      "                         invocation and exit (no input required)\n"
       "  --log-level LVL        debug|info|warn|error|off (default warn)\n"
       "  --log-json             JSON log lines\n"
       "  --verbose              progress + manifest to stderr\n"
@@ -217,9 +232,12 @@ int main(int argc, char** argv) {
   std::string serve_addr;
   std::string log_level_flag;
   double serve_linger_s = 0.0;
+  std::string profile_out_path;
+  int profile_hz = 99;
   long synth_paths = 0;
   long synth_probes = 1200;
   bool print_plan = false;
+  bool print_manifest = false;
   bool with_timings = false;
   bool log_json = false;
   bool verbose = false;
@@ -278,6 +296,12 @@ int main(int argc, char** argv) {
       serve_linger_s = parse_double(need("--serve-linger"), "--serve-linger");
     else if (a == "--metrics-json")
       metrics_json_path = need("--metrics-json");
+    else if (a == "--profile-out")
+      profile_out_path = need("--profile-out");
+    else if (a == "--profile-hz")
+      profile_hz = parse_int(need("--profile-hz"), "--profile-hz");
+    else if (a == "--print-manifest")
+      print_manifest = true;
     else if (a == "--log-level")
       log_level_flag = need("--log-level");
     else if (a == "--log-json")
@@ -292,7 +316,10 @@ int main(int argc, char** argv) {
       usage(argv[0], 2);
   }
 
-  if (input.empty() == (synth_paths == 0)) usage(argv[0], 2);
+  // --print-manifest needs no fleet: provenance is a property of the
+  // invocation, not of a discovered job list.
+  if (!print_manifest && input.empty() == (synth_paths == 0))
+    usage(argv[0], 2);
   if (synth_paths < 0) config_error("--synth must be >= 1");
   if (synth_probes < 100) config_error("--synth-probes must be >= 100");
   if (cfg.outer_threads < 0) config_error("--outer-threads must be >= 0");
@@ -305,6 +332,30 @@ int main(int argc, char** argv) {
   if (cfg.pipeline.deadline_s < 0.0) config_error("--deadline must be >= 0");
   if (serve_linger_s < 0.0 && !std::isinf(serve_linger_s))
     config_error("--serve-linger must be >= 0 (or inf)");
+  if (profile_hz < 1 || profile_hz > 10000)
+    config_error("--profile-hz must be in [1, 10000]");
+
+  if (print_manifest) {
+    // Ops parity with dclid --print-manifest: the RunManifest this
+    // invocation would stamp on its exports, before any job discovery —
+    // so no traces/threading-plan keys, and the digest covers only the
+    // per-trace configuration (which is what makes runs comparable).
+    auto man = dcl::obs::manifest("dclfleet");
+    man.seed = cfg.pipeline.identifier.em.seed;
+    man.add("input", synth_paths > 0 ? "synth:" + std::to_string(synth_paths)
+                     : input.empty() ? "none"
+                                     : input);
+    man.config_digest = dcl::obs::digest_hex(
+        "seed=" + std::to_string(man.seed) +
+        ";restarts=" + std::to_string(cfg.pipeline.identifier.em.restarts) +
+        ";prune_warmup=" +
+        std::to_string(cfg.pipeline.identifier.em.prune_warmup) + ';' +
+        dcl::cli::em_digest_fields(cfg.pipeline.identifier.em) +
+        "symbols=" + std::to_string(cfg.pipeline.identifier.symbols) +
+        ";hidden=" + std::to_string(cfg.pipeline.identifier.hidden_states));
+    std::printf("%s\n", man.to_json().c_str());
+    return 0;
+  }
 
   namespace log = dcl::obs::log;
   log::Level level = verbose ? log::Level::kDebug : log::Level::kWarn;
@@ -387,6 +438,16 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!profile_out_path.empty()) {
+      // Unlike dclid, the whole run is the analysis — synthetic-mesh
+      // generation above is already done, so sampling starts here.
+      dcl::obs::prof::Options popts;
+      popts.hz = profile_hz;
+      if (!dcl::obs::prof::start(popts))
+        log::warnf("prof", "profiler unavailable (timer_create failed); "
+                   "continuing without --profile-out sampling");
+    }
+
     OrderedEmitter emitter(out, jobs.size(), with_timings);
     const auto report = dcl::fleet::run_fleet(
         jobs, cfg,
@@ -403,6 +464,16 @@ int main(int argc, char** argv) {
                  report.paths_per_sec, report.wall_s);
 
     int rc = report.degraded + report.failed > 0 ? 1 : 0;
+    if (!profile_out_path.empty()) {
+      dcl::obs::prof::stop();
+      // Publish first so prof.self_cpu.* gauges ride along in the
+      // --metrics-json snapshot and a lingering /metrics.
+      dcl::obs::prof::publish_self_cpu(registry);
+      if (!dcl::obs::prof::write_profile(profile_out_path, &man)) {
+        log::errorf("io", "cannot write %s", profile_out_path.c_str());
+        if (rc == 0) rc = 1;
+      }
+    }
     if (!metrics_json_path.empty() &&
         !write_metrics_json(metrics_json_path, registry, man)) {
       log::errorf("io", "cannot write %s", metrics_json_path.c_str());

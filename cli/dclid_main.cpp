@@ -50,6 +50,13 @@
 //                          nodcl) instead of reading a trace file
 //   --duration SECONDS     simulated seconds for --scenario (700)
 //   --trace-out FILE       flight-record the run; write Chrome trace JSON
+//   --profile-out FILE     sample the analysis with the CPU profiler
+//                          (obs/prof.h) and write the profile: .collapsed/
+//                          .folded/.txt → flamegraph.pl collapsed stacks,
+//                          anything else → speedscope JSON. Sampling
+//                          starts after the trace is read or simulated, so
+//                          the profile covers the analysis pipeline
+//   --profile-hz N         profiler sampling rate (default 99)
 //   --metrics-json FILE    write an observability snapshot (stage timings,
 //                          EM telemetry, run manifest) as JSON to FILE
 //                          ("-" = stdout)
@@ -99,6 +106,7 @@
 #include "obs/log.h"
 #include "obs/manifest.h"
 #include "obs/obs.h"
+#include "obs/prof.h"
 #include "obs/serve.h"
 #include "obs/trace.h"
 #include "scenarios/presets.h"
@@ -133,6 +141,10 @@ namespace {
       "  --duration SECONDS     simulated seconds for --scenario (700)\n"
       "  --trace-out FILE       flight-record the run; write Chrome trace\n"
       "                         JSON (Perfetto / chrome://tracing)\n"
+      "  --profile-out FILE     sample the analysis with the CPU profiler;\n"
+      "                         .collapsed/.folded/.txt = flamegraph.pl\n"
+      "                         stacks, else speedscope JSON\n"
+      "  --profile-hz N         profiler sampling rate (default 99)\n"
       "  --metrics-json FILE    write metrics/span snapshot as JSON\n"
       "  --deadline SECONDS     wall-clock budget; optional stages skipped\n"
       "                         once exceeded (default 0 = none)\n"
@@ -298,6 +310,8 @@ int main(int argc, char** argv) {
   std::string path;
   std::string metrics_json_path;
   std::string trace_out_path;
+  std::string profile_out_path;
+  int profile_hz = 99;
   std::string scenario;
   std::string serve_addr;
   double serve_linger_s = 0.0;
@@ -361,6 +375,10 @@ int main(int argc, char** argv) {
       duration_s = parse_double(need("--duration"), "--duration");
     else if (a == "--trace-out")
       trace_out_path = need("--trace-out");
+    else if (a == "--profile-out")
+      profile_out_path = need("--profile-out");
+    else if (a == "--profile-hz")
+      profile_hz = parse_int(need("--profile-hz"), "--profile-hz");
     else if (a == "--metrics-json")
       metrics_json_path = need("--metrics-json");
     else if (a == "--deadline")
@@ -408,6 +426,8 @@ int main(int argc, char** argv) {
   validate(cfg);
   if (serve_linger_s < 0.0 && !std::isinf(serve_linger_s))
     config_error("--serve-linger must be >= 0 (or inf)");
+  if (profile_hz < 1 || profile_hz > 10000)
+    config_error("--profile-hz must be in [1, 10000]");
 
   namespace log = dcl::obs::log;
   log::Level level = verbose ? log::Level::kDebug : log::Level::kWarn;
@@ -461,6 +481,22 @@ int main(int argc, char** argv) {
   auto finish = [&]() -> int {
     if (verbose) print_stage_timings(registry);
     int rc = 0;
+    if (!profile_out_path.empty()) {
+      dcl::obs::prof::stop();
+      // Publish before the metrics/JSON exports below so prof.self_cpu.*
+      // gauges ride along in --metrics-json and a lingering /metrics.
+      dcl::obs::prof::publish_self_cpu(registry);
+      if (!dcl::obs::prof::write_profile(profile_out_path, &man)) {
+        log::errorf("io", "cannot write %s", profile_out_path.c_str());
+        rc = 1;
+      } else if (verbose) {
+        const auto p = dcl::obs::prof::snapshot();
+        log::infof("prof.export", "wrote %s (%llu samples at %d Hz, %llu "
+                   "dropped)", profile_out_path.c_str(),
+                   static_cast<unsigned long long>(p.total_samples), p.hz,
+                   static_cast<unsigned long long>(p.dropped));
+      }
+    }
     if (!metrics_json_path.empty() &&
         !write_metrics_json(metrics_json_path, registry, man)) {
       log::errorf("io", "cannot write %s", metrics_json_path.c_str());
@@ -523,6 +559,16 @@ int main(int argc, char** argv) {
     }
     if (verbose)
       log::infof("input", "analyzing %zu probes", trace.records.size());
+    if (!profile_out_path.empty()) {
+      // Armed only now — after the trace was read or simulated — so the
+      // profile answers "where does the *analysis* spend CPU", not "how
+      // expensive is the scenario simulator".
+      dcl::obs::prof::Options popts;
+      popts.hz = profile_hz;
+      if (!dcl::obs::prof::start(popts))
+        log::warnf("prof", "profiler unavailable (timer_create failed); "
+                   "continuing without --profile-out sampling");
+    }
     const auto r = dcl::core::analyze_trace(trace, cfg);
     const auto& id = r.identification;
 

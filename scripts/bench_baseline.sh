@@ -37,9 +37,9 @@ echo "==> bench_racing (restart racing vs prune vs full, 1t)"
 ./build-release/bench/bench_racing BENCH_racing.json --samples 5
 racing="$(cat BENCH_racing.json)"
 
-echo "==> bench_micro (EM fit + trace/metrics overhead filters)"
+echo "==> bench_micro (EM fit + trace/prof/metrics overhead filters)"
 micro="$(./build-release/bench/bench_micro \
-  --benchmark_filter='BM_(HmmFit|MmhdFit|TraceEvent|HistogramRecord)' \
+  --benchmark_filter='BM_(HmmFit|MmhdFit|TraceEvent|ProfTag|HistogramRecord)' \
   --benchmark_format=json 2>/dev/null | tr -d '\n')"
 
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"

@@ -15,6 +15,7 @@
 #   DCL_CHECK_SKIP_FLEET=1     scripts/check.sh
 #   DCL_CHECK_SKIP_PERF=1      scripts/check.sh
 #   DCL_CHECK_SKIP_RACING=1    scripts/check.sh   # racing gate only
+#   DCL_CHECK_SKIP_PROF=1      scripts/check.sh   # profiler smoke + gate
 #   DCL_CHECK_TSAN_SKIP='...'  # labels excluded from the TSan run (regex)
 #
 # The final stage (unless DCL_CHECK_SKIP_PERF=1) builds bench_em_scaling
@@ -69,7 +70,7 @@ fi
 # init), not a data race in the suite. Set DCL_CHECK_TSAN_SKIP='' to run
 # everything on a toolchain where the binary starts cleanly.
 if [[ "${DCL_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
-  tsan_labels="parallel_em_test|inference_test|obs_test|http_test|trace_test|selection_bootstrap_test|util_test|fleet_test"
+  tsan_labels="parallel_em_test|inference_test|obs_test|prof_test|http_test|trace_test|selection_bootstrap_test|util_test|fleet_test"
   tsan_skip="${DCL_CHECK_TSAN_SKIP-inference_test}"
   if [[ -n "${tsan_skip}" ]]; then
     tsan_labels="$(printf '%s\n' "${tsan_labels}" | tr '|' '\n' \
@@ -150,7 +151,7 @@ if [[ "${DCL_CHECK_SKIP_SERVE:-0}" != "1" ]]; then
   fi
   echo "==> scraping http://${addr}"
   if command -v curl >/dev/null 2>&1; then
-    for ep in /metrics /healthz /statusz /tracez; do
+    for ep in /metrics /healthz /statusz /tracez '/profilez?seconds=1&hz=100'; do
       curl -fsS "http://${addr}${ep}" > /dev/null \
         || { echo "serve smoke: GET ${ep} failed" >&2; exit 1; }
     done
@@ -221,6 +222,27 @@ if [[ "${DCL_CHECK_SKIP_FLEET:-0}" != "1" ]]; then
     python3 scripts/check_fleet_jsonl.py "${fleet_a}" 50
   else
     echo "==> python3 missing; fleet JSON-lines validation skipped"
+  fi
+fi
+
+# Profiler smoke: one sampled end-to-end dclid analysis. The speedscope
+# export must honor the file-format contract (tests/profile_check.py:
+# schema key, frame table, aligned samples/weights, embedded manifest)
+# and the em.* stages must carry the plurality of self-CPU — the
+# profiler exists to show where the analysis spends its time, and on
+# every scenario preset that is the EM fits.
+if [[ "${DCL_CHECK_SKIP_PROF:-0}" != "1" ]]; then
+  echo "==> profile smoke (dclid --profile-out, speedscope validation)"
+  cmake --build build -j "${JOBS}" --target dclid_cli
+  prof_json="$(mktemp --suffix=.speedscope.json)"
+  trap 'rm -f "${trace_json:-}" "${serve_log:-}" "${fleet_a:-}" "${fleet_b:-}" "${prof_json:-}"' EXIT
+  ./build/cli/dclid --scenario sdcl --duration 300 --restarts 4 \
+    --profile-out "${prof_json}" --profile-hz 500 > /dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 tests/profile_check.py "${prof_json}" --min-samples 25 \
+      --expect-em-plurality
+  else
+    echo "==> python3 missing; profile validation skipped"
   fi
 fi
 
@@ -331,11 +353,11 @@ PY
       echo "==> python3 or BENCH_baseline.jsonl missing; racing ratio check skipped"
     fi
   fi
-  echo "==> obs overhead smoke (disabled emit + windowed record cost)"
+  echo "==> obs overhead smoke (disabled emit/tag + windowed record cost)"
   micro_json="$(mktemp)"
   trap 'rm -f "${trace_json:-}" "${serve_log:-}" "${fresh:-}" "${micro_json:-}"' EXIT
   ./build-release/bench/bench_micro \
-    --benchmark_filter='BM_(TraceEventDisabled|HistogramRecord)' \
+    --benchmark_filter='BM_(TraceEventDisabled|ProfTagDisabled|HistogramRecord)' \
     --benchmark_out="${micro_json}" --benchmark_out_format=json > /dev/null
   if command -v python3 >/dev/null 2>&1 && [[ -s BENCH_baseline.jsonl ]]; then
     python3 - "${micro_json}" BENCH_baseline.jsonl <<'PY'
@@ -368,6 +390,49 @@ sys.exit(0 if fresh <= ceiling else 1)
 PY
   else
     echo "==> python3 or BENCH_baseline.jsonl missing; trace overhead check skipped"
+  fi
+  # Sampler-off tag-push gate (obs/prof.h contract): every DCL_SPAN pays
+  # the StageTag push/pop even when no profile is ever taken, so that cost
+  # is ceilinged like the disabled trace emit above. Ratio vs baseline
+  # once one exists; absolute vs the disabled trace emit until then.
+  if [[ "${DCL_CHECK_SKIP_PROF:-0}" != "1" ]]; then
+    if command -v python3 >/dev/null 2>&1 && [[ -s BENCH_baseline.jsonl ]]; then
+      python3 - "${micro_json}" BENCH_baseline.jsonl <<'PY'
+import json, sys
+
+def pick_ns(doc, prefix):
+    rows = [b for b in doc.get("benchmarks", [])
+            if b["name"].startswith(prefix)]
+    med = [b for b in rows if b["name"].endswith("_median")]
+    pick = med or rows
+    return min(b["cpu_time"] for b in pick) if pick else None
+
+fresh_doc = json.load(open(sys.argv[1]))
+fresh = pick_ns(fresh_doc, "BM_ProfTagDisabled")
+lines = [l for l in open(sys.argv[2]) if l.strip()]
+base = pick_ns(json.loads(lines[-1]).get("micro", {}), "BM_ProfTagDisabled")
+if fresh is None:
+    sys.exit("bench_micro produced no BM_ProfTagDisabled rows")
+if base is None:
+    # Baseline predates the profiler: hold an absolute line instead — a
+    # sampler-off tag push is two TLS stores and must stay within an
+    # order of magnitude of the disabled trace emit (no clock read, no
+    # allocation, no syscall).
+    trace = pick_ns(fresh_doc, "BM_TraceEventDisabled") or 0.0
+    ceiling = max(10.0 * trace, 15.0)
+    verdict = "ok" if fresh <= ceiling else "REGRESSION"
+    print(f"prof overhead: disabled tag push {fresh:.2f} ns, no baseline "
+          f"(absolute ceiling {ceiling:.2f}) {verdict}")
+    sys.exit(0 if fresh <= ceiling else 1)
+ceiling = max(3.0 * base, 2.0)
+verdict = "ok" if fresh <= ceiling else "REGRESSION"
+print(f"prof overhead: disabled tag push {fresh:.2f} ns vs baseline "
+      f"{base:.2f} ns (ceiling {ceiling:.2f}) {verdict}")
+sys.exit(0 if fresh <= ceiling else 1)
+PY
+    else
+      echo "==> python3 or BENCH_baseline.jsonl missing; prof overhead check skipped"
+    fi
   fi
   if command -v python3 >/dev/null 2>&1; then
     python3 - "${micro_json}" <<'PY'

@@ -6,6 +6,7 @@
 
 #include "inference/discretizer.h"
 #include "inference/mmhd.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -45,6 +46,8 @@ BootstrapResult bootstrap_wdcl(
   const int chunks = static_cast<int>(workers);
   const int per_chunk = (cfg.replicates + chunks - 1) / chunks;
   auto run_chunk = [&](int chunk) {
+    // Worker-thread stage tag: resampling runs outside any DCL_SPAN.
+    DCL_PROF_STAGE("bootstrap");
     DCL_TRACE_SCOPE_V("bootstrap.chunk", chunk);
     const int lo = chunk * per_chunk;
     const int hi = std::min(cfg.replicates, lo + per_chunk);
@@ -118,6 +121,8 @@ BootstrapResult bootstrap_wdcl_refit(const std::vector<int>& seq,
   const int chunks = static_cast<int>(workers);
   const int per_chunk = (cfg.replicates + chunks - 1) / chunks;
   auto run_chunk = [&](int chunk) {
+    // Worker-thread stage tag, as in bootstrap_wdcl above.
+    DCL_PROF_STAGE("bootstrap");
     // One refitter per worker: its workspace/trellis (and the warm-start
     // snapshot of the point fit) are reused by every replicate in the
     // chunk.

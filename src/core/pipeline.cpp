@@ -57,8 +57,17 @@ PipelineResult run_pipeline(const trace::Trace& input,
     idcfg.deadline = deadline;
   }
 
-  auto obs_seq = active->observations();
-  const auto send_times = active->send_times();
+  // Materializing observation/send-time sequences walks every record; on
+  // long traces that is visible CPU, so it gets its own span (and thereby
+  // its own profiler stage).
+  auto obs_seq = [&] {
+    DCL_SPAN("ingest");
+    return active->observations();
+  }();
+  const auto send_times = [&] {
+    DCL_SPAN("ingest");
+    return active->send_times();
+  }();
   if (cfg.correct_clock_skew) {
     DCL_SPAN("skew_removal");
     obs_seq = timesync::correct_observations(obs_seq, send_times, &out.skew);

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "obs/obs.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "obs/window.h"
 #include "util/error.h"
@@ -109,6 +110,9 @@ FleetReport run_fleet(const std::vector<TraceJob>& jobs,
   std::atomic<std::size_t> done{0};
 
   auto process = [&](std::size_t i) {
+    // Outer-worker stage tag: everything below (per-trace pipeline) is
+    // charged to fleet.trace unless an inner stage retags it.
+    DCL_PROF_STAGE("fleet.trace");
     obs::trace::Scope scope("fleet.trace", static_cast<double>(i));
     const double t0 = now_s();
     TraceOutcome& out = report.traces[i];

@@ -8,6 +8,7 @@
 #include "inference/discretizer.h"
 #include "inference/em_internal.h"
 #include "inference/fb_kernels.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -732,6 +733,9 @@ struct Mmhd::Runner {
 
   void advance(int upto) {
     if (done) return;
+    // Profiler stage tag: EM restarts run on pool workers with no
+    // enclosing DCL_SPAN, so samples here would otherwise be untagged.
+    DCL_PROF_STAGE("em.mmhd");
     // Restart scope + per-restart log-likelihood counter track; the work
     // runs on whichever pool worker picked this restart up, so the trace
     // shows the actual thread-to-restart assignment.

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/manifest.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "obs/window.h"
 
@@ -125,8 +126,15 @@ double Histogram::quantile(double q) const {
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += bucket_count(i);
-    if (static_cast<double>(seen) >= target && seen > 0)
-      return std::min(bucket_upper(i), max());
+    if (static_cast<double>(seen) >= target && seen > 0) {
+      // The bucket only bounds the quantile to an octave; reporting its
+      // upper edge biases every quantile high by up to 2x. The log-midpoint
+      // (geometric mean of the bucket edges, = upper / sqrt(2)) halves the
+      // worst-case error, and clamping to the observed [min, max] keeps
+      // degenerate single-value histograms near-exact.
+      const double mid = bucket_upper(i) / std::sqrt(2.0);
+      return std::clamp(mid, min(), max());
+    }
   }
   return max();
 }
@@ -471,6 +479,7 @@ std::string prometheus_help(std::string_view name) {
       {"serve.", "Embedded ops HTTP server accounting."},
       {"faults.", "Fault-injection driver accounting."},
       {"log.", "Structured logger accounting."},
+      {"prof.", "Sampling CPU profiler accounting."},
   };
   for (const auto& h : kHelp)
     if (name.substr(0, h.prefix.size()) == h.prefix) return h.help;
@@ -549,11 +558,11 @@ std::string Registry::to_prometheus() const {
                w.is_histogram ? "Samples per second" : "Increments per second",
                prometheus_number(w.rate));
     if (w.is_histogram) {
-      gauge_line("_w_p50", "p50 (octave upper bound)",
+      gauge_line("_w_p50", "p50 (octave log-midpoint)",
                  prometheus_number(w.p50));
-      gauge_line("_w_p95", "p95 (octave upper bound)",
+      gauge_line("_w_p95", "p95 (octave log-midpoint)",
                  prometheus_number(w.p95));
-      gauge_line("_w_p99", "p99 (octave upper bound)",
+      gauge_line("_w_p99", "p99 (octave log-midpoint)",
                  prometheus_number(w.p99));
     }
   }
@@ -578,6 +587,10 @@ std::string Registry::to_prometheus(const RunManifest& manifest) const {
 }
 
 Span::Span(const char* name) : name_(name), reg_(nullptr) {
+  // Unconditional: the profiler's stage attribution must see the span even
+  // when metrics are disabled. Cost when nothing is sampling: one TLS
+  // pointer store + int bump (gated by BM_ProfTagDisabled in check.sh).
+  prof::push_tag(name_);
   if (trace::enabled()) {
     traced_ = true;
     trace::begin(name_);
@@ -588,6 +601,7 @@ Span::Span(const char* name) : name_(name), reg_(nullptr) {
 }
 
 Span::Span(const char* name, Registry& reg) : name_(name), reg_(&reg) {
+  prof::push_tag(name_);
   if (trace::enabled()) {
     traced_ = true;
     trace::begin(name_);
@@ -601,6 +615,7 @@ double Span::elapsed_s() const {
 }
 
 Span::~Span() {
+  prof::pop_tag();
   if (traced_) trace::end(name_);
   if (reg_ == nullptr) return;
   const double secs = static_cast<double>(now_ns() - start_ns_) * 1e-9;

@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <sstream>
@@ -19,6 +20,7 @@
 #include "obs/http.h"
 #include "obs/log.h"
 #include "obs/obs.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "obs/window.h"
 #include "util/error.h"
@@ -48,6 +50,32 @@ bool send_all(int fd, std::string_view data) {
     off += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+// Integer query parameter from an origin-form target ("/profilez?seconds=5"),
+// clamped to [lo, hi]; `fallback` when absent or malformed.
+long query_param(std::string_view target, std::string_view key, long fallback,
+                 long lo, long hi) {
+  const std::size_t qmark = target.find('?');
+  if (qmark == std::string_view::npos) return fallback;
+  std::string_view qs = target.substr(qmark + 1);
+  while (!qs.empty()) {
+    const std::size_t amp = qs.find('&');
+    std::string_view pair = qs.substr(0, amp);
+    qs = amp == std::string_view::npos ? std::string_view{}
+                                       : qs.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || pair.substr(0, eq) != key) continue;
+    std::string_view val = pair.substr(eq + 1);
+    if (val.empty() || val.size() > 9) return fallback;
+    long x = 0;
+    for (char c : val) {
+      if (c < '0' || c > '9') return fallback;
+      x = x * 10 + (c - '0');
+    }
+    return std::clamp(x, lo, hi);
+  }
+  return fallback;
 }
 
 }  // namespace
@@ -222,7 +250,9 @@ void Server::Impl::serve_connection(int fd) {
     std::string content_type, body;
     int status;
     try {
-      status = handle(req.path(), content_type, body);
+      // Full origin-form target: /profilez takes query parameters, and
+      // handle() strips the query string for the other routes itself.
+      status = handle(req.target, content_type, body);
     } catch (const std::exception& e) {
       status = 500;
       content_type = "text/plain";
@@ -252,17 +282,51 @@ int Server::handle(std::string_view path, std::string& content_type,
   return impl_->handle(path, content_type, body);
 }
 
-int Server::Impl::handle(std::string_view path, std::string& content_type,
+int Server::Impl::handle(std::string_view target, std::string& content_type,
                          std::string& body) {
   Impl& im = *this;
+  const std::string_view path = target.substr(0, target.find('?'));
   // Scrapes drive the windowed-metric epoch clock (obs/window.h).
   window::refresh();
   const double uptime_s =
       static_cast<double>(steady_ns() - im.start_ns) * 1e-9;
 
   if (path == "/metrics") {
+    prof::publish_self_cpu(*im.reg);
     content_type = "text/plain; version=0.0.4; charset=utf-8";
     body = im.reg->to_prometheus(im.opts.manifest);
+    return 200;
+  }
+
+  if (path == "/profilez") {
+    // On-demand capture: sample this process for ?seconds=N (default 2,
+    // cap 60) at ?hz=M and return a speedscope JSON body. The wait blocks
+    // this (single, sequential) serving thread — by design: the server
+    // thread's own idle time is not interesting, and concurrent scrapes
+    // queue in the listen backlog. If a CLI-driven profiling session is
+    // already running, this returns its cumulative snapshot immediately
+    // instead of restarting it.
+    const long seconds = query_param(target, "seconds", 2, 1, 60);
+    const long hz = query_param(target, "hz", 99, 1, 1000);
+    if (!prof::running()) {
+      prof::Options popts;
+      popts.hz = static_cast<int>(hz);
+      if (!prof::start(popts)) {
+        content_type = "text/plain";
+        body = "profiler unavailable (timer_create failed)\n";
+        return 503;
+      }
+      const std::uint64_t deadline =
+          steady_ns() + static_cast<std::uint64_t>(seconds) * 1000000000ull;
+      while (steady_ns() < deadline &&
+             !stopping.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      prof::stop();
+    }
+    const prof::Profile p = prof::snapshot();
+    prof::publish_self_cpu(*im.reg);
+    content_type = "application/json";
+    body = prof::to_speedscope(p, &im.opts.manifest);
     return 200;
   }
 
@@ -280,6 +344,8 @@ int Server::Impl::handle(std::string_view path, std::string& content_type,
   }
 
   if (path == "/statusz") {
+    prof::publish_self_cpu(*im.reg);
+    const prof::Profile prof_snap = prof::snapshot();
     const Snapshot s = im.reg->snapshot();
     const trace::TraceSession& ts = trace::TraceSession::instance();
     const trace::TraceSession::DropStats drops = ts.drop_stats();
@@ -326,6 +392,22 @@ int Server::Impl::handle(std::string_view path, std::string& content_type,
        << ", \"dropped\": " << ts.dropped()
        << ", \"overwritten\": " << drops.overwritten
        << ", \"race_dropped\": " << drops.race_dropped << "}";
+    // Per-stage self-CPU from the sampling profiler (cumulative over the
+    // current/most recent session; empty until /profilez or --profile-out
+    // has sampled).
+    os << ",\n  \"profile\": {\"running\": "
+       << (prof::running() ? "true" : "false")
+       << ", \"hz\": " << prof_snap.hz
+       << ", \"samples\": " << prof_snap.total_samples
+       << ", \"dropped\": " << prof_snap.dropped << ", \"self_cpu_s\": [";
+    first = true;
+    for (const auto& [stage, secs] : prof_snap.self_cpu) {
+      os << (first ? "" : ",") << "\n    {\"stage\": \""
+         << json_escape(stage) << "\", \"self_cpu_s\": " << json_number(secs)
+         << '}';
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "]}";
     os << ",\n  \"errors\": {\"total\": " << log::recent_errors_total()
        << ", \"recent\": " << log::recent_errors_json() << "}";
     os << "\n}\n";
@@ -346,8 +428,10 @@ int Server::Impl::handle(std::string_view path, std::string& content_type,
         "dclid ops server\n"
         "  /metrics  Prometheus exposition (cumulative + windowed)\n"
         "  /healthz  liveness + degradation state\n"
-        "  /statusz  full JSON status (manifest, stages, errors)\n"
-        "  /tracez   Chrome trace JSON (flight recorder drain)\n";
+        "  /statusz  full JSON status (manifest, stages, profile, errors)\n"
+        "  /tracez   Chrome trace JSON (flight recorder drain)\n"
+        "  /profilez?seconds=N&hz=M  on-demand CPU profile (speedscope "
+        "JSON)\n";
     return 200;
   }
 

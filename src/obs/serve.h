@@ -21,6 +21,13 @@
 //             counters, flight-recorder drop accounting, recent errors.
 //   /tracez   Drains the flight recorder into Chrome trace-event JSON
 //             (Perfetto-loadable); empty trace when tracing is off.
+//   /profilez On-demand CPU capture: samples the process for ?seconds=N
+//             (default 2, cap 60) at ?hz=M and returns speedscope JSON.
+//             Deliberately blocks the (single, sequential) serving thread
+//             while sampling runs — the pipeline threads it measures are
+//             unaffected. Read-only exception: it arms/disarms the
+//             process-wide SIGPROF sampler unless a CLI session already
+//             has it running, in which case it snapshots that session.
 //   /         Plain-text index of the endpoints.
 //
 // Every request bumps windowed serve.* instruments and refreshes the
@@ -79,10 +86,11 @@ class Server {
   // "host:port" convenience for log lines.
   std::string address() const;
 
-  // Routes one already-parsed request path to its response body. Exposed
-  // for tests so endpoint contracts are testable without sockets.
+  // Routes one already-parsed request target (origin-form, query string
+  // included — "/profilez?seconds=1") to its response body. Exposed for
+  // tests so endpoint contracts are testable without sockets.
   // Returns the HTTP status; fills content_type and body.
-  int handle(std::string_view path, std::string& content_type,
+  int handle(std::string_view target, std::string& content_type,
              std::string& body) const;
 
  private:

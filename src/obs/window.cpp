@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 namespace dcl::obs::window {
 
@@ -156,13 +157,16 @@ WindowView WindowedHistogram::window() const {
   std::uint64_t mass = 0;
   for (std::uint64_t n : sum) mass += n;
   if (mass == 0) return v;
+  // Epoch slots keep only bucket counts (no exact min/max to clamp to), so
+  // the quantile is the bucket's log-midpoint: geometric mean of its edges,
+  // = upper / sqrt(2). Halves the up-to-2x high bias of the upper edge.
   auto quantile = [&](double q) {
     const double target = q * static_cast<double>(mass);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
       seen += sum[i];
       if (static_cast<double>(seen) >= target && seen > 0)
-        return Histogram::bucket_upper(i);
+        return Histogram::bucket_upper(i) / std::sqrt(2.0);
     }
     return Histogram::bucket_upper(Histogram::kBuckets - 1);
   };

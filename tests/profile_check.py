@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate a dclid speedscope profile (scripts/check.sh profile smoke).
+
+Checks the speedscope file-format contract (schema key, frame table,
+sampled profile with aligned samples/weights, every frame index in range)
+plus the dcl extensions: an embedded RunManifest and the per-stage
+self-CPU table. With --expect-em-plurality the em.* stages together must
+carry the plurality of self-CPU across top-level stage families — the
+ISSUE 9 acceptance criterion for `dclid --profile-out --scenario sdcl`.
+
+usage: profile_check.py FILE [--min-samples N] [--expect-em-plurality]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"profile_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("file")
+    ap.add_argument("--min-samples", type=int, default=1,
+                    help="minimum total sample count (default 1)")
+    ap.add_argument("--expect-em-plurality", action="store_true",
+                    help="require em.* stages to carry the plurality of "
+                         "self-CPU")
+    args = ap.parse_args()
+
+    try:
+        with open(args.file, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.file}: {e}")
+
+    if "speedscope.app/file-format-schema.json" not in doc.get("$schema", ""):
+        fail("missing/invalid $schema key")
+
+    frames = doc.get("shared", {}).get("frames")
+    if not isinstance(frames, list) or not frames:
+        fail("shared.frames missing or empty")
+    for i, fr in enumerate(frames):
+        if not isinstance(fr, dict) or not isinstance(fr.get("name"), str):
+            fail(f"frame {i} has no name")
+
+    profiles = doc.get("profiles")
+    if not isinstance(profiles, list) or not profiles:
+        fail("profiles missing or empty")
+    prof = profiles[0]
+    if prof.get("type") != "sampled":
+        fail(f"profile type {prof.get('type')!r}, expected 'sampled'")
+    if prof.get("unit") != "seconds":
+        fail(f"profile unit {prof.get('unit')!r}, expected 'seconds'")
+    samples = prof.get("samples")
+    weights = prof.get("weights")
+    if not isinstance(samples, list) or not isinstance(weights, list):
+        fail("samples/weights missing")
+    if len(samples) != len(weights):
+        fail(f"{len(samples)} samples vs {len(weights)} weights")
+    for i, stack in enumerate(samples):
+        if not stack:
+            fail(f"sample {i} is empty")
+        for ix in stack:
+            if not isinstance(ix, int) or not 0 <= ix < len(frames):
+                fail(f"sample {i} frame index {ix} out of range")
+    if any(w < 0 for w in weights):
+        fail("negative sample weight")
+    end = prof.get("endValue", 0)
+    if abs(sum(weights) - end) > 1e-6 * max(1.0, end):
+        fail(f"endValue {end} != sum(weights) {sum(weights)}")
+
+    manifest = doc.get("dcl_manifest")
+    if not isinstance(manifest, dict) or "tool" not in manifest:
+        fail("dcl_manifest missing or has no tool key")
+
+    stats = doc.get("dcl_stats", {})
+    total = stats.get("samples", len(samples))
+    if total < args.min_samples:
+        fail(f"only {total} samples (need >= {args.min_samples}); "
+             "was the profiled section long enough?")
+
+    self_cpu = doc.get("dcl_self_cpu")
+    if not isinstance(self_cpu, dict):
+        fail("dcl_self_cpu missing")
+
+    if args.expect_em_plurality:
+        # Group by top-level stage family (em.hmm/em.mmhd -> em) and demand
+        # the em family beats every other family.
+        families = {}
+        for stage, secs in self_cpu.items():
+            families.setdefault(stage.split(".")[0], 0.0)
+            families[stage.split(".")[0]] += float(secs)
+        if not families:
+            fail("dcl_self_cpu is empty, cannot check em.* plurality")
+        winner = max(families, key=families.get)
+        if winner != "em":
+            detail = ", ".join(f"{k}={v:.3f}s"
+                               for k, v in sorted(families.items(),
+                                                  key=lambda kv: -kv[1]))
+            fail(f"em.* does not carry the plurality of self-CPU ({detail})")
+
+    print(f"profile_check: OK: {args.file}: {total} samples, "
+          f"{len(frames)} frames, {len(self_cpu)} stages")
+
+
+if __name__ == "__main__":
+    main()

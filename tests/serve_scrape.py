@@ -10,8 +10,12 @@ Fetches every endpoint and asserts the exported contracts:
             windowed `_w_count` gauges accompany the cumulatives.
   /healthz  parses as JSON with status/uptime_s/degraded_runs keys.
   /statusz  parses as JSON carrying the run manifest, stages, counters,
-            trace drop accounting, and the recent-errors array.
+            trace drop accounting, profiler accounting, and the
+            recent-errors array.
   /tracez   parses as Chrome trace JSON (traceEvents list).
+  /profilez parses as speedscope JSON carrying the run manifest (the
+            sample count may be zero on an idle server: the sampler
+            ticks on process CPU time).
 
 Exits nonzero (with a message) on the first violated contract.
 """
@@ -82,9 +86,16 @@ def main():
         assert key in status["trace"], f"trace accounting missing {key}"
     assert "total" in status["errors"]
     assert isinstance(status["errors"]["recent"], list)
+    for key in ("running", "hz", "samples", "dropped", "self_cpu_s"):
+        assert key in status["profile"], f"profile accounting missing {key}"
 
     trace = json.loads(fetch(base, "/tracez"))
     assert isinstance(trace["traceEvents"], list)
+
+    prof = json.loads(fetch(base, "/profilez?seconds=1&hz=100"))
+    assert "speedscope.app/file-format-schema.json" in prof["$schema"]
+    assert prof["dcl_manifest"].get("tool", "") != ""
+    assert prof["profiles"][0]["type"] == "sampled"
 
     print(f"serve scrape ok: {n} metric samples, "
           f"{len(status['stages'])} stages, status={health['status']}")
