@@ -47,10 +47,30 @@
 //                          would stamp on its exports and exit 0 — no
 //                          job discovery, so it works without an input
 //                          (ops parity with dclid --print-manifest)
+//   --journal PATH         append-only fsync'd checkpoint journal: one
+//                          CRC-framed frame per finished trace, durable
+//                          before its verdict line is emitted. Also arms
+//                          the fatal-signal crash reporter, which writes
+//                          PATH.crash.json on SIGSEGV/SIGABRT/SIGBUS/
+//                          SIGFPE or std::terminate.
+//   --resume               replay PATH's finished traces and execute only
+//                          the rest; requires --journal and --out, and the
+//                          concatenated output is byte-identical to an
+//                          uninterrupted run (DESIGN.md §5.12)
+//   --trace-retries N      retry transient per-trace failures (io /
+//                          resource_limit) up to N times with exponential
+//                          backoff + jitter (default 0 = off)
+//   --trace-timeout SEC    watchdog: mark traces running longer than SEC
+//                          failed at the join (default 0 = off)
 //   --log-level/--log-json/--verbose   as in dclid
 //
 // Exit codes: 0 every trace ok; 1 any trace degraded or failed; 2 invalid
-// invocation or empty fleet; 3 internal error.
+// invocation or empty fleet; 3 internal error; 128+sig when ended by
+// SIGINT/SIGTERM after draining in-flight traces and flushing the journal
+// and output (resume completes the rest).
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <climits>
 #include <cmath>
@@ -65,7 +85,9 @@
 #include <vector>
 
 #include "em_flags.h"
+#include "faults/faults.h"
 #include "fleet/fleet.h"
+#include "fleet/journal.h"
 #include "fleet/manifest.h"
 #include "fleet/synth.h"
 #include "obs/log.h"
@@ -73,6 +95,7 @@
 #include "obs/obs.h"
 #include "obs/prof.h"
 #include "obs/serve.h"
+#include "util/crash.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -108,17 +131,28 @@ namespace {
       "  --profile-hz N         profiler sampling rate (default 99)\n"
       "  --print-manifest       print the RunManifest JSON for this\n"
       "                         invocation and exit (no input required)\n"
+      "  --journal PATH         fsync'd checkpoint journal (+ crash reports\n"
+      "                         to PATH.crash.json on fatal signals)\n"
+      "  --resume               skip PATH's finished traces; needs --journal\n"
+      "                         and --out; output stays byte-identical\n"
+      "  --trace-retries N      retry transient trace failures N times with\n"
+      "                         exponential backoff (default 0)\n"
+      "  --trace-timeout SEC    watchdog: fail traces running > SEC\n"
       "  --log-level LVL        debug|info|warn|error|off (default warn)\n"
       "  --log-json             JSON log lines\n"
       "  --verbose              progress + manifest to stderr\n"
       "exit codes: 0 all ok, 1 any degraded/failed, 2 invalid input,\n"
-      "            3 internal error\n",
+      "            3 internal error, 128+sig after a signal-triggered drain\n",
       argv0, argv0, dcl::cli::kEmFlagsUsage);
   std::exit(code);
 }
 
 volatile std::sig_atomic_t g_signal = 0;
-extern "C" void on_signal(int) { g_signal = 1; }
+std::atomic<bool> g_cancel{false};
+extern "C" void on_signal(int sig) {
+  g_signal = sig;
+  g_cancel.store(true, std::memory_order_relaxed);
+}
 
 // Value parsers and error reporting live in cli/em_flags.h, shared with
 // dclid; these wrappers pin the program name for local call sites.
@@ -180,18 +214,28 @@ std::string outcome_json(const dcl::fleet::TraceOutcome& o,
 
 // Flushes verdict lines in trace-index order as their prefix completes:
 // line i is written once every line < i has been. run_fleet serializes
-// calls to push(), so no locking here.
+// calls to push(), so no locking here. On a --resume, lines below the
+// `emit_from` watermark (already present in the output file from the
+// interrupted run) still advance the ordering state but are not written
+// again — the appended output continues exactly where the file left off.
 class OrderedEmitter {
  public:
-  OrderedEmitter(std::FILE* out, std::size_t n, bool with_timings)
-      : out_(out), with_timings_(with_timings), lines_(n), ready_(n, false) {}
+  OrderedEmitter(std::FILE* out, std::size_t n, bool with_timings,
+                 std::size_t emit_from = 0)
+      : out_(out),
+        with_timings_(with_timings),
+        lines_(n),
+        ready_(n, false),
+        emit_from_(emit_from) {}
 
   void push(const dcl::fleet::TraceOutcome& o) {
     lines_[o.index] = outcome_json(o, with_timings_);
     ready_[o.index] = true;
     while (next_ < lines_.size() && ready_[next_]) {
-      std::fputs(lines_[next_].c_str(), out_);
-      std::fputc('\n', out_);
+      if (next_ >= emit_from_) {
+        std::fputs(lines_[next_].c_str(), out_);
+        std::fputc('\n', out_);
+      }
       std::string().swap(lines_[next_]);  // emitted lines don't linger
       ++next_;
     }
@@ -204,7 +248,35 @@ class OrderedEmitter {
   std::vector<std::string> lines_;
   std::vector<bool> ready_;
   std::size_t next_ = 0;
+  std::size_t emit_from_ = 0;
 };
+
+// Prepares an interrupted run's output file for --resume: truncates a
+// torn partial trailing line (killed mid-fputs) back to the last complete
+// one and returns how many complete lines remain — the emitter's
+// watermark. A missing file is simply an empty prefix.
+std::size_t resume_out_watermark(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  std::size_t keep = data.find_last_of('\n');
+  keep = keep == std::string::npos ? 0 : keep + 1;
+  if (keep != data.size()) {
+    if (truncate(path.c_str(), static_cast<off_t>(keep)) != 0) {
+      std::fprintf(stderr, "dclfleet: cannot truncate %s: %s\n", path.c_str(),
+                   std::strerror(errno));
+      std::exit(2);
+    }
+  }
+  std::size_t lines = 0;
+  for (std::size_t i = 0; i < keep; ++i)
+    if (data[i] == '\n') ++lines;
+  return lines;
+}
 
 bool write_metrics_json(const std::string& path,
                         const dcl::obs::Registry& reg,
@@ -228,6 +300,8 @@ int main(int argc, char** argv) {
   cfg.pipeline.identifier.em.restarts = 1;
   std::string input;
   std::string out_path;
+  std::string journal_path;
+  bool resume = false;
   std::string metrics_json_path;
   std::string serve_addr;
   std::string log_level_flag;
@@ -262,6 +336,16 @@ int main(int argc, char** argv) {
       with_timings = true;
     else if (a == "--out")
       out_path = need("--out");
+    else if (a == "--journal")
+      journal_path = need("--journal");
+    else if (a == "--resume")
+      resume = true;
+    else if (a == "--trace-retries")
+      cfg.trace_retries =
+          parse_int(need("--trace-retries"), "--trace-retries");
+    else if (a == "--trace-timeout")
+      cfg.trace_timeout_s =
+          parse_double(need("--trace-timeout"), "--trace-timeout");
     else if (a == "--synth")
       synth_paths = parse_long(need("--synth"), "--synth");
     else if (a == "--synth-probes")
@@ -334,6 +418,12 @@ int main(int argc, char** argv) {
     config_error("--serve-linger must be >= 0 (or inf)");
   if (profile_hz < 1 || profile_hz > 10000)
     config_error("--profile-hz must be in [1, 10000]");
+  if (cfg.trace_retries < 0) config_error("--trace-retries must be >= 0");
+  if (cfg.trace_timeout_s < 0.0) config_error("--trace-timeout must be >= 0");
+  if (resume && journal_path.empty())
+    config_error("--resume requires --journal");
+  if (resume && out_path.empty())
+    config_error("--resume requires --out (the file to continue)");
 
   if (print_manifest) {
     // Ops parity with dclid --print-manifest: the RunManifest this
@@ -364,6 +454,16 @@ int main(int argc, char** argv) {
   log::set_level(level);
   log::set_json(log_json);
   log::install_error_listener();
+
+  // Process-level fault hooks (DCL_CRASH_AT_TRACE / DCL_HANG_AT_TRACE /
+  // DCL_FLAKY_AT_TRACE): inert unless armed, used by the kill-resume and
+  // watchdog smokes to drive a release binary into controlled failure.
+  dcl::faults::proc::arm_from_env();
+
+  // Drain on SIGINT/SIGTERM: workers finish claimed traces, the journal
+  // and output flush, and the process exits 128+sig.
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
 
   auto& registry = dcl::obs::Registry::global();
   if (verbose || !metrics_json_path.empty() || !serve_addr.empty())
@@ -425,13 +525,47 @@ int main(int argc, char** argv) {
       server = dcl::obs::serve::Server::start(std::move(sopts));
       std::fprintf(stderr, "dclfleet: serving on %s\n",
                    server->address().c_str());
-      std::signal(SIGINT, on_signal);
-      std::signal(SIGTERM, on_signal);
+    }
+
+    // --- durable execution: crash reports + checkpoint journal ------------
+    namespace journal = dcl::fleet::journal;
+    journal::Writer writer;
+    std::size_t emit_from = 0;
+    if (!journal_path.empty()) {
+      dcl::util::crash::Options copts;
+      copts.report_path = journal_path + ".crash.json";
+      copts.manifest_json = man.to_json();
+      if (!dcl::util::crash::install(copts))
+        log::warnf("crash", "cannot install fatal-signal handlers; "
+                   "continuing without crash reports");
+
+      journal::Header want;
+      want.base_seed = cfg.pipeline.identifier.em.seed;
+      want.jobs = jobs.size();
+      want.config_digest = man.config_digest;
+      if (resume) {
+        const journal::Replay rep = journal::read_file(journal_path);
+        if (!rep.has_header) config_error("--resume: journal has no header");
+        if (rep.header.version != journal::kVersion ||
+            rep.header.base_seed != want.base_seed ||
+            rep.header.jobs != want.jobs ||
+            rep.header.config_digest != want.config_digest)
+          config_error("--resume: journal header does not match this "
+                       "invocation (seed, fleet size, or config changed)");
+        if (!rep.warning.empty())
+          log::warnf("journal", "%s", rep.warning.c_str());
+        for (const journal::Entry& e : rep.entries)
+          cfg.completed.push_back(journal::outcome_from_entry(e));
+        emit_from = resume_out_watermark(out_path);
+        writer.reopen(journal_path, rep.valid_bytes);
+      } else {
+        writer.create(journal_path, want);
+      }
     }
 
     std::FILE* out = stdout;
     if (!out_path.empty()) {
-      out = std::fopen(out_path.c_str(), "w");
+      out = std::fopen(out_path.c_str(), resume ? "a" : "w");
       if (out == nullptr) {
         std::fprintf(stderr, "dclfleet: cannot open %s\n", out_path.c_str());
         return 2;
@@ -448,17 +582,35 @@ int main(int argc, char** argv) {
                    "continuing without --profile-out sampling");
     }
 
-    OrderedEmitter emitter(out, jobs.size(), with_timings);
+    cfg.cancel = &g_cancel;
+    OrderedEmitter emitter(out, jobs.size(), with_timings, emit_from);
     const auto report = dcl::fleet::run_fleet(
-        jobs, cfg,
-        [&](const dcl::fleet::TraceOutcome& o) { emitter.push(o); });
+        jobs, cfg, [&](const dcl::fleet::TraceOutcome& o) {
+          // Durability before visibility: the outcome frame is on disk
+          // (fsync'd) before its verdict line can reach the output, so a
+          // kill at any instruction never loses an emitted line. Replayed
+          // outcomes (executed = false) are not re-journaled.
+          if (writer.is_open() && o.executed)
+            writer.append(journal::entry_from_outcome(o));
+          emitter.push(o);
+        });
     if (out != stdout) std::fclose(out);
+    writer.close();
 
     std::fprintf(stderr,
-                 "dclfleet: %zu traces: %zu ok, %zu degraded, %zu failed; "
-                 "outer=%d inner=%d (%s%s); %.1f paths/s in %.2f s\n",
+                 "dclfleet: %zu traces: %zu ok, %zu degraded, %zu failed"
+                 "%s%s%s%s; outer=%d inner=%d (%s%s); %.1f paths/s in %.2f s\n",
                  report.traces.size(), report.ok, report.degraded,
-                 report.failed, report.plan.outer, report.plan.inner,
+                 report.failed,
+                 report.replayed > 0 ? ", " : "",
+                 report.replayed > 0
+                     ? (std::to_string(report.replayed) + " replayed").c_str()
+                     : "",
+                 report.cancelled > 0 ? ", " : "",
+                 report.cancelled > 0
+                     ? (std::to_string(report.cancelled) + " cancelled").c_str()
+                     : "",
+                 report.plan.outer, report.plan.inner,
                  report.plan.auto_selected ? "auto " : "",
                  dcl::fleet::to_string(report.plan.mode),
                  report.paths_per_sec, report.wall_s);
@@ -491,6 +643,10 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
       server->stop();
     }
+    // A signal-triggered drain exits 128+sig (the documented ladder): the
+    // in-flight traces finished, the journal and output are flushed, and
+    // the parent can distinguish "interrupted, resumable" from "done".
+    if (g_signal != 0) return 128 + static_cast<int>(g_signal);
     return rc;
   } catch (const dcl::util::Error& e) {
     log::errorf("run.failed", "%s error: %s", dcl::util::to_string(e.code()),

@@ -88,6 +88,7 @@
 //      stderr say why
 //   2  invalid input: unusable flags, malformed trace file, missing file
 //   3  internal error (a bug in dclid)
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <climits>
@@ -168,10 +169,27 @@ namespace {
   std::exit(code);
 }
 
-// SIGINT/SIGTERM flag for --serve runs: the handler only sets a flag; the
-// linger loop polls it and shuts the server down cleanly.
+// SIGINT/SIGTERM handling. For --serve runs the handler sets a flag the
+// linger loop polls; the process then exits 128+sig (the documented
+// ladder). For --trace-out runs the handler additionally flushes the
+// flight recorder to a valid *partial* Chrome trace before dying — a
+// best-effort export (stop + JSON serialization are not strictly
+// async-signal-safe, but an interactive ^C losing the whole recording is
+// the worse trade; the once-guard keeps a second signal from re-entering).
 volatile std::sig_atomic_t g_signal = 0;
-extern "C" void on_signal(int) { g_signal = 1; }
+std::atomic<bool> g_trace_flush_armed{false};
+std::string g_trace_out_path;
+const dcl::obs::RunManifest* g_trace_manifest = nullptr;
+
+extern "C" void on_signal(int sig) {
+  g_signal = sig;
+  if (g_trace_flush_armed.exchange(false)) {
+    auto& rec = dcl::obs::trace::TraceSession::instance();
+    rec.stop();
+    rec.write_chrome_json(g_trace_out_path, g_trace_manifest);
+    std::_Exit(128 + sig);
+  }
+}
 
 // Value parsers and error reporting live in cli/em_flags.h, shared with
 // dclfleet; these wrappers pin the program name for local call sites.
@@ -475,6 +493,12 @@ int main(int argc, char** argv) {
     // ring within a couple of simulated minutes.
     recorder.start(1u << 18);
     dcl::obs::trace::set_thread_name("main");
+    // ^C mid-run flushes a valid partial trace instead of losing it.
+    g_trace_out_path = trace_out_path;
+    g_trace_manifest = &man;
+    g_trace_flush_armed.store(true, std::memory_order_release);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
   }
   // Exports shared by every exit path; returns the process exit code.
   // With --serve, also lingers (scrape window) and shuts the server down.
@@ -503,6 +527,9 @@ int main(int argc, char** argv) {
       rc = 1;
     }
     if (!trace_out_path.empty()) {
+      // Past this point the normal export owns the recorder: a late
+      // signal must not race it with a second stop/write.
+      g_trace_flush_armed.store(false, std::memory_order_release);
       recorder.stop();
       if (!recorder.write_chrome_json(trace_out_path, &man)) {
         log::errorf("io", "cannot write %s", trace_out_path.c_str());
@@ -527,6 +554,9 @@ int main(int argc, char** argv) {
       log::info("serve.stop", {{"reason", g_signal != 0 ? "signal"
                                                         : "linger elapsed"}});
     }
+    // Ended by SIGINT/SIGTERM: the exports above are flushed; exit with
+    // the conventional 128+sig instead of falling through with 0.
+    if (g_signal != 0) return 128 + static_cast<int>(g_signal);
     return rc;
   };
 
@@ -579,6 +609,7 @@ int main(int argc, char** argv) {
       log::warnf("pipeline.warning", "%s", w.c_str());
     auto finish_degraded = [&]() -> int {
       const int rc = finish();
+      if (rc >= 128) return rc;  // signal-triggered exit wins
       return r.degraded ? 1 : rc;
     };
     if (!r.answered) {

@@ -6,13 +6,14 @@
 # the threaded EM engine and the observability layer.
 #
 #   scripts/check.sh   # plain + ASan/UBSan + TSan + trace + serve + soak
-#                      # + fleet + perf
+#                      # + fleet + kill-resume + perf
 #   DCL_CHECK_SKIP_SANITIZED=1 scripts/check.sh
 #   DCL_CHECK_SKIP_TSAN=1      scripts/check.sh
 #   DCL_CHECK_SKIP_TRACE=1     scripts/check.sh
 #   DCL_CHECK_SKIP_SERVE=1     scripts/check.sh
 #   DCL_CHECK_SKIP_SOAK=1      scripts/check.sh
 #   DCL_CHECK_SKIP_FLEET=1     scripts/check.sh
+#   DCL_CHECK_SKIP_RESUME=1    scripts/check.sh   # kill-resume smoke only
 #   DCL_CHECK_SKIP_PERF=1      scripts/check.sh
 #   DCL_CHECK_SKIP_RACING=1    scripts/check.sh   # racing gate only
 #   DCL_CHECK_SKIP_PROF=1      scripts/check.sh   # profiler smoke + gate
@@ -70,7 +71,7 @@ fi
 # init), not a data race in the suite. Set DCL_CHECK_TSAN_SKIP='' to run
 # everything on a toolchain where the binary starts cleanly.
 if [[ "${DCL_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
-  tsan_labels="parallel_em_test|inference_test|obs_test|prof_test|http_test|trace_test|selection_bootstrap_test|util_test|fleet_test"
+  tsan_labels="parallel_em_test|inference_test|obs_test|prof_test|http_test|trace_test|selection_bootstrap_test|util_test|fleet_test|journal_test"
   tsan_skip="${DCL_CHECK_TSAN_SKIP-inference_test}"
   if [[ -n "${tsan_skip}" ]]; then
     tsan_labels="$(printf '%s\n' "${tsan_labels}" | tr '|' '\n' \
@@ -162,9 +163,12 @@ if [[ "${DCL_CHECK_SKIP_SERVE:-0}" != "1" ]]; then
     echo "==> python3 missing; serve content validation skipped"
   fi
   kill -TERM "${serve_pid}"
-  if ! wait "${serve_pid}"; then
+  # A signal-triggered drain reports the signal: 128+15 (DESIGN.md §5.12).
+  serve_rc=0
+  wait "${serve_pid}" || serve_rc=$?
+  if [[ "${serve_rc}" -ne 143 ]]; then
     cat "${serve_log}" >&2
-    echo "serve smoke: dclid exited nonzero after SIGTERM" >&2
+    echo "serve smoke: dclid exited ${serve_rc} after SIGTERM (want 143)" >&2
     exit 1
   fi
 fi
@@ -180,16 +184,19 @@ if [[ "${DCL_CHECK_SKIP_SOAK:-0}" != "1" ]]; then
   echo "==> fuzz corpus replay (parser contracts)"
   cmake -B build-fuzz -S . -DDCL_FUZZ=ON > /dev/null
   cmake --build build-fuzz -j "${JOBS}" --target trace_parser_fuzz \
-    http_request_fuzz
+    http_request_fuzz journal_fuzz
   if ./build-fuzz/fuzz/trace_parser_fuzz -help=1 > /dev/null 2>&1; then
     # libFuzzer build (Clang): one bounded exploration run over each corpus.
     ./build-fuzz/fuzz/trace_parser_fuzz -runs=20000 -max_len=4096 \
       tests/corpus/trace
     ./build-fuzz/fuzz/http_request_fuzz -runs=20000 -max_len=4096 \
       tests/corpus/http
+    ./build-fuzz/fuzz/journal_fuzz -runs=20000 -max_len=4096 \
+      tests/corpus/journal
   else
     ./build-fuzz/fuzz/trace_parser_fuzz tests/corpus/trace/*
     ./build-fuzz/fuzz/http_request_fuzz tests/corpus/http/*
+    ./build-fuzz/fuzz/journal_fuzz tests/corpus/journal/*
   fi
 fi
 
@@ -223,6 +230,16 @@ if [[ "${DCL_CHECK_SKIP_FLEET:-0}" != "1" ]]; then
   else
     echo "==> python3 missing; fleet JSON-lines validation skipped"
   fi
+fi
+
+# Kill-resume smoke (DESIGN.md §5.12): dclsoak SIGKILLs journaled dclfleet
+# runs mid-fleet and resumes them, asserting byte-identical output, one
+# journal frame per trace, and that a redundant resume is a no-op.
+if [[ "${DCL_CHECK_SKIP_RESUME:-0}" != "1" ]]; then
+  echo "==> kill-resume smoke (dclsoak --kill-resume, crash-safe journal)"
+  cmake --build build -j "${JOBS}" --target dclsoak dclfleet_cli
+  ./build/tools/dclsoak --kill-resume 3 --seed 11 \
+    --dclfleet ./build/cli/dclfleet
 fi
 
 # Profiler smoke: one sampled end-to-end dclid analysis. The speedscope

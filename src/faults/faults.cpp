@@ -1,9 +1,15 @@
 #include "faults/faults.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "util/error.h"
 #include "util/rng.h"
@@ -280,5 +286,125 @@ FaultSchedule random_schedule(std::uint64_t seed, int max_faults,
   }
   return sched;
 }
+
+// --- process-level fault hooks --------------------------------------------
+
+namespace proc {
+
+namespace {
+
+enum class HookKind { kNone = 0, kCrash, kHang, kFlaky };
+
+struct Hook {
+  // kNone doubles as the fast-path "unarmed" flag: on_trace_start loads
+  // only this before bailing.
+  std::atomic<HookKind> kind{HookKind::kNone};
+  std::atomic<std::uint64_t> index{0};
+  std::atomic<int> crash_mode{0};
+  std::atomic<double> hang_seconds{0.0};
+  std::atomic<int> flaky_left{0};
+};
+
+Hook g_hook;
+
+void arm(HookKind kind, std::uint64_t index) {
+  g_hook.index.store(index, std::memory_order_relaxed);
+  g_hook.kind.store(kind, std::memory_order_release);
+}
+
+}  // namespace
+
+void arm_crash_at_trace(std::uint64_t index, CrashMode mode) {
+  g_hook.crash_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+  arm(HookKind::kCrash, index);
+}
+
+void arm_hang_at_trace(std::uint64_t index, double seconds) {
+  g_hook.hang_seconds.store(seconds, std::memory_order_relaxed);
+  arm(HookKind::kHang, index);
+}
+
+void arm_flaky_at_trace(std::uint64_t index, int failures) {
+  g_hook.flaky_left.store(failures, std::memory_order_relaxed);
+  arm(HookKind::kFlaky, index);
+}
+
+void arm_from_env() {
+  if (const char* v = std::getenv("DCL_CRASH_AT_TRACE")) {
+    char* end = nullptr;
+    const std::uint64_t idx = std::strtoull(v, &end, 10);
+    CrashMode mode = CrashMode::kKill;
+    if (end != nullptr && *end == ':') {
+      if (std::strcmp(end + 1, "segv") == 0) mode = CrashMode::kSegv;
+      else if (std::strcmp(end + 1, "abort") == 0) mode = CrashMode::kAbort;
+    }
+    arm_crash_at_trace(idx, mode);
+  }
+  if (const char* v = std::getenv("DCL_HANG_AT_TRACE")) {
+    char* end = nullptr;
+    const std::uint64_t idx = std::strtoull(v, &end, 10);
+    double seconds = 3600.0;
+    if (end != nullptr && *end == ':') seconds = std::strtod(end + 1, nullptr);
+    arm_hang_at_trace(idx, seconds);
+  }
+  if (const char* v = std::getenv("DCL_FLAKY_AT_TRACE")) {
+    char* end = nullptr;
+    const std::uint64_t idx = std::strtoull(v, &end, 10);
+    int failures = 1;
+    if (end != nullptr && *end == ':')
+      failures = static_cast<int>(std::strtol(end + 1, nullptr, 10));
+    arm_flaky_at_trace(idx, failures);
+  }
+}
+
+void disarm() { g_hook.kind.store(HookKind::kNone, std::memory_order_release); }
+
+bool armed() {
+  return g_hook.kind.load(std::memory_order_acquire) != HookKind::kNone;
+}
+
+void on_trace_start(std::uint64_t index) {
+  const HookKind kind = g_hook.kind.load(std::memory_order_acquire);
+  if (kind == HookKind::kNone) return;
+  if (g_hook.index.load(std::memory_order_relaxed) != index) return;
+  switch (kind) {
+    case HookKind::kNone:
+      return;
+    case HookKind::kCrash: {
+      const auto mode =
+          static_cast<CrashMode>(g_hook.crash_mode.load(std::memory_order_relaxed));
+      switch (mode) {
+        case CrashMode::kKill: std::raise(SIGKILL); break;
+        case CrashMode::kSegv: std::raise(SIGSEGV); break;
+        case CrashMode::kAbort: std::raise(SIGABRT); break;
+      }
+      return;  // unreachable unless the signal is blocked
+    }
+    case HookKind::kHang: {
+      const double seconds =
+          g_hook.hang_seconds.load(std::memory_order_relaxed);
+      disarm();  // hang once, not on a retry of the same index
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(seconds > 0.0 ? seconds : 0.0));
+      return;
+    }
+    case HookKind::kFlaky: {
+      // fetch_sub so concurrent workers on the same index burn distinct
+      // failure budget (the fleet retries the same index serially, but the
+      // hook should stay correct regardless).
+      const int left = g_hook.flaky_left.fetch_sub(1, std::memory_order_acq_rel);
+      if (left <= 0) {
+        g_hook.flaky_left.store(0, std::memory_order_relaxed);
+        return;
+      }
+      util::raise(util::ErrorCode::kIo,
+                  "faults.proc: injected transient failure at trace " +
+                      std::to_string(index),
+                  util::Severity::kRecoverable);
+    }
+  }
+}
+
+}  // namespace proc
 
 }  // namespace dcl::faults

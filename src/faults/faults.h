@@ -101,4 +101,42 @@ class Injector {
 FaultSchedule random_schedule(std::uint64_t seed, int max_faults = 4,
                               bool include_byte_faults = false);
 
+// --- process-level fault hooks (crash / hang / flaky injection) -----------
+//
+// Testability hooks for the durable-execution machinery (DESIGN.md §5.12):
+// the fleet engine calls proc::on_trace_start(i) as each trace begins, and
+// an armed hook fires exactly once at the matching index — killing the
+// process (kill-resume smokes), sleeping (watchdog tests), or raising a
+// transient kIo (retry tests). Unarmed, on_trace_start is one relaxed
+// atomic load. Release binaries keep the hooks compiled in but inert;
+// check.sh arms them via DCL_CRASH_AT_TRACE / DCL_HANG_AT_TRACE /
+// DCL_FLAKY_AT_TRACE without a special build.
+namespace proc {
+
+enum class CrashMode {
+  kKill = 0,  // raise(SIGKILL): the no-cleanup power-loss model
+  kSegv,      // raise(SIGSEGV): exercises the crash-report handler
+  kAbort,     // raise(SIGABRT)
+};
+
+// Arms one hook (re-arming replaces the previous one).
+void arm_crash_at_trace(std::uint64_t index, CrashMode mode = CrashMode::kKill);
+void arm_hang_at_trace(std::uint64_t index, double seconds);
+// The first `failures` executions of trace `index` raise util::kIo.
+void arm_flaky_at_trace(std::uint64_t index, int failures);
+
+// Arms from the environment: DCL_CRASH_AT_TRACE="N" | "N:segv" | "N:abort",
+// DCL_HANG_AT_TRACE="N:SECONDS", DCL_FLAKY_AT_TRACE="N:COUNT". Called once
+// by the CLIs at startup; unset variables leave the hooks inert.
+void arm_from_env();
+
+void disarm();
+bool armed();
+
+// The fleet engine's per-trace entry hook. May not return (crash modes),
+// may sleep (hang), may throw util::Error{kIo} (flaky).
+void on_trace_start(std::uint64_t index);
+
+}  // namespace proc
+
 }  // namespace dcl::faults

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
+#include <thread>
 
+#include "faults/faults.h"
 #include "obs/obs.h"
 #include "obs/prof.h"
 #include "obs/trace.h"
 #include "obs/window.h"
+#include "util/backoff.h"
+#include "util/crash.h"
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -21,6 +26,22 @@ double now_s() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Transient vs permanent (DESIGN.md §5.12): I/O and resource-limit
+// failures may clear on a retry (NFS hiccup, deadline pressure from a
+// neighboring fit); input and model errors are properties of the trace
+// and retrying re-fails identically.
+bool transient_error(util::ErrorCode code) {
+  return code == util::ErrorCode::kIo ||
+         code == util::ErrorCode::kResourceLimit;
 }
 
 }  // namespace
@@ -109,16 +130,117 @@ FleetReport run_fleet(const std::vector<TraceJob>& jobs,
   std::mutex done_mu;  // serializes on_done and the progress gauge
   std::atomic<std::size_t> done{0};
 
+  // --- checkpoint replay (journal resume, §5.12) --------------------------
+  // Replayed outcomes land in the report and flow through on_done (index
+  // order, executed = false) *before* any dispatch, so downstream ordered
+  // emitters see the identical sequence an uninterrupted run produced.
+  std::vector<bool> is_replayed(jobs.size(), false);
+  if (!cfg.completed.empty()) {
+    auto& replayed_ctr = reg.windowed_counter("fleet.traces_replayed");
+    std::vector<const TraceOutcome*> replay;
+    replay.reserve(cfg.completed.size());
+    for (const auto& c : cfg.completed) {
+      if (c.index >= jobs.size() || is_replayed[c.index]) continue;
+      is_replayed[c.index] = true;
+      replay.push_back(&c);
+    }
+    std::sort(replay.begin(), replay.end(),
+              [](const TraceOutcome* a, const TraceOutcome* b) {
+                return a->index < b->index;
+              });
+    for (const TraceOutcome* c : replay) {
+      TraceOutcome& out = report.traces[c->index];
+      out = *c;
+      out.executed = false;
+      // Replays keep the authoritative id from the job list: journal
+      // entries truncate long ids at their fixed frame capacity.
+      out.id = jobs[c->index].id;
+      out.seed = seeds[c->index];
+      replayed_ctr.add(1);
+      ++report.replayed;
+      const std::size_t n_done =
+          done.fetch_add(1, std::memory_order_relaxed) + 1;
+      reg.gauge("fleet.progress")
+          .set(static_cast<double>(n_done) / static_cast<double>(jobs.size()));
+      if (on_done) on_done(out);
+    }
+  }
+
+  std::vector<std::size_t> todo;
+  todo.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    if (!is_replayed[i]) todo.push_back(i);
+
+  // --- watchdog state (§5.12) ---------------------------------------------
+  // The monitor thread polls the in-flight registry and flags, never
+  // kills: the flagged trace finishes (or the process is killed by the
+  // operator) and the engine rewrites its outcome at the join. gauge
+  // fleet.stuck_trace_age_s exposes the oldest in-flight age either way.
+  std::unique_ptr<std::atomic<bool>[]> timed_out;
+  if (cfg.trace_timeout_s > 0.0) {
+    timed_out.reset(new std::atomic<bool>[jobs.size()]);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      timed_out[i].store(false, std::memory_order_relaxed);
+  }
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (timed_out) {
+    auto& flagged_ctr = reg.windowed_counter("fleet.watchdog_flagged");
+    watchdog = std::thread([&, timeout_s = cfg.trace_timeout_s] {
+      auto& age_gauge = reg.gauge("fleet.stuck_trace_age_s");
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        util::crash::Inflight snap[util::crash::kInflightSlots];
+        const int n = util::crash::inflight_snapshot(
+            snap, util::crash::kInflightSlots);
+        const std::uint64_t now = now_ns();
+        double oldest_s = 0.0;
+        for (int k = 0; k < n; ++k) {
+          const double age_s =
+              now > snap[k].start_ns
+                  ? static_cast<double>(now - snap[k].start_ns) * 1e-9
+                  : 0.0;
+          oldest_s = std::max(oldest_s, age_s);
+          if (age_s > timeout_s && snap[k].index < jobs.size() &&
+              !timed_out[snap[k].index].exchange(
+                  true, std::memory_order_acq_rel)) {
+            flagged_ctr.add(1);
+            obs::trace::instant("fleet.watchdog_flagged",
+                                static_cast<double>(snap[k].index));
+          }
+        }
+        age_gauge.set(oldest_s);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      age_gauge.set(0.0);
+    });
+  }
+
+  auto& retries_ctr = reg.windowed_counter("fleet.retries");
+  auto& exhausted_ctr = reg.windowed_counter("fleet.retry_exhausted");
+  auto& cancelled_ctr = reg.windowed_counter("fleet.traces_cancelled");
+
   auto process = [&](std::size_t i) {
     // Outer-worker stage tag: everything below (per-trace pipeline) is
     // charged to fleet.trace unless an inner stage retags it.
     DCL_PROF_STAGE("fleet.trace");
-    obs::trace::Scope scope("fleet.trace", static_cast<double>(i));
-    const double t0 = now_s();
     TraceOutcome& out = report.traces[i];
     out.index = i;
     out.id = jobs[i].id;
     out.seed = seeds[i];
+
+    // Drain check: a cancelled trace was never started — it is not an
+    // error, not delivered to on_done (output must stay a clean prefix),
+    // and a later --resume will execute it.
+    if (cfg.cancel != nullptr && cfg.cancel->load(std::memory_order_acquire)) {
+      out.status = TraceStatus::kFailed;
+      out.error = "cancelled: drained before start (resume to complete)";
+      out.executed = false;
+      cancelled_ctr.add(1);
+      return;
+    }
+
+    obs::trace::Scope scope("fleet.trace", static_cast<double>(i));
+    const double t0 = now_s();
 
     core::PipelineConfig pcfg = cfg.pipeline;
     pcfg.identifier.em.seed = seeds[i];
@@ -129,29 +251,61 @@ FleetReport run_fleet(const std::vector<TraceJob>& jobs,
     // never promised to need, so the fleet runs fits unobserved.
     pcfg.identifier.em.observer = nullptr;
 
-    try {
-      const trace::Trace* active = jobs[i].preloaded.get();
-      trace::Trace loaded;
-      if (active == nullptr) {
-        loaded = trace::read_trace_file(jobs[i].path);
-        active = &loaded;
+    const int max_attempts = std::max(0, cfg.trace_retries) + 1;
+    util::Backoff backoff(cfg.retry_base_s, cfg.retry_max_s, seeds[i]);
+    const int slot = util::crash::inflight_claim(i, now_ns());
+
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      try {
+        faults::proc::on_trace_start(i);
+        const trace::Trace* active = jobs[i].preloaded.get();
+        trace::Trace loaded;
+        if (active == nullptr) {
+          loaded = trace::read_trace_file(jobs[i].path);
+          active = &loaded;
+        }
+        out.probes = active->records.size();
+        out.result = core::analyze_trace(*active, pcfg);
+        out.status = out.result.degraded ? TraceStatus::kDegraded
+                                         : TraceStatus::kOk;
+        out.error.clear();  // an earlier attempt's error is superseded
+        break;
+      } catch (const util::Error& e) {
+        // Unreadable file, or a strict-mode (sanitize=false) analysis
+        // throw: typed, isolated, the fleet moves on.
+        out.status = TraceStatus::kFailed;
+        out.error = std::string(util::to_string(e.code())) + ": " + e.what();
+        obs::trace::instant("fleet.trace_failed", static_cast<double>(i));
+        const bool retryable = transient_error(e.code()) &&
+                               attempt + 1 < max_attempts &&
+                               (cfg.cancel == nullptr ||
+                                !cfg.cancel->load(std::memory_order_acquire));
+        if (!retryable) {
+          if (transient_error(e.code()) && cfg.trace_retries > 0)
+            exhausted_ctr.add(1);
+          break;
+        }
+        retries_ctr.add(1);
+        obs::trace::instant("fleet.trace_retry", static_cast<double>(i));
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(backoff.next_s()));
+      } catch (const std::exception& e) {
+        out.status = TraceStatus::kFailed;
+        out.error = std::string("internal: ") + e.what();
+        obs::trace::instant("fleet.trace_failed", static_cast<double>(i));
+        break;
       }
-      out.probes = active->records.size();
-      out.result = core::analyze_trace(*active, pcfg);
-      out.status = out.result.degraded ? TraceStatus::kDegraded
-                                       : TraceStatus::kOk;
-    } catch (const util::Error& e) {
-      // Unreadable file, or a strict-mode (sanitize=false) analysis
-      // throw: typed, isolated, the fleet moves on.
-      out.status = TraceStatus::kFailed;
-      out.error = std::string(util::to_string(e.code())) + ": " + e.what();
-      obs::trace::instant("fleet.trace_failed", static_cast<double>(i));
-    } catch (const std::exception& e) {
-      out.status = TraceStatus::kFailed;
-      out.error = std::string("internal: ") + e.what();
-      obs::trace::instant("fleet.trace_failed", static_cast<double>(i));
     }
+    if (slot >= 0) util::crash::inflight_release(slot);
     out.wall_s = now_s() - t0;
+
+    // A watchdog flag overrides whatever the late-finishing attempt
+    // produced: the operator asked for a bound, the bound was blown.
+    if (timed_out && timed_out[i].load(std::memory_order_acquire)) {
+      out.status = TraceStatus::kFailed;
+      out.error = "resource_limit: trace timeout (watchdog, > " +
+                  std::to_string(cfg.trace_timeout_s) + " s)";
+    }
 
     trace_span.record(out.wall_s);
     done_ctr.add(1);
@@ -174,11 +328,16 @@ FleetReport run_fleet(const std::vector<TraceJob>& jobs,
   {
     DCL_SPAN("fleet.run");
     if (report.plan.outer <= 1) {
-      for (std::size_t i = 0; i < jobs.size(); ++i) process(i);
-    } else {
+      for (const std::size_t i : todo) process(i);
+    } else if (!todo.empty()) {
       util::ThreadPool pool(static_cast<std::size_t>(report.plan.outer));
-      util::parallel_dynamic(&pool, jobs.size(), process);
+      util::parallel_dynamic(&pool, todo.size(),
+                             [&](std::size_t k) { process(todo[k]); });
     }
+  }
+  if (watchdog.joinable()) {
+    watchdog_stop.store(true, std::memory_order_release);
+    watchdog.join();
   }
   report.wall_s = now_s() - fleet_t0;
   report.paths_per_sec =
@@ -186,7 +345,14 @@ FleetReport run_fleet(const std::vector<TraceJob>& jobs,
           ? static_cast<double>(jobs.size()) / report.wall_s
           : 0.0;
 
-  for (const auto& t : report.traces) {
+  for (std::size_t i = 0; i < report.traces.size(); ++i) {
+    const TraceOutcome& t = report.traces[i];
+    if (!t.executed && !is_replayed[i]) {
+      // Cancelled before start: not a real failure, tallied separately.
+      // Replays keep their checkpointed status in the tri-state tallies.
+      ++report.cancelled;
+      continue;
+    }
     switch (t.status) {
       case TraceStatus::kOk: ++report.ok; break;
       case TraceStatus::kDegraded: ++report.degraded; break;

@@ -34,6 +34,7 @@
 // mid-run, and every trace is a flight-recorder span when tracing is on.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -100,6 +101,11 @@ struct TraceOutcome {
   std::uint64_t seed = 0;  // per-trace forked seed the analysis used
   std::size_t probes = 0;  // records read (0 when the read itself failed)
   double wall_s = 0.0;     // read + analyze wall time for this trace
+  // false for outcomes this run did NOT execute: checkpoint replays
+  // (FleetConfig::completed) and traces skipped by cancellation. dclfleet
+  // journals only executed outcomes, so a resumed run never re-appends
+  // frames it replayed (DESIGN.md §5.12).
+  bool executed = true;
   // Valid unless status == kFailed.
   core::PipelineResult result;
 };
@@ -114,6 +120,34 @@ struct FleetConfig {
   int outer_threads = 0;  // concurrent traces; 0 = auto
   int inner_threads = 0;  // EM threads per fit; 0 = auto
   bool fork_seeds = true;
+
+  // --- durable execution (DESIGN.md §5.12) --------------------------------
+
+  // Bounded retry of *transient* per-trace failures (kIo, kResourceLimit)
+  // with exponential backoff + jitter, seeded from the trace's forked
+  // seed. Permanent failures (kInvalidInput, kInternal, kDegenerateModel)
+  // never retry. 0 (default) keeps the single-attempt behavior bit-exact.
+  int trace_retries = 0;
+  double retry_base_s = 0.05;
+  double retry_max_s = 2.0;
+
+  // Watchdog: when > 0, a monitor thread flags any trace executing longer
+  // than this and the engine marks it kFailed("resource_limit: trace
+  // timeout...") at the join — without killing the worker mid-fit, so the
+  // fleet's memory stays intact. 0 disables.
+  double trace_timeout_s = 0.0;
+
+  // Cooperative cancellation (SIGTERM drain): when set and it becomes
+  // true, workers finish the traces they already claimed and every
+  // not-yet-claimed trace becomes a non-executed "cancelled" outcome.
+  // parallel_dynamic claims indices in order, so the completed prefix
+  // stays contiguous-per-worker and a later --resume completes the rest.
+  const std::atomic<bool>* cancel = nullptr;
+
+  // Checkpointed outcomes replayed instead of executed (journal resume):
+  // each is delivered through on_done (executed = false) and lands in the
+  // report, and its index is skipped by the dispatch loop.
+  std::vector<TraceOutcome> completed;
 };
 
 struct FleetReport {
@@ -122,6 +156,8 @@ struct FleetReport {
   std::size_t ok = 0;
   std::size_t degraded = 0;
   std::size_t failed = 0;
+  std::size_t cancelled = 0;  // skipped by cfg.cancel before starting
+  std::size_t replayed = 0;   // satisfied from cfg.completed, not executed
   double wall_s = 0.0;        // whole-fleet wall time
   double paths_per_sec = 0.0;  // traces.size() / wall_s
 };

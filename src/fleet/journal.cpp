@@ -1,0 +1,398 @@
+#include "fleet/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace dcl::fleet::journal {
+
+namespace {
+
+// 13-byte frame prelude: magic + type + payload_len + crc.
+// (The payload-size cap lives in the header as journal::kMaxPayload.)
+constexpr std::size_t kPrelude = 4 + 1 + 4 + 4;
+
+// --- little-endian scalar packing -----------------------------------------
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v, "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_str(std::string& out, std::string_view s) {
+  const std::size_t n = s.size() < 0xffff ? s.size() : 0xffff;
+  put_u16(out, static_cast<std::uint16_t>(n));
+  out.append(s.data(), n);
+}
+
+// Bounds-checked little-endian reads. Every getter returns false past the
+// end instead of trusting the length fields — the payload under the CRC
+// is still attacker-shaped bytes as far as the decoder is concerned.
+struct Cursor {
+  const unsigned char* p;
+  std::size_t n;
+  std::size_t at = 0;
+
+  bool u8(std::uint8_t& v) {
+    if (at + 1 > n) return false;
+    v = p[at++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    if (at + 2 > n) return false;
+    v = static_cast<std::uint16_t>(p[at] | (p[at + 1] << 8));
+    at += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (at + 4 > n) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(p[at + i]) << (8 * i);
+    at += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (at + 8 > n) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(p[at + i]) << (8 * i);
+    at += 8;
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t bits;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof v);
+    return true;
+  }
+  bool str(std::string& v) {
+    std::uint16_t len;
+    if (!u16(len) || at + len > n) return false;
+    v.assign(reinterpret_cast<const char*>(p + at), len);
+    at += len;
+    return true;
+  }
+};
+
+bool decode_header(Cursor& c, Header& h) {
+  return c.u32(h.version) && c.u64(h.base_seed) && c.u64(h.jobs) &&
+         c.str(h.config_digest) && c.at == c.n;
+}
+
+bool decode_entry(Cursor& c, Entry& e) {
+  std::uint8_t answered, degraded, sdcl, wdcl;
+  std::uint32_t i_star_bits;
+  if (!(c.u64(e.index) && c.u8(e.status) && c.u64(e.seed) &&
+        c.u64(e.probes) && c.str(e.id) && c.str(e.error) &&
+        c.u8(answered) && c.u8(degraded) && c.u8(sdcl) && c.u8(wdcl) &&
+        c.u64(e.warnings) && c.u64(e.losses) && c.f64(e.loss_rate) &&
+        c.u32(i_star_bits) && c.f64(e.f_at_2istar) &&
+        c.f64(e.bound_seconds) && c.f64(e.wall_s) && c.at == c.n))
+    return false;
+  std::memcpy(&e.i_star, &i_star_bits, sizeof e.i_star);
+  // Enum-ranged fields must decode to a named value: anything else is a
+  // corrupt payload that happened to pass CRC (or a future version).
+  if (e.status > static_cast<std::uint8_t>(TraceStatus::kFailed)) return false;
+  if (answered > 1 || degraded > 1 || sdcl > 1 || wdcl > 1) return false;
+  e.answered = answered != 0;
+  e.degraded = degraded != 0;
+  e.sdcl_accepted = sdcl != 0;
+  e.wdcl_accepted = wdcl != 0;
+  return true;
+}
+
+std::string frame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kPrelude + payload.size());
+  put_u32(out, kMagic);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  // Table generated once from the reflected polynomial; no dependency on
+  // zlib (the container image carries no compression library contract).
+  static const std::uint32_t* table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Entry entry_from_outcome(const TraceOutcome& o) {
+  Entry e;
+  e.index = o.index;
+  e.status = static_cast<std::uint8_t>(o.status);
+  e.seed = o.seed;
+  e.probes = o.probes;
+  e.id = o.id;
+  e.error = o.error;
+  const auto& id = o.result.identification;
+  e.answered = o.result.answered;
+  e.degraded = o.result.degraded;
+  e.sdcl_accepted = id.sdcl.accepted;
+  e.wdcl_accepted = id.wdcl.accepted;
+  e.warnings = o.result.warnings.size();
+  e.losses = id.losses;
+  e.loss_rate = id.loss_rate;
+  e.i_star = id.wdcl.i_star;
+  e.f_at_2istar = id.wdcl.f_at_2istar;
+  e.bound_seconds = id.coarse_bound.seconds;
+  e.wall_s = o.wall_s;
+  return e;
+}
+
+TraceOutcome outcome_from_entry(const Entry& e) {
+  TraceOutcome o;
+  o.index = static_cast<std::size_t>(e.index);
+  o.id = e.id;
+  o.status = static_cast<TraceStatus>(e.status);
+  o.error = e.error;
+  o.seed = e.seed;
+  o.probes = static_cast<std::size_t>(e.probes);
+  o.wall_s = e.wall_s;
+  o.executed = false;  // replayed from checkpoint, not run
+  o.result.answered = e.answered;
+  o.result.degraded = e.degraded;
+  // Only the count survives the journal; the texts were already surfaced
+  // (logged, emitted) by the run that produced them.
+  o.result.warnings.assign(static_cast<std::size_t>(e.warnings),
+                           "(replayed from journal)");
+  auto& id = o.result.identification;
+  id.losses = static_cast<std::size_t>(e.losses);
+  id.loss_rate = e.loss_rate;
+  id.sdcl.accepted = e.sdcl_accepted;
+  id.wdcl.accepted = e.wdcl_accepted;
+  id.wdcl.i_star = e.i_star;
+  id.wdcl.f_at_2istar = e.f_at_2istar;
+  id.coarse_bound.seconds = e.bound_seconds;
+  return o;
+}
+
+std::string encode_header(const Header& h) {
+  std::string payload;
+  put_u32(payload, h.version);
+  put_u64(payload, h.base_seed);
+  put_u64(payload, h.jobs);
+  put_str(payload, h.config_digest);
+  return frame(FrameType::kHeader, payload);
+}
+
+std::string encode_entry(const Entry& e) {
+  std::string payload;
+  payload.reserve(96 + e.id.size() + e.error.size());
+  put_u64(payload, e.index);
+  put_u8(payload, e.status);
+  put_u64(payload, e.seed);
+  put_u64(payload, e.probes);
+  put_str(payload, e.id);
+  put_str(payload, e.error);
+  put_u8(payload, e.answered ? 1 : 0);
+  put_u8(payload, e.degraded ? 1 : 0);
+  put_u8(payload, e.sdcl_accepted ? 1 : 0);
+  put_u8(payload, e.wdcl_accepted ? 1 : 0);
+  put_u64(payload, e.warnings);
+  put_u64(payload, e.losses);
+  put_f64(payload, e.loss_rate);
+  put_u32(payload, static_cast<std::uint32_t>(e.i_star));
+  put_f64(payload, e.f_at_2istar);
+  put_f64(payload, e.bound_seconds);
+  put_f64(payload, e.wall_s);
+  return frame(FrameType::kOutcome, payload);
+}
+
+Replay parse(std::string_view bytes) {
+  Replay r;
+  const unsigned char* base =
+      reinterpret_cast<const unsigned char*>(bytes.data());
+  std::size_t at = 0;
+  auto corrupt = [&](const char* why) {
+    r.warning = std::string("journal: corrupt/truncated tail at byte ") +
+                std::to_string(at) + " (" + why + "); replaying " +
+                std::to_string(r.entries.size()) + " checkpointed outcome(s)";
+  };
+  while (at < bytes.size()) {
+    if (bytes.size() - at < kPrelude) {
+      corrupt("torn frame prelude");
+      break;
+    }
+    Cursor pre{base + at, kPrelude};
+    std::uint32_t magic = 0, len = 0, crc = 0;
+    std::uint8_t type = 0;
+    pre.u32(magic);
+    pre.u8(type);
+    pre.u32(len);
+    pre.u32(crc);
+    if (magic != kMagic) {
+      corrupt("bad magic");
+      break;
+    }
+    if (len > kMaxPayload || bytes.size() - at - kPrelude < len) {
+      corrupt("payload length past end of file");
+      break;
+    }
+    const unsigned char* payload = base + at + kPrelude;
+    if (crc32(payload, len) != crc) {
+      corrupt("crc mismatch");
+      break;
+    }
+    Cursor c{payload, len};
+    if (type == static_cast<std::uint8_t>(FrameType::kHeader)) {
+      Header h;
+      if (!decode_header(c, h)) {
+        corrupt("undecodable header payload");
+        break;
+      }
+      if (r.has_header) {
+        corrupt("duplicate header frame");
+        break;
+      }
+      r.has_header = true;
+      r.header = std::move(h);
+    } else if (type == static_cast<std::uint8_t>(FrameType::kOutcome)) {
+      Entry e;
+      if (!decode_entry(c, e)) {
+        corrupt("undecodable outcome payload");
+        break;
+      }
+      r.entries.push_back(std::move(e));
+    } else {
+      // Unknown frame type with a valid CRC: a newer writer. Refusing the
+      // tail is safer than guessing what the frame meant.
+      corrupt("unknown frame type");
+      break;
+    }
+    at += kPrelude + len;
+    r.valid_bytes = at;
+  }
+  if (!r.warning.empty())
+    util::notify_error(util::ErrorCode::kInvalidInput,
+                       util::Severity::kWarning, r.warning.c_str());
+  return r;
+}
+
+Replay read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0)
+    util::raise(util::ErrorCode::kIo,
+                "journal: cannot open " + path + ": " + std::strerror(errno));
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      util::raise(util::ErrorCode::kIo,
+                  "journal: read " + path + ": " + std::strerror(err));
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return parse(bytes);
+}
+
+Writer::~Writer() { close(); }
+
+void Writer::create(const std::string& path, const Header& h) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    util::raise(util::ErrorCode::kIo,
+                "journal: cannot create " + path + ": " +
+                    std::strerror(errno));
+  path_ = path;
+  write_all(encode_header(h));
+}
+
+void Writer::reopen(const std::string& path, std::size_t valid_bytes) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd_ < 0)
+    util::raise(util::ErrorCode::kIo,
+                "journal: cannot reopen " + path + ": " +
+                    std::strerror(errno));
+  path_ = path;
+  // Drop the torn tail before appending so the file never interleaves a
+  // half-written old frame with a fresh one.
+  if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    const int err = errno;
+    close();
+    util::raise(util::ErrorCode::kIo,
+                "journal: truncate " + path + ": " + std::strerror(err));
+  }
+}
+
+void Writer::append(const Entry& e) { write_all(encode_entry(e)); }
+
+void Writer::write_all(const std::string& bytes) {
+  DCL_ENSURE_MSG(fd_ >= 0, "journal: append on a closed writer");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      util::raise(util::ErrorCode::kIo, "journal: write " + path_ + ": " +
+                                            std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // Durability is the whole point: the caller emits the verdict line only
+  // after this returns, so an emitted line always has a durable frame.
+  if (::fsync(fd_) != 0)
+    util::raise(util::ErrorCode::kIo,
+                "journal: fsync " + path_ + ": " + std::strerror(errno));
+}
+
+void Writer::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace dcl::fleet::journal

@@ -1,0 +1,146 @@
+// dcl::fleet::journal — append-only, fsync'd, CRC-framed checkpoint
+// journal for durable fleet execution (DESIGN.md §5.12).
+//
+// dclfleet appends one frame per completed TraceOutcome *before* the
+// verdict line is emitted, fsync'ing each append, so a `kill -9` at any
+// instruction loses at most work-in-flight — never a finished verdict.
+// `dclfleet --journal PATH --resume` replays the journal, skips the
+// finished indices, and (because per-trace RNG streams are forked by
+// index, DESIGN.md §5.9) produces JSON-lines output byte-identical to an
+// uninterrupted run.
+//
+// Frame format (little-endian, fixed-width):
+//
+//   [u32 magic "DJL1"] [u8 type] [u32 payload_len] [u32 crc32(payload)]
+//   [payload_len bytes of payload]
+//
+//   type 1 (header):  u32 version | u64 base_seed | u64 jobs |
+//                     str config_digest        (str = u16 len + bytes)
+//   type 2 (outcome): u64 index | u8 status |
+//                     u64 seed | u64 probes | str id | str error |
+//                     u8 answered | u8 degraded | u8 sdcl | u8 wdcl |
+//                     u64 warnings | u64 losses | f64 loss_rate |
+//                     i32 i_star | f64 f_at_2istar | f64 bound_s |
+//                     f64 wall_s
+//
+// The reader is *tolerant*: a truncated or corrupt tail (torn final
+// write, flipped bytes) ends the replay at the last valid frame with a
+// typed kInvalidInput warning — it never throws for corruption and never
+// crashes, the contract fuzzed by tests/fuzz/journal_fuzz.cpp. Anything
+// decodable up to that point is replayed. The writer then truncates the
+// file back to the valid prefix before appending, so one journal never
+// accumulates two generations of torn frames.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fleet/fleet.h"
+
+namespace dcl::fleet::journal {
+
+inline constexpr std::uint32_t kMagic = 0x314C4A44u;  // "DJL1" little-endian
+inline constexpr std::uint32_t kVersion = 1;
+// Frames larger than this are rejected as corrupt — bounds allocation when
+// parsing a damaged journal (a real entry is a few hundred bytes).
+inline constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+enum class FrameType : std::uint8_t { kHeader = 1, kOutcome = 2 };
+
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `n` bytes. Exposed for
+// tests; the framing uses it to reject corrupt payloads.
+std::uint32_t crc32(const void* data, std::size_t n);
+
+// Identity of the run a journal checkpoints. Resume refuses a journal
+// whose header disagrees with the current invocation — a checkpoint from
+// a different seed, fleet size, or config would silently splice
+// incompatible verdicts.
+struct Header {
+  std::uint32_t version = kVersion;
+  std::uint64_t base_seed = 0;
+  std::uint64_t jobs = 0;
+  std::string config_digest;
+};
+
+// The JSON-visible subset of a TraceOutcome — exactly the fields dclfleet
+// prints per verdict line, so a replayed entry reproduces the line
+// byte-for-byte without re-running the analysis.
+struct Entry {
+  std::uint64_t index = 0;
+  std::uint8_t status = 0;  // TraceStatus as integer
+  std::uint64_t seed = 0;
+  std::uint64_t probes = 0;
+  std::string id;
+  std::string error;
+  bool answered = false;
+  bool degraded = false;
+  bool sdcl_accepted = false;
+  bool wdcl_accepted = false;
+  std::uint64_t warnings = 0;
+  std::uint64_t losses = 0;
+  double loss_rate = 0.0;
+  std::int32_t i_star = 0;
+  double f_at_2istar = 0.0;
+  double bound_seconds = 0.0;  // coarse_bound.seconds (raw, not gated)
+  double wall_s = 0.0;         // nondeterministic; only --timings shows it
+};
+
+Entry entry_from_outcome(const TraceOutcome& o);
+// Synthesizes a TraceOutcome (executed = false) whose JSON-visible fields
+// match the original run; fields the journal does not carry (PMFs, fit
+// internals) stay default.
+TraceOutcome outcome_from_entry(const Entry& e);
+
+std::string encode_header(const Header& h);
+std::string encode_entry(const Entry& e);
+
+// Replay of a journal's valid prefix.
+struct Replay {
+  bool has_header = false;
+  Header header;
+  std::vector<Entry> entries;   // append order; duplicates possible
+  std::size_t valid_bytes = 0;  // prefix length that framed + CRC'd clean
+  // Non-empty when a corrupt/truncated tail was dropped; the reader also
+  // surfaces it as a typed kInvalidInput warning via the error listener.
+  std::string warning;
+};
+
+// Tolerant decode of raw journal bytes (pure — the fuzz target). Never
+// throws for corruption.
+Replay parse(std::string_view bytes);
+
+// Reads and parses `path`. Throws util::Error(kIo) only when the file
+// cannot be opened/read at all; corruption is reported via Replay.
+Replay read_file(const std::string& path);
+
+// Append-side handle. Every append() is write()+fsync() before returning:
+// once a verdict line hits the output stream its outcome frame is already
+// durable, which is the ordering the resume byte-identity proof needs.
+class Writer {
+ public:
+  Writer() = default;
+  ~Writer();
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  // Fresh journal: create/truncate and append the header frame.
+  // Throws util::Error(kIo) on failure.
+  void create(const std::string& path, const Header& h);
+  // Resume: reopen for append, first truncating a corrupt tail back to
+  // `valid_bytes` (from Replay). Throws util::Error(kIo) on failure.
+  void reopen(const std::string& path, std::size_t valid_bytes);
+
+  void append(const Entry& e);  // frame + write + fsync
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  void write_all(const std::string& bytes);
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace dcl::fleet::journal

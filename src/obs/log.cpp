@@ -325,6 +325,86 @@ std::string recent_errors_json() {
 
 namespace {
 
+// Bounded append helpers for the signal-safe render below: plain byte
+// stores into a caller buffer, silently truncating at capacity.
+struct SigBuf {
+  char* buf;
+  std::size_t cap;
+  std::size_t at = 0;
+  void ch(char c) {
+    if (at + 1 < cap) buf[at++] = c;
+  }
+  void s(const char* p) {
+    while (*p != '\0') ch(*p++);
+  }
+  void u64(std::uint64_t v) {
+    char tmp[20];
+    int n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) ch(tmp[--n]);
+  }
+  // JSON-escapes one byte: quote/backslash escaped, control bytes dropped
+  // (a \u escape table buys nothing in a crash report).
+  void esc(char c) {
+    if (c == '"' || c == '\\') {
+      ch('\\');
+      ch(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      ch(c);
+    }
+  }
+};
+
+}  // namespace
+
+std::size_t recent_errors_render(char* buf, std::size_t cap) {
+  if (buf == nullptr || cap == 0) return 0;
+  SigBuf b{buf, cap};
+  ErrRing& r = ring();
+  const std::uint64_t head = r.head.load(std::memory_order_acquire);
+  const std::uint64_t first =
+      head > kRecentErrorSlots ? head - kRecentErrorSlots + 1 : 1;
+  b.ch('[');
+  bool any = false;
+  for (std::uint64_t seq = first; seq <= head; ++seq) {
+    const ErrSlot& s = r.slots[(seq - 1) % kRecentErrorSlots];
+    if (s.seq.load(std::memory_order_acquire) != seq) continue;
+    // Copy the payload into locals before the closing seq validation so a
+    // mid-read overwrite is detected before anything half-copied commits.
+    char code[kCodeBytes];
+    char msg[kRecentErrorMsgBytes];
+    std::size_t code_len = s.code_len.load(std::memory_order_relaxed);
+    std::size_t msg_len = s.msg_len.load(std::memory_order_relaxed);
+    if (code_len > kCodeBytes) code_len = kCodeBytes;
+    if (msg_len > kRecentErrorMsgBytes) msg_len = kRecentErrorMsgBytes;
+    const int lv = s.level.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < code_len; ++i)
+      code[i] = s.code[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < msg_len; ++i)
+      msg[i] = s.msg[i].load(std::memory_order_relaxed);
+    if (s.seq.load(std::memory_order_acquire) != seq) continue;
+    if (any) b.ch(',');
+    any = true;
+    b.s("{\"seq\":");
+    b.u64(seq);
+    b.s(",\"level\":\"");
+    b.s(to_string(static_cast<Level>(lv)));
+    b.s("\",\"code\":\"");
+    for (std::size_t i = 0; i < code_len; ++i) b.esc(code[i]);
+    b.s("\",\"message\":\"");
+    for (std::size_t i = 0; i < msg_len; ++i) b.esc(msg[i]);
+    b.s("\"}");
+  }
+  b.ch(']');
+  buf[b.at] = '\0';
+  return b.at;
+}
+
+namespace {
+
 void error_listener(util::ErrorCode code, util::Severity severity,
                     const char* what) {
   const Level lv =

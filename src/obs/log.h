@@ -136,6 +136,13 @@ std::vector<RecentError> recent_errors();
 // JSON array of the snapshot (used by /statusz).
 std::string recent_errors_json();
 
+// Async-signal-safe render of the ring into `buf` as a JSON array of
+// {"seq","level","code","message"} objects (no allocation, no locks —
+// crash-handler path, util/crash.cpp). Slots overwritten mid-read are
+// skipped; output is truncated at `cap`. Returns the bytes written
+// (excluding the NUL terminator that is always appended when cap > 0).
+std::size_t recent_errors_render(char* buf, std::size_t cap);
+
 // Routes every typed util::Error construction into the ring and into
 // windowed `log.errors.<code>` counters via util::set_error_listener.
 // Idempotent; the CLIs call it at startup.

@@ -106,7 +106,7 @@ __attribute__((no_sanitize("address", "thread", "undefined")))
 #endif
 #endif
 int walk_frames(std::uintptr_t pc, std::uintptr_t fp, std::uintptr_t sp,
-                std::uintptr_t out[kMaxDepth]) {
+                std::uintptr_t* out, int max) {
   int n = 0;
   out[n++] = pc;
   // Frames must live in (sp, sp + 1 MiB): below is not stack, far above
@@ -114,7 +114,7 @@ int walk_frames(std::uintptr_t pc, std::uintptr_t fp, std::uintptr_t sp,
   const std::uintptr_t lo = sp;
   const std::uintptr_t hi = sp + (1u << 20);
   std::uintptr_t frame = fp;
-  while (n < kMaxDepth) {
+  while (n < max) {
     if (frame <= lo || frame >= hi || (frame & (sizeof(void*) - 1)) != 0)
       break;
     const std::uintptr_t* f = reinterpret_cast<const std::uintptr_t*>(frame);
@@ -162,7 +162,7 @@ void sigprof_handler(int, siginfo_t*, void* uctx) {
 #endif
 
   std::uintptr_t pcs[kMaxDepth];
-  const int depth = walk_frames(pc, fp, sp, pcs);
+  const int depth = walk_frames(pc, fp, sp, pcs, kMaxDepth);
 
   // Innermost stored tag of the interrupted thread (same-thread TLS read;
   // push/pop order is pinned by signal fences).
@@ -279,6 +279,53 @@ std::size_t round_pow2(std::size_t n) {
 }
 
 }  // namespace
+
+// --- crash-handler support -------------------------------------------------
+
+// Same validated walk as the sampler, entered from the fatal-signal path
+// (util/crash.cpp) instead of SIGPROF. The no_sanitize attribute matters
+// here too: the crash handler runs after arbitrary memory corruption.
+#if defined(__has_attribute)
+#if __has_attribute(no_sanitize)
+__attribute__((no_sanitize("address", "thread", "undefined")))
+#endif
+#endif
+int backtrace_pcs(void* ucontext, std::uintptr_t* out, int max) {
+  if (out == nullptr || max <= 0) return 0;
+  std::uintptr_t pc = 0, fp = 0, sp = 0;
+  if (ucontext != nullptr) {
+    const ucontext_t* uc = static_cast<const ucontext_t*>(ucontext);
+#if defined(__x86_64__)
+    pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+    fp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+    sp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RSP]);
+#elif defined(__aarch64__)
+    pc = static_cast<std::uintptr_t>(uc->uc_mcontext.pc);
+    fp = static_cast<std::uintptr_t>(uc->uc_mcontext.regs[29]);
+    sp = static_cast<std::uintptr_t>(uc->uc_mcontext.sp);
+#else
+    (void)uc;
+    return 0;
+#endif
+    return walk_frames(pc, fp, sp, out, max);
+  }
+  // terminate-handler path: unwind our own stack. Our frame pointer links
+  // to the caller's frame; seed the walk there so the leaf PC (our return
+  // address) is not emitted twice.
+  fp = reinterpret_cast<std::uintptr_t>(__builtin_frame_address(0));
+  pc = reinterpret_cast<std::uintptr_t>(__builtin_return_address(0));
+  if (fp == 0 || (fp & (sizeof(void*) - 1)) != 0) return 0;
+  const std::uintptr_t caller_frame =
+      *reinterpret_cast<const std::uintptr_t*>(fp);
+  return walk_frames(pc, caller_frame, fp, out, max);
+}
+
+const char* symbol_name(std::uintptr_t pc) {
+  Dl_info info{};
+  if (dladdr(reinterpret_cast<void*>(pc - 1), &info) != 0)
+    return info.dli_sname;
+  return nullptr;
+}
 
 bool start(const Options& opts) {
   SessionState& st = state();

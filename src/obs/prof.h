@@ -91,6 +91,22 @@ std::string to_speedscope(const Profile& p, const RunManifest* manifest);
 // on I/O failure.
 bool write_profile(const std::string& path, const RunManifest* manifest);
 
+// --- crash-handler support -------------------------------------------------
+//
+// The bounded, validated frame-pointer walk that backs the SIGPROF
+// sampler, exposed for the fatal-signal crash reporter (util/crash.h).
+// Async-signal-safe: no allocation, no locks, only validated stack reads.
+// With a non-null `ucontext` (the third argument of an SA_SIGINFO
+// handler) it unwinds the *interrupted* context; with nullptr it unwinds
+// the caller's own stack (terminate-handler path). Returns the number of
+// PCs written to `out` (leaf first), up to `max`.
+int backtrace_pcs(void* ucontext, std::uintptr_t* out, int max);
+
+// Best-effort symbol name for a PC via dladdr — no demangling, no
+// allocation (the returned pointer aliases the loaded image's string
+// table). nullptr when the PC resolves to no exported symbol.
+const char* symbol_name(std::uintptr_t pc);
+
 // Publishes the session's per-stage breakdown into `reg`:
 // prof.self_cpu.<stage> gauges (seconds), prof.samples / prof.dropped
 // counters, and a prof.running gauge. Cheap when idle; called per scrape

@@ -386,6 +386,17 @@ int Server::Impl::handle(std::string_view target, std::string& content_type,
       first = false;
     }
     os << (first ? "" : "\n  ") << "}";
+    // Live gauges (fleet.progress, fleet.stuck_trace_age_s, prof.*):
+    // current value, not history — the watchdog's stuck-trace age reads
+    // from here mid-run.
+    os << ",\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, v] : s.gauges) {
+      os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+         << "\": " << json_number(v);
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "}";
     os << ",\n  \"trace\": {\"enabled\": "
        << (trace::enabled() ? "true" : "false")
        << ", \"threads\": " << ts.thread_count()

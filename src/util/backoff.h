@@ -1,0 +1,47 @@
+// dcl::util::Backoff — bounded exponential backoff with jitter.
+//
+// Retry pacing for transient per-unit failures (the fleet's per-trace
+// retry, DESIGN.md §5.12): delay k is base * 2^k, capped at `max`, then
+// jittered uniformly over [delay/2, delay] ("equal jitter") so a burst of
+// simultaneous failures across outer workers does not re-collide on the
+// retry. Deterministic in the seed — the fleet seeds each trace's backoff
+// from its forked per-trace seed, so a replayed run waits the same
+// schedule.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace dcl::util {
+
+class Backoff {
+ public:
+  Backoff(double base_s, double max_s, std::uint64_t seed)
+      : base_s_(base_s > 0.0 ? base_s : 0.0),
+        max_s_(std::max(max_s, base_s_)),
+        rng_(seed ^ 0xB0FFB0FFULL) {}
+
+  // Delay before the next retry, advancing the attempt counter.
+  double next_s() {
+    double d = base_s_;
+    for (int i = 0; i < attempt_ && d < max_s_; ++i) d *= 2.0;
+    d = std::min(d, max_s_);
+    ++attempt_;
+    if (d <= 0.0) return 0.0;
+    return 0.5 * d + rng_.uniform(0.0, 0.5 * d);
+  }
+
+  int attempts() const { return attempt_; }
+
+  void reset() { attempt_ = 0; }
+
+ private:
+  double base_s_;
+  double max_s_;
+  int attempt_ = 0;
+  Rng rng_;
+};
+
+}  // namespace dcl::util

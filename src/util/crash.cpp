@@ -1,0 +1,319 @@
+#include "util/crash.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <exception>
+
+#include "obs/log.h"
+#include "obs/prof.h"
+
+namespace dcl::util::crash {
+
+namespace {
+
+constexpr int kSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE};
+constexpr int kNumSignals = 4;
+constexpr std::size_t kPathBytes = 1024;
+constexpr std::size_t kManifestBytes = 8192;
+constexpr std::size_t kReportBytes = 64 * 1024;
+constexpr int kMaxFrames = 24;
+
+struct State {
+  std::atomic<bool> installed{false};
+  // First fatal event wins the report; a second fault (including one
+  // raised *while* formatting the report) skips straight to re-raise.
+  std::atomic<bool> reported{false};
+  char report_path[kPathBytes];
+  char manifest[kManifestBytes];  // pre-serialized JSON object or empty
+  struct sigaction old_actions[kNumSignals];
+  std::terminate_handler old_terminate = nullptr;
+  bool altstack_installed = false;
+};
+
+State& state() {
+  static State* s = new State();  // never destroyed: handlers outlive exit
+  return *s;
+}
+
+// The handler's alternate stack: fatal signals often arrive with the
+// normal stack unusable (overflow, corrupted rsp).
+alignas(16) char g_altstack[64 * 1024];
+
+// The report is formatted here — static so the handler allocates nothing.
+char g_report[kReportBytes];
+
+// --- in-flight registry ----------------------------------------------------
+
+struct InflightSlot {
+  std::atomic<std::int64_t> index{-1};  // -1 = free
+  std::atomic<std::uint64_t> start_ns{0};
+};
+
+InflightSlot g_inflight[kInflightSlots];
+
+// --- report formatting (async-signal-safe) ---------------------------------
+
+struct Buf {
+  char* p;
+  std::size_t cap;
+  std::size_t at = 0;
+  void ch(char c) {
+    if (at + 1 < cap) p[at++] = c;
+  }
+  void s(const char* str) {
+    while (*str != '\0') ch(*str++);
+  }
+  void raw(const char* str, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) ch(str[i]);
+  }
+  void u64(std::uint64_t v) {
+    char tmp[20];
+    int n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) ch(tmp[--n]);
+  }
+  void i64(std::int64_t v) {
+    if (v < 0) {
+      ch('-');
+      u64(static_cast<std::uint64_t>(-(v + 1)) + 1);
+    } else {
+      u64(static_cast<std::uint64_t>(v));
+    }
+  }
+  void hex(std::uintptr_t v) {
+    s("0x");
+    char tmp[16];
+    int n = 0;
+    do {
+      const int d = static_cast<int>(v & 0xF);
+      tmp[n++] = static_cast<char>(d < 10 ? '0' + d : 'a' + d - 10);
+      v >>= 4;
+    } while (v != 0);
+    while (n > 0) ch(tmp[--n]);
+  }
+  void esc(const char* str) {
+    for (; *str != '\0'; ++str) {
+      const char c = *str;
+      if (c == '"' || c == '\\') {
+        ch('\\');
+        ch(c);
+      } else if (static_cast<unsigned char>(c) >= 0x20) {
+        ch(c);
+      }
+    }
+  }
+};
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    default: return "signal";
+  }
+}
+
+// Formats the full report into g_report and writes it to the configured
+// path with open(2)/write(2). `reason` names the event ("SIGSEGV",
+// "terminate", or a test-provided tag); `sig` is 0 for non-signal events;
+// `uctx` selects the backtraced context (nullptr = caller's own stack).
+// Everything here obeys the §5.12 signal-safety contract.
+bool format_and_write(const char* reason, int sig, void* uctx) {
+  State& st = state();
+  if (st.report_path[0] == '\0') return false;
+
+  Buf b{g_report, kReportBytes};
+  b.s("{\"reason\":\"");
+  b.esc(reason != nullptr ? reason : "unknown");
+  b.s("\",\"signal\":");
+  b.i64(sig);
+  b.s(",\"pid\":");
+  b.i64(static_cast<std::int64_t>(getpid()));
+  b.s(",\"manifest\":");
+  if (st.manifest[0] != '\0') {
+    b.s(st.manifest);
+  } else {
+    b.s("null");
+  }
+
+  b.s(",\"backtrace\":[");
+  std::uintptr_t pcs[kMaxFrames];
+  const int depth = obs::prof::backtrace_pcs(uctx, pcs, kMaxFrames);
+  for (int i = 0; i < depth; ++i) {
+    if (i != 0) b.ch(',');
+    b.s("{\"pc\":\"");
+    b.hex(pcs[i]);
+    b.s("\",\"sym\":\"");
+    const char* sym = obs::prof::symbol_name(pcs[i]);
+    if (sym != nullptr) b.esc(sym);
+    b.s("\"}");
+  }
+  b.s("],");
+
+  b.s("\"inflight\":[");
+  bool any = false;
+  for (int i = 0; i < kInflightSlots; ++i) {
+    const std::int64_t idx = g_inflight[i].index.load(std::memory_order_acquire);
+    if (idx < 0) continue;
+    if (any) b.ch(',');
+    any = true;
+    b.s("{\"index\":");
+    b.i64(idx);
+    b.s(",\"start_ns\":");
+    b.u64(g_inflight[i].start_ns.load(std::memory_order_relaxed));
+    b.s("}");
+  }
+  b.s("],");
+
+  b.s("\"recent_errors\":");
+  // Render directly into the tail of the report buffer, then advance.
+  if (b.at + 2 < b.cap) {
+    const std::size_t n =
+        obs::log::recent_errors_render(b.p + b.at, b.cap - b.at - 1);
+    b.at += n;
+  } else {
+    b.s("[]");
+  }
+  b.s("}\n");
+  if (b.at + 1 <= b.cap) b.p[b.at] = '\0';
+
+  const int fd = ::open(st.report_path,
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  bool ok = true;
+  while (off < b.at) {
+    const ssize_t w = ::write(fd, g_report + off, b.at - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  ::close(fd);
+  return ok;
+}
+
+void fatal_signal_handler(int sig, siginfo_t*, void* uctx) {
+  State& st = state();
+  bool expected = false;
+  if (st.reported.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+    format_and_write(signal_name(sig), sig, uctx);
+  }
+  // Restore default disposition and re-raise so the process dies with the
+  // original signal (parent sees 128+sig).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void terminate_handler() {
+  State& st = state();
+  bool expected = false;
+  if (st.reported.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+    format_and_write("terminate", 0, nullptr);
+  }
+  std::abort();
+}
+
+void copy_bounded(char* dst, std::size_t cap, const std::string& src) {
+  const std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+bool install(const Options& opts) {
+  State& st = state();
+  copy_bounded(st.report_path, kPathBytes, opts.report_path);
+  copy_bounded(st.manifest, kManifestBytes, opts.manifest_json);
+  if (st.installed.load(std::memory_order_acquire)) return true;
+
+  if (!st.altstack_installed) {
+    stack_t ss{};
+    ss.ss_sp = g_altstack;
+    ss.ss_size = sizeof g_altstack;
+    ss.ss_flags = 0;
+    if (sigaltstack(&ss, nullptr) != 0) return false;
+    st.altstack_installed = true;
+  }
+
+  struct sigaction sa{};
+  sa.sa_sigaction = &fatal_signal_handler;
+  sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  sigemptyset(&sa.sa_mask);
+  for (int i = 0; i < kNumSignals; ++i) {
+    if (sigaction(kSignals[i], &sa, &st.old_actions[i]) != 0) {
+      for (int j = 0; j < i; ++j)
+        sigaction(kSignals[j], &st.old_actions[j], nullptr);
+      return false;
+    }
+  }
+  st.old_terminate = std::set_terminate(&terminate_handler);
+  st.installed.store(true, std::memory_order_release);
+  return true;
+}
+
+void uninstall() {
+  State& st = state();
+  if (!st.installed.load(std::memory_order_acquire)) return;
+  for (int i = 0; i < kNumSignals; ++i)
+    sigaction(kSignals[i], &st.old_actions[i], nullptr);
+  std::set_terminate(st.old_terminate);
+  st.installed.store(false, std::memory_order_release);
+  st.reported.store(false, std::memory_order_release);
+}
+
+bool installed() { return state().installed.load(std::memory_order_acquire); }
+
+bool write_report_now(const char* reason) {
+  return format_and_write(reason != nullptr ? reason : "manual", 0, nullptr);
+}
+
+int inflight_claim(std::uint64_t index, std::uint64_t start_ns) {
+  for (int i = 0; i < kInflightSlots; ++i) {
+    // Claim via a -2 sentinel so start_ns is in place before the real
+    // index becomes visible — a concurrent snapshot never pairs the new
+    // index with the previous occupant's timestamp.
+    std::int64_t expected = -1;
+    if (g_inflight[i].index.compare_exchange_strong(
+            expected, -2, std::memory_order_acq_rel)) {
+      g_inflight[i].start_ns.store(start_ns, std::memory_order_relaxed);
+      g_inflight[i].index.store(static_cast<std::int64_t>(index),
+                                std::memory_order_release);
+      return i;
+    }
+  }
+  return -1;
+}
+
+void inflight_release(int slot) {
+  if (slot < 0 || slot >= kInflightSlots) return;
+  g_inflight[slot].index.store(-1, std::memory_order_release);
+}
+
+int inflight_snapshot(Inflight* out, int max) {
+  int n = 0;
+  for (int i = 0; i < kInflightSlots && n < max; ++i) {
+    const std::int64_t idx = g_inflight[i].index.load(std::memory_order_acquire);
+    if (idx < 0) continue;
+    out[n].index = static_cast<std::uint64_t>(idx);
+    out[n].start_ns = g_inflight[i].start_ns.load(std::memory_order_relaxed);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace dcl::util::crash

@@ -1,0 +1,77 @@
+// dcl::util::crash — fatal-signal / terminate crash reports and the
+// in-flight work registry (DESIGN.md §5.12).
+//
+// install() hooks SIGSEGV / SIGABRT / SIGBUS / SIGFPE (SA_SIGINFO on an
+// alternate stack) and std::set_terminate. On a fatal event the handler
+// writes a single JSON crash report — the RunManifest, a frame-pointer
+// backtrace of the crashing thread (the obs/prof walker), the
+// recent-errors ring, and the in-flight trace indices — then restores the
+// default disposition and re-raises, so the process still dies with the
+// original signal (exit status 128+sig to the parent).
+//
+// Signal-safety rules inside the handler (the §5.12 contract):
+//   * no allocation, no locks, no stdio — the report is formatted into a
+//     static buffer and written with write(2) to a freshly open(2)'d fd;
+//   * the manifest is pre-serialized at install() time; the handler only
+//     copies bytes;
+//   * backtraces come from the bounded, validated frame-pointer walk that
+//     already runs in the SIGPROF path (obs/prof.h); symbol names are
+//     best-effort dladdr (no demangling — __cxa_demangle allocates);
+//   * the recent-errors ring is drained via the byte-wise-atomic
+//     seq-validated render (obs/log.h), skipping slots mid-overwrite;
+//   * a once-guard makes the first fatal event win; a second fault (even
+//     mid-report) skips straight to re-raise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcl::util::crash {
+
+struct Options {
+  // Where the handler writes the report ("<journal>.crash.json" in
+  // dclfleet). Empty disables report writing (handlers still re-raise).
+  std::string report_path;
+  // Pre-serialized RunManifest JSON embedded verbatim in the report.
+  // Truncated to an internal fixed buffer (8 KiB).
+  std::string manifest_json;
+};
+
+// Installs the fatal-signal handlers and the terminate handler.
+// Re-installing just updates the report path / manifest. Returns false
+// when the sigaltstack or sigaction syscalls fail.
+bool install(const Options& opts);
+// Restores the previously installed dispositions (tests).
+void uninstall();
+bool installed();
+
+// Writes the report exactly as the handler would (same static buffer,
+// same format), without dying — the testable half of the handler.
+// Returns false when the report file cannot be opened or written.
+bool write_report_now(const char* reason);
+
+// --- in-flight work registry ----------------------------------------------
+//
+// A fixed pool of atomic slots naming the work items currently executing
+// (the fleet's outer workers claim one per trace). The crash handler
+// snapshots it into the report ("which traces were mid-analysis when we
+// died"); the fleet watchdog polls it for stuck-trace ages. claim() and
+// release() are lock-free and allocation-free; the pool size bounds the
+// useful outer-thread count it can observe (excess claims return -1 and
+// are simply not reported — never an error).
+
+inline constexpr int kInflightSlots = 64;
+
+// Claims a slot for work item `index` at `start_ns` (steady-clock
+// nanoseconds). Returns the slot id, or -1 when the pool is full.
+int inflight_claim(std::uint64_t index, std::uint64_t start_ns);
+void inflight_release(int slot);
+
+struct Inflight {
+  std::uint64_t index = 0;
+  std::uint64_t start_ns = 0;
+};
+// Snapshot of the currently claimed slots; returns the count written.
+int inflight_snapshot(Inflight* out, int max);
+
+}  // namespace dcl::util::crash

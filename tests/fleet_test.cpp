@@ -17,8 +17,12 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "core/pipeline.h"
+#include "faults/faults.h"
 #include "fleet/fleet.h"
+#include "fleet/journal.h"
 #include "fleet/manifest.h"
 #include "fleet/synth.h"
 #include "obs/obs.h"
@@ -377,6 +381,157 @@ TEST(FleetObs, ProgressCallbackSeesEveryOutcomeOnce) {
   (void)report;
   for (std::size_t i = 0; i < seen.size(); ++i)
     EXPECT_EQ(seen[i], 1) << "trace " << i;
+}
+
+// --------------------------------------------- durable execution (§5.12) --
+
+// The kill-resume identity at engine level: interrupt a run after k
+// outcomes (simulated by taking the first k checkpointed entries through
+// the journal round-trip into cfg.completed), resume, and the combined
+// outcomes must match the uninterrupted reference bitwise — for both a
+// serial and a parallel outer split.
+TEST(FleetResume, ReplayedPrefixProducesIdenticalOutcomes) {
+  const auto jobs = small_mesh(8);
+  FleetConfig ref_cfg;
+  ref_cfg.pipeline = fast_pipeline();
+  ref_cfg.outer_threads = 1;
+  ref_cfg.inner_threads = 1;
+  const auto ref = run_fleet(jobs, ref_cfg);
+
+  for (int outer : {1, 4}) {
+    for (std::size_t k : {std::size_t{0}, std::size_t{3}, jobs.size()}) {
+      FleetConfig cfg;
+      cfg.pipeline = fast_pipeline();
+      cfg.outer_threads = outer;
+      cfg.inner_threads = 1;
+      for (std::size_t i = 0; i < k; ++i) {
+        // Full journal round-trip: outcome -> frame bytes -> entry ->
+        // replayed outcome, exactly what dclfleet --resume does.
+        const std::string bytes =
+            journal::encode_entry(journal::entry_from_outcome(ref.traces[i]));
+        const auto rep = journal::parse(bytes);
+        ASSERT_EQ(rep.entries.size(), 1u);
+        cfg.completed.push_back(journal::outcome_from_entry(rep.entries[0]));
+      }
+      std::vector<std::size_t> delivered;
+      const auto got = run_fleet(jobs, cfg, [&](const TraceOutcome& o) {
+        delivered.push_back(o.index);
+      });
+      ASSERT_EQ(got.traces.size(), ref.traces.size());
+      EXPECT_EQ(got.replayed, k);
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(outcome_fields(got.traces[i]), outcome_fields(ref.traces[i]))
+            << "outer=" << outer << " k=" << k << " trace " << i;
+        if (i < k) EXPECT_FALSE(got.traces[i].executed);
+      }
+      // Every trace, replayed or executed, reaches on_done exactly once,
+      // and the replayed prefix arrives first, in index order.
+      ASSERT_EQ(delivered.size(), jobs.size());
+      for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(delivered[i], i);
+    }
+  }
+}
+
+TEST(FleetRetry, TransientFailureRetriesToSuccess) {
+  const auto jobs = small_mesh(4);
+  faults::proc::arm_flaky_at_trace(2, 2);  // first two executions raise kIo
+  FleetConfig cfg;
+  cfg.pipeline = fast_pipeline();
+  cfg.outer_threads = 1;
+  cfg.trace_retries = 3;
+  cfg.retry_base_s = 0.001;
+  cfg.retry_max_s = 0.002;
+  const auto report = run_fleet(jobs, cfg);
+  faults::proc::disarm();
+  EXPECT_NE(report.traces[2].status, TraceStatus::kFailed)
+      << report.traces[2].error;
+  EXPECT_TRUE(report.traces[2].error.empty());
+  EXPECT_EQ(report.failed, 0u);
+}
+
+TEST(FleetRetry, ExhaustedRetriesKeepTypedError) {
+  const auto jobs = small_mesh(3);
+  faults::proc::arm_flaky_at_trace(1, 10);  // more failures than budget
+  auto& reg = obs::Registry::global();
+  const auto exhausted0 =
+      reg.windowed_counter("fleet.retry_exhausted").total().value();
+  FleetConfig cfg;
+  cfg.pipeline = fast_pipeline();
+  cfg.outer_threads = 1;
+  cfg.trace_retries = 2;
+  cfg.retry_base_s = 0.001;
+  cfg.retry_max_s = 0.002;
+  const auto report = run_fleet(jobs, cfg);
+  faults::proc::disarm();
+  EXPECT_EQ(report.traces[1].status, TraceStatus::kFailed);
+  EXPECT_EQ(report.traces[1].error.rfind("io:", 0), 0u)
+      << report.traces[1].error;
+  EXPECT_EQ(
+      reg.windowed_counter("fleet.retry_exhausted").total().value() -
+          exhausted0,
+      1u);
+}
+
+TEST(FleetRetry, PermanentFailureNeverRetries) {
+  TempDir dir;
+  std::ofstream(dir.path() + "/bad.csv") << "not,a,trace\n";
+  auto jobs = small_mesh(2);
+  TraceJob bad;
+  bad.id = "bad.csv";
+  bad.path = dir.path() + "/bad.csv";
+  jobs.push_back(bad);
+
+  auto& reg = obs::Registry::global();
+  const auto retries0 = reg.windowed_counter("fleet.retries").total().value();
+  FleetConfig cfg;
+  cfg.pipeline = fast_pipeline();
+  cfg.outer_threads = 1;
+  cfg.trace_retries = 3;
+  cfg.retry_base_s = 0.001;
+  const auto report = run_fleet(jobs, cfg);
+  EXPECT_EQ(report.traces[2].status, TraceStatus::kFailed);
+  // invalid_input is permanent: no retry was burned on it.
+  EXPECT_EQ(reg.windowed_counter("fleet.retries").total().value(), retries0);
+}
+
+TEST(FleetWatchdog, HungTraceBecomesTimeoutFailure) {
+  const auto jobs = small_mesh(3);
+  faults::proc::arm_hang_at_trace(1, 0.8);
+  FleetConfig cfg;
+  cfg.pipeline = fast_pipeline();
+  cfg.outer_threads = 2;
+  cfg.trace_timeout_s = 0.2;
+  const auto report = run_fleet(jobs, cfg);
+  faults::proc::disarm();
+  EXPECT_EQ(report.traces[1].status, TraceStatus::kFailed);
+  EXPECT_NE(report.traces[1].error.find("timeout"), std::string::npos)
+      << report.traces[1].error;
+  // The hang did not sink its neighbors.
+  EXPECT_NE(report.traces[0].status, TraceStatus::kFailed);
+  EXPECT_NE(report.traces[2].status, TraceStatus::kFailed);
+}
+
+TEST(FleetCancel, CancelledTracesFormASuffixAndSkipOnDone) {
+  const auto jobs = small_mesh(6);
+  std::atomic<bool> cancel{false};
+  FleetConfig cfg;
+  cfg.pipeline = fast_pipeline();
+  cfg.outer_threads = 1;  // serial: cancellation point is deterministic
+  cfg.cancel = &cancel;
+  std::vector<std::size_t> delivered;
+  const auto report = run_fleet(jobs, cfg, [&](const TraceOutcome& o) {
+    delivered.push_back(o.index);
+    if (delivered.size() == 2) cancel.store(true);
+  });
+  // Two executed, the rest cancelled without reaching on_done.
+  EXPECT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(report.cancelled, 4u);
+  EXPECT_EQ(report.ok + report.degraded + report.failed, 2u);
+  for (std::size_t i = 2; i < jobs.size(); ++i) {
+    EXPECT_FALSE(report.traces[i].executed) << "trace " << i;
+    EXPECT_EQ(report.traces[i].status, TraceStatus::kFailed);
+    EXPECT_NE(report.traces[i].error.find("cancelled"), std::string::npos);
+  }
 }
 
 }  // namespace

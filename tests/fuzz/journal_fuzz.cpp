@@ -1,0 +1,82 @@
+// libFuzzer harness for the fleet checkpoint-journal parser (the durable
+// execution tentpole, DESIGN.md §5.12). The contract under fuzzing is the
+// kill -9 recovery boundary: journal::parse on arbitrary bytes NEVER
+// throws — corruption is data, not an exception — and always returns a
+// consistent Replay:
+//   * valid_bytes is a frame boundary no larger than the input, and
+//     re-parsing exactly that prefix reproduces the same entries cleanly
+//     (this is the prefix Writer::reopen truncates back to on --resume);
+//   * entry indices/strings decode within the framing bounds;
+//   * any escape (crash, UB, any exception at all) is a finding.
+//
+// Built by -DDCL_FUZZ=ON. Under Clang this links against libFuzzer
+// (-fsanitize=fuzzer,address,undefined); run it as
+//   build/fuzz/journal_fuzz tests/corpus/journal/
+// Under compilers without libFuzzer the same file compiles with
+// DCL_FUZZ_STANDALONE into a corpus replayer:
+//   build/fuzz/journal_fuzz tests/corpus/journal/*
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "fleet/journal.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace journal = dcl::fleet::journal;
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  try {
+    const journal::Replay r = journal::parse(bytes);
+    // valid_bytes marks the replayable prefix: in bounds, and stable
+    // under re-parse (reopen truncates to it and appends from there).
+    if (r.valid_bytes > size) std::abort();
+    const journal::Replay again = journal::parse(bytes.substr(0, r.valid_bytes));
+    if (!again.warning.empty()) std::abort();
+    if (again.entries.size() != r.entries.size()) std::abort();
+    if (again.has_header != r.has_header) std::abort();
+    if (again.valid_bytes != r.valid_bytes) std::abort();
+    for (std::size_t i = 0; i < r.entries.size(); ++i) {
+      if (again.entries[i].index != r.entries[i].index) std::abort();
+      if (again.entries[i].id != r.entries[i].id) std::abort();
+      // Framing caps every payload at kMaxPayload, so decoded strings
+      // can never exceed it.
+      if (r.entries[i].id.size() > journal::kMaxPayload) std::abort();
+      if (r.entries[i].error.size() > journal::kMaxPayload) std::abort();
+    }
+    // Corruption anywhere must be reported, never silently swallowed.
+    if (r.valid_bytes != size && r.warning.empty()) std::abort();
+  } catch (...) {
+    std::abort();  // parse() must not throw on corruption — contract broken
+  }
+  return 0;
+}
+
+#ifdef DCL_FUZZ_STANDALONE
+// Corpus replayer for toolchains without libFuzzer: exercises every file
+// named on the command line through the exact harness above.
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s corpus-file...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* f = std::fopen(argv[i], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::string bytes;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::printf("replayed %d corpus files, 0 contract violations\n", argc - 1);
+  return 0;
+}
+#endif

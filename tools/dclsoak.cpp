@@ -20,24 +20,46 @@
 //   dclsoak [--schedules N] [--seed S] [--duration SEC]
 //           [--presets sdcl,wdcl,nodcl] [--max-flip-frac X]
 //           [--metrics-json FILE] [--serve ADDR] [--verbose]
+//   dclsoak --kill-resume N [--dclfleet PATH] [--seed S]
+//
+// --kill-resume is the durable-execution soak (DESIGN.md §5.12): N
+// seed-pinned crash/resume cycles against the real dclfleet binary. Each
+// cycle SIGKILLs a journaled synthetic fleet run at a random trace (the
+// dcl::faults::proc DCL_CRASH_AT_TRACE hook), optionally stomps garbage
+// on the journal tail (the torn-write model), resumes with --resume, and
+// asserts
+//   * the resumed output is byte-identical to an uninterrupted reference
+//     run (with and without a journal — journaling must not perturb it);
+//   * the healed journal holds exactly one outcome frame per trace index
+//     (no duplicate work, no frames lost to the torn tail);
+//   * a redundant second --resume is a no-op: nothing re-executes, the
+//     journal does not grow, the output does not change.
 //
 // With --serve the embedded ops server (obs/serve.h) runs for the whole
 // soak — scraping /metrics mid-soak shows live windowed rates of
 // pipeline.runs / pipeline.degraded and the recent-errors ring filling.
 //
 // Exit code 0 when every assertion holds, 1 otherwise.
+#include <sys/stat.h>
+#include <sys/wait.h>
+
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "faults/faults.h"
+#include "fleet/journal.h"
 #include "obs/log.h"
 #include "obs/manifest.h"
 #include "obs/obs.h"
@@ -58,6 +80,8 @@ struct Options {
   std::string metrics_json;
   std::string serve_addr;
   bool verbose = false;
+  int kill_resume = 0;  // > 0 switches to the crash/resume soak
+  std::string dclfleet = "./build/cli/dclfleet";
 };
 
 dcl::trace::Trace make_preset_trace(const std::string& name,
@@ -81,6 +105,135 @@ dcl::trace::Trace make_preset_trace(const std::string& name,
 int fail(const char* what, const std::string& detail) {
   std::fprintf(stderr, "dclsoak: FAIL: %s: %s\n", what, detail.c_str());
   return 1;
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Runs `cmd` through the shell; returns the exit code, with death-by-signal
+// mapped to the shell convention 128+sig (SIGKILL -> 137).
+int shell(const std::string& cmd) {
+  const int st = std::system(cmd.c_str());
+  if (st < 0) return -1;
+  if (WIFEXITED(st)) return WEXITSTATUS(st);
+  if (WIFSIGNALED(st)) return 128 + WTERMSIG(st);
+  return -1;
+}
+
+// The durable-execution soak: N crash/resume cycles against the real
+// dclfleet binary (see the file header). Exit 0 when every cycle holds
+// the byte-identity + journal-integrity contract.
+int run_kill_resume(const Options& opt) {
+  namespace journal = dcl::fleet::journal;
+  const std::size_t traces = 24;
+
+  char tmpl[] = "/tmp/dclsoak_killresume_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr)
+    return fail("kill-resume: cannot create scratch dir", tmpl);
+  const std::string dir = tmpl;
+
+  const std::string base =
+      opt.dclfleet + " --synth " + std::to_string(traces) +
+      " --synth-probes 600 --seed " + std::to_string(opt.seed) +
+      " --outer-threads 4";
+
+  // Uninterrupted reference: no journal at all. Every resumed cycle must
+  // reproduce these bytes exactly.
+  const std::string ref_path = dir + "/ref.jsonl";
+  int rc = shell(base + " --out " + ref_path + " 2>/dev/null");
+  if (rc != 0 && rc != 1)
+    return fail("kill-resume: reference run failed",
+                "exit " + std::to_string(rc) + " (is --dclfleet right? " +
+                    opt.dclfleet + ")");
+  const std::string ref = slurp_file(ref_path);
+  if (ref.empty()) return fail("kill-resume: reference output empty", ref_path);
+
+  std::mt19937_64 rng(opt.seed ^ 0xC4A5BDEADULL);
+  for (int cycle = 0; cycle < opt.kill_resume; ++cycle) {
+    const std::string tag = dir + "/cycle" + std::to_string(cycle);
+    const std::string out = tag + ".jsonl";
+    const std::string jr = tag + ".journal";
+    const std::size_t crash_at = rng() % traces;
+
+    // Crash: SIGKILL mid-fleet via the faults::proc hook.
+    rc = shell("DCL_CRASH_AT_TRACE=" + std::to_string(crash_at) + " " + base +
+               " --journal " + jr + " --out " + out + " 2>/dev/null");
+    if (rc != 137)
+      return fail("kill-resume: crashed run did not die with SIGKILL",
+                  "cycle " + std::to_string(cycle) + ": exit " +
+                      std::to_string(rc));
+
+    // Torn-write model: half the cycles stomp garbage on the journal tail;
+    // --resume must heal it (typed warning, truncate, continue).
+    if (rng() % 2 == 0) {
+      std::ofstream torn(jr, std::ios::binary | std::ios::app);
+      torn << "DJL1\x02garbage-torn-tail";
+    }
+
+    rc = shell(base + " --journal " + jr + " --out " + out +
+               " --resume 2>/dev/null");
+    if (rc != 0 && rc != 1)
+      return fail("kill-resume: resume failed",
+                  "cycle " + std::to_string(cycle) + ": exit " +
+                      std::to_string(rc));
+    const std::string got = slurp_file(out);
+    if (got != ref)
+      return fail("kill-resume: resumed output is not byte-identical",
+                  "cycle " + std::to_string(cycle) + " (crash at trace " +
+                      std::to_string(crash_at) + "): " + out + " vs " +
+                      ref_path);
+
+    // Journal integrity: exactly one outcome frame per index, clean tail.
+    const journal::Replay rep = journal::read_file(jr);
+    if (!rep.warning.empty())
+      return fail("kill-resume: healed journal still has a corrupt tail",
+                  rep.warning);
+    std::map<std::uint64_t, int> per_index;
+    for (const auto& e : rep.entries) ++per_index[e.index];
+    if (per_index.size() != traces)
+      return fail("kill-resume: journal index coverage wrong",
+                  std::to_string(per_index.size()) + " distinct of " +
+                      std::to_string(traces));
+    for (const auto& [idx, n] : per_index)
+      if (n != 1)
+        return fail("kill-resume: duplicate outcome frames for index",
+                    std::to_string(idx) + " x" + std::to_string(n));
+
+    // Redundant resume: everything is checkpointed, so nothing may
+    // execute, the journal may not grow, and the output may not change.
+    struct ::stat before{};
+    if (::stat(jr.c_str(), &before) != 0)
+      return fail("kill-resume: cannot stat journal", jr);
+    rc = shell(base + " --journal " + jr + " --out " + out +
+               " --resume 2>/dev/null");
+    if (rc != 0 && rc != 1)
+      return fail("kill-resume: redundant resume failed",
+                  "exit " + std::to_string(rc));
+    struct ::stat after{};
+    if (::stat(jr.c_str(), &after) != 0 || after.st_size != before.st_size)
+      return fail("kill-resume: journal grew on a redundant resume",
+                  std::to_string(before.st_size) + " -> " +
+                      std::to_string(after.st_size) + " bytes");
+    if (slurp_file(out) != ref)
+      return fail("kill-resume: redundant resume changed the output", out);
+
+    if (opt.verbose)
+      std::fprintf(stderr,
+                   "dclsoak: kill-resume cycle %d ok (crash at %zu, "
+                   "%zu journal frames)\n",
+                   cycle, crash_at, rep.entries.size());
+  }
+
+  std::printf(
+      "dclsoak: %d kill-resume cycles: output byte-identical, one journal "
+      "frame per trace, redundant resume is a no-op, 0 contract breaks\n",
+      opt.kill_resume);
+  shell("rm -rf " + dir);
+  return 0;
 }
 
 }  // namespace
@@ -109,14 +262,20 @@ int main(int argc, char** argv) {
       std::string p;
       while (std::getline(ss, p, ',')) opt.presets.push_back(p);
     } else if (a == "--verbose" || a == "-v") opt.verbose = true;
+    else if (a == "--kill-resume")
+      opt.kill_resume = std::atoi(need("--kill-resume"));
+    else if (a == "--dclfleet") opt.dclfleet = need("--dclfleet");
     else {
       std::fprintf(stderr,
                    "usage: dclsoak [--schedules N] [--seed S] "
                    "[--duration SEC] [--presets a,b,c] [--max-flip-frac X] "
-                   "[--metrics-json FILE] [--serve ADDR] [--verbose]\n");
+                   "[--metrics-json FILE] [--serve ADDR] [--verbose]\n"
+                   "       dclsoak --kill-resume N [--dclfleet PATH] "
+                   "[--seed S]\n");
       return 2;
     }
   }
+  if (opt.kill_resume > 0) return run_kill_resume(opt);
   if (opt.schedules < 1 || opt.duration_s <= 0.0 || opt.presets.empty()) {
     std::fprintf(stderr, "dclsoak: bad options\n");
     return 2;
